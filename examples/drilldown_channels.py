@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Drill-down: RDMA channel behaviour under your own parameter sweeps.
+
+Reproduces the spirit of the paper's Sec. 8.3 micro-benchmarks at
+example scale: two nodes, one 100 Gb/s NIC, producers streaming the
+Read-Only workload to stateful consumers.  Sweeps the channel buffer
+size and credit count, prints throughput / latency / credit stalls, and
+shows the top-down breakdown that explains *why* each side behaves the
+way it does.
+
+Run:  python examples/drilldown_channels.py
+"""
+
+from repro.baselines.transfer import SlashTransferBench, UpParTransferBench
+from repro.common.units import fmt_bytes, fmt_rate, fmt_time
+from repro.metrics.breakdown import breakdown_percentages, dominant_category
+from repro.workloads.readonly import ReadOnlyWorkload
+
+LINK = 11.8e9  # the ib_write_bw ceiling the paper draws as a red line
+
+
+def workload():
+    return ReadOnlyWorkload(records_per_thread=60_000, key_range=100_000, batch_records=4000)
+
+
+def sweep_buffer_sizes() -> None:
+    print("--- buffer-size sweep (2 threads, Slash channels) ---")
+    print(f"{'buffer':>8} {'throughput':>12} {'of link':>8} {'latency':>10} {'stalls':>8}")
+    for buffer_bytes in (4096, 16384, 65536, 262144, 1048576):
+        result = SlashTransferBench(threads=2, buffer_bytes=buffer_bytes).run(workload())
+        print(
+            f"{fmt_bytes(buffer_bytes):>8} "
+            f"{fmt_rate(result.throughput_bytes_per_s):>12} "
+            f"{result.throughput_bytes_per_s / LINK * 100:>7.1f}% "
+            f"{fmt_time(result.mean_latency_s):>10} "
+            f"{result.credit_stall_s * 1e6:>7.0f}us"
+        )
+
+
+def sweep_credits() -> None:
+    print("\n--- credit-count sweep (2 threads, 64 KiB buffers) ---")
+    print(f"{'credits':>8} {'throughput':>12} {'of link':>8}")
+    for credits in (1, 2, 4, 8, 16, 64):
+        result = SlashTransferBench(threads=2, credits=credits).run(workload())
+        print(
+            f"{credits:>8} "
+            f"{fmt_rate(result.throughput_bytes_per_s):>12} "
+            f"{result.throughput_bytes_per_s / LINK * 100:>7.1f}%"
+        )
+
+
+def compare_shapes() -> None:
+    print("\n--- Slash (1:1 channels) vs UpPar (hash fan-out), 4 threads ---")
+    for bench in (SlashTransferBench(threads=4), UpParTransferBench(threads=4)):
+        result = bench.run(workload())
+        print(f"{result.system}: {fmt_rate(result.throughput_bytes_per_s)}")
+        for role, counters in (
+            ("sender", result.sender_counters),
+            ("receiver", result.receiver_counters),
+        ):
+            shares = breakdown_percentages(counters)
+            verdict = dominant_category(counters)
+            pretty = "  ".join(f"{k}={v:.0f}%" for k, v in shares.items())
+            print(f"   {role:<9}{pretty}  -> {verdict}-bound")
+
+
+def main() -> None:
+    sweep_buffer_sizes()
+    sweep_credits()
+    compare_shapes()
+
+
+if __name__ == "__main__":
+    main()

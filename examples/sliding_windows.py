@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Sliding windows through general stream slicing — an extension demo.
+
+The paper's evaluation uses tumbling and session windows, but its window
+model explicitly supports slicing (Sec. 5.2, citing Traub et al.).  This
+example exercises that path: a per-key sliding-window SUM (size 60 s,
+slide 15 s) over a synthetic sensor stream, executed distributed by
+Slash and verified against the sequential reference.  Each record lands
+in exactly one *slice*; each window's answer is the CRDT merge of four
+consecutive slices, so overlapping windows cost O(1) state per record.
+
+Run:  python examples/sliding_windows.py
+"""
+
+import numpy as np
+
+from repro.baselines.reference import SequentialReference
+from repro.common.rng import RngTree
+from repro.common.units import fmt_rate_records
+from repro.core.engine import SlashEngine
+from repro.core.query import Query
+from repro.core.records import Schema
+from repro.core.windows import SlidingWindow
+from repro.workloads.distributions import monotone_timestamps, uniform_keys
+
+SENSOR_SCHEMA = Schema(
+    name="sensor_readings",
+    fields=(("ts", "i8"), ("key", "i8"), ("value", "f8")),
+    record_bytes=24,
+)
+
+WINDOW = SlidingWindow(size_ms=60_000, slide_ms=15_000)
+SPAN_MS = 5 * 60 * 1000  # five minutes of event time
+NODES, THREADS = 3, 2
+RECORDS_PER_FLOW = 3000
+SENSORS = 40
+
+
+def build_query() -> Query:
+    query = Query("sensor-sliding-sum")
+    (
+        query.stream("readings", SENSOR_SCHEMA)
+        .aggregate(WINDOW, agg="sum", value_field="value")
+    )
+    return query
+
+
+def make_flows():
+    rng_tree = RngTree(2024).child("sliding-example")
+    flows = {}
+    for node in range(NODES):
+        for thread in range(THREADS):
+            rng = rng_tree.generator("flow", node, thread)
+            ts = monotone_timestamps(RECORDS_PER_FLOW, SPAN_MS, rng)
+            keys = uniform_keys(RECORDS_PER_FLOW, SENSORS, rng)
+            values = rng.normal(20.0, 5.0, size=RECORDS_PER_FLOW).round(3)
+            batch = SENSOR_SCHEMA.batch_from_columns(ts=ts, key=keys, value=values)
+            # One big batch per flow, re-cut into channel-sized pieces.
+            pieces = [
+                ("readings", batch.take(np.arange(start, min(start + 500, len(batch)))))
+                for start in range(0, len(batch), 500)
+            ]
+            flows[(node, thread)] = pieces
+    return flows
+
+
+def main() -> None:
+    query = build_query()
+    flows = make_flows()
+    expected = SequentialReference().run(query, flows)
+    result = SlashEngine(epoch_bytes=64 * 1024).run(build_query(), flows)
+
+    assert set(result.aggregates) == set(expected.aggregates)
+    mismatches = [
+        key
+        for key in expected.aggregates
+        if abs(result.aggregates[key] - expected.aggregates[key]) > 1e-6
+    ]
+    assert not mismatches, mismatches[:3]
+
+    windows = sorted({win for win, _key in result.aggregates})
+    print(f"distributed sliding-window sum over {NODES}x{THREADS} workers")
+    print(f"records: {result.input_records}, sensors: {SENSORS}")
+    print(f"windows fired: {len(windows)} (slide 15 s, size 60 s)")
+    print(f"throughput: {fmt_rate_records(result.throughput_records_per_s)}")
+    print("P2 check: distributed == sequential for every (window, sensor)\n")
+
+    sensor = min(key for _win, key in result.aggregates)
+    print(f"sensor {sensor}, consecutive overlapping windows:")
+    for win in windows[2:8]:
+        value = result.aggregates.get((win, sensor))
+        if value is not None:
+            start_s = win * WINDOW.slide_ms / 1000
+            print(f"  [{start_s:7.1f}s .. {start_s + 60:7.1f}s)  sum = {value:10.2f}")
+
+
+if __name__ == "__main__":
+    main()

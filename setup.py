@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+The offline environment lacks the `wheel` package, which the PEP-517
+editable path requires; this setup.py enables the classic develop install.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""``python -m repro`` — entry point for the experiment CLI."""
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Baseline systems the paper evaluates Slash against (Sec. 8.1.1).
+
+* :mod:`repro.baselines.reference` — a sequential executor defining the
+  ground-truth query output (property P2);
+* :mod:`repro.baselines.uppar` — **RDMA UpPar**: the straw-man
+  'lightweight integration' — classical hash re-partitioning over
+  Slash's own RDMA channels (Sec. 3.1);
+* :mod:`repro.baselines.flink` — a Flink-1.9-shaped scale-out SPE:
+  queue-based partitioning on a managed runtime over IP-over-InfiniBand
+  ('plug-and-play integration');
+* :mod:`repro.baselines.lightsaber` — a LightSaber-shaped scale-up SPE:
+  single node, task-based parallelism, late merge, no network;
+* :mod:`repro.baselines.transfer` — the two-node producer/consumer
+  harnesses used by the drill-down experiments (Figs. 8-10, Table 1).
+"""
+
+from repro.baselines.reference import SequentialReference
+from repro.baselines.uppar import UpParEngine
+from repro.baselines.flink import FlinkEngine
+from repro.baselines.lightsaber import LightSaberEngine
+from repro.baselines.transfer import (
+    SlashTransferBench,
+    UpParTransferBench,
+    TransferResult,
+)
+
+__all__ = [
+    "SequentialReference",
+    "UpParEngine",
+    "FlinkEngine",
+    "LightSaberEngine",
+    "SlashTransferBench",
+    "UpParTransferBench",
+    "TransferResult",
+]

@@ -1,0 +1,171 @@
+"""Cost profiles for the baseline engines, calibrated to the paper.
+
+**RDMA UpPar** (Table 1, Fig. 9): the sender's partitioning logic costs
+~166 instructions / ~274 cycles per record with heavy front-end stalls
+(large, branchy code footprint) and low-MLP data-dependent writes into
+the fan-out buffers; the receiver spends ~78 instructions / ~276 cycles
+per record — but most of its measured cycles are the ``pause``-spinning
+core-bound wait, which in this simulation *emerges* from waiting on
+channels rather than being charged per record.
+
+**Flink**: the same dataflow shape, further burdened by a managed-runtime
+multiplier on all compute, per-record (de)serialization on both sides of
+every exchange, and socket syscalls per buffer — the overheads the paper
+attributes to 'plug-and-play' IPoIB deployments (Secs. 3.1, 8.2).
+
+**LightSaber**: scale-up late merge — per-record work close to Slash's,
+plus a shared-task-queue synchronisation cost per batch (the paper notes
+LightSaber's single task queue versus Slash's per-worker queues,
+Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simnet.cost_model import CostProfile
+
+
+@dataclass(frozen=True)
+class ExchangeCosts:
+    """Cost surface for a queue/exchange-based scale-out engine."""
+
+    # Fused filter/project on the source/partitioner threads.
+    pipeline: CostProfile
+    # Hash + route one record (fixed part; the copy is priced separately
+    # per record byte via ``partition_lines_for``).
+    partition: CostProfile
+    # Fixed random lines touched per routed record (routing tables etc.);
+    # the data-dependent fan-out copy adds record_bytes / 64 lines.
+    partition_lines: float
+    # Pop one record out of an inbound queue (queue-based sync).
+    dequeue: CostProfile
+    # RMW one record into consumer-local window state.
+    update: CostProfile
+    update_lines: float
+    # Cheap vectorisable count path for the RO benchmark (see
+    # repro.core.costs.SlashCosts.light_update).
+    light_update: CostProfile
+    light_update_lines: float
+    # Append one record into consumer-local join state.
+    append: CostProfile
+    append_lines: float
+    # Serialize or deserialize one record (managed runtimes only).
+    serde: CostProfile
+    # Emit one result / produce one join pair.
+    emit: CostProfile
+    probe_pair: CostProfile
+    # Per-sent-buffer bookkeeping on the sender (flush, queue sync).
+    per_buffer: CostProfile
+
+    def partition_lines_for(self, record_bytes: int) -> float:
+        """Random cache lines per partitioned record of ``record_bytes``.
+
+        The data-dependent copy into the fan-out buffer touches one line
+        per 64 payload bytes on top of the fixed routing lines — this is
+        why partitioning small RO records is far cheaper per record than
+        partitioning 78-byte YSB records (Table 1 vs Fig. 8).
+        """
+        return self.partition_lines + record_bytes / 64.0
+
+
+UPPAR_COSTS = ExchangeCosts(
+    pipeline=CostProfile(
+        "uppar.pipeline", instructions=12, frontend=1.0, bad_spec=1.0, core=2.0, mlp=12
+    ),
+    # The expensive part: branchy partitioning with a large code footprint
+    # (front-end bound) and data-dependent fan-out writes (low MLP).
+    partition=CostProfile(
+        "uppar.partition", instructions=36, frontend=14.0, bad_spec=5.0, core=4.0, mlp=1.2
+    ),
+    partition_lines=0.05,
+    # Queue-based synchronisation per dequeued record — the 'costly
+    # message passing' overhead of Sec. 1 (shared-queue CAS + bookkeeping).
+    dequeue=CostProfile(
+        "uppar.dequeue", instructions=24, frontend=3.0, bad_spec=1.0, core=10.0, mlp=8
+    ),
+    update=CostProfile(
+        "uppar.update", instructions=42, frontend=5.0, bad_spec=3.0, core=12.0, mlp=2.5
+    ),
+    update_lines=2.2,
+    light_update=CostProfile(
+        "uppar.light_update", instructions=10, frontend=1.0, bad_spec=0.5, core=2.0, mlp=12
+    ),
+    light_update_lines=0.3,
+    append=CostProfile(
+        "uppar.append", instructions=60, frontend=6.0, bad_spec=3.0, core=14.0, mlp=2.5
+    ),
+    append_lines=2.5,
+    serde=CostProfile("uppar.serde", instructions=0),
+    emit=CostProfile("uppar.emit", instructions=20, frontend=1.0, core=3.0, mlp=8),
+    probe_pair=CostProfile(
+        "uppar.probe", instructions=24, frontend=2.0, bad_spec=1.0, core=5.0, mlp=4
+    ),
+    per_buffer=CostProfile(
+        "uppar.flush", instructions=400, frontend=60.0, core=220.0, mlp=4
+    ),
+)
+
+# Managed-runtime factor: JVM object handling, virtual dispatch, GC
+# pressure.  Applied on top of per-record serialization.
+FLINK_RUNTIME_FACTOR = 6.0
+
+FLINK_COSTS = ExchangeCosts(
+    pipeline=UPPAR_COSTS.pipeline.scaled(FLINK_RUNTIME_FACTOR),
+    partition=UPPAR_COSTS.partition.scaled(FLINK_RUNTIME_FACTOR),
+    partition_lines=0.5,
+    dequeue=UPPAR_COSTS.dequeue.scaled(FLINK_RUNTIME_FACTOR),
+    update=UPPAR_COSTS.update.scaled(FLINK_RUNTIME_FACTOR),
+    update_lines=2.0,
+    light_update=UPPAR_COSTS.light_update.scaled(FLINK_RUNTIME_FACTOR),
+    light_update_lines=0.5,
+    append=UPPAR_COSTS.append.scaled(FLINK_RUNTIME_FACTOR),
+    append_lines=3.0,
+    # Kryo-style per-record serialization, paid on both exchange sides.
+    serde=CostProfile(
+        "flink.serde", instructions=180, frontend=40.0, bad_spec=10.0, core=30.0, mlp=4
+    ),
+    emit=UPPAR_COSTS.emit.scaled(FLINK_RUNTIME_FACTOR),
+    probe_pair=UPPAR_COSTS.probe_pair.scaled(FLINK_RUNTIME_FACTOR),
+    per_buffer=CostProfile(
+        "flink.flush", instructions=2500, frontend=400.0, core=1400.0, mlp=4
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ScaleUpCosts:
+    """Cost surface for the LightSaber-like scale-up engine."""
+
+    pipeline: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "ls.pipeline", instructions=12, frontend=1.0, bad_spec=1.0, core=2.0, mlp=12
+        )
+    )
+    update: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "ls.update", instructions=34, frontend=2.0, bad_spec=2.0, core=10.0, mlp=8
+        )
+    )
+    update_lines: float = 1.75
+    merge_pair: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "ls.merge", instructions=26, frontend=1.0, bad_spec=1.0, core=6.0, mlp=8
+        )
+    )
+    merge_lines: float = 1.5
+    emit: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "ls.emit", instructions=20, frontend=1.0, core=3.0, mlp=8
+        )
+    )
+    # The single shared task queue: one CAS-contended sync per task
+    # (batch), growing with the number of contending workers.
+    task_queue_sync: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "ls.taskq", instructions=80, frontend=5.0, core=260.0, mlp=4
+        )
+    )
+
+
+LIGHTSABER_COSTS = ScaleUpCosts()

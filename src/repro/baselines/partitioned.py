@@ -1,0 +1,600 @@
+"""The classical partitioned scale-out SPE shared by UpPar and Flink.
+
+This is the architecture the paper argues *against* (Secs. 3.1, 8.2):
+each node splits its threads into **partitioner** threads (read local
+flows, filter/project, hash-partition every record to the consumer that
+owns its key, copy it into a fan-out buffer, ship full buffers) and
+**consumer** threads (poll inbound queues from *every* partitioner in
+the cluster, apply the windowed operator on consumer-local state, and
+trigger windows with classical per-channel watermarks).
+
+RDMA UpPar instantiates this over Slash's RDMA channels ('lightweight
+integration'); the Flink-like engine instantiates it over IPoIB socket
+channels with managed-runtime and serialization costs ('plug-and-play').
+
+The pathologies the paper measures all *emerge* here rather than being
+scripted: partitioning burns most of the sender's cycles (front-end
+bound), consumers spin on empty queues (core bound), skewed keys
+overload one consumer and stall every partitioner on its credits, and
+the fan-out buffers blow the sender's cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.baselines.costs import ExchangeCosts
+from repro.channel.channel import CHANNEL_EOS, LocalChannel, RdmaChannel
+from repro.common.config import (
+    ClusterConfig,
+    DEFAULT_BUFFER_BYTES,
+    DEFAULT_CREDITS,
+    paper_cluster,
+)
+from repro.common.errors import ConfigError
+from repro.core.engine import RunResult
+from repro.core.executor import DoneToken
+from repro.core.join import probe_sessions, probe_window
+from repro.core.pipeline import PhysicalPlan, compile_query
+from repro.core.progress import WindowTriggerState
+from repro.core.query import Query
+from repro.core.records import RecordBatch
+from repro.core.windows import SessionWindows, SlidingWindow
+from repro.simnet.cluster import Cluster, Core, Node
+from repro.simnet.counters import HwCounters
+from repro.simnet.kernel import Simulator
+from repro.state.partition import stable_hash_array
+from repro.workloads.base import Flow
+
+MESSAGE_HEADER_BYTES = 48
+
+
+@dataclass
+class _Message:
+    """One exchange buffer: a sub-batch plus the sender's watermark."""
+
+    stream: str
+    batch: RecordBatch
+    watermark: float
+
+
+class _PartitionerState:
+    """Fan-out buffers and watermark bookkeeping of one partitioner."""
+
+    def __init__(
+        self,
+        consumer_count: int,
+        streams: tuple[str, ...],
+        disorder_ms: Optional[dict[str, int]] = None,
+    ):
+        self.pending: list[dict[str, list[np.ndarray]]] = [
+            {stream: [] for stream in streams} for _ in range(consumer_count)
+        ]
+        self.pending_rows = [0] * consumer_count
+        self.stream_maxes = {stream: float("-inf") for stream in streams}
+        self.disorder = {stream: 0 for stream in streams}
+        if disorder_ms:
+            self.disorder.update(disorder_ms)
+
+    @property
+    def watermark(self) -> float:
+        return min(
+            value - self.disorder[stream] if value != float("-inf") else value
+            for stream, value in self.stream_maxes.items()
+        )
+
+
+class PartitionedEngine:
+    """Base class; subclasses choose the data plane and the cost surface."""
+
+    name = "partitioned"
+
+    #: Flush partially-filled fan-out buffers after this many input
+    #: batches (the buffer-timeout/linger every exchange-based SPE needs
+    #: so downstream windows make progress).  At high fan-out this is
+    #: what floods the exchange with small messages.
+    linger_batches = 4
+
+    def __init__(
+        self,
+        costs: ExchangeCosts,
+        cluster_config: Optional[ClusterConfig] = None,
+        credits: int = DEFAULT_CREDITS,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    ):
+        self.costs = costs
+        self.cluster_config = cluster_config or paper_cluster()
+        self.credits = credits
+        self.buffer_bytes = buffer_bytes
+
+    # -- data plane hook -----------------------------------------------------
+    def _make_channel(self, ctx: "_RunContext", src: Node, dst: Node, name: str):
+        """Return a channel (producer/consumer endpoint pair) src -> dst."""
+        raise NotImplementedError
+
+    def _serde_records(self, n: int) -> float:
+        """How many per-record serde charges one exchange hop costs."""
+        return 0.0
+
+    # -- the run --------------------------------------------------------------
+    def run(self, query: Query, flows: dict[tuple[int, int], Flow]) -> RunResult:
+        query.validate()
+        nodes = max(node for node, _ in flows) + 1
+        threads = max(thread for _, thread in flows) + 1
+        if threads < 2:
+            raise ConfigError(
+                f"{self.name} needs >= 2 threads per node (half partition, "
+                f"half consume); got {threads}"
+            )
+        if nodes > self.cluster_config.nodes:
+            raise ConfigError(f"flows span {nodes} nodes > cluster size")
+
+        sim = Simulator()
+        cluster = Cluster(sim, self.cluster_config.with_nodes(nodes))
+        plan = compile_query(query)
+        ctx = _RunContext(self, sim, cluster, plan, nodes, threads)
+        ctx.wire(flows)
+        ctx.start()
+        sim.run()
+        return ctx.collect(query)
+
+
+class _RunContext:
+    """All mutable state of one partitioned-engine run."""
+
+    def __init__(
+        self,
+        engine: PartitionedEngine,
+        sim: Simulator,
+        cluster: Cluster,
+        plan: PhysicalPlan,
+        nodes: int,
+        threads: int,
+    ):
+        self.engine = engine
+        self.sim = sim
+        self.cluster = cluster
+        self.plan = plan
+        self.nodes = nodes
+        self.threads = threads
+        self.partitioners_per_node = threads // 2
+        self.consumers_per_node = threads - self.partitioners_per_node
+        self.consumer_count = nodes * self.consumers_per_node
+        self.partitioner_count = nodes * self.partitioners_per_node
+        self.streams = tuple(s.name for s in plan.query.streams)
+        self.records_in = 0
+        self.results_aggregates: dict = {}
+        self.results_joins: list = []
+        self.emitted = 0
+        self._consumers: list[_Consumer] = []
+        self._channels: list[list[Any]] = []  # [partitioner_gid][consumer_gid]
+        self._partitioner_flows: dict[int, list[Flow]] = {}
+        self.sender_counters = HwCounters()
+        self.receiver_counters = HwCounters()
+
+    # -- topology ---------------------------------------------------------------
+    def partitioner_node(self, gid: int) -> int:
+        return gid // self.partitioners_per_node
+
+    def partitioner_core(self, gid: int) -> Core:
+        node = self.cluster.node(self.partitioner_node(gid))
+        return node.core(gid % self.partitioners_per_node)
+
+    def consumer_node(self, gid: int) -> int:
+        return gid // self.consumers_per_node
+
+    def consumer_core(self, gid: int) -> Core:
+        node = self.cluster.node(self.consumer_node(gid))
+        return node.core(self.partitioners_per_node + gid % self.consumers_per_node)
+
+    def wire(self, flows: dict[tuple[int, int], Flow]) -> None:
+        """Assign flows to partitioners and build the exchange channels."""
+        for (node, thread), flow in sorted(flows.items()):
+            gid = node * self.partitioners_per_node + thread % self.partitioners_per_node
+            self._partitioner_flows.setdefault(gid, []).append(flow)
+            self.records_in += sum(len(batch) for _s, batch in flow)
+        self._consumers = [
+            _Consumer(self, gid, self.consumer_core(gid))
+            for gid in range(self.consumer_count)
+        ]
+        for p_gid in range(self.partitioner_count):
+            row = []
+            src = self.cluster.node(self.partitioner_node(p_gid))
+            for c_gid in range(self.consumer_count):
+                dst = self.cluster.node(self.consumer_node(c_gid))
+                channel = self.engine._make_channel(
+                    self, src, dst, name=f"x:{p_gid}->{c_gid}"
+                )
+                row.append(channel)
+                self._consumers[c_gid].attach(channel.consumer)
+            self._channels.append(row)
+
+    def start(self) -> None:
+        for p_gid in range(self.partitioner_count):
+            self.sim.process(
+                _Partitioner(self, p_gid).body(), name=f"part{p_gid}"
+            )
+        for consumer in self._consumers:
+            self.sim.process(consumer.body(), name=f"cons{consumer.gid}")
+
+    def collect(self, query: Query) -> RunResult:
+        for consumer in self._consumers:
+            if not consumer.done:
+                raise ConfigError(
+                    f"consumer {consumer.gid} never finished — exchange deadlock?"
+                )
+        result = RunResult(
+            system=self.engine.name,
+            query_name=query.name,
+            nodes=self.nodes,
+            threads_per_node=self.threads,
+            input_records=self.records_in,
+            sim_seconds=self.sim.now,
+            aggregates=self.results_aggregates,
+            join_pairs=self.results_joins,
+            emitted=self.emitted,
+        )
+        for p_gid in range(self.partitioner_count):
+            self.sender_counters.merge(self.partitioner_core(p_gid).counters)
+        for c_gid in range(self.consumer_count):
+            self.receiver_counters.merge(self.consumer_core(c_gid).counters)
+        for node_index in range(self.nodes):
+            node_counters = self.cluster.node(node_index).counters()
+            result.per_node_counters.append(node_counters)
+            result.counters.merge(node_counters)
+        lags = [lag for c in self._consumers for lag in c.trigger_lag_s]
+        result.extra["trigger_lag_mean_s"] = sum(lags) / len(lags) if lags else 0.0
+        result.extra["trigger_lag_max_s"] = max(lags) if lags else 0.0
+        result.extra["sender_counters"] = self.sender_counters
+        result.extra["receiver_counters"] = self.receiver_counters
+        return result
+
+
+class _Partitioner:
+    """One sender thread: filter, hash-partition, fan out."""
+
+    def __init__(self, ctx: _RunContext, gid: int):
+        self.ctx = ctx
+        self.gid = gid
+        self.core = ctx.partitioner_core(gid)
+        self.node = self.core.node
+        self.flows = ctx._partitioner_flows.get(gid, [])
+        self.state = _PartitionerState(
+            ctx.consumer_count,
+            ctx.streams,
+            disorder_ms={s.name: s.disorder_ms for s in ctx.plan.query.streams},
+        )
+        self.fanout_working_set = ctx.consumer_count * ctx.engine.buffer_bytes
+        self.records_per_send = {
+            s.name: max(
+                1,
+                (ctx.engine.buffer_bytes - 512 - MESSAGE_HEADER_BYTES)
+                // s.schema.record_bytes,
+            )
+            for s in ctx.plan.query.streams
+        }
+        self.schema_by_stream = {s.name: s.schema for s in ctx.plan.query.streams}
+
+    def body(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        core = self.core
+        cost_model = self.node.cost_model
+        costs = ctx.engine.costs
+        # Round-robin over this partitioner's flows keeps watermarks moving.
+        cursors = [0] * len(self.flows)
+        per_flow_streams = [
+            {stream: float("-inf") for stream in ctx.streams} for _ in self.flows
+        ]
+        active = set(range(len(self.flows)))
+        batches_done = 0
+        while active:
+            for flow_index in sorted(active):
+                flow = self.flows[flow_index]
+                if cursors[flow_index] >= len(flow):
+                    active.discard(flow_index)
+                    for stream in ctx.streams:
+                        per_flow_streams[flow_index][stream] = float("inf")
+                    self._refresh_watermark(per_flow_streams)
+                    continue
+                stream_name, batch = flow[cursors[flow_index]]
+                cursors[flow_index] += 1
+                yield from self._process_batch(
+                    stream_name, batch, per_flow_streams[flow_index]
+                )
+                self._refresh_watermark(per_flow_streams)
+                batches_done += 1
+                if batches_done % ctx.engine.linger_batches == 0:
+                    # Buffer timeout: push out partial buffers so consumers
+                    # and their watermarks keep moving.
+                    for c_gid in range(ctx.consumer_count):
+                        if self.state.pending_rows[c_gid]:
+                            yield from self._flush(c_gid)
+        # Flush leftovers, then signal completion everywhere.
+        for c_gid in range(ctx.consumer_count):
+            yield from self._flush(c_gid, force=True)
+        for c_gid, channel in enumerate(ctx._channels[self.gid]):
+            yield from channel.producer.send(
+                core, DoneToken(self.gid), MESSAGE_HEADER_BYTES
+            )
+            yield from channel.producer.close(core)
+
+    def _refresh_watermark(self, per_flow_streams: list[dict[str, float]]) -> None:
+        for stream in self.ctx.streams:
+            self.state.stream_maxes[stream] = min(
+                flow_maxes[stream] for flow_maxes in per_flow_streams
+            )
+
+    def _process_batch(
+        self, stream_name: str, batch: RecordBatch, flow_maxes: dict[str, float]
+    ) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        core = self.core
+        cost_model = self.node.cost_model
+        costs = ctx.engine.costs
+        # Read the batch and run the fused stateless prefix.
+        yield from core.execute(
+            cost_model.cache.streaming_cost(batch.wire_bytes), 1.0
+        )
+        chain = ctx.plan.pipeline_for(stream_name).chain
+        if chain.op_count:
+            yield from core.execute(
+                cost_model.compute_cost(costs.pipeline), float(len(batch))
+            )
+        filtered = chain.apply(batch)
+        flow_maxes[stream_name] = max(flow_maxes[stream_name], batch.max_timestamp)
+        if len(filtered):
+            # The expensive bit: per-record hash + route + fan-out copy.
+            partition_cost = cost_model.op(
+                costs.partition,
+                float(self.fanout_working_set),
+                costs.partition_lines_for(batch.schema.record_bytes),
+            )
+            yield from core.execute(partition_cost, float(len(filtered)))
+            serde_n = ctx.engine._serde_records(len(filtered))
+            if serde_n:
+                yield from core.execute(cost_model.compute_cost(costs.serde), serde_n)
+            core.counters.count_records(len(filtered))
+            consumer_ids = (
+                stable_hash_array(np.asarray(filtered.keys, dtype=np.int64))
+                % np.uint64(ctx.consumer_count)
+            ).astype(np.int64)
+            order = np.argsort(consumer_ids, kind="stable")
+            sorted_ids = consumer_ids[order]
+            boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(sorted_ids)]))
+            for start, end in zip(starts, ends):
+                c_gid = int(sorted_ids[start])
+                rows = filtered.data[order[start:end]]
+                self.state.pending[c_gid][stream_name].append(rows)
+                self.state.pending_rows[c_gid] += len(rows)
+                if self.state.pending_rows[c_gid] >= self.records_per_send[stream_name]:
+                    yield from self._flush(c_gid)
+
+    def _flush(self, c_gid: int, force: bool = False) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        core = self.core
+        costs = ctx.engine.costs
+        pending = self.state.pending[c_gid]
+        if self.state.pending_rows[c_gid] == 0 and not force:
+            return
+        channel = ctx._channels[self.gid][c_gid]
+        watermark = self.state.watermark
+        for stream_name in ctx.streams:
+            chunks = pending[stream_name]
+            if not chunks:
+                continue
+            limit = self.records_per_send[stream_name]
+            data = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            pending[stream_name] = []
+            schema = self.schema_by_stream[stream_name]
+            for start in range(0, len(data), limit):
+                rows = data[start:start + limit]
+                batch = RecordBatch(schema, rows)
+                message = _Message(stream_name, batch, watermark)
+                nbytes = batch.wire_bytes + MESSAGE_HEADER_BYTES
+                yield from core.execute(
+                    self.node.cost_model.compute_cost(costs.per_buffer), 1.0
+                )
+                yield from channel.producer.send(core, message, nbytes)
+        self.state.pending_rows[c_gid] = 0
+
+
+class _Consumer:
+    """One receiver thread: poll queues, update local state, trigger."""
+
+    def __init__(self, ctx: _RunContext, gid: int, core: Core):
+        self.ctx = ctx
+        self.gid = gid
+        self.core = core
+        self.node = core.node
+        self.wake = ctx.sim.store(name=f"cons{gid}.wake")
+        self.channels: list[Any] = []
+        self.channel_wm: list[float] = []
+        self.channel_done: list[bool] = []
+        self.state: dict = {}
+        self.state_bytes = 0.0
+        self._last_contribution: dict = {}
+        self.trigger_lag_s: list[float] = []
+        window = ctx.plan.window
+        self.trigger = (
+            None if isinstance(window, SessionWindows) else WindowTriggerState(window)
+        )
+        self.done = False
+
+    def attach(self, consumer_endpoint: Any) -> None:
+        consumer_endpoint.notify_store = self.wake
+        self.channels.append(consumer_endpoint)
+        self.channel_wm.append(float("-inf"))
+        self.channel_done.append(False)
+
+    def body(self) -> Generator[Any, Any, None]:
+        core = self.core
+        index_of = {id(channel): i for i, channel in enumerate(self.channels)}
+        while not all(self.channel_done):
+            ok, channel = self.wake.try_get()
+            if not ok:
+                # All queues empty: spin (pause) until any channel signals.
+                channel = yield from core.spin_wait(self.wake.get())
+            index = index_of[id(channel)]
+            progressed = False
+            while True:
+                ok, payload, _nbytes = channel.try_recv(core)
+                if not ok:
+                    break
+                progressed = True
+                yield from self._handle(index, channel, payload)
+            if progressed:
+                yield from self._check_triggers()
+        yield from self._check_triggers()
+        self._assert_drained()
+        self.done = True
+
+    def _handle(self, index: int, channel: Any, payload: Any) -> Generator[Any, Any, None]:
+        core = self.core
+        ctx = self.ctx
+        costs = ctx.engine.costs
+        if payload is CHANNEL_EOS:
+            self.channel_done[index] = True
+            self.channel_wm[index] = float("inf")
+            yield from channel.release(core)
+            return
+        if isinstance(payload, DoneToken):
+            self.channel_wm[index] = float("inf")
+            yield from channel.release(core)
+            return
+        message: _Message = payload
+        batch = message.batch
+        pipeline = ctx.plan.pipeline_for(message.stream)
+        cost_model = self.node.cost_model
+        yield from core.execute(cost_model.compute_cost(costs.dequeue), float(len(batch)))
+        serde_n = ctx.engine._serde_records(len(batch))
+        if serde_n:
+            yield from core.execute(cost_model.compute_cost(costs.serde), serde_n)
+        result = pipeline.process_batch(batch)
+        if result.survivors:
+            profile = costs.append if ctx.plan.is_join else costs.update
+            lines = costs.append_lines if ctx.plan.is_join else costs.update_lines
+            working_set = max(4096.0, self.state_bytes)
+            update_cost = cost_model.op(profile, working_set, lines)
+            yield from core.execute(update_cost, float(result.survivors))
+            core.counters.count_records(result.survivors)
+            crdt = ctx.plan.crdt
+            now = ctx.sim.now
+            for key, partial in result.partials.items():
+                if key in self.state:
+                    self.state[key] = crdt.merge(self.state[key], partial)
+                else:
+                    self.state[key] = partial
+                if isinstance(key, tuple):
+                    self._last_contribution[key[0]] = now
+            self.state_bytes += result.state_bytes
+            if self.trigger is not None:
+                self.trigger.note_slices(
+                    key[0] for key in result.partials if isinstance(key, tuple)
+                )
+        if message.watermark > self.channel_wm[index]:
+            self.channel_wm[index] = message.watermark
+        yield from channel.release(core)
+
+    # -- triggering ----------------------------------------------------------------
+    def _frontier(self) -> float:
+        return min(self.channel_wm) if self.channel_wm else float("inf")
+
+    def _check_triggers(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        frontier = self._frontier()
+        if isinstance(ctx.plan.window, SessionWindows):
+            yield from self._trigger_sessions(frontier)
+            return
+        assert self.trigger is not None
+        for window_id in self.trigger.due_windows(frontier):
+            if ctx.plan.is_join:
+                yield from self._fire_join(window_id)
+            else:
+                yield from self._fire_agg(window_id)
+
+    def _fire_agg(self, window_id: int) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        crdt = ctx.plan.crdt
+        window = ctx.plan.window
+        if isinstance(window, SlidingWindow):
+            merged: dict = {}
+            for slice_id in window.slices_of_window(window_id):
+                for (sid, key), payload in list(self.state.items()):
+                    if sid == slice_id:
+                        merged[key] = (
+                            crdt.merge(merged[key], payload) if key in merged else payload
+                        )
+            for (sid, key) in [k for k in self.state if k[0] == window_id]:
+                del self.state[(sid, key)]
+            extracted = merged
+        else:
+            extracted = {
+                key: self.state.pop((win, key))
+                for win, key in [k for k in self.state if k[0] == window_id]
+            }
+        if not extracted:
+            return
+        last = self._last_contribution.pop(window_id, ctx.sim.now)
+        self.trigger_lag_s.append(ctx.sim.now - last)
+        emit_cost = self.node.cost_model.compute_cost(ctx.engine.costs.emit)
+        yield from self.core.execute(emit_cost, float(len(extracted)))
+        for key, payload in extracted.items():
+            ctx.results_aggregates[(window_id, key)] = crdt.finish(payload)
+        ctx.emitted += len(extracted)
+        self.state_bytes = max(
+            0.0, self.state_bytes - len(extracted) * (16 + crdt.payload_bytes)
+        )
+
+    def _fire_join(self, window_id: int) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        extracted = {
+            key: self.state.pop((win, key))
+            for win, key in [k for k in self.state if k[0] == window_id]
+        }
+        if extracted:
+            last = self._last_contribution.pop(window_id, ctx.sim.now)
+            self.trigger_lag_s.append(ctx.sim.now - last)
+        produced = 0
+        for key, payload in extracted.items():
+            for left_row, right_row in probe_window(payload):
+                ctx.results_joins.append((window_id, key, left_row, right_row))
+                produced += 1
+        if produced:
+            probe_cost = self.node.cost_model.compute_cost(ctx.engine.costs.probe_pair)
+            yield from self.core.execute(probe_cost, float(produced))
+        ctx.emitted += produced
+
+    def _trigger_sessions(self, frontier: float) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        window = ctx.plan.window
+        assert isinstance(window, SessionWindows)
+        if frontier == float("-inf"):
+            return
+        produced = 0
+        for key in list(self.state):
+            emitted, remaining = probe_sessions(window, self.state[key], frontier)
+            if not emitted:
+                continue
+            produced += len(emitted)
+            for left_row, right_row in emitted:
+                ctx.results_joins.append((key, left_row, right_row))
+            if remaining:
+                self.state[key] = remaining
+            else:
+                del self.state[key]
+        if produced:
+            probe_cost = self.node.cost_model.compute_cost(ctx.engine.costs.probe_pair)
+            yield from self.core.execute(probe_cost, float(produced))
+        ctx.emitted += produced
+
+    def _assert_drained(self) -> None:
+        if self.trigger is not None and self.trigger.pending:
+            raise ConfigError(
+                f"consumer {self.gid} finished with pending windows "
+                f"{sorted(self.trigger.pending)[:5]}"
+            )

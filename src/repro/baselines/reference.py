@@ -1,0 +1,96 @@
+"""Sequential reference executor — the ground truth for property P2.
+
+The paper's consistency property P2 states that a distributed Slash
+computation over a stream D must, after lazy merging, produce the same
+output a *sequential* computation over D would.  This module is that
+sequential computation: no cluster, no time, no partitioning — just the
+compiled pipelines folded into one dictionary and triggered at
+end-of-stream.  Every engine's output is tested against it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.join import probe_sessions, probe_window
+from repro.core.pipeline import PhysicalPlan, compile_query
+from repro.core.query import Query
+from repro.core.windows import SessionWindows, SlidingWindow
+from repro.workloads.base import Flow
+
+
+class SequentialReference:
+    """Run a query single-threaded and return the canonical output."""
+
+    name = "reference"
+
+    def run(self, query: Query, flows: dict[tuple[int, int], Flow]) -> "ReferenceOutput":
+        plan = compile_query(query)
+        state: dict[Any, Any] = {}
+        crdt = plan.crdt
+        records = 0
+        for _worker, flow in sorted(flows.items()):
+            for stream_name, batch in flow:
+                records += len(batch)
+                pipeline = plan.pipeline_for(stream_name)
+                result = pipeline.process_batch(batch)
+                for key, partial in result.partials.items():
+                    if key in state:
+                        state[key] = crdt.merge(state[key], partial)
+                    else:
+                        state[key] = partial
+        output = ReferenceOutput(records=records)
+        if plan.aggregation is not None:
+            self._finish_aggregation(plan, state, output)
+        else:
+            self._finish_join(plan, state, output)
+        return output
+
+    def _finish_aggregation(self, plan: PhysicalPlan, state: dict, output: "ReferenceOutput") -> None:
+        assert plan.aggregation is not None
+        crdt = plan.aggregation.crdt
+        window = plan.window
+        if isinstance(window, SlidingWindow):
+            windows_seen: set[int] = set()
+            for (slice_id, _key) in state:
+                windows_seen.update(window.windows_of_slice(slice_id))
+            for window_id in sorted(windows_seen):
+                merged: dict[Any, Any] = {}
+                for slice_id in window.slices_of_window(window_id):
+                    for (sid, key), payload in state.items():
+                        if sid == slice_id:
+                            if key in merged:
+                                merged[key] = crdt.merge(merged[key], payload)
+                            else:
+                                merged[key] = payload
+                for key, payload in merged.items():
+                    output.aggregates[(window_id, key)] = crdt.finish(payload)
+        else:
+            for (window_id, key), payload in state.items():
+                output.aggregates[(window_id, key)] = crdt.finish(payload)
+
+    def _finish_join(self, plan: PhysicalPlan, state: dict, output: "ReferenceOutput") -> None:
+        window = plan.window
+        if isinstance(window, SessionWindows):
+            for key, payload in state.items():
+                emitted, remaining = probe_sessions(window, payload, float("inf"))
+                assert not remaining
+                for left_row, right_row in emitted:
+                    output.join_pairs.append((key, left_row, right_row))
+        else:
+            for (window_id, key), payload in state.items():
+                for left_row, right_row in probe_window(payload):
+                    output.join_pairs.append((window_id, key, left_row, right_row))
+        output.join_pairs.sort()
+
+
+class ReferenceOutput:
+    """The canonical result set of one query over one input."""
+
+    def __init__(self, records: int = 0):
+        self.records = records
+        self.aggregates: dict[Any, Any] = {}
+        self.join_pairs: list[Any] = []
+
+    def sorted_join_pairs(self) -> list[Any]:
+        return sorted(self.join_pairs)

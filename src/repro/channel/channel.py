@@ -1,0 +1,390 @@
+"""RDMA channel endpoints (paper Sec. 6).
+
+A channel connects exactly one producer worker to one consumer worker.
+The producer's :meth:`ProducerEndpoint.send` follows the transfer phase of
+the protocol (Fig. 4 of the paper): acquire the next ring buffer, post an
+unsignaled RDMA WRITE, and block (spinning) only when out of credits.  The
+consumer's :meth:`ConsumerEndpoint.recv` polls the ring in FIFO order and
+:meth:`ConsumerEndpoint.release` returns a credit with a small two-sided
+SEND after the buffer has been processed.
+
+End-of-stream is an in-band sentinel (:data:`CHANNEL_EOS`) sent like any
+other buffer, so it cannot overtake data.
+
+:class:`LocalChannel` provides identical semantics between two workers on
+the same node: payloads move with a memcpy priced through the DRAM pipe
+instead of the NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.channel.circular_queue import FOOTER_BYTES, CircularQueue
+from repro.channel.protocol import ChannelStats, FlowControl
+from repro.common.config import DEFAULT_BUFFER_BYTES, DEFAULT_CREDITS
+from repro.common.errors import ProtocolError
+from repro.rdma.connection import ConnectionManager
+from repro.rdma.verbs import QueuePair
+from repro.simnet.cluster import Core
+from repro.simnet.cost_model import OpCost
+from repro.simnet.kernel import Simulator, Store
+from repro.simnet.trace import trace
+
+
+class _Eos:
+    """Singleton end-of-stream marker."""
+
+    def __repr__(self) -> str:
+        return "CHANNEL_EOS"
+
+
+CHANNEL_EOS = _Eos()
+
+# Wire size of a credit-return message (an 8-byte counter plus header).
+CREDIT_MSG_BYTES = 16
+
+# CPU price of one local-memory footer poll (a cached load + compare).
+_POLL_COST = OpCost(instructions=6, retiring=1.5, core=1.0)
+
+
+class ProducerEndpoint:
+    """The sending side of a channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        qp: QueuePair,
+        queue: CircularQueue,
+        flow: FlowControl,
+        stats: ChannelStats,
+        name: str,
+        signal_writes: bool = False,
+    ):
+        self.sim = sim
+        self.qp = qp
+        self.queue = queue
+        self.flow = flow
+        self.stats = stats
+        self.name = name
+        #: Selective signaling (paper Sec. 3.2 / C2): data writes are
+        #: normally unsignaled; True requests a completion per write and
+        #: pays the CQ-poll cost (the ablation knob).
+        self.signal_writes = signal_writes
+        self._next_slot = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether EOS has been sent."""
+        return self._closed
+
+    def send(self, core: Core, payload: Any, nbytes: int) -> Generator[Any, Any, None]:
+        """Transfer one buffer; drive with ``yield from``.
+
+        Blocks (spin-waiting, charged as core-bound cycles) when the
+        producer holds no credit — the self-adjusting rate of Sec. 6.2.
+        """
+        if self._closed:
+            raise ProtocolError(f"{self.name}: send after EOS")
+        self.queue.check_payload(nbytes)
+        self._drain_credits()
+        while not self.flow.can_send():
+            stall_start = self.sim.now
+            credit_msg = yield from core.spin_wait(self.qp.recv())
+            self._apply_credit(credit_msg[0])
+            self.stats.record_stall(self.sim.now - stall_start)
+        yield from self._post(core, payload, nbytes)
+
+    def send_cooperative(self, core: Core, payload: Any, nbytes: int) -> Generator[Any, Any, None]:
+        """Like :meth:`send`, but **parks** instead of spinning on credit.
+
+        For use inside a :class:`~repro.core.scheduler.CoroScheduler`
+        task: while this coroutine waits for credit, the worker's other
+        coroutines (e.g. delta-merge pollers) keep running — the paper's
+        motivation for coroutine-based scheduling (Sec. 5.3).
+        """
+        from repro.core.scheduler import Park  # local import: layering
+
+        if self._closed:
+            raise ProtocolError(f"{self.name}: send after EOS")
+        self.queue.check_payload(nbytes)
+        self._drain_credits()
+        while not self.flow.can_send():
+            stall_start = self.sim.now
+            credit_msg = yield Park(self.qp.recv())
+            self._apply_credit(credit_msg[0])
+            self.stats.record_stall(self.sim.now - stall_start)
+        yield from self._post(core, payload, nbytes)
+
+    def _post(self, core: Core, payload: Any, nbytes: int) -> Generator[Any, Any, None]:
+        self.flow.spend()
+        slot = self._next_slot
+        self._next_slot += 1
+        stamped = (self.sim.now, payload)
+        yield from self.qp.post_write(
+            core,
+            stamped,
+            nbytes + FOOTER_BYTES,
+            self.queue.region,
+            self.queue.offset_of(slot),
+            signaled=self.signal_writes,
+        )
+        if self.signal_writes:
+            yield from self.qp.poll_cq(core)
+        self.stats.record_send(nbytes)
+        trace(self.sim, "channel", f"{self.name} send", slot=slot % self.queue.credits, bytes=nbytes)
+
+    def close(self, core: Core) -> Generator[Any, Any, None]:
+        """Send the end-of-stream sentinel (consumes a credit like data)."""
+        yield from self.send(core, CHANNEL_EOS, 0)
+        self._closed = True
+
+    def close_cooperative(self, core: Core) -> Generator[Any, Any, None]:
+        """Like :meth:`close`, but parks on credit instead of spinning.
+
+        Inside a coroutine scheduler the spinning close can deadlock a
+        whole node: with few credits, two peers' shippers spin for
+        credit while the merge coroutines that would return it never get
+        the core.  Scheduler tasks must use this variant.
+        """
+        yield from self.send_cooperative(core, CHANNEL_EOS, 0)
+        self._closed = True
+
+    def _drain_credits(self) -> None:
+        while True:
+            ok, credit_payload, _nbytes = self.qp.try_recv()
+            if not ok:
+                return
+            self._apply_credit(credit_payload)
+
+    def _apply_credit(self, credit_payload: Any) -> None:
+        if not isinstance(credit_payload, int) or credit_payload <= 0:
+            raise ProtocolError(
+                f"{self.name}: malformed credit message {credit_payload!r}"
+            )
+        self.flow.refill(credit_payload)
+
+
+class ConsumerEndpoint:
+    """The receiving side of a channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        qp: QueuePair,
+        queue: CircularQueue,
+        stats: ChannelStats,
+        name: str,
+    ):
+        self.sim = sim
+        self.qp = qp
+        self.queue = queue
+        self.stats = stats
+        self.name = name
+        self._arrivals: Store = sim.store(name=f"{name}.arrivals")
+        self._next_slot = 0
+        self._release_slot = 0
+        self._eos_seen = False
+        #: Optional fan-in hook: a store that receives one token per
+        #: arrival, letting a worker sleep on many channels at once.
+        self.notify_store: Optional[Store] = None
+        queue.region.on_store = self._on_store
+
+    def _on_store(self, offset: int) -> None:
+        self._arrivals.put(offset)
+        if self.notify_store is not None:
+            self.notify_store.put(self)
+
+    @property
+    def eos(self) -> bool:
+        """Whether end-of-stream has been received."""
+        return self._eos_seen
+
+    @property
+    def pending(self) -> int:
+        """Buffers delivered but not yet received by the worker."""
+        return len(self._arrivals)
+
+    def try_recv(self, core: Core) -> tuple[bool, Any, int]:
+        """Non-blocking footer poll: ``(ok, payload, nbytes)``.
+
+        Charges one poll's worth of CPU to ``core`` (counters only — a
+        single cached load is far below the simulation's time quantum).
+        """
+        core.counters.charge(_POLL_COST, 1.0)
+        ok, _offset = self._arrivals.try_get()
+        if not ok:
+            return False, None, 0
+        return self._take()
+
+    def recv(self, core: Core) -> Generator[Any, Any, tuple[Any, int]]:
+        """Blocking receive; spin-waits (core-bound) until a buffer lands."""
+        yield from core.spin_wait(self._arrivals.get())
+        ok, payload, nbytes = self._take()
+        assert ok
+        return payload, nbytes
+
+    def recv_cooperative(self, core: Core) -> Generator[Any, Any, tuple[Any, int]]:
+        """Like :meth:`recv`, but parks the coroutine instead of spinning.
+
+        For scheduler tasks: an empty channel parks this poller and lets
+        compute coroutines run (the park-on-empty-channel behaviour of
+        Fig. 3 in the paper).
+        """
+        from repro.core.scheduler import Park  # local import: layering
+
+        core.counters.charge(_POLL_COST, 1.0)
+        yield Park(self._arrivals.get())
+        ok, payload, nbytes = self._take()
+        assert ok
+        return payload, nbytes
+
+    def _take(self) -> tuple[bool, Any, int]:
+        slot = self._next_slot
+        if not self.queue.poll_slot(slot):
+            raise ProtocolError(
+                f"{self.name}: arrival signal for slot {slot} but footer unset "
+                "(FIFO order violated)"
+            )
+        stamped, wire_bytes = self.queue.read_slot(slot)
+        send_time, payload = stamped
+        self._next_slot += 1
+        self.stats.record_latency(self.sim.now - send_time)
+        trace(self.sim, "channel", f"{self.name} recv", slot=slot % self.queue.credits)
+        if payload is CHANNEL_EOS:
+            self._eos_seen = True
+        return True, payload, max(0, wire_bytes - FOOTER_BYTES)
+
+    def release(self, core: Core) -> Generator[Any, Any, None]:
+        """Mark the oldest unreleased buffer writable and return a credit."""
+        if self._release_slot >= self._next_slot:
+            raise ProtocolError(f"{self.name}: release without a received buffer")
+        self.queue.release_slot(self._release_slot)
+        self._release_slot += 1
+        yield from self.qp.post_send(core, 1, CREDIT_MSG_BYTES)
+
+
+class RdmaChannel:
+    """Factory tying together region, queue pair, and the two endpoints."""
+
+    def __init__(self, producer: ProducerEndpoint, consumer: ConsumerEndpoint, stats: ChannelStats):
+        self.producer = producer
+        self.consumer = consumer
+        self.stats = stats
+
+    @classmethod
+    def create(
+        cls,
+        cm: ConnectionManager,
+        producer_node: int,
+        consumer_node: int,
+        credits: int = DEFAULT_CREDITS,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        name: str = "",
+        signal_writes: bool = False,
+    ) -> "RdmaChannel":
+        """Run the setup phase of the protocol (Sec. 6.2) between two nodes."""
+        label = name or f"ch:{producer_node}->{consumer_node}"
+        region = cm.register_region(
+            consumer_node, credits * buffer_bytes, name=f"{label}.ring"
+        )
+        qp_prod, qp_cons = cm.connect(producer_node, consumer_node, name=label)
+        queue = CircularQueue(region, credits, buffer_bytes)
+        stats = ChannelStats()
+        sim = cm.cluster.sim
+        producer = ProducerEndpoint(
+            sim, qp_prod, queue, FlowControl(credits), stats, f"{label}.prod",
+            signal_writes=signal_writes,
+        )
+        consumer = ConsumerEndpoint(sim, qp_cons, queue, stats, f"{label}.cons")
+        return cls(producer, consumer, stats)
+
+
+class LocalChannel:
+    """A same-node channel with identical semantics but memcpy timing.
+
+    Used for worker-to-worker exchange inside one node (the software
+    queues of queue-based partitioning).  A send copies the payload
+    through DRAM; a release returns the credit instantly.
+    """
+
+    def __init__(self, sim: Simulator, node: "Any", credits: int = DEFAULT_CREDITS,
+                 buffer_bytes: int = DEFAULT_BUFFER_BYTES, name: str = "local"):
+        self.sim = sim
+        self.node = node
+        self.buffer_bytes = buffer_bytes
+        self.stats = ChannelStats()
+        self.name = name
+        self._flow = FlowControl(credits)
+        self._arrivals: Store = sim.store(name=f"{name}.arrivals")
+        self._credit_returns: Store = sim.store(name=f"{name}.credits")
+        self._eos_seen = False
+        self._closed = False
+        self.notify_store: Optional[Store] = None
+        self.producer = self
+        self.consumer = self
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def eos(self) -> bool:
+        return self._eos_seen
+
+    @property
+    def pending(self) -> int:
+        return len(self._arrivals)
+
+    def send(self, core: Core, payload: Any, nbytes: int) -> Generator[Any, Any, None]:
+        """Copy one buffer to the consumer side, honouring credits."""
+        if self._closed:
+            raise ProtocolError(f"{self.name}: send after EOS")
+        if nbytes > self.buffer_bytes:
+            raise ProtocolError(
+                f"{self.name}: payload {nbytes} exceeds buffer {self.buffer_bytes}"
+            )
+        while not self._flow.can_send():
+            stall_start = self.sim.now
+            yield from core.spin_wait(self._credit_returns.get())
+            self._flow.refill(1)
+            self.stats.record_stall(self.sim.now - stall_start)
+        self._flow.spend()
+        # Price the copy: read + write of nbytes through the cache/DRAM.
+        copy_cost = self.node.cost_model.cache.streaming_cost(2 * max(nbytes, 1))
+        yield from core.execute(copy_cost, 1.0)
+        self._arrivals.put((self.sim.now, payload, nbytes))
+        if self.notify_store is not None:
+            self.notify_store.put(self)
+        self.stats.record_send(nbytes)
+
+    def close(self, core: Core) -> Generator[Any, Any, None]:
+        yield from self.send(core, CHANNEL_EOS, 0)
+        self._closed = True
+
+    def try_recv(self, core: Core) -> tuple[bool, Any, int]:
+        core.counters.charge(_POLL_COST, 1.0)
+        ok, item = self._arrivals.try_get()
+        if not ok:
+            return False, None, 0
+        return self._take(item)
+
+    def recv(self, core: Core) -> Generator[Any, Any, tuple[Any, int]]:
+        item = yield from core.spin_wait(self._arrivals.get())
+        _ok, payload, nbytes = self._take(item)
+        return payload, nbytes
+
+    def _take(self, item: tuple[float, Any, int]) -> tuple[bool, Any, int]:
+        send_time, payload, nbytes = item
+        self.stats.record_latency(self.sim.now - send_time)
+        if payload is CHANNEL_EOS:
+            self._eos_seen = True
+        return True, payload, nbytes
+
+    def release(self, core: Core) -> Generator[Any, Any, None]:
+        """Return one credit to the producer (no network involved)."""
+        core.counters.charge(_POLL_COST, 1.0)
+        self._credit_returns.put(1)
+        return
+        yield  # pragma: no cover - makes this a generator like its RDMA twin

@@ -1,0 +1,119 @@
+"""Credit-based flow-control state machine (paper Sec. 6.1-6.2).
+
+The protocol invariants, verbatim from the paper:
+
+1. a producer decreases its number of credits by one after a write
+   request;
+2. a consumer transfers a credit to the producer after processing a
+   buffer, notifying the producer that the buffer is writable again;
+3. a producer with no credit cannot pick buffers from the queue — it
+   must wait for new credit from the receiver.
+
+:class:`FlowControl` enforces these mechanically; any violation raises
+:class:`~repro.common.errors.ProtocolError`, so a buggy engine cannot
+silently corrupt the queue.  :class:`ChannelStats` accumulates the
+observables the drill-down experiments report (throughput, per-buffer
+latency, credit-stall time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ProtocolError
+
+
+class FlowControl:
+    """Producer-side credit account for one channel."""
+
+    def __init__(self, credits: int):
+        if credits <= 0:
+            raise ProtocolError(f"credit count must be positive, got {credits}")
+        self.initial = credits
+        self._available = credits
+
+    @property
+    def available(self) -> int:
+        """Credits the producer may still spend before blocking."""
+        return self._available
+
+    @property
+    def outstanding(self) -> int:
+        """Buffers currently in flight or unprocessed at the consumer."""
+        return self.initial - self._available
+
+    def can_send(self) -> bool:
+        """Invariant 3: only a positive balance permits a write."""
+        return self._available > 0
+
+    def spend(self) -> None:
+        """Invariant 1: a write request consumes one credit."""
+        if self._available <= 0:
+            raise ProtocolError(
+                "protocol violation: write posted with zero credits"
+            )
+        self._available -= 1
+
+    def refill(self, count: int = 1) -> None:
+        """Invariant 2: the consumer returned ``count`` credits."""
+        if count <= 0:
+            raise ProtocolError(f"credit refill must be positive, got {count}")
+        if self._available + count > self.initial:
+            raise ProtocolError(
+                f"protocol violation: refill to {self._available + count} "
+                f"exceeds the channel's {self.initial} credits"
+            )
+        self._available += count
+
+    def __repr__(self) -> str:
+        return f"FlowControl({self._available}/{self.initial})"
+
+
+@dataclass
+class ChannelStats:
+    """Observable behaviour of one channel endpoint pair."""
+
+    messages: int = 0
+    payload_bytes: float = 0.0
+    credit_stall_s: float = 0.0
+    credit_stalls: int = 0
+    _latency_sum: float = 0.0
+    _latency_count: int = 0
+    _latency_max: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    _latency_cap: int = 4096
+
+    def record_send(self, nbytes: int) -> None:
+        """Count one posted buffer of ``nbytes`` payload."""
+        self.messages += 1
+        self.payload_bytes += nbytes
+
+    def record_stall(self, seconds: float) -> None:
+        """Count time the producer spent blocked waiting for credit."""
+        if seconds > 0:
+            self.credit_stall_s += seconds
+            self.credit_stalls += 1
+
+    def record_latency(self, seconds: float) -> None:
+        """Record one buffer's send-to-consume latency."""
+        self._latency_sum += seconds
+        self._latency_count += 1
+        self._latency_max = max(self._latency_max, seconds)
+        if len(self.latencies) < self._latency_cap:
+            self.latencies.append(seconds)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Average per-buffer latency (0 when nothing was measured)."""
+        if self._latency_count == 0:
+            return 0.0
+        return self._latency_sum / self._latency_count
+
+    @property
+    def max_latency_s(self) -> float:
+        """Worst observed per-buffer latency."""
+        return self._latency_max
+
+    def throughput_bytes_per_s(self, elapsed_s: float) -> float:
+        """Average payload rate over ``elapsed_s`` simulated seconds."""
+        return self.payload_bytes / elapsed_s if elapsed_s > 0 else 0.0

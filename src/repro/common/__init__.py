@@ -1,0 +1,68 @@
+"""Shared utilities: units, errors, deterministic RNG, configuration.
+
+The :mod:`repro.common` package holds everything that is shared by the
+simulation substrate, the engines, and the harness but belongs to none of
+them: physical-unit helpers, the exception hierarchy, the deterministic RNG
+tree used to make every experiment reproducible, and the hardware / engine
+configuration dataclasses.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    SimulationError,
+    ProtocolError,
+    StateError,
+    QueryError,
+)
+from repro.common.units import (
+    KIB,
+    MIB,
+    GIB,
+    KB,
+    MB,
+    GB,
+    US,
+    MS,
+    SECOND,
+    gbit_per_s,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+)
+from repro.common.rng import RngTree
+from repro.common.config import (
+    CpuConfig,
+    NicConfig,
+    NodeConfig,
+    ClusterConfig,
+    paper_cluster,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ProtocolError",
+    "StateError",
+    "QueryError",
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+    "SECOND",
+    "gbit_per_s",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time",
+    "RngTree",
+    "CpuConfig",
+    "NicConfig",
+    "NodeConfig",
+    "ClusterConfig",
+    "paper_cluster",
+]

@@ -1,0 +1,144 @@
+"""Hardware and cluster configuration dataclasses.
+
+The defaults model the paper's evaluation cluster (Sec. 8.1.1): 16 nodes,
+each with a 10-core Intel Xeon Gold 5115 at 2.4 GHz, 96 GB of DRAM, and a
+single-port Mellanox ConnectX-4 EDR 100 Gb/s NIC behind a non-blocking EDR
+switch.  The *achievable* NIC bandwidth is 11.8 GB/s, the figure the authors
+measured with ``ib_write_bw`` and drew as the red line in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import GIB, KIB, MIB, US, gbit_per_s
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """A socket's core count, clock, and cache hierarchy.
+
+    Cache sizes/latencies model the Xeon Gold 5115 (Skylake-SP): 32 KiB L1d
+    and 1 MiB L2 per core, 13.75 MiB shared LLC.  Latencies are load-to-use
+    cycles; ``dram_latency_cycles`` is the full miss penalty to DRAM.
+    """
+
+    cores: int = 10
+    frequency_hz: float = 2.4e9
+    l1d_bytes: int = 32 * KIB
+    l2_bytes: int = 1 * MIB
+    llc_bytes: int = int(13.75 * MIB)
+    cacheline_bytes: int = 64
+    l1_latency_cycles: float = 4.0
+    l2_latency_cycles: float = 14.0
+    llc_latency_cycles: float = 50.0
+    dram_latency_cycles: float = 200.0
+    # Peak sustainable DRAM bandwidth per socket (6x DDR4-2400, measured).
+    dram_bandwidth_bytes_per_s: float = 68e9
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError(f"cores must be positive, got {self.cores}")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency_hz must be positive")
+        if not self.l1d_bytes <= self.l2_bytes <= self.llc_bytes:
+            raise ConfigError("cache sizes must be non-decreasing L1 <= L2 <= LLC")
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at this clock."""
+        return cycles / self.frequency_hz
+
+    def cycles(self, seconds: float) -> float:
+        """Convert seconds to cycles at this clock."""
+        return seconds * self.frequency_hz
+
+
+@dataclass(frozen=True)
+class NicConfig:
+    """An RDMA NIC: achievable bandwidth, latencies, per-message costs.
+
+    ``bandwidth_bytes_per_s`` is the *achievable* (not theoretical) rate;
+    the ConnectX-4 EDR port is 100 Gb/s = 12.5 GB/s on the wire but tops out
+    at 11.8 GB/s in ``ib_write_bw``, which is what we model.
+
+    Per-message overheads follow the RDMA design-guidelines literature
+    (Kalia et al., ATC'16): posting a work request costs the CPU a doorbell
+    (MMIO) write; the NIC then spends a fixed per-WQE processing time before
+    bytes hit the wire.
+    """
+
+    bandwidth_bytes_per_s: float = 11.8e9
+    wire_bandwidth_bytes_per_s: float = gbit_per_s(100)
+    propagation_latency_s: float = 0.6 * US
+    nic_processing_s: float = 0.25 * US
+    doorbell_cycles: float = 150.0
+    # Cycles the CPU burns to poll a completion queue entry once.
+    cq_poll_cycles: float = 40.0
+    # IPoIB: socket emulation over the same port.  Effective bandwidth and
+    # per-message CPU cost degrade heavily (Binnig et al., VLDB'16).
+    ipoib_bandwidth_bytes_per_s: float = 4.7e9
+    ipoib_syscall_cycles: float = 4500.0
+    ipoib_latency_s: float = 18.0 * US
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("NIC bandwidth must be positive")
+        if self.bandwidth_bytes_per_s > self.wire_bandwidth_bytes_per_s:
+            raise ConfigError(
+                "achievable bandwidth cannot exceed wire bandwidth: "
+                f"{self.bandwidth_bytes_per_s} > {self.wire_bandwidth_bytes_per_s}"
+            )
+
+    def wire_time(self, nbytes: int) -> float:
+        """Seconds the NIC needs to serialize ``nbytes`` onto the wire."""
+        return nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """One server: a CPU socket, DRAM capacity, and one NIC."""
+
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    nic: NicConfig = field(default_factory=NicConfig)
+    dram_bytes: int = 96 * GIB
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes <= 0:
+            raise ConfigError("dram_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A rack of identical nodes behind one non-blocking switch."""
+
+    nodes: int = 16
+    node: NodeConfig = field(default_factory=NodeConfig)
+    # A non-blocking EDR switch adds only port-to-port latency.
+    switch_latency_s: float = 0.3 * US
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ConfigError(f"nodes must be positive, got {self.nodes}")
+
+    def with_nodes(self, nodes: int) -> "ClusterConfig":
+        """Return a copy of this config scaled to ``nodes`` nodes."""
+        return ClusterConfig(nodes=nodes, node=self.node, switch_latency_s=self.switch_latency_s)
+
+
+def paper_cluster(nodes: int = 16) -> ClusterConfig:
+    """The evaluation cluster of the paper (Sec. 8.1.1), sized to ``nodes``."""
+    return ClusterConfig(nodes=nodes)
+
+
+# Default number of message buffers (credits) per RDMA channel; the paper
+# found c=8 best (Sec. 8.3.2) and we adopt it as the library default.
+DEFAULT_CREDITS = 8
+
+# Default RDMA channel buffer size.  The paper's drill-down identifies
+# 32-64 KiB as the throughput sweet spot; end-to-end runs use 64 KiB.
+DEFAULT_BUFFER_BYTES = 64 * KIB
+
+# Default epoch length for the SSB, expressed in ingested bytes (the paper
+# ends an epoch every 64 MB of data, Sec. 8.1.1).
+DEFAULT_EPOCH_BYTES = 64 * MIB

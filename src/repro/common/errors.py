@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch one base class.  Sub-classes mirror the layers of the
+system: configuration, simulation kernel, network protocol, state backend,
+and query compilation / execution.
+"""
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid hardware, engine, or workload configuration."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, resuming a finished process,
+    or running a simulator that has already been exhausted.
+    """
+
+
+class ProtocolError(ReproError):
+    """A violation of the RDMA channel / credit-flow-control protocol.
+
+    Raised when a producer writes without credit, a consumer acknowledges a
+    buffer twice, or a message footer is observed in an impossible state.
+    The protocol invariants of Sec. 6.2 of the paper are enforced with this
+    error.
+    """
+
+
+class StateError(ReproError):
+    """A violation of the Slash State Backend contract.
+
+    Examples: merging CRDTs of different types, an epoch transfer that skips
+    an epoch number, or reading a partition that is mid-migration.
+    """
+
+
+class QueryError(ReproError):
+    """An invalid streaming query (bad DAG, unsupported operator combo)."""

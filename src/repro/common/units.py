@@ -1,0 +1,75 @@
+"""Physical units and human-readable formatting.
+
+Simulated time is measured in **seconds** (floats), sizes in **bytes**
+(ints), rates in **bytes/second**.  These helpers exist so that magic
+numbers like ``65536`` or ``1e-6`` never appear bare in engine code.
+"""
+
+# -- sizes --------------------------------------------------------------
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# Decimal units: network vendors quote GB/s decimal.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# -- time ---------------------------------------------------------------
+SECOND = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+
+def gbit_per_s(gbits: float) -> float:
+    """Convert a link speed quoted in Gbit/s into bytes/second.
+
+    >>> gbit_per_s(100) == 12.5e9
+    True
+    """
+    return gbits * 1e9 / 8.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix (``64.0 KiB``)."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Format a data rate (``11.8 GB/s``), decimal units as NIC vendors do."""
+    value = float(bytes_per_s)
+    for suffix in ("B/s", "KB/s", "MB/s", "GB/s", "TB/s"):
+        if abs(value) < 1000.0 or suffix == "TB/s":
+            return f"{value:.2f} {suffix}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_rate_records(records_per_s: float) -> str:
+    """Format a record rate the way the paper's figures do (``2.0 G rec/s``)."""
+    value = float(records_per_s)
+    for suffix in ("rec/s", "K rec/s", "M rec/s", "G rec/s"):
+        if abs(value) < 1000.0 or suffix == "G rec/s":
+            return f"{value:.2f} {suffix}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with the natural sub-second unit (``82.0 us``)."""
+    if seconds == 0:
+        return "0 s"
+    value = abs(seconds)
+    if value >= 1.0:
+        return f"{seconds:.3f} s"
+    if value >= MS:
+        return f"{seconds / MS:.1f} ms"
+    if value >= US:
+        return f"{seconds / US:.1f} us"
+    return f"{seconds / NS:.1f} ns"

@@ -1,0 +1,42 @@
+"""The Slash engine core (paper Secs. 4-5).
+
+Public API tour:
+
+* :mod:`repro.core.records` — schemas and numpy-backed record batches;
+* :mod:`repro.core.windows` — tumbling / sliding / session event-time
+  window assigners (buckets and slicing, Sec. 5.2);
+* :mod:`repro.core.aggregations` — vectorised per-batch partial
+  aggregation (the eager half of late merge);
+* :mod:`repro.core.query` — the streaming query builder (filter, project,
+  windowed aggregate, windowed join);
+* :mod:`repro.core.pipeline` — operator fusion into pipelines with soft
+  pipeline breakers (Fig. 2);
+* :mod:`repro.core.scheduler` — the coroutine-based event-driven worker
+  scheduler (Fig. 3);
+* :mod:`repro.core.executor` / :mod:`repro.core.engine` — the distributed
+  Slash stateful executor and the engine facade that deploys a query on a
+  simulated cluster.
+"""
+
+from repro.core.records import Schema, RecordBatch
+from repro.core.windows import (
+    TumblingWindow,
+    SlidingWindow,
+    SessionWindows,
+    WindowAssigner,
+)
+from repro.core.query import Query, StreamBuilder
+from repro.core.engine import SlashEngine, RunResult
+
+__all__ = [
+    "Schema",
+    "RecordBatch",
+    "WindowAssigner",
+    "TumblingWindow",
+    "SlidingWindow",
+    "SessionWindows",
+    "Query",
+    "StreamBuilder",
+    "SlashEngine",
+    "RunResult",
+]

@@ -1,0 +1,127 @@
+"""Slash's operation cost profiles, calibrated to the paper's Table 1.
+
+The paper measures Slash at **42 instructions / 53 cycles per record**
+with ~0.9 IPC and 1.3-1.75 cache misses per record on YSB (Table 1), a
+mainly **memory-bound** execution with ~20 % retiring (Fig. 10).  The
+profiles below reproduce those magnitudes through the cost model:
+
+* the fused stateless pipeline (filter + projection) is a handful of
+  instructions with near-zero stalls — Slash's "simple processing logic
+  on a record basis" (Sec. 8.3.4);
+* the state RMW update pays an atomic (core-bound) component plus the
+  cache-model charge for ``lines_touched`` random lines in the operator's
+  working set, at high memory-level parallelism (independent records in a
+  batch overlap their misses);
+* join appends touch cold lines with *low* MLP, which is why the paper's
+  join speedups are smaller than its aggregation speedups (Sec. 8.2.3).
+
+All knobs live in :class:`SlashCosts` so ablation benches can vary them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simnet.cost_model import CostProfile
+
+
+@dataclass(frozen=True)
+class SlashCosts:
+    """The tunable cost surface of the Slash executor."""
+
+    # Fused filter/project work per source record.
+    pipeline: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "slash.pipeline", instructions=12, frontend=1.0, bad_spec=1.0, core=2.0, mlp=12
+        )
+    )
+    # Hash-index lookup + in-place RMW (atomic) per surviving record.
+    update: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "slash.update", instructions=30, frontend=1.5, bad_spec=1.5, core=12.0, mlp=8
+        )
+    )
+    # Random cache lines touched by one RMW (index bucket + log entry).
+    update_lines: float = 1.75
+    # The RO benchmark's per-key count: the paper designs RO so that
+    # 'data flows throughout the system without any costly computation'
+    # (Sec. 8.1.2) — a vectorisable counter bump on a compact table.
+    light_update: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "slash.light_update", instructions=8, frontend=0.5, bad_spec=0.5, core=1.0, mlp=16
+        )
+    )
+    light_update_lines: float = 0.3
+    # Join build: append to the log (cold line, pointer-ish access).
+    append: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "slash.append", instructions=55, frontend=4.0, bad_spec=3.0, core=14.0, mlp=2.5
+        )
+    )
+    append_lines: float = 2.5
+    # Leader-side merge of one shipped delta pair: a hash probe plus a
+    # CRDT combine on a sequentially-prefetched delta buffer.
+    merge_pair: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "slash.merge", instructions=14, frontend=0.5, bad_spec=0.5, core=3.0, mlp=10
+        )
+    )
+    merge_lines: float = 1.0
+    # Trigger-time cost per emitted result row.
+    emit: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "slash.emit", instructions=20, frontend=1.0, core=3.0, mlp=8
+        )
+    )
+    # Join probe cost per produced output pair.
+    probe_pair: CostProfile = field(
+        default_factory=lambda: CostProfile(
+            "slash.probe", instructions=24, frontend=2.0, bad_spec=1.0, core=5.0, mlp=4
+        )
+    )
+
+
+#: Shared default instance; engines copy-on-write via dataclasses.replace.
+DEFAULT_SLASH_COSTS = SlashCosts()
+
+
+# Per-record overhead factor of interpretation-based execution relative
+# to compiled pipelines: virtual dispatch per operator, no fusion, boxed
+# intermediate values.  Grizzly (cited by the paper) measures roughly
+# this order between interpreted and compiled stream pipelines.
+INTERPRETED_FACTOR = 3.0
+
+
+def interpreted(costs: SlashCosts = DEFAULT_SLASH_COSTS) -> SlashCosts:
+    """The cost surface of interpretation-based execution (Sec. 5.3).
+
+    Slash 'is agnostic to the execution strategy, as it supports
+    compilation-based and interpretation-based strategies'; this scales
+    the per-record compute of the hot path while leaving the network and
+    state-synchronisation costs untouched.
+    """
+    from dataclasses import replace
+
+    return replace(
+        costs,
+        pipeline=costs.pipeline.scaled(INTERPRETED_FACTOR),
+        update=costs.update.scaled(INTERPRETED_FACTOR),
+        append=costs.append.scaled(INTERPRETED_FACTOR),
+        light_update=costs.light_update.scaled(INTERPRETED_FACTOR),
+    )
+
+
+def quantize_working_set(nbytes: float) -> float:
+    """Round a working-set size so cost-model memoisation stays effective.
+
+    Working sets grow continuously; quantising to ~1.2x steps keeps the
+    (profile, working-set) memo key space small without distorting the
+    cache model's smooth miss curve.
+    """
+    if nbytes <= 4096:
+        return 4096.0
+    step = 1.2
+    import math
+
+    exponent = math.ceil(math.log(nbytes / 4096.0, step))
+    return 4096.0 * step ** exponent

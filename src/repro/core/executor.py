@@ -1,0 +1,639 @@
+"""The distributed Slash stateful executor (paper Secs. 4-5, 7).
+
+One :class:`SlashExecutor` runs per node.  Its moving parts:
+
+* **worker threads** (one per pinned core) that consume their node-local
+  physical data flows, run the fused pipeline over each batch, and absorb
+  the resulting per-group partials into the Slash State Backend — the
+  *eager* half of late merge.  No re-partitioning happens anywhere;
+* a **shipper coroutine** on thread 0 that, at every epoch boundary,
+  sends the fragments' deltas to their leader executors over dedicated
+  RDMA channels (chunked to the channel buffer size, watermark
+  piggybacked) — the *lazy* half;
+* one **merge coroutine** per remote executor, also on thread 0's
+  coroutine scheduler, that receives delta chunks, folds them into the
+  primary partitions, advances the vector clock, and fires due windows.
+
+Workers, shipper, and mergers all run on the same simulated cores, so
+epoch synchronisation genuinely competes with (and hides behind) query
+processing, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterable, Optional
+
+from repro.channel.channel import CHANNEL_EOS, RdmaChannel
+from repro.common.config import (
+    DEFAULT_BUFFER_BYTES,
+    DEFAULT_CREDITS,
+    DEFAULT_EPOCH_BYTES,
+)
+from repro.common.errors import QueryError, SimulationError
+from repro.core.costs import DEFAULT_SLASH_COSTS, SlashCosts, quantize_working_set
+from repro.core.join import probe_sessions, probe_window
+from repro.core.pipeline import PhysicalPlan
+from repro.core.progress import WindowTriggerState
+from repro.core.records import RecordBatch
+from repro.core.scheduler import SCHED_YIELD, CoroScheduler
+from repro.core.windows import SessionWindows, SlidingWindow
+from repro.rdma.connection import ConnectionManager
+from repro.simnet.cluster import Cluster, Core, Node
+from repro.simnet.kernel import Signal
+from repro.simnet.trace import trace
+from repro.state.epoch import EpochDelta, EpochManager
+from repro.state.partition import PartitionDirectory
+from repro.state.ssb import SlashStateBackend
+
+#: A physical data flow: (stream_name, batch) items in event-time order.
+Flow = list[tuple[str, RecordBatch]]
+
+# Serialized overhead per delta chunk message.
+CHUNK_HEADER_BYTES = 48
+
+
+@dataclass(frozen=True)
+class DeltaChunk:
+    """One channel message carrying (part of) an epoch delta.
+
+    ``ingest_times`` piggybacks, per window id in this delta, the
+    simulated time the helper last ingested a record contributing to it
+    — the reference point for the trigger-lag metric.
+    """
+
+    operator_id: str
+    partition: int
+    from_executor: int
+    epoch: int
+    pairs: tuple
+    nbytes: int
+    watermark: float
+    last: bool
+    ingest_times: tuple = ()
+
+
+@dataclass(frozen=True)
+class DoneToken:
+    """Final control message: the sender has finished all processing."""
+
+    from_executor: int
+
+
+class FlowWatermarks:
+    """Low-watermark over a worker's flows and input streams.
+
+    Timestamps are monotone *per stream within a flow* up to each
+    stream's declared bounded disorder.  The safe low watermark is the
+    minimum, over all unfinished flows and over every stream of the
+    query, of that stream's maximum observed timestamp minus its
+    disorder bound (a bounded-out-of-orderness watermark; the paper's
+    strictly-monotone data model is the ``disorder = 0`` special case).
+    A join flow interleaves two streams whose batches overlap in event
+    time, which is the other reason for the per-stream minimum.
+    Finished flows drop out of the minimum (their contribution becomes
+    +inf).
+    """
+
+    def __init__(
+        self,
+        flow_count: int,
+        stream_names: Iterable[str],
+        disorder_ms: Optional[dict[str, int]] = None,
+    ):
+        names = tuple(stream_names)
+        self._disorder = {name: 0 for name in names}
+        if disorder_ms:
+            self._disorder.update(disorder_ms)
+        self._maxes = [{name: float("-inf") for name in names} for _ in range(flow_count)]
+        self._finished = [False] * flow_count
+
+    def observe(self, flow_index: int, stream: str, max_timestamp: float) -> None:
+        maxes = self._maxes[flow_index]
+        if max_timestamp > maxes[stream]:
+            maxes[stream] = max_timestamp
+
+    def finish(self, flow_index: int) -> None:
+        self._finished[flow_index] = True
+
+    @property
+    def watermark(self) -> float:
+        live = [
+            min(
+                maxes[name] - self._disorder[name] if maxes[name] != float("-inf")
+                else float("-inf")
+                for name in maxes
+            )
+            for maxes, done in zip(self._maxes, self._finished)
+            if not done
+        ]
+        return min(live) if live else float("inf")
+
+
+@dataclass
+class ExecutorResults:
+    """What one executor emitted (its led partitions' share of the output)."""
+
+    aggregates: dict = field(default_factory=dict)
+    join_pairs: list = field(default_factory=list)
+    emitted: int = 0
+    # Per fired window: simulated seconds between the last locally-ingested
+    # contribution to that window (cluster-wide max) and the trigger.
+    trigger_lag_s: list = field(default_factory=list)
+
+
+class SlashExecutor:
+    """One Slash process: workers + shipper + mergers on one node."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cm: ConnectionManager,
+        directory: PartitionDirectory,
+        node: Node,
+        executor_id: int,
+        plan: PhysicalPlan,
+        flows: list[Flow],
+        costs: SlashCosts = DEFAULT_SLASH_COSTS,
+        credits: int = DEFAULT_CREDITS,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        epoch_bytes: int = DEFAULT_EPOCH_BYTES,
+    ):
+        if len(flows) > len(node.cores):
+            raise QueryError(
+                f"{len(flows)} flows exceed the {len(node.cores)} cores of node "
+                f"{node.index}"
+            )
+        self.cluster = cluster
+        self.cm = cm
+        self.directory = directory
+        self.node = node
+        self.executor_id = executor_id
+        self.plan = plan
+        self.flows = flows
+        self.costs = costs
+        self.credits = credits
+        self.buffer_bytes = buffer_bytes
+        self.sim = cluster.sim
+
+        self.backend = SlashStateBackend(executor_id, directory)
+        self.handle = self.backend.handle(plan.operator_id, plan.crdt)
+        self.epoch = EpochManager(epoch_bytes)
+        self.trigger = (
+            None
+            if isinstance(plan.window, SessionWindows)
+            else WindowTriggerState(plan.window)
+        )
+        self.watermarks = FlowWatermarks(
+            len(flows),
+            (stream.name for stream in plan.query.streams),
+            disorder_ms={s.name: s.disorder_ms for s in plan.query.streams},
+        )
+        self.results = ExecutorResults()
+        self.records_processed = 0
+        self._last_contribution: dict = {}
+        self._ws_bytes = 0.0  # running working-set estimate for the cache model
+        self._out_channels: dict[int, Any] = {}
+        self._in_channels: dict[int, Any] = {}
+        self._pending_parts: dict[tuple, list] = {}
+        self._done_peers: set[int] = set()
+        self._workers_remaining = len(flows)
+        self._mergers_remaining = 0
+        self._finalized = False
+        self.finished = Signal(name=f"exec{executor_id}.finished")
+        # One coroutine scheduler per worker thread; RDMA channels are
+        # assigned to worker threads round-robin (paper Sec. 5.3), so
+        # delta reception/merging is interleaved with processing on
+        # every core, not funnelled through one.
+        thread_count = max(1, len(flows))
+        self.schedulers = [
+            CoroScheduler(node.core(t), name=f"exec{executor_id}.sched{t}")
+            for t in range(thread_count)
+        ]
+        # Each worker thread ships the deltas of the out-channels it owns.
+        self._ship_inboxes = [
+            self.sim.store(name=f"exec{executor_id}.ship{t}")
+            for t in range(thread_count)
+        ]
+        self._shippers_remaining = thread_count
+
+    # -- wiring ----------------------------------------------------------
+    def connect(self, executors: list["SlashExecutor"]) -> None:
+        """Create the state-synchronisation channels to every peer.
+
+        The paper's setup phase creates ``n^2`` RDMA channels overall
+        (Sec. 7.2.2); here each ordered pair gets one.
+        """
+        for peer in executors:
+            if peer.executor_id == self.executor_id:
+                continue
+            channel = RdmaChannel.create(
+                self.cm,
+                self.node.index,
+                peer.node.index,
+                credits=self.credits,
+                buffer_bytes=self.buffer_bytes,
+                name=f"ssb:{self.executor_id}->{peer.executor_id}",
+            )
+            self._out_channels[peer.executor_id] = channel.producer
+            peer._in_channels[self.executor_id] = channel.consumer
+
+    def start(self) -> None:
+        """Launch all simulation processes of this executor."""
+        self._mergers_remaining = len(self._in_channels)
+        thread_count = len(self.schedulers)
+        for slot, (peer_id, consumer) in enumerate(sorted(self._in_channels.items())):
+            scheduler = self.schedulers[slot % thread_count]
+            scheduler.add(
+                self._merge_task(scheduler.core, consumer), name=f"merge<-{peer_id}"
+            )
+        for thread, scheduler in enumerate(self.schedulers):
+            scheduler.add(self._ship_task(thread, scheduler.core), name=f"shipper{thread}")
+        for thread in range(len(self.flows)):
+            core = self.node.core(thread)
+            self.schedulers[thread].add(
+                self._worker_body(thread, core), name=f"worker{thread}"
+            )
+        for thread, scheduler in enumerate(self.schedulers):
+            self.sim.process(
+                scheduler.run(), name=f"exec{self.executor_id}.sched{thread}"
+            )
+        if not self.flows:
+            self._workers_remaining = 0
+            self.epoch.force()
+            self._enqueue_epoch_ship(final=True)
+
+    # -- the worker hot loop ------------------------------------------------
+    def _worker_body(self, thread: int, core: Core) -> Generator[Any, Any, None]:
+        plan = self.plan
+        is_join = plan.is_join
+        update_profile = self.costs.append if is_join else self.costs.update
+        update_lines = self.costs.append_lines if is_join else self.costs.update_lines
+        cost_model = self.node.cost_model
+
+        for stream_name, batch in self.flows[thread]:
+            pipeline = plan.pipeline_for(stream_name)
+            # Ingest: stream the raw batch from memory through the caches,
+            # then run the fused filter/project over every record.
+            read_cost = cost_model.cache.streaming_cost(batch.wire_bytes)
+            yield from core.execute(read_cost, 1.0)
+            if pipeline.chain.op_count:
+                yield from core.execute(
+                    cost_model.compute_cost(self.costs.pipeline), float(len(batch))
+                )
+
+            result = pipeline.process_batch(batch)
+            self.records_processed += len(batch)
+            if result.survivors:
+                working_set = quantize_working_set(self._ws_bytes + 4096)
+                update_cost = cost_model.op(
+                    update_profile, working_set, update_lines
+                )
+                yield from core.execute(update_cost, float(result.survivors))
+                core.counters.count_records(result.survivors)
+                now = self.sim.now
+                for state_key, partial in result.partials.items():
+                    self.handle.absorb(state_key, partial)
+                    if isinstance(state_key, tuple):
+                        self._last_contribution[state_key[0]] = now
+                self._ws_bytes += result.state_bytes
+                if self.trigger is not None:
+                    self.trigger.note_slices(
+                        key[0] for key in result.partials
+                    )
+            self.watermarks.observe(thread, stream_name, result.max_timestamp)
+            self.backend.observe_watermark(self.watermarks.watermark)
+
+            if self.epoch.offer(batch.wire_bytes):
+                self._enqueue_epoch_ship(final=False)
+            # Cooperative yield: let this thread's merge coroutines run.
+            yield SCHED_YIELD
+        # Flow exhausted.
+        self.watermarks.finish(thread)
+        self.backend.observe_watermark(self.watermarks.watermark)
+        self._workers_remaining -= 1
+        if self._workers_remaining == 0:
+            self.epoch.force()
+            self._enqueue_epoch_ship(final=True)
+
+    def _enqueue_epoch_ship(self, final: bool) -> None:
+        deltas = self.handle.collect_deltas()
+        trace(
+            self.sim, "epoch", f"exec{self.executor_id} boundary",
+            epoch=self.epoch.current_epoch, deltas=len(deltas), final=final,
+        )
+        # Re-anchor the working-set estimate: fragments were just drained,
+        # so the hot set is what actually remains resident locally.
+        self._ws_bytes = float(self.handle.fragment_bytes())
+        thread_count = len(self.schedulers)
+        by_thread: list[list[EpochDelta]] = [[] for _ in range(thread_count)]
+        for delta in deltas:
+            leader = self.directory.leader_of_partition(delta.partition)
+            by_thread[leader % thread_count].append(delta)
+        for thread, subset in enumerate(by_thread):
+            self._ship_inboxes[thread].put((subset, final))
+
+    def _defer_watermarks(self, deltas: list) -> list:
+        """Keep the watermark only on the last delta per leader.
+
+        When one leader owns several partitions (a non-identity
+        :class:`PartitionDirectory`), a helper ships several sibling
+        deltas per epoch over one FIFO channel.  The piggybacked
+        watermark must not advance the leader's clock until every
+        sibling has landed, or a window could fire between them — so
+        all but the final delta per leader travel with -inf (which the
+        clock's monotone ``advance`` ignores).
+        """
+        import dataclasses
+
+        last_for_leader: dict[int, int] = {}
+        for index, delta in enumerate(deltas):
+            last_for_leader[self.directory.leader_of_partition(delta.partition)] = index
+        deferred = []
+        for index, delta in enumerate(deltas):
+            leader = self.directory.leader_of_partition(delta.partition)
+            if last_for_leader[leader] == index:
+                deferred.append(delta)
+            else:
+                deferred.append(dataclasses.replace(delta, watermark=float("-inf")))
+        return deferred
+
+    def _owned_out_channels(self, thread: int) -> list[tuple[int, Any]]:
+        """The (peer, producer) out-channels thread ``thread`` owns."""
+        thread_count = len(self.schedulers)
+        return [
+            (peer_id, producer)
+            for peer_id, producer in sorted(self._out_channels.items())
+            if peer_id % thread_count == thread
+        ]
+
+    # -- the shipper coroutines ----------------------------------------------
+    def _ship_task(self, thread: int, core: Core) -> Generator[Any, Any, None]:
+        from repro.core.scheduler import Park
+
+        cost_model = self.node.cost_model
+        while True:
+            deltas, final = yield Park(self._ship_inboxes[thread].get())
+            deltas = self._defer_watermarks(deltas)
+            for delta in deltas:
+                leader = self.directory.leader_of_partition(delta.partition)
+                producer = self._out_channels[leader]
+                # Serialisation: the delta streams out of the LSS memory.
+                yield from core.execute(
+                    cost_model.cache.streaming_cost(max(delta.nbytes, 64)), 1.0
+                )
+                for chunk in self._chunk_delta(delta):
+                    yield from producer.send_cooperative(core, chunk, chunk.nbytes)
+            if thread == 0:
+                # Even with nothing to ship, re-check the trigger: our own
+                # watermark may have advanced past a window end.
+                yield from self._check_triggers(core)
+            if final:
+                for _peer_id, producer in self._owned_out_channels(thread):
+                    yield from producer.send_cooperative(
+                        core, DoneToken(self.executor_id), CHUNK_HEADER_BYTES
+                    )
+                    yield from producer.close_cooperative(core)
+                self._shippers_remaining -= 1
+                self._maybe_finalize_soon()
+                return
+
+    def _chunk_delta(self, delta: EpochDelta) -> Iterable[DeltaChunk]:
+        """Split a delta into chunks that fit one channel buffer each."""
+        capacity = self.buffer_bytes - 512  # leave room for footer/header
+        pairs = list(delta.pairs)
+        crdt = self.handle.crdt
+        chunks: list[DeltaChunk] = []
+        current: list = []
+        current_bytes = CHUNK_HEADER_BYTES
+        for pair in self._split_oversized(pairs, crdt, capacity):
+            pair_bytes = 16 + crdt.value_bytes(pair[1])
+            if current and current_bytes + pair_bytes > capacity:
+                chunks.append(self._make_chunk(delta, current, current_bytes, last=False))
+                current = []
+                current_bytes = CHUNK_HEADER_BYTES
+            current.append(pair)
+            current_bytes += pair_bytes
+        chunks.append(self._make_chunk(delta, current, current_bytes, last=True))
+        return chunks
+
+    @staticmethod
+    def _split_oversized(pairs: list, crdt: Any, capacity: int) -> Iterable[tuple]:
+        """Split any single pair bigger than one buffer into sub-partials.
+
+        Safe for every CRDT because the leader *merges* pairs: splitting an
+        append-log payload into sub-lists (or re-sending scalar partials as
+        one piece) reconstructs the same merged value.
+        """
+        for key, payload in pairs:
+            if isinstance(payload, list) and 16 + crdt.value_bytes(payload) > capacity:
+                per_record = max(1, crdt.value_bytes(payload[:1]))
+                step = max(1, (capacity - 64) // per_record)
+                for start in range(0, len(payload), step):
+                    yield key, payload[start:start + step]
+            else:
+                yield key, payload
+
+    def _make_chunk(self, delta: EpochDelta, pairs: list, nbytes: int, last: bool) -> DeltaChunk:
+        ingest_times: tuple = ()
+        if last:
+            windows = {
+                key[0] for key, _payload in delta.pairs if isinstance(key, tuple)
+            }
+            ingest_times = tuple(
+                (win, self._last_contribution[win])
+                for win in windows
+                if win in self._last_contribution
+            )
+        return DeltaChunk(
+            operator_id=delta.operator_id,
+            partition=delta.partition,
+            from_executor=delta.from_executor,
+            epoch=delta.epoch,
+            pairs=tuple(pairs),
+            nbytes=min(nbytes, self.buffer_bytes - 512),
+            watermark=delta.watermark,
+            last=last,
+            ingest_times=ingest_times,
+        )
+
+    # -- the merge coroutines -------------------------------------------------
+    def _merge_task(self, core: Core, consumer: Any) -> Generator[Any, Any, None]:
+        cost_model = self.node.cost_model
+        while True:
+            payload, _nbytes = yield from consumer.recv_cooperative(core)
+            if payload is CHANNEL_EOS:
+                yield from consumer.release(core)
+                break
+            if isinstance(payload, DoneToken):
+                self._done_peers.add(payload.from_executor)
+                self.backend.clock.advance(payload.from_executor, float("inf"))
+                yield from consumer.release(core)
+                yield from self._check_triggers(core)
+                continue
+            chunk: DeltaChunk = payload
+            key = (chunk.operator_id, chunk.partition, chunk.from_executor, chunk.epoch)
+            self._pending_parts.setdefault(key, []).extend(chunk.pairs)
+            if chunk.last:
+                pairs = tuple(self._pending_parts.pop(key))
+                delta = EpochDelta(
+                    operator_id=chunk.operator_id,
+                    partition=chunk.partition,
+                    from_executor=chunk.from_executor,
+                    epoch=chunk.epoch,
+                    pairs=pairs,
+                    nbytes=chunk.nbytes,
+                    watermark=chunk.watermark,
+                )
+                if pairs:
+                    working_set = quantize_working_set(self._ws_bytes + 4096)
+                    merge_cost = cost_model.op(
+                        self.costs.merge_pair, working_set, self.costs.merge_lines
+                    )
+                    yield from core.execute(merge_cost, float(len(pairs)))
+                self.handle.merge_delta(delta)
+                trace(
+                    self.sim, "merge",
+                    f"exec{self.executor_id} merged p{delta.partition}",
+                    from_executor=delta.from_executor, epoch=delta.epoch,
+                    pairs=len(pairs),
+                )
+                # The lag reference is when the *records* were ingested at
+                # the helper, not when the delta happened to arrive here.
+                for win, ingested_at in chunk.ingest_times:
+                    current = self._last_contribution.get(win, float("-inf"))
+                    if ingested_at > current:
+                        self._last_contribution[win] = ingested_at
+                if self.trigger is not None:
+                    self.trigger.note_slices(
+                        key0[0] for key0, _payload in pairs if isinstance(key0, tuple)
+                    )
+                yield from self._check_triggers(core)
+            yield from consumer.release(core)
+        self._mergers_remaining -= 1
+        self._maybe_finalize_soon()
+
+    def _maybe_finalize_soon(self) -> None:
+        if (
+            self._mergers_remaining == 0
+            and self._shippers_remaining == 0
+            and not self._finalized
+        ):
+            # Finalisation needs a task context; run it as a sim process on
+            # core 0 once every merge stream has drained.
+            self._finalized = True
+            self.sim.process(self._finalize(), name=f"exec{self.executor_id}.final")
+
+    def _finalize(self) -> Generator[Any, Any, None]:
+        core = self.node.core(0)
+        yield from self._check_triggers(core)
+        if self.trigger is not None and self.trigger.pending:
+            raise SimulationError(
+                f"executor {self.executor_id} finalised with pending windows "
+                f"{sorted(self.trigger.pending)[:5]} (frontier "
+                f"{self.backend.clock.min_watermark()})"
+            )
+        self.finished.fire(self.results)
+
+    # -- window triggering -------------------------------------------------------
+    def _check_triggers(self, core: Core) -> Generator[Any, Any, None]:
+        frontier = self.backend.clock.min_watermark()
+        plan = self.plan
+        if isinstance(plan.window, SessionWindows):
+            yield from self._trigger_sessions(core, frontier)
+            return
+        assert self.trigger is not None
+        for window_id in self.trigger.due_windows(frontier):
+            if plan.is_join:
+                yield from self._fire_join_window(core, window_id)
+            else:
+                yield from self._fire_agg_window(core, window_id)
+
+    def _fire_agg_window(self, core: Core, window_id: int) -> Generator[Any, Any, None]:
+        assert self.plan.aggregation is not None
+        crdt = self.plan.aggregation.crdt
+        window = self.plan.window
+        if isinstance(window, SlidingWindow):
+            merged: dict = {}
+            for slice_id in window.slices_of_window(window_id):
+                for key, payload in self._peek_window_pairs(slice_id):
+                    if key in merged:
+                        merged[key] = crdt.merge(merged[key], payload)
+                    else:
+                        merged[key] = payload
+            # The window's first slice will never be needed again.
+            self.handle.extract_window(window_id)
+            extracted = merged
+        else:
+            extracted = self.handle.extract_window(window_id)
+        if not extracted:
+            return
+        last = self._last_contribution.pop(window_id, self.sim.now)
+        self.results.trigger_lag_s.append(self.sim.now - last)
+        trace(
+            self.sim, "window", f"exec{self.executor_id} fired w{window_id}",
+            keys=len(extracted),
+        )
+        emit_cost = self.node.cost_model.op(self.costs.emit, 0.0, 0.0)
+        yield from core.execute(emit_cost, float(len(extracted)))
+        for key, payload in extracted.items():
+            self.results.aggregates[(window_id, key)] = crdt.finish(payload)
+        self.results.emitted += len(extracted)
+        self._ws_bytes = max(
+            0.0, self._ws_bytes - len(extracted) * (16 + crdt.payload_bytes)
+        )
+
+    def _peek_window_pairs(self, window_id: int) -> list[tuple[Any, Any]]:
+        """Read (without popping) the led pairs of one slice id."""
+        pairs = []
+        for key, payload in self.handle.led_items():
+            if isinstance(key, tuple) and key[0] == window_id:
+                pairs.append((key[1], payload))
+        return pairs
+
+    def _fire_join_window(self, core: Core, window_id: int) -> Generator[Any, Any, None]:
+        extracted = self.handle.extract_window(window_id)
+        if not extracted:
+            return
+        last = self._last_contribution.pop(window_id, self.sim.now)
+        self.results.trigger_lag_s.append(self.sim.now - last)
+        produced = 0
+        for key, payload in extracted.items():
+            pairs = probe_window(payload)
+            produced += len(pairs)
+            for left_row, right_row in pairs:
+                self.results.join_pairs.append((window_id, key, left_row, right_row))
+        if produced:
+            probe_cost = self.node.cost_model.op(
+                self.costs.probe_pair,
+                quantize_working_set(self._ws_bytes + 4096),
+                1.0,
+            )
+            yield from core.execute(probe_cost, float(produced))
+        self.results.emitted += produced
+
+    def _trigger_sessions(self, core: Core, frontier: float) -> Generator[Any, Any, None]:
+        window = self.plan.window
+        assert isinstance(window, SessionWindows)
+        if frontier == float("-inf"):
+            return
+        produced = 0
+        for key, payload in list(self.handle.led_items()):
+            emitted, remaining = probe_sessions(window, payload, frontier)
+            if not emitted:
+                continue
+            produced += len(emitted)
+            for left_row, right_row in emitted:
+                self.results.join_pairs.append((key, left_row, right_row))
+            if remaining:
+                self.handle.replace_led(key, remaining)
+            else:
+                self.handle.remove_led(key)
+        if produced:
+            probe_cost = self.node.cost_model.op(
+                self.costs.probe_pair,
+                quantize_working_set(self._ws_bytes + 4096),
+                1.0,
+            )
+            yield from core.execute(probe_cost, float(produced))
+        self.results.emitted += produced

@@ -1,0 +1,63 @@
+"""Windowed hash-join probe logic (paper Sec. 5.2, 'Windowed Join').
+
+Slash eagerly *builds* per-window hash state (the append partials of
+:class:`~repro.core.pipeline.JoinBuildPipeline`) and *probes* lazily when
+a window terminates: for every key, it outputs the per-key pairwise
+combinations of the stored left and right records.  Because the state
+backend concatenates all partial values with the same key before the
+trigger fires, the probe sees exactly the records a sequential execution
+would have collected (P2).
+
+Session joins (NB11) additionally split a key's merged timeline into
+gap-separated sessions at trigger time and only emit the sessions that
+are *closed* — those whose last record is more than one gap below the
+vector-clock frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.pipeline import LEFT, RIGHT
+from repro.core.windows import SessionWindows
+
+JoinedPair = tuple[tuple, tuple]
+
+
+def probe_window(payload: Sequence[tuple[int, tuple]]) -> list[JoinedPair]:
+    """Emit all left x right combinations of one (window, key) payload.
+
+    ``payload`` entries are ``(side, row_tuple)``.  Output order is
+    normalised (sorted) so distributed and sequential runs compare equal.
+    """
+    lefts = [row for side, row in payload if side == LEFT]
+    rights = [row for side, row in payload if side == RIGHT]
+    return sorted((l, r) for l in lefts for r in rights)
+
+
+def probe_sessions(
+    window: SessionWindows,
+    payload: Sequence[tuple[float, int, tuple]],
+    frontier: float,
+) -> tuple[list[JoinedPair], list[tuple[float, int, tuple]]]:
+    """Split a key's merged timeline into sessions and emit closed ones.
+
+    ``payload`` entries are ``(ts, side, row_tuple)``.  Returns
+    ``(emitted_pairs, remaining_payload)``: sessions whose end (last ts +
+    gap) is ``<= frontier`` are probed and dropped, the rest are kept for
+    future records.
+    """
+    if not payload:
+        return [], []
+    timestamps = [entry[0] for entry in payload]
+    emitted: list[JoinedPair] = []
+    remaining: list[tuple[float, int, tuple]] = []
+    for _start, end, member_indices in window.split_sessions(timestamps):
+        members = [payload[i] for i in member_indices]
+        if end <= frontier:
+            emitted.extend(
+                probe_window([(side, row) for _ts, side, row in members])
+            )
+        else:
+            remaining.extend(members)
+    return sorted(emitted), remaining

@@ -1,0 +1,153 @@
+"""Event-time window assigners (paper Sec. 5.2).
+
+Slash executes windowed operators as a *window assigner* (which maps each
+record to a bucket or slice and updates it) followed by a *window
+trigger* (which fires on event time once the vector clock permits).
+
+* :class:`TumblingWindow` — fixed-size, non-overlapping buckets; the
+  window id of a record is ``floor(ts / size)``.
+* :class:`SlidingWindow` — overlapping windows realised through **general
+  stream slicing** (Traub et al., EDBT'19, cited by the paper): records
+  update non-overlapping *slices* of width ``slide``; a window's result
+  is the merge of ``size / slide`` consecutive slices, so per-record work
+  stays O(1).
+* :class:`SessionWindows` — gap-based sessions; these have no static ids,
+  so the assigner marks records for per-key session state and the split
+  into sessions happens at trigger time on merged state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.common.errors import QueryError
+
+
+class WindowAssigner:
+    """Base class: maps record timestamps to window/slice ids."""
+
+    #: Whether window extents are statically derivable from ids.
+    static_ids = True
+
+    def assign(self, timestamps: np.ndarray) -> np.ndarray:
+        """Vectorised: the slice/bucket id of each record."""
+        raise NotImplementedError
+
+    def window_end(self, window_id: int) -> float:
+        """The exclusive event-time end of ``window_id``."""
+        raise NotImplementedError
+
+    def windows_of_slice(self, slice_id: int) -> Sequence[int]:
+        """Window ids whose result includes ``slice_id`` (identity for
+        bucket-based assigners)."""
+        return (slice_id,)
+
+    def slices_of_window(self, window_id: int) -> Sequence[int]:
+        """Slice ids whose merge produces ``window_id``'s result."""
+        return (window_id,)
+
+
+@dataclass(frozen=True)
+class TumblingWindow(WindowAssigner):
+    """Non-overlapping buckets of ``size_ms`` milliseconds of event time."""
+
+    size_ms: int
+
+    def __post_init__(self) -> None:
+        if self.size_ms <= 0:
+            raise QueryError(f"tumbling window size must be positive: {self.size_ms}")
+
+    def assign(self, timestamps: np.ndarray) -> np.ndarray:
+        return timestamps // self.size_ms
+
+    def window_end(self, window_id: int) -> float:
+        return float((window_id + 1) * self.size_ms)
+
+
+@dataclass(frozen=True)
+class SlidingWindow(WindowAssigner):
+    """Overlapping windows of ``size_ms`` advancing every ``slide_ms``.
+
+    ``size_ms`` must be a multiple of ``slide_ms`` (the slicing
+    granularity).  Window ``w`` covers slices ``[w, w + size/slide)`` and
+    ends at ``(w + size/slide) * slide``.
+    """
+
+    size_ms: int
+    slide_ms: int
+
+    def __post_init__(self) -> None:
+        if self.slide_ms <= 0 or self.size_ms <= 0:
+            raise QueryError("sliding window size and slide must be positive")
+        if self.size_ms % self.slide_ms != 0:
+            raise QueryError(
+                f"window size {self.size_ms} not a multiple of slide {self.slide_ms}"
+            )
+
+    @property
+    def slices_per_window(self) -> int:
+        return self.size_ms // self.slide_ms
+
+    def assign(self, timestamps: np.ndarray) -> np.ndarray:
+        # Records update slices; windows merge slices at trigger time.
+        return timestamps // self.slide_ms
+
+    def window_end(self, window_id: int) -> float:
+        return float((window_id + self.slices_per_window) * self.slide_ms)
+
+    def windows_of_slice(self, slice_id: int) -> Sequence[int]:
+        k = self.slices_per_window
+        return tuple(range(slice_id - k + 1, slice_id + 1))
+
+    def slices_of_window(self, window_id: int) -> Sequence[int]:
+        return tuple(range(window_id, window_id + self.slices_per_window))
+
+
+@dataclass(frozen=True)
+class SessionWindows(WindowAssigner):
+    """Per-key sessions separated by gaps of at least ``gap_ms``."""
+
+    gap_ms: int
+    static_ids = False
+
+    def __post_init__(self) -> None:
+        if self.gap_ms <= 0:
+            raise QueryError(f"session gap must be positive: {self.gap_ms}")
+
+    def assign(self, timestamps: np.ndarray) -> np.ndarray:
+        # Sessions cannot be assigned statically; state is keyed by the
+        # record key alone and split into sessions at trigger time.
+        return np.zeros(len(timestamps), dtype=np.int64)
+
+    def window_end(self, window_id: int) -> float:
+        raise QueryError("session windows have no static window end")
+
+    def split_sessions(
+        self, timestamps: Sequence[float]
+    ) -> list[tuple[float, float, list[int]]]:
+        """Group sorted-or-not timestamps into sessions.
+
+        Returns ``(start, end, member_indices)`` triples where ``end`` is
+        ``last_ts + gap`` (the time after which the session is closed) and
+        ``member_indices`` index into the *input* sequence.
+        """
+        order = sorted(range(len(timestamps)), key=lambda i: timestamps[i])
+        sessions: list[tuple[float, float, list[int]]] = []
+        current: list[int] = []
+        start = last = None
+        for i in order:
+            ts = timestamps[i]
+            if last is not None and ts - last > self.gap_ms:
+                sessions.append((start, last + self.gap_ms, current))
+                current = []
+                start = None
+            if start is None:
+                start = ts
+            current.append(i)
+            last = ts
+        if current:
+            sessions.append((start, last + self.gap_ms, current))
+        return sessions

@@ -1,0 +1,192 @@
+"""Command-line interface to the experiment harness.
+
+Usage (after ``python setup.py develop``)::
+
+    python -m repro list
+    python -m repro run fig6a --nodes 2 4 --threads 4 --records 1500
+    python -m repro run fig8d --out results/
+    python -m repro run all --quick
+
+``run`` executes one experiment (or ``all``), prints the rendered report,
+and optionally writes it (plus a machine-readable JSON of the raw rows)
+into an output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.harness import experiments as exp
+
+#: Experiment registry: id -> (description, factory(args) -> Report).
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig6a-c": (
+        "YSB/CM/NB7 windowed aggregations, weak scaling",
+        lambda a: exp.fig6_aggregations(
+            node_counts=a.nodes, threads=a.threads,
+            workload_overrides=_size(a),
+        ),
+    ),
+    "fig6d-e": (
+        "NB8/NB11 windowed joins, weak scaling",
+        lambda a: exp.fig6_joins(
+            node_counts=a.nodes, threads=a.threads,
+            workload_overrides=_size(a, default_records=1000),
+        ),
+    ),
+    "fig7": (
+        "COST analysis vs LightSaber",
+        lambda a: exp.fig7_cost(
+            node_counts=a.nodes, threads=a.threads,
+            workload_overrides=_size(a),
+        ),
+    ),
+    "fig8ab": (
+        "RO throughput/latency vs channel buffer size",
+        lambda a: exp.fig8_buffer_sweep(
+            threads=min(a.threads, 10),
+            records_per_thread=a.records or 150_000,
+        ),
+    ),
+    "fig8c": (
+        "RO throughput vs thread count",
+        lambda a: exp.fig8_parallelism(records_per_thread=a.records or 120_000),
+    ),
+    "fig8d": (
+        "throughput vs Zipf key skew (RO + YSB)",
+        lambda a: exp.fig8_skew(
+            threads=min(a.threads, 10),
+            records_per_thread=a.records or 60_000,
+        ),
+    ),
+    "fig9": (
+        "top-down breakdown of RO (senders/receivers)",
+        lambda a: exp.fig9_breakdown_ro(records_per_thread=a.records or 120_000),
+    ),
+    "fig10": (
+        "top-down breakdown of end-to-end YSB",
+        lambda a: exp.fig10_breakdown_ysb(
+            threads=min(a.threads, 10), records_per_thread=a.records or 6_000
+        ),
+    ),
+    "table1": (
+        "resource utilisation counters, YSB on 2 nodes",
+        lambda a: exp.table1_counters(
+            threads=min(a.threads, 10), records_per_thread=a.records or 6_000
+        ),
+    ),
+    "abl-credits": (
+        "ablation: channel credit count",
+        lambda a: exp.ablation_credits(records_per_thread=a.records or 120_000),
+    ),
+    "abl-epoch": (
+        "ablation: SSB epoch length",
+        lambda a: exp.ablation_epoch_bytes(),
+    ),
+    "abl-exec": (
+        "ablation: compiled vs interpreted execution",
+        lambda a: exp.ablation_execution_strategy(),
+    ),
+    "extra-latency": (
+        "extra: window trigger lag per system",
+        lambda a: exp.extra_trigger_latency(
+            threads=min(a.threads, 10), records_per_thread=a.records or 6_000
+        ),
+    ),
+    "abl-signal": (
+        "ablation: selective signaling",
+        lambda a: exp.ablation_selective_signaling(records_per_thread=a.records or 120_000),
+    ),
+}
+
+#: Reduced knobs used by --quick (and by the CLI tests).
+QUICK = {"nodes": (2, 4), "threads": 4, "records": 1200}
+
+
+def _size(args, default_records: int = 2500) -> dict:
+    records = args.records or default_records
+    return {"records_per_thread": records, "batch_records": max(64, records // 5)}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of 'Rethinking "
+        "Stateful Stream Processing with RDMA' (SIGMOD 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16],
+                     help="node counts for weak-scaling experiments")
+    run.add_argument("--threads", type=int, default=10,
+                     help="worker threads per node")
+    run.add_argument("--records", type=int, default=None,
+                     help="records per thread (default: per-experiment)")
+    run.add_argument("--quick", action="store_true",
+                     help="small sizes for a fast smoke run")
+    run.add_argument("--out", type=pathlib.Path, default=None,
+                     help="directory to write <id>.txt and <id>.json into")
+    return parser
+
+
+def _run_one(name: str, args, out: Optional[pathlib.Path]) -> None:
+    description, factory = EXPERIMENTS[name]
+    started = time.time()
+    report = factory(args)
+    elapsed = time.time() - started
+    print(report.render())
+    print(f"\n[{name}: {description} — {elapsed:.1f}s wall]")
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(report.render() + "\n")
+        (out / f"{name}.json").write_text(
+            json.dumps(_jsonable(report.rows), indent=2) + "\n"
+        )
+
+
+def _jsonable(rows: list) -> list:
+    def convert(value):
+        if isinstance(value, dict):
+            return {str(k): convert(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [convert(v) for v in value]
+        if isinstance(value, float) and value in (float("inf"), float("-inf")):
+            return str(value)
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            return value
+        return str(value)
+
+    return [convert(row) for row in rows]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _factory) in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+    if args.quick:
+        args.nodes = list(QUICK["nodes"])
+        args.threads = QUICK["threads"]
+        args.records = args.records or QUICK["records"]
+    args.nodes = tuple(args.nodes)
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; see 'repro list'", file=sys.stderr)
+        return 2
+    for name in targets:
+        _run_one(name, args, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,624 @@
+"""One experiment definition per table/figure of the paper's Sec. 8.
+
+Every function returns a :class:`Report` whose ``render()`` prints the
+rows or series the corresponding paper artifact plots, plus the derived
+headline ratios (e.g. Slash-over-UpPar speedup) that EXPERIMENTS.md
+records.  All experiments accept size knobs so the test suite can run
+miniature versions of the exact same code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.baselines.transfer import SlashTransferBench, TransferResult, UpParTransferBench
+from repro.common.units import fmt_rate, fmt_rate_records, fmt_time
+from repro.harness.runner import BENCH_EPOCH_BYTES, make_workload, run_end_to_end
+from repro.metrics.breakdown import breakdown_table, table1_row
+from repro.metrics.reporting import TextTable, format_si
+
+# The measured link ceiling the paper draws as the red line in Fig. 8.
+LINK_BANDWIDTH = 11.8e9
+
+
+@dataclass
+class Report:
+    """A rendered experiment: tables plus machine-readable rows."""
+
+    name: str
+    tables: list[TextTable] = field(default_factory=list)
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"#### Experiment {self.name} ####"]
+        parts.extend(table.render() for table in self.tables)
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: end-to-end weak scaling
+# ---------------------------------------------------------------------------
+
+def _fig6(
+    name: str,
+    workloads: Sequence[str],
+    node_counts: Sequence[int],
+    threads: int,
+    systems: Sequence[str],
+    workload_overrides: Optional[dict] = None,
+) -> Report:
+    report = Report(name)
+    for workload_name in workloads:
+        table = TextTable(
+            f"{name}: {workload_name} throughput (records/s), weak scaling",
+            ["nodes"] + [f"{s}" for s in systems] + ["slash/uppar", "slash/flink"],
+        )
+        for nodes in node_counts:
+            throughputs = {}
+            for system in systems:
+                row = run_end_to_end(
+                    system, workload_name, nodes, threads,
+                    workload_overrides=workload_overrides,
+                )
+                throughputs[system] = row.throughput_records_per_s
+                report.rows.append(
+                    {
+                        "figure": name,
+                        "workload": workload_name,
+                        "system": system,
+                        "nodes": nodes,
+                        "throughput": row.throughput_records_per_s,
+                    }
+                )
+            cells = [format_si(throughputs[s], "rec/s") for s in systems]
+            ratio_uppar = (
+                f"{throughputs.get('slash', 0) / throughputs['uppar']:.1f}x"
+                if "uppar" in throughputs and throughputs["uppar"]
+                else "-"
+            )
+            ratio_flink = (
+                f"{throughputs.get('slash', 0) / throughputs['flink']:.1f}x"
+                if "flink" in throughputs and throughputs["flink"]
+                else "-"
+            )
+            table.add_row(nodes, *cells, ratio_uppar, ratio_flink)
+        report.tables.append(table)
+    return report
+
+
+def fig6_aggregations(
+    node_counts: Sequence[int] = (2, 4, 8, 16),
+    threads: int = 10,
+    systems: Sequence[str] = ("flink", "uppar", "slash"),
+    workload_overrides: Optional[dict] = None,
+) -> Report:
+    """Figs. 6a-6c: YSB, CM, NB7 windowed aggregations."""
+    return _fig6(
+        "fig6a-c (aggregations)", ("ysb", "cm", "nb7"), node_counts, threads,
+        systems, workload_overrides,
+    )
+
+
+def fig6_joins(
+    node_counts: Sequence[int] = (2, 4, 8, 16),
+    threads: int = 10,
+    systems: Sequence[str] = ("flink", "uppar", "slash"),
+    workload_overrides: Optional[dict] = None,
+) -> Report:
+    """Figs. 6d-6e: NB8 and NB11 windowed joins."""
+    return _fig6(
+        "fig6d-e (joins)", ("nb8", "nb11"), node_counts, threads,
+        systems, workload_overrides,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: COST analysis against LightSaber
+# ---------------------------------------------------------------------------
+
+def fig7_cost(
+    node_counts: Sequence[int] = (2, 4, 8, 16),
+    threads: int = 10,
+    workloads: Sequence[str] = ("ysb", "cm", "nb7"),
+    workload_overrides: Optional[dict] = None,
+) -> Report:
+    """Fig. 7: LightSaber (one node) vs Slash on 2..16 nodes."""
+    report = Report("fig7 (COST vs LightSaber)")
+    for workload_name in workloads:
+        table = TextTable(
+            f"fig7: {workload_name} (L = LightSaber, 1 node)",
+            ["config", "throughput", "vs L"],
+        )
+        baseline = run_end_to_end(
+            "lightsaber", workload_name, 1, threads,
+            workload_overrides=workload_overrides,
+        )
+        table.add_row("L", format_si(baseline.throughput_records_per_s, "rec/s"), "1.0x")
+        report.rows.append(
+            {"figure": "fig7", "workload": workload_name, "system": "lightsaber",
+             "nodes": 1, "throughput": baseline.throughput_records_per_s}
+        )
+        for nodes in node_counts:
+            row = run_end_to_end(
+                "slash", workload_name, nodes, threads,
+                workload_overrides=workload_overrides,
+            )
+            speedup = row.throughput_records_per_s / baseline.throughput_records_per_s
+            table.add_row(
+                f"slash x{nodes}",
+                format_si(row.throughput_records_per_s, "rec/s"),
+                f"{speedup:.1f}x",
+            )
+            report.rows.append(
+                {"figure": "fig7", "workload": workload_name, "system": "slash",
+                 "nodes": nodes, "throughput": row.throughput_records_per_s,
+                 "speedup_vs_lightsaber": speedup}
+            )
+        report.tables.append(table)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: drill-down on the data plane
+# ---------------------------------------------------------------------------
+
+def _transfer(system: str, workload, **bench_kwargs) -> TransferResult:
+    bench_cls = SlashTransferBench if system == "slash" else UpParTransferBench
+    return bench_cls(**bench_kwargs).run(workload)
+
+
+def fig8_buffer_sweep(
+    buffer_sizes: Sequence[int] = (4096, 16384, 32768, 65536, 131072, 262144, 524288, 1048576),
+    threads: int = 2,
+    records_per_thread: int = 150_000,
+) -> Report:
+    """Figs. 8a-8b: RO throughput and latency vs channel buffer size."""
+    report = Report("fig8a-b (buffer size)")
+    table = TextTable(
+        f"fig8a/b: RO over 1 NIC, {threads} threads "
+        f"(red line = {fmt_rate(LINK_BANDWIDTH)})",
+        ["buffer", "system", "throughput", "% of link", "latency"],
+    )
+    for buffer_bytes in buffer_sizes:
+        for system in ("slash", "uppar"):
+            workload = make_workload("ro", records_per_thread=records_per_thread)
+            result = _transfer(
+                system, workload, threads=threads, buffer_bytes=buffer_bytes
+            )
+            table.add_row(
+                format_si(buffer_bytes, "B", digits=0),
+                system,
+                fmt_rate(result.throughput_bytes_per_s),
+                f"{result.throughput_bytes_per_s / LINK_BANDWIDTH * 100:.1f}%",
+                fmt_time(result.mean_latency_s),
+            )
+            report.rows.append(
+                {"figure": "fig8ab", "system": system, "buffer_bytes": buffer_bytes,
+                 "throughput_bytes_per_s": result.throughput_bytes_per_s,
+                 "mean_latency_s": result.mean_latency_s}
+            )
+    report.tables.append(table)
+    return report
+
+
+def fig8_parallelism(
+    thread_counts: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    buffer_bytes: int = 65536,
+    records_per_thread: int = 120_000,
+) -> Report:
+    """Fig. 8c: RO throughput vs number of threads."""
+    report = Report("fig8c (parallelism)")
+    table = TextTable(
+        f"fig8c: RO over 1 NIC, 64 KiB buffers (link = {fmt_rate(LINK_BANDWIDTH)})",
+        ["threads", "system", "throughput", "% of link"],
+    )
+    for threads in thread_counts:
+        for system in ("slash", "uppar"):
+            workload = make_workload("ro", records_per_thread=records_per_thread)
+            result = _transfer(
+                system, workload, threads=threads, buffer_bytes=buffer_bytes
+            )
+            table.add_row(
+                threads,
+                system,
+                fmt_rate(result.throughput_bytes_per_s),
+                f"{result.throughput_bytes_per_s / LINK_BANDWIDTH * 100:.1f}%",
+            )
+            report.rows.append(
+                {"figure": "fig8c", "system": system, "threads": threads,
+                 "throughput_bytes_per_s": result.throughput_bytes_per_s}
+            )
+    report.tables.append(table)
+    return report
+
+
+def fig8_skew(
+    zipf_zs: Sequence[float] = (0.2, 0.6, 1.0, 1.4, 1.8, 2.0),
+    threads: int = 10,
+    buffer_bytes: int = 65536,
+    records_per_thread: int = 60_000,
+) -> Report:
+    """Fig. 8d: throughput vs Zipf skew of the partitioning key (RO, YSB)."""
+    report = Report("fig8d (data skewness)")
+    table = TextTable(
+        "fig8d: throughput vs Zipf z (RO transfer in GB/s; YSB end-to-end "
+        "on 2 nodes in records/s)",
+        ["workload", "z", "system", "throughput"],
+    )
+    for workload_name in ("ro", "ysb"):
+        for z in zipf_zs:
+            for system in ("slash", "uppar"):
+                if workload_name == "ro":
+                    workload = make_workload(
+                        "ro", zipf_z=z, records_per_thread=records_per_thread
+                    )
+                    result = _transfer(
+                        system, workload, threads=threads, buffer_bytes=buffer_bytes
+                    )
+                    bytes_per_s = result.throughput_bytes_per_s
+                    records_per_s = result.throughput_records_per_s
+                    value = fmt_rate(bytes_per_s)
+                else:
+                    # The stateful-query half of Fig. 8d: skew helps Slash
+                    # (smaller state to keep hot and to merge) and starves
+                    # the hash-partitioned shape (one hot consumer).
+                    row = run_end_to_end(
+                        system, "ysb", 2, threads,
+                        workload_overrides={
+                            "zipf_z": z,
+                            "key_range": 1_000_000,
+                            "records_per_thread": max(4_000, records_per_thread // 10),
+                            "batch_records": 800,
+                        },
+                    )
+                    bytes_per_s = row.throughput_records_per_s * 78
+                    records_per_s = row.throughput_records_per_s
+                    value = fmt_rate_records(records_per_s)
+                table.add_row(workload_name, z, system, value)
+                report.rows.append(
+                    {"figure": "fig8d", "workload": workload_name, "system": system,
+                     "z": z,
+                     "throughput_bytes_per_s": bytes_per_s,
+                     "throughput_records_per_s": records_per_s}
+                )
+    report.tables.append(table)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figs. 9-10 and Table 1: micro-architecture analysis
+# ---------------------------------------------------------------------------
+
+def fig9_breakdown_ro(
+    thread_counts: Sequence[int] = (2, 10),
+    buffer_bytes: int = 65536,
+    records_per_thread: int = 120_000,
+) -> Report:
+    """Fig. 9: top-down execution breakdown of RO, senders and receivers."""
+    report = Report("fig9 (execution breakdown, RO)")
+    for threads in thread_counts:
+        rows = {}
+        for system in ("uppar", "slash"):
+            workload = make_workload("ro", records_per_thread=records_per_thread)
+            result = _transfer(
+                system, workload, threads=threads, buffer_bytes=buffer_bytes
+            )
+            rows[f"{system} sender ({threads}T)"] = result.sender_counters
+            rows[f"{system} receiver ({threads}T)"] = result.receiver_counters
+            report.rows.append(
+                {"figure": "fig9", "system": system, "threads": threads,
+                 "sender": result.sender_counters.breakdown(),
+                 "receiver": result.receiver_counters.breakdown()}
+            )
+        report.tables.append(
+            breakdown_table(f"fig9: RO top-down breakdown, {threads} threads", rows)
+        )
+    return report
+
+
+def _ysb_end_to_end(system: str, threads: int, records_per_thread: int):
+    return run_end_to_end(
+        system, "ysb", 2, threads,
+        workload_overrides={
+            "records_per_thread": records_per_thread,
+            "batch_records": 800,
+        },
+    )
+
+
+def fig10_breakdown_ysb(
+    threads: int = 10,
+    records_per_thread: int = 6_000,
+) -> Report:
+    """Fig. 10: top-down breakdown of end-to-end YSB on two nodes.
+
+    Two tables: the *busy* breakdown (spin-wait excluded — the work
+    composition, where Slash shows the paper's memory-bound profile with
+    ~20 % retiring) and the *full* breakdown (waits included as
+    core-bound ``pause`` time, which is what makes the UpPar receiver
+    core-bound in the paper's Figs. 9-10).
+    """
+    report = Report("fig10 (execution breakdown, YSB)")
+    busy_rows = {}
+    full_rows = {}
+    for system in ("uppar", "slash"):
+        row = _ysb_end_to_end(system, threads, records_per_thread)
+        if system == "slash":
+            counters = {"slash (whole)": row.result.counters}
+        else:
+            counters = {
+                "uppar sender": row.result.extra["sender_counters"],
+                "uppar receiver": row.result.extra["receiver_counters"],
+            }
+        for label, c in counters.items():
+            busy_rows[label] = c
+            full_rows[label] = c
+        report.rows.append(
+            {
+                "figure": "fig10",
+                "system": system,
+                "busy": {
+                    label: c.breakdown(exclude_wait=True)
+                    for label, c in counters.items()
+                },
+                "full": {label: c.breakdown() for label, c in counters.items()},
+            }
+        )
+    busy_table = TextTable(
+        "fig10: YSB busy-cycle breakdown (spin waits excluded)",
+        ["who", "Retiring%", "FeB%", "BadS%", "MemB%", "CoreB%"],
+    )
+    for label, c in busy_rows.items():
+        shares = c.breakdown(exclude_wait=True)
+        busy_table.add_row(
+            label,
+            *(f"{shares[cat] * 100:.1f}" for cat in list(shares)),
+        )
+    report.tables.append(busy_table)
+    report.tables.append(
+        breakdown_table("fig10: YSB full breakdown (waits as core-bound)", full_rows)
+    )
+    return report
+
+
+def table1_counters(
+    threads: int = 10,
+    records_per_thread: int = 6_000,
+) -> Report:
+    """Table 1: resource utilisation, end-to-end YSB on two nodes.
+
+    Cycle and IPC columns use *busy* cycles (spin waits excluded), which
+    is what a PMU sample over a pinned busy-polling thread approximates;
+    the wait share is reported separately.
+    """
+    report = Report("table1 (resource utilisation, YSB, 2 nodes)")
+    table = TextTable(
+        "table1: YSB, 2 nodes (busy cycles; Wait% = spin share of total)",
+        ["who", "IPC", "Instr/Rec", "Cyc/Rec", "L1d/Rec", "L2d/Rec", "LLC/Rec",
+         "Aggr.MemBw", "Wait%"],
+    )
+
+    def add(label: str, counters, elapsed: float) -> None:
+        row = table1_row(counters, elapsed)
+        wait_share = (
+            counters.wait_cycles / counters.total_cycles * 100
+            if counters.total_cycles
+            else 0.0
+        )
+        table.add_row(
+            label,
+            f"{row['ipc']:.2f}",
+            f"{row['instr_per_rec']:.0f}",
+            f"{row['cyc_per_rec']:.0f}",
+            f"{row['l1d_miss_per_rec']:.2f}",
+            f"{row['l2d_miss_per_rec']:.2f}",
+            f"{row['llc_miss_per_rec']:.2f}",
+            fmt_rate(row["mem_bw_bytes_per_s"]),
+            f"{wait_share:.0f}",
+        )
+        report.rows.append({"figure": "table1", "who": label, **row})
+
+    for system in ("uppar", "slash"):
+        row = _ysb_end_to_end(system, threads, records_per_thread)
+        if system == "uppar":
+            add("uppar sender", row.result.extra["sender_counters"], row.sim_seconds)
+            add("uppar receiver", row.result.extra["receiver_counters"], row.sim_seconds)
+        else:
+            add("slash", row.result.counters, row.sim_seconds)
+    report.tables.append(table)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Ablations (claims from the paper's text)
+# ---------------------------------------------------------------------------
+
+def ablation_credits(
+    credit_counts: Sequence[int] = (4, 8, 16, 64),
+    threads: int = 2,
+    buffer_bytes: int = 65536,
+    records_per_thread: int = 120_000,
+) -> Report:
+    """Sec. 8.3.2 text: c=8 is best; c=64 regresses by up to ~10 %."""
+    report = Report("ablation: channel credits")
+    table = TextTable(
+        "RO throughput vs credit count (Slash channels)",
+        ["credits", "throughput", "vs c=8"],
+    )
+    results = {}
+    for credits in credit_counts:
+        workload = make_workload("ro", records_per_thread=records_per_thread)
+        result = SlashTransferBench(
+            threads=threads, buffer_bytes=buffer_bytes, credits=credits
+        ).run(workload)
+        results[credits] = result.throughput_bytes_per_s
+    base = results.get(8) or max(results.values())
+    for credits in credit_counts:
+        table.add_row(
+            credits,
+            fmt_rate(results[credits]),
+            f"{results[credits] / base * 100:.1f}%",
+        )
+        report.rows.append(
+            {"figure": "abl-credits", "credits": credits,
+             "throughput_bytes_per_s": results[credits]}
+        )
+    report.tables.append(table)
+    return report
+
+
+def ablation_epoch_bytes(
+    epoch_sizes: Sequence[int] = (16 * 1024, 64 * 1024, BENCH_EPOCH_BYTES, 1024 * 1024),
+    nodes: int = 4,
+    threads: int = 4,
+) -> Report:
+    """Epoch-length sweep around the (scaled) 64 MB default of Sec. 8.1.1.
+
+    Short epochs tax processing with synchronisation; long epochs defer
+    merging into a serial tail *and* delay window triggering — the
+    throughput/latency trade-off inherent to lazy merging.
+    """
+    report = Report("ablation: SSB epoch length")
+    table = TextTable(
+        "YSB throughput and trigger lag vs epoch length (Slash end-to-end)",
+        ["epoch bytes", "throughput", "sim time", "mean trigger lag"],
+    )
+    for epoch_bytes in epoch_sizes:
+        row = run_end_to_end(
+            "slash", "ysb", nodes, threads,
+            engine_overrides={"epoch_bytes": epoch_bytes},
+        )
+        lag = row.result.extra.get("trigger_lag_mean_s", 0.0)
+        table.add_row(
+            format_si(epoch_bytes, "B", digits=0),
+            format_si(row.throughput_records_per_s, "rec/s"),
+            fmt_time(row.sim_seconds),
+            fmt_time(lag),
+        )
+        report.rows.append(
+            {"figure": "abl-epoch", "epoch_bytes": epoch_bytes,
+             "throughput": row.throughput_records_per_s,
+             "trigger_lag_mean_s": lag}
+        )
+    report.tables.append(table)
+    return report
+
+
+def extra_trigger_latency(
+    nodes: int = 2,
+    threads: int = 10,
+    records_per_thread: int = 6_000,
+) -> Report:
+    """Result latency comparison (paper Sec. 8.3.2 text).
+
+    The paper notes both RDMA SUTs achieve microsecond-scale latencies,
+    an order of magnitude below Flink's.  We measure *window trigger
+    lag*: simulated time between an executor's last received
+    contribution to a window and the moment it emits that window.
+    """
+    report = Report("extra: window trigger lag (YSB, 2 nodes)")
+    table = TextTable(
+        "mean / max trigger lag per system",
+        ["system", "mean lag", "max lag", "throughput"],
+    )
+    for system in ("slash", "uppar", "flink"):
+        row = run_end_to_end(
+            system, "ysb", nodes, threads,
+            workload_overrides={
+                "records_per_thread": records_per_thread, "batch_records": 800,
+            },
+        )
+        mean_lag = row.result.extra.get("trigger_lag_mean_s", 0.0)
+        max_lag = row.result.extra.get("trigger_lag_max_s", 0.0)
+        table.add_row(
+            system,
+            fmt_time(mean_lag),
+            fmt_time(max_lag),
+            format_si(row.throughput_records_per_s, "rec/s"),
+        )
+        report.rows.append(
+            {"figure": "extra-latency", "system": system,
+             "trigger_lag_mean_s": mean_lag, "trigger_lag_max_s": max_lag}
+        )
+    report.tables.append(table)
+    report.notes.append(
+        "Slash's lag is the price of epoch-lazy merging (tunable via "
+        "epoch_bytes, see the epoch ablation); the re-partitioning engines "
+        "trigger eagerly per record, and Flink's lag exceeds UpPar's "
+        "through IPoIB latency and buffer timeouts."
+    )
+    return report
+
+
+def ablation_execution_strategy(
+    nodes: int = 4,
+    threads: int = 4,
+    records_per_thread: int = 2500,
+) -> Report:
+    """Sec. 5.3: Slash supports compiled and interpreted execution.
+
+    Interpretation multiplies the hot-path compute; the network and SSB
+    protocol costs are strategy-agnostic, so the slowdown stays well
+    below the raw per-record factor.
+    """
+    from repro.core.costs import DEFAULT_SLASH_COSTS, interpreted
+    from repro.harness.runner import build_engine, make_workload
+
+    report = Report("ablation: execution strategy")
+    table = TextTable(
+        "YSB throughput, compiled vs interpreted pipelines (Slash)",
+        ["strategy", "throughput", "vs compiled"],
+    )
+    results = {}
+    for strategy, costs in (
+        ("compiled", DEFAULT_SLASH_COSTS),
+        ("interpreted", interpreted()),
+    ):
+        engine = build_engine("slash", nodes, costs=costs)
+        workload = make_workload("ysb", records_per_thread=records_per_thread)
+        flows = workload.flows(nodes, threads)
+        result = engine.run(workload.build_query(), flows)
+        results[strategy] = result.throughput_records_per_s
+    for strategy, throughput in results.items():
+        table.add_row(
+            strategy,
+            format_si(throughput, "rec/s"),
+            f"{throughput / results['compiled'] * 100:.0f}%",
+        )
+        report.rows.append(
+            {"figure": "abl-exec", "strategy": strategy, "throughput": throughput}
+        )
+    report.tables.append(table)
+    return report
+
+
+def ablation_selective_signaling(
+    threads: int = 2,
+    buffer_bytes: int = 16384,
+    records_per_thread: int = 120_000,
+) -> Report:
+    """Sec. 3.2 / C2: selective signaling saves per-message CPU work."""
+    report = Report("ablation: selective signaling")
+    table = TextTable(
+        "RO throughput, unsignaled vs signaled WRITEs (16 KiB buffers)",
+        ["write completions", "throughput", "sender cyc/rec"],
+    )
+    for signal_writes in (False, True):
+        workload = make_workload("ro", records_per_thread=records_per_thread)
+        result = SlashTransferBench(
+            threads=threads, buffer_bytes=buffer_bytes, signal_writes=signal_writes
+        ).run(workload)
+        table.add_row(
+            "signaled" if signal_writes else "selective (unsignaled)",
+            fmt_rate(result.throughput_bytes_per_s),
+            f"{result.sender_counters.cycles_per_record:.1f}",
+        )
+        report.rows.append(
+            {"figure": "abl-signaling", "signaled": signal_writes,
+             "throughput_bytes_per_s": result.throughput_bytes_per_s}
+        )
+    report.tables.append(table)
+    return report

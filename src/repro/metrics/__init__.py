@@ -1,0 +1,20 @@
+"""Measurement rendering: tables, series, and top-down breakdowns.
+
+These helpers turn :class:`~repro.simnet.counters.HwCounters` and harness
+measurements into the text tables/figures the benchmark scripts print —
+one renderer per artifact shape the paper uses (throughput bar groups,
+parameter-sweep series, top-down stacked breakdowns, Table 1's counter
+matrix).
+"""
+
+from repro.metrics.reporting import TextTable, format_si, series_block
+from repro.metrics.breakdown import breakdown_percentages, breakdown_table, table1_row
+
+__all__ = [
+    "TextTable",
+    "format_si",
+    "series_block",
+    "breakdown_percentages",
+    "breakdown_table",
+    "table1_row",
+]

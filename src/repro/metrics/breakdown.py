@@ -1,0 +1,81 @@
+"""Top-down breakdowns and the Table 1 counter matrix.
+
+Figures 9 and 10 of the paper plot, per system/role/thread-count, the
+share of CPU cycles in each top-down category; Table 1 reports IPC,
+instructions/record, cycles/record, per-level cache misses/record, and
+aggregate memory bandwidth.  These helpers derive all of that from
+:class:`~repro.simnet.counters.HwCounters`.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.reporting import TextTable
+from repro.simnet.counters import CycleCategory, HwCounters
+
+_ORDER = (
+    CycleCategory.RETIRING,
+    CycleCategory.FRONTEND,
+    CycleCategory.BAD_SPEC,
+    CycleCategory.MEMORY,
+    CycleCategory.CORE,
+)
+_LABEL = {
+    CycleCategory.RETIRING: "Retiring",
+    CycleCategory.FRONTEND: "FeB",
+    CycleCategory.BAD_SPEC: "BadS",
+    CycleCategory.MEMORY: "MemB",
+    CycleCategory.CORE: "CoreB",
+}
+
+
+def breakdown_percentages(counters: HwCounters) -> dict[str, float]:
+    """Category shares as percentages keyed by the paper's labels."""
+    shares = counters.breakdown()
+    return {_LABEL[c]: shares[c] * 100.0 for c in _ORDER}
+
+
+def dominant_category(counters: HwCounters) -> str:
+    """The paper's 'X-bound' verdict: the largest stall category.
+
+    Retiring is excluded — being 'retiring-bound' means efficient, and
+    the paper's verdicts (front-end / memory / core bound) refer to the
+    dominant *inefficiency*.
+    """
+    shares = counters.breakdown()
+    stall_categories = [c for c in _ORDER if c is not CycleCategory.RETIRING]
+    return _LABEL[max(stall_categories, key=lambda c: shares[c])]
+
+
+def breakdown_table(title: str, rows: dict[str, HwCounters]) -> TextTable:
+    """One breakdown table: a row per (system, role) label."""
+    table = TextTable(title, ["who", "Retiring%", "FeB%", "BadS%", "MemB%", "CoreB%", "bound"])
+    for label in rows:
+        shares = breakdown_percentages(rows[label])
+        table.add_row(
+            label,
+            f"{shares['Retiring']:.1f}",
+            f"{shares['FeB']:.1f}",
+            f"{shares['BadS']:.1f}",
+            f"{shares['MemB']:.1f}",
+            f"{shares['CoreB']:.1f}",
+            dominant_category(rows[label]),
+        )
+    return table
+
+
+def table1_row(counters: HwCounters, elapsed_s: float) -> dict[str, float]:
+    """The Table 1 metrics for one system/role.
+
+    Cycle-derived columns use busy cycles (spin waits excluded): a PMU
+    sample attributes useful-work counters to the instructions actually
+    executing, and the paper's per-record figures are work figures.
+    """
+    return {
+        "ipc": counters.busy_ipc,
+        "instr_per_rec": counters.instructions_per_record,
+        "cyc_per_rec": counters.busy_cycles_per_record,
+        "l1d_miss_per_rec": counters.l1_misses_per_record,
+        "l2d_miss_per_rec": counters.l2_misses_per_record,
+        "llc_miss_per_rec": counters.llc_misses_per_record,
+        "mem_bw_bytes_per_s": counters.memory_bandwidth(elapsed_s),
+    }

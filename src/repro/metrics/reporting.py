@@ -1,0 +1,69 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these utilities keep that output aligned and parseable (each table
+renders with a title line, a header, and `|`-separated columns).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_si(value: float, unit: str = "", digits: int = 2) -> str:
+    """Format with SI magnitude suffix: ``2.04 G``, ``11.8 G`` etc."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for factor, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if magnitude >= factor:
+            return f"{value / factor:.{digits}f} {suffix}{unit}".strip()
+    return f"{value:.{digits}f} {unit}".strip()
+
+
+class TextTable:
+    """A fixed-column text table with a title."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> "TextTable":
+        """Append a row; cells are stringified."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table {self.title!r} has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([str(cell) for cell in cells])
+        return self
+
+    def render(self) -> str:
+        """Render title + header + rows with aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        separator = "-+-".join("-" * w for w in widths)
+        body = [line(self.headers), separator] + [line(row) for row in self.rows]
+        return "\n".join([f"== {self.title} =="] + body)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def series_block(title: str, x_label: str, series: dict[str, Iterable[tuple[Any, Any]]]) -> str:
+    """Render named (x, y) series, one line per point, grouped by name.
+
+    Mirrors a figure: each series is a curve, each line one plotted point.
+    """
+    lines = [f"== {title} =="]
+    for name in sorted(series):
+        for x, y in series[name]:
+            lines.append(f"{name:<12} {x_label}={x!s:<12} y={y}")
+    return "\n".join(lines)

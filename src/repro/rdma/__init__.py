@@ -1,0 +1,31 @@
+"""Simulated RDMA verbs: memory regions, queue pairs, completion queues.
+
+This package reproduces the *shape* of the InfiniBand verbs API on top of
+the :mod:`repro.simnet` substrate:
+
+* :class:`~repro.rdma.region.MemoryRegion` — registered, rkey-protected
+  memory that remote queue pairs can write into;
+* :class:`~repro.rdma.verbs.QueuePair` — a reliable connection endpoint
+  with one-sided ``post_write`` (RDMA WRITE) and two-sided
+  ``post_send``/``recv`` (SEND/RECV), plus per-QP completion queues and
+  selective signaling;
+* :class:`~repro.rdma.connection.ConnectionManager` — QP pairing and
+  registration bookkeeping per node pair.
+
+Payloads are Python objects tagged with an explicit byte size: the byte
+size drives all timing and bandwidth accounting, while the object rides
+along so engines exchange real data.
+"""
+
+from repro.rdma.region import MemoryRegion
+from repro.rdma.verbs import Completion, QueuePair, CompletionQueue, WorkKind
+from repro.rdma.connection import ConnectionManager
+
+__all__ = [
+    "MemoryRegion",
+    "QueuePair",
+    "CompletionQueue",
+    "Completion",
+    "WorkKind",
+    "ConnectionManager",
+]

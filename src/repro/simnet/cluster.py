@@ -1,0 +1,200 @@
+"""Simulated cluster hardware: cores, DRAM channels, NICs, links, switch.
+
+The contention model is intentionally simple and deterministic:
+
+* each **core** runs one engine worker (the paper pins threads to cores);
+* each node's **DRAM** is a shared bandwidth pipe — when the aggregate
+  cache-miss traffic of all workers exceeds the socket's sustainable
+  bandwidth, batches queue and the node becomes memory-bandwidth bound
+  (this is what caps Slash, Sec. 8.3.4);
+* each node's **NIC** has one transmit and one receive bandwidth pipe; a
+  message serialises on the sender's TX pipe, crosses the switch after a
+  propagation delay, then serialises on the receiver's RX pipe — so incast
+  (many senders, one receiver, as in hash re-partitioning) congests the
+  receive side, exactly the effect that hurts RDMA UpPar under skew.
+
+Bandwidth pipes are FIFO with O(1) bookkeeping: a transfer occupies the
+pipe from ``max(now, pipe_free_at)`` for ``overhead + bytes/bandwidth``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.common.config import ClusterConfig, NodeConfig
+from repro.common.errors import ConfigError, SimulationError
+from repro.simnet.cost_model import CostModel, OpCost
+from repro.simnet.counters import HwCounters
+from repro.simnet.kernel import AllOf, Process, Signal, Simulator, Timeout
+
+
+class BandwidthPipe:
+    """A FIFO resource that serialises byte transfers at a fixed rate."""
+
+    def __init__(self, sim: Simulator, bytes_per_s: float, name: str = ""):
+        if bytes_per_s <= 0:
+            raise ConfigError(f"pipe {name!r}: bandwidth must be positive")
+        self.sim = sim
+        self.bytes_per_s = bytes_per_s
+        self.name = name
+        self._free_at = 0.0
+        self.total_bytes = 0.0
+
+    def transfer(self, nbytes: float, overhead_s: float = 0.0) -> Signal:
+        """Enqueue a transfer; the returned signal fires when it completes."""
+        if nbytes < 0:
+            raise SimulationError(f"pipe {self.name!r}: negative transfer size")
+        start = max(self.sim.now, self._free_at)
+        finish = start + overhead_s + nbytes / self.bytes_per_s
+        self._free_at = finish
+        self.total_bytes += nbytes
+        done = Signal(name=f"{self.name}.xfer")
+        self.sim.call_in(finish - self.sim.now, done.fire, nbytes)
+        return done
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated time at which the pipe next becomes idle."""
+        return self._free_at
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` the pipe spent moving bytes."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.total_bytes / self.bytes_per_s / elapsed_s)
+
+
+class Core:
+    """One pinned hardware thread: executes priced operations, spins on waits."""
+
+    def __init__(self, node: "Node", index: int):
+        self.node = node
+        self.index = index
+        self.counters = HwCounters()
+
+    @property
+    def sim(self) -> Simulator:
+        return self.node.sim
+
+    def execute(self, cost: OpCost, count: float = 1.0) -> Generator[Any, Any, None]:
+        """Charge and spend the time for ``count`` instances of ``cost``.
+
+        The CPU time and the operation's DRAM traffic advance concurrently;
+        the step finishes when both are done, so a node whose workers
+        collectively overdraw the memory pipe slows down.
+        """
+        self.counters.charge(cost, count)
+        cpu_s = self.node.cost_model.seconds(cost, count)
+        self.counters.busy_seconds += cpu_s
+        mem_bytes = cost.mem_bytes * count
+        if mem_bytes > 0:
+            dram_done = self.node.dram.transfer(mem_bytes)
+            yield AllOf([Timeout(cpu_s), dram_done])
+        else:
+            yield Timeout(cpu_s)
+
+    def spin_wait(self, waitable: Any) -> Generator[Any, Any, Any]:
+        """Wait for ``waitable`` while busy-polling (``pause`` spinning).
+
+        The waited wall time is charged as core-bound cycles, which is how
+        the paper's 'receiver waits on sender / sender waits on network'
+        effects show up in the top-down breakdowns (Sec. 8.3.3).
+        """
+        started = self.sim.now
+        value = yield waitable
+        waited = self.sim.now - started
+        if waited > 0:
+            self.counters.charge_wait(waited * self.node.config.cpu.frequency_hz)
+        return value
+
+
+class Link:
+    """A unidirectional node-to-node path through the switch."""
+
+    def __init__(self, cluster: "Cluster", src: "Node", dst: "Node"):
+        self.cluster = cluster
+        self.src = src
+        self.dst = dst
+
+    def send(self, nbytes: float, overhead_s: Optional[float] = None) -> Process:
+        """Move ``nbytes`` from src to dst; the process ends on delivery.
+
+        ``overhead_s`` overrides the per-message NIC processing time
+        (callers model WQE-cache pressure by inflating it).
+        """
+        return self.cluster.sim.process(
+            self._send_proc(nbytes, overhead_s),
+            name=f"xfer:{self.src.index}->{self.dst.index}",
+        )
+
+    def _send_proc(self, nbytes: float, overhead_s: Optional[float]) -> Generator[Any, Any, float]:
+        nic = self.src.config.nic
+        overhead = nic.nic_processing_s if overhead_s is None else overhead_s
+        yield self.src.nic_tx.transfer(nbytes, overhead_s=overhead)
+        yield Timeout(nic.propagation_latency_s + self.cluster.config.switch_latency_s)
+        yield self.dst.nic_rx.transfer(nbytes)
+        return nbytes
+
+
+class Node:
+    """One server: cores, a DRAM pipe, and a NIC with TX/RX pipes."""
+
+    def __init__(self, cluster: "Cluster", index: int, config: NodeConfig):
+        self.cluster = cluster
+        self.index = index
+        self.config = config
+        self.sim = cluster.sim
+        self.cost_model = CostModel(config.cpu)
+        self.cores = [Core(self, i) for i in range(config.cpu.cores)]
+        self.dram = BandwidthPipe(
+            self.sim, config.cpu.dram_bandwidth_bytes_per_s, name=f"node{index}.dram"
+        )
+        self.nic_tx = BandwidthPipe(
+            self.sim, config.nic.bandwidth_bytes_per_s, name=f"node{index}.nic_tx"
+        )
+        self.nic_rx = BandwidthPipe(
+            self.sim, config.nic.bandwidth_bytes_per_s, name=f"node{index}.nic_rx"
+        )
+
+    def core(self, index: int) -> Core:
+        """Return core ``index`` on this node."""
+        return self.cores[index]
+
+    def counters(self) -> HwCounters:
+        """Aggregate counters over all cores on this node."""
+        total = HwCounters()
+        for core in self.cores:
+            total.merge(core.counters)
+        return total
+
+    def __repr__(self) -> str:
+        return f"Node({self.index}, cores={len(self.cores)})"
+
+
+class Cluster:
+    """The simulated rack: nodes behind one non-blocking switch."""
+
+    def __init__(self, sim: Simulator, config: Optional[ClusterConfig] = None):
+        self.sim = sim
+        self.config = config or ClusterConfig()
+        self.nodes = [Node(self, i, self.config.node) for i in range(self.config.nodes)]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> Node:
+        """Return node ``index``."""
+        return self.nodes[index]
+
+    def link(self, src: int, dst: int) -> Link:
+        """Return the (src → dst) path; src and dst must differ."""
+        if src == dst:
+            raise ConfigError(f"link endpoints must differ, got {src}->{dst}")
+        return Link(self, self.nodes[src], self.nodes[dst])
+
+    def counters(self) -> HwCounters:
+        """Aggregate counters across the whole cluster."""
+        total = HwCounters()
+        for node in self.nodes:
+            total.merge(node.counters())
+        return total

@@ -1,0 +1,391 @@
+"""A deterministic discrete-event simulation kernel.
+
+Processes are Python generators that ``yield`` *waitables*:
+
+* :class:`Timeout` — resume after a simulated delay;
+* :class:`Signal` — resume when the signal fires (carries a value);
+* :class:`Process` — resume when another process finishes (receives its
+  return value, or re-raises its exception);
+* :class:`AllOf` — resume when every child waitable has fired.
+
+Resources (:class:`Resource`) grant FIFO access to a shared facility (a NIC
+DMA engine, a memory channel); stores (:class:`Store`) are unbounded FIFO
+queues with blocking ``get``.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a run is
+a pure function of the initial state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Waitable:
+    """Anything a process can yield.  Subclasses implement ``_subscribe``."""
+
+    def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Resume the process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"cannot wait a negative delay: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        sim.call_in(self.delay, callback, self.value, None)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class Signal(Waitable):
+    """A one-shot event.  ``fire(value)`` wakes every waiter with ``value``.
+
+    Firing twice raises; waiting on an already-fired signal resumes
+    immediately with the stored value.  ``fail(exc)`` wakes waiters with an
+    exception instead.
+    """
+
+    __slots__ = ("_fired", "_value", "_exc", "_waiters", "name")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._waiters: list[Callable[[Any, Optional[BaseException]], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        """Whether the signal has already fired (or failed)."""
+        return self._fired
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking all current and future waiters."""
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(value, None)
+
+    def fail(self, exc: BaseException) -> None:
+        """Fail the signal: waiters receive ``exc`` instead of a value."""
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._exc = exc
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(None, exc)
+
+    def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        if self._fired:
+            sim.call_in(0.0, callback, self._value, self._exc)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:
+        state = "fired" if self._fired else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+class AllOf(Waitable):
+    """Fires when all child waitables have fired; value is their value list."""
+
+    def __init__(self, children: Iterable[Waitable]):
+        self.children = list(children)
+
+    def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        pending = len(self.children)
+        results: list[Any] = [None] * pending
+        if pending == 0:
+            sim.call_in(0.0, callback, [], None)
+            return
+        done = {"count": 0, "failed": False}
+
+        def make_child_callback(index: int) -> Callable[[Any, Optional[BaseException]], None]:
+            def child_done(value: Any, exc: Optional[BaseException]) -> None:
+                if done["failed"]:
+                    return
+                if exc is not None:
+                    done["failed"] = True
+                    callback(None, exc)
+                    return
+                results[index] = value
+                done["count"] += 1
+                if done["count"] == len(self.children):
+                    callback(results, None)
+
+            return child_done
+
+        for i, child in enumerate(self.children):
+            child._subscribe(sim, make_child_callback(i))
+
+
+class Process(Waitable):
+    """A running simulation process wrapping a generator.
+
+    The generator's ``return`` value becomes :attr:`value`; an uncaught
+    exception is stored and re-raised in any process that waits on this one
+    (and by :meth:`Simulator.run` if nobody does).
+    """
+
+    __slots__ = ("sim", "gen", "name", "_done", "_failure_observed")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(gen).__name__}; "
+                "did you forget a yield?"
+            )
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._done = Signal(name=f"{self.name}.done")
+        self._failure_observed = False
+        sim.call_in(0.0, self._step, None, None)
+
+    # -- public ----------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the process has run to completion (or raised)."""
+        return self._done.fired
+
+    @property
+    def value(self) -> Any:
+        """Return value of the process; raises if it failed or is running."""
+        if not self._done.fired:
+            raise SimulationError(f"process {self.name!r} still running")
+        if self._done._exc is not None:
+            raise self._done._exc
+        return self._done._value
+
+    def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        self._failure_observed = True
+        self._done._subscribe(sim, callback)
+
+    # -- stepping ----------------------------------------------------------
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                item = self.gen.throw(exc)
+            else:
+                item = self.gen.send(value)
+        except StopIteration as stop:
+            self._done.fire(stop.value)
+            return
+        except BaseException as failure:  # noqa: BLE001 - deliberate capture
+            self.sim._note_failure(self, failure)
+            self._done.fail(failure)
+            return
+        if not isinstance(item, Waitable):
+            self._step(None, SimulationError(
+                f"process {self.name!r} yielded {item!r}, expected a Waitable"
+            ))
+            return
+        item._subscribe(self.sim, self._step)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Resource:
+    """A FIFO shared resource with integer capacity (default 1).
+
+    Usage inside a process::
+
+        grant = yield resource.acquire()
+        ...   # hold the resource
+        resource.release()
+
+    ``acquire`` returns a :class:`Signal` that fires when the resource is
+    granted.  Releases wake waiters in FIFO order, which keeps the kernel
+    deterministic.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[Signal] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held units."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of processes waiting for a grant."""
+        return len(self._queue)
+
+    def acquire(self) -> Signal:
+        """Request one unit; returns a signal that fires on grant."""
+        grant = Signal(name=f"{self.name}.grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.fire(self)
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one unit, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of un-acquired resource {self.name!r}")
+        if self._queue:
+            grant = self._queue.popleft()
+            grant.fire(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO queue with blocking ``get`` and immediate ``put``."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Signal] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; hands it straight to a blocked getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Signal:
+        """Return a signal that fires with the next item (FIFO)."""
+        ticket = Signal(name=f"{self.name}.get")
+        if self._items:
+            ticket.fire(self._items.popleft())
+        else:
+            self._getters.append(ticket)
+        return ticket
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of callbacks."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._unobserved_failures: list[tuple[Process, BaseException]] = []
+        #: Optional repro.simnet.trace.Tracer; instrumented components
+        #: emit events here when attached.
+        self.tracer = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+    def call_in(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, lambda: callback(*args)))
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Launch a generator as a simulation process."""
+        return Process(self, gen, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Convenience constructor mirroring SimPy's ``env.timeout``."""
+        return Timeout(delay, value)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh one-shot signal."""
+        return Signal(name=name)
+
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        """Create a FIFO resource bound to this simulator."""
+        return Resource(self, capacity=capacity, name=name)
+
+    def store(self, name: str = "") -> Store:
+        """Create a FIFO store bound to this simulator."""
+        return Store(self, name=name)
+
+    # -- running -----------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the heap drains or simulated time passes ``until``.
+
+        Returns the final simulated time.  Re-raises the first exception of
+        any process that failed without being waited on, so errors never
+        pass silently.
+        """
+        while self._heap:
+            when, _seq, callback = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            callback()
+            self._raise_unobserved()
+        self._raise_unobserved()
+        return self._now
+
+    def run_until_process(self, proc: Process, limit: Optional[float] = None) -> Any:
+        """Run until ``proc`` finishes; return its value (or re-raise)."""
+        while not proc.finished:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: no pending events but process {proc.name!r} unfinished"
+                )
+            when, _seq, callback = heapq.heappop(self._heap)
+            if limit is not None and when > limit:
+                raise SimulationError(
+                    f"process {proc.name!r} exceeded time limit {limit}"
+                )
+            self._now = when
+            callback()
+        return proc.value
+
+    def _note_failure(self, proc: Process, exc: BaseException) -> None:
+        if not proc._failure_observed:
+            self._unobserved_failures.append((proc, exc))
+
+    def _raise_unobserved(self) -> None:
+        for proc, exc in self._unobserved_failures:
+            if proc._failure_observed:
+                continue
+            self._unobserved_failures = []
+            raise exc
+        self._unobserved_failures = []

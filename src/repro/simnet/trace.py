@@ -1,0 +1,101 @@
+"""Opt-in event tracing for simulation runs.
+
+Attach a :class:`Tracer` to a :class:`~repro.simnet.kernel.Simulator`
+(``sim.tracer = Tracer()``) and instrumented components emit timestamped
+events: channel sends/receives and credit stalls, epoch boundaries,
+delta merges, window triggers.  With no tracer attached the hooks cost a
+single attribute check.
+
+Typical debugging session::
+
+    sim.tracer = Tracer(categories={"epoch", "window"})
+    ... run ...
+    print(sim.tracer.render_timeline(limit=50))
+
+Events are bounded by ``capacity`` (oldest dropped first) so tracing a
+long run cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.units import fmt_time
+
+#: The categories instrumented components emit.
+KNOWN_CATEGORIES = ("channel", "epoch", "merge", "window", "custom")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    category: str
+    label: str
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"{fmt_time(self.time):>12}  [{self.category:<7}] {self.label} {extras}".rstrip()
+
+
+class Tracer:
+    """A bounded, filterable event recorder."""
+
+    def __init__(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        capacity: int = 100_000,
+    ):
+        if capacity <= 0:
+            raise ConfigError(f"tracer capacity must be positive, got {capacity}")
+        self.categories = set(categories) if categories is not None else None
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def wants(self, category: str) -> bool:
+        """Whether this tracer records ``category``."""
+        return self.categories is None or category in self.categories
+
+    def emit(self, time: float, category: str, label: str, **data: Any) -> None:
+        """Record one event (no-op if the category is filtered out)."""
+        if not self.wants(category):
+            return
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(TraceEvent(time, category, label, data))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, category: Optional[str] = None) -> list[TraceEvent]:
+        """Recorded events, optionally restricted to one category."""
+        if category is None:
+            return list(self._events)
+        return [event for event in self._events if event.category == category]
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        self._events.clear()
+        self.dropped = 0
+
+    def render_timeline(self, limit: Optional[int] = None, category: Optional[str] = None) -> str:
+        """A human-readable, time-ordered view of (the tail of) the trace."""
+        selected = self.events(category)
+        if limit is not None:
+            selected = selected[-limit:]
+        header = f"== trace: {len(selected)} events" + (
+            f" (+{self.dropped} dropped)" if self.dropped else ""
+        ) + " =="
+        return "\n".join([header] + [event.render() for event in selected])
+
+
+def trace(sim: Any, category: str, label: str, **data: Any) -> None:
+    """Emit into ``sim.tracer`` if one is attached (cheap no-op otherwise)."""
+    tracer = getattr(sim, "tracer", None)
+    if tracer is not None:
+        tracer.emit(sim.now, category, label, **data)

@@ -1,0 +1,218 @@
+"""Conflict-free replicated data types for window state (paper Sec. 5.1).
+
+Slash executors update the *same logical* key-value pair concurrently on
+different nodes; consistency comes from representing each value as a CRDT
+so that lazily-merged partial states converge to the value a sequential
+execution would have produced (property *P2*).
+
+Two families, exactly as the paper describes:
+
+* **non-holistic** window computations (aggregations) rely on the
+  commutativity and associativity of the aggregate — each node keeps a
+  partial aggregate and the merge combines them (e.g. the sum CRDT stores
+  partial sums and the final result is their sum);
+* **holistic** window computations (joins) rely on a join-semilattice
+  over sets with delta updates — each node appends the records it saw,
+  and the merge concatenates the disjoint partial sets.
+
+A CRDT here is a *strategy object*: state values in the store are plain
+Python payloads, and the CRDT supplies ``zero`` / ``update`` / ``merge``
+/ ``finish`` plus a byte-size estimate used to price delta shipping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.common.errors import StateError
+
+
+class Crdt:
+    """Base strategy: subclasses define the payload algebra.
+
+    Laws every subclass must satisfy (enforced by property tests):
+    ``merge`` is commutative and associative with identity ``zero()``, and
+    folding updates then merging in any grouping yields the same result as
+    a single sequential fold.
+    """
+
+    name = "abstract"
+    # Estimated serialized bytes of key + fixed-size payload, used to price
+    # epoch delta transfers.  Holistic CRDTs override value_bytes instead.
+    payload_bytes = 16
+
+    def zero(self) -> Any:
+        """The identity payload (a fresh, never-updated value)."""
+        raise NotImplementedError
+
+    def update(self, current: Any, value: Any) -> Any:
+        """Fold one stream value into a payload (the RMW of Sec. 7.1.1)."""
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Any:
+        """Combine two partial payloads (the lazy merge of Sec. 5.1)."""
+        raise NotImplementedError
+
+    def finish(self, payload: Any) -> Any:
+        """Turn a fully-merged payload into the query result value."""
+        return payload
+
+    def value_bytes(self, payload: Any) -> int:
+        """Serialized size of one payload, for network cost accounting."""
+        return self.payload_bytes
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SumCrdt(Crdt):
+    """Commutative sum; the paper's running example."""
+
+    name = "sum"
+
+    def zero(self) -> float:
+        return 0.0
+
+    def update(self, current: float, value: float) -> float:
+        return current + value
+
+    def merge(self, a: float, b: float) -> float:
+        return a + b
+
+
+class CountCrdt(Crdt):
+    """Occurrence counting (the YSB and RO aggregations)."""
+
+    name = "count"
+    payload_bytes = 16
+
+    def zero(self) -> int:
+        return 0
+
+    def update(self, current: int, value: Any) -> int:
+        # ``value`` may carry a pre-aggregated partial count from a
+        # vectorised batch update; plain records count as 1.
+        return current + (int(value) if isinstance(value, (int, float)) else 1)
+
+    def merge(self, a: int, b: int) -> int:
+        return a + b
+
+
+class MinCrdt(Crdt):
+    """Minimum; identity is +infinity."""
+
+    name = "min"
+
+    def zero(self) -> float:
+        return float("inf")
+
+    def update(self, current: float, value: float) -> float:
+        return value if value < current else current
+
+    def merge(self, a: float, b: float) -> float:
+        return a if a < b else b
+
+
+class MaxCrdt(Crdt):
+    """Maximum; identity is -infinity."""
+
+    name = "max"
+
+    def zero(self) -> float:
+        return float("-inf")
+
+    def update(self, current: float, value: float) -> float:
+        return value if value > current else current
+
+    def merge(self, a: float, b: float) -> float:
+        return a if a > b else b
+
+
+class AvgCrdt(Crdt):
+    """Arithmetic mean as a (sum, count) pair; finish divides.
+
+    This is the CM benchmark's aggregate (mean CPU utilisation per job).
+    ``update`` accepts either a scalar sample or a pre-aggregated
+    ``(sum, count)`` partial from a vectorised batch.
+    """
+
+    name = "avg"
+    payload_bytes = 24
+
+    def zero(self) -> tuple[float, int]:
+        return (0.0, 0)
+
+    def update(self, current: tuple[float, int], value: Any) -> tuple[float, int]:
+        total, count = current
+        if isinstance(value, tuple):
+            return (total + value[0], count + value[1])
+        return (total + float(value), count + 1)
+
+    def merge(self, a: tuple[float, int], b: tuple[float, int]) -> tuple[float, int]:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finish(self, payload: tuple[float, int]) -> float:
+        total, count = payload
+        if count == 0:
+            raise StateError("average of an empty window payload")
+        return total / count
+
+
+class AppendLogCrdt(Crdt):
+    """Holistic state: a grow-only list of records (join build sides).
+
+    The merge concatenates, which is the join-semilattice the paper cites
+    (Sec. 5.1): distributed executors append disjoint subsets, and the
+    lazy concatenation of all partial values with the same key is exactly
+    the set a sequential execution would have accumulated.  Result order
+    is normalised by ``finish`` so P2 comparisons are order-insensitive.
+    """
+
+    name = "append"
+
+    def __init__(self, record_bytes: int = 32):
+        self.record_bytes = record_bytes
+
+    def zero(self) -> list:
+        return []
+
+    def update(self, current: list, value: Any) -> list:
+        # ``value`` may be one record or a pre-grouped list from a batch.
+        if isinstance(value, list):
+            current.extend(value)
+        else:
+            current.append(value)
+        return current
+
+    def merge(self, a: list, b: list) -> list:
+        return a + b
+
+    def finish(self, payload: list) -> list:
+        return sorted(payload)
+
+    def value_bytes(self, payload: list) -> int:
+        return 8 + self.record_bytes * len(payload)
+
+
+_REGISTRY: dict[str, Crdt] = {
+    crdt.name: crdt
+    for crdt in (SumCrdt(), CountCrdt(), MinCrdt(), MaxCrdt(), AvgCrdt(), AppendLogCrdt())
+}
+
+
+def crdt_by_name(name: str) -> Crdt:
+    """Look up a shared CRDT strategy instance by its registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise StateError(
+            f"unknown CRDT {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def fold(crdt: Crdt, values: Iterable[Any]) -> Any:
+    """Sequentially fold ``values`` into a fresh payload (reference path)."""
+    payload = crdt.zero()
+    for value in values:
+        payload = crdt.update(payload, value)
+    return payload

@@ -1,0 +1,116 @@
+"""The epoch-based coherence protocol's bookkeeping (paper Sec. 7.2.2).
+
+An *epoch* is the span between two synchronisation points.  The paper
+ends an epoch every 64 MB of ingested data, and additionally a window
+trigger may end an epoch ahead of time.  At an epoch boundary every
+helper ships the delta of each shared partition to that partition's
+leader; the leader checks that epochs from one helper arrive densely (no
+skips — 'state updates cannot skip each other') before merging.
+
+:class:`EpochManager` is the helper-side trigger; :class:`EpochLedger`
+is the leader-side order validator; :class:`EpochDelta` is the message
+that travels (with the helper's watermark piggybacked, Sec. 7.2.2
+'Properties').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.common.config import DEFAULT_EPOCH_BYTES
+from repro.common.errors import StateError
+
+
+@dataclass(frozen=True)
+class EpochDelta:
+    """One helper-to-leader state transfer for one partition."""
+
+    operator_id: str
+    partition: int
+    from_executor: int
+    epoch: int
+    pairs: tuple[tuple[Hashable, Any], ...]
+    nbytes: int
+    watermark: float
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise StateError(f"negative epoch {self.epoch}")
+        if self.nbytes < 0:
+            raise StateError(f"negative delta size {self.nbytes}")
+
+
+class EpochManager:
+    """Decides when an executor's epoch ends (byte threshold or forced)."""
+
+    def __init__(self, epoch_bytes: int = DEFAULT_EPOCH_BYTES):
+        if epoch_bytes <= 0:
+            raise StateError(f"epoch_bytes must be positive, got {epoch_bytes}")
+        self.epoch_bytes = epoch_bytes
+        self._epoch = 0
+        self._ingested_since_boundary = 0
+
+    @property
+    def current_epoch(self) -> int:
+        """The epoch now being accumulated."""
+        return self._epoch
+
+    @property
+    def bytes_into_epoch(self) -> int:
+        """Data ingested since the last boundary."""
+        return self._ingested_since_boundary
+
+    def offer(self, nbytes: int) -> bool:
+        """Account ``nbytes`` of ingested data; True if the epoch ended.
+
+        When True, the caller must run the synchronisation phase and the
+        accumulator restarts for the next epoch.
+        """
+        if nbytes < 0:
+            raise StateError(f"negative ingest size {nbytes}")
+        self._ingested_since_boundary += nbytes
+        if self._ingested_since_boundary >= self.epoch_bytes:
+            self._advance()
+            return True
+        return False
+
+    def force(self) -> int:
+        """End the epoch ahead of time (window-trigger signal, Sec. 7.2.2).
+
+        Returns the epoch that just closed.
+        """
+        closed = self._epoch
+        self._advance()
+        return closed
+
+    def _advance(self) -> None:
+        self._epoch += 1
+        self._ingested_since_boundary = 0
+
+
+class EpochLedger:
+    """Leader-side validation that helper deltas arrive in dense order."""
+
+    def __init__(self):
+        self._last_seen: dict[tuple[str, int, int], int] = {}
+
+    def admit(self, delta: EpochDelta) -> None:
+        """Validate ordering for ``delta``; raises on skipped/replayed epochs."""
+        key = (delta.operator_id, delta.partition, delta.from_executor)
+        last = self._last_seen.get(key)
+        if last is not None and delta.epoch <= last:
+            raise StateError(
+                f"epoch replay from executor {delta.from_executor} on "
+                f"partition {delta.partition}: {delta.epoch} after {last}"
+            )
+        if last is not None and delta.epoch != last + 1:
+            raise StateError(
+                f"epoch skip from executor {delta.from_executor} on "
+                f"partition {delta.partition}: {delta.epoch} after {last}"
+            )
+        self._last_seen[key] = delta.epoch
+
+    def last_epoch(self, operator_id: str, partition: int, helper: int) -> int:
+        """Last admitted epoch for a (partition, helper) pair (-1 if none)."""
+        return self._last_seen.get((operator_id, partition, helper), -1)

@@ -1,0 +1,67 @@
+"""A FASTER-style hash index: key to log-address mapping (paper Sec. 7.2.1).
+
+The paper decouples indexing from storage: one hash index per partition
+points into one or more log-structured stores.  We keep the index honest
+to that contract — it maps keys to *log addresses* (integer positions),
+never to values — and track the statistics the cost model needs (size,
+lookups) so engines can price index probes against the cache model.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+from repro.common.errors import StateError
+
+# Bytes one index bucket entry occupies (FASTER: 8-byte atomic word per
+# entry plus tag bits; we include bucket overhead).
+INDEX_ENTRY_BYTES = 16
+
+
+class HashIndex:
+    """Maps keys to log addresses; addresses are opaque non-negative ints."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._slots: dict[Hashable, int] = {}
+        self.lookups = 0
+        self.inserts = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._slots
+
+    def get(self, key: Hashable) -> Optional[int]:
+        """Return the log address of ``key`` or None if absent."""
+        self.lookups += 1
+        return self._slots.get(key)
+
+    def put(self, key: Hashable, address: int) -> None:
+        """Point ``key`` at ``address`` (insert or move)."""
+        if address < 0:
+            raise StateError(f"index {self.name!r}: negative address {address}")
+        if key not in self._slots:
+            self.inserts += 1
+        self._slots[key] = address
+
+    def remove(self, key: Hashable) -> None:
+        """Drop ``key``; raising if it was never present."""
+        try:
+            del self._slots[key]
+        except KeyError:
+            raise StateError(f"index {self.name!r}: remove of absent key {key!r}") from None
+
+    def keys(self) -> Iterator[Hashable]:
+        """Iterate over the indexed keys (no defined order)."""
+        return iter(self._slots)
+
+    def clear(self) -> None:
+        """Empty the index (fragment reset after an epoch ship)."""
+        self._slots.clear()
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate resident size, for working-set cost estimates."""
+        return len(self._slots) * INDEX_ENTRY_BYTES

@@ -1,0 +1,228 @@
+"""Log-structured storage with a hybrid log (paper Sec. 7.2.1).
+
+The store follows FASTER's in-memory hybrid log, extended the way the
+paper extends it for distributed execution:
+
+* the log is an append-only sequence of entries with a **read-only
+  boundary**: entries at or beyond the boundary (the *mutable tail*) are
+  updated in place; an RMW that hits an entry below the boundary copies
+  the merged value to the tail and invalidates the old entry;
+* the region between the boundary and the tail is, by construction,
+  exactly the set of key-value pairs modified since the boundary was last
+  advanced — so a helper finds its **epoch delta** without any pointer
+  chasing (the temporal-locality argument of the paper's rationale);
+* :meth:`LogStructuredStore.ship_delta` returns that region and then
+  invalidates it and advances the boundary: after a ship, RMWs restart
+  from the CRDT's zero, which the paper notes is safe because leaders
+  merge the shipped partials;
+* the log **adaptively resizes**: when invalid entries dominate, the live
+  tail is compacted, modelling the paper's adaptive circular buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+from repro.common.errors import StateError
+from repro.state.crdt import Crdt
+from repro.state.hash_index import HashIndex
+
+# Fixed per-entry overhead (header + key) in serialized form.
+ENTRY_HEADER_BYTES = 8
+KEY_BYTES = 8
+
+
+@dataclass
+class LogEntry:
+    """One record in the log."""
+
+    key: Hashable
+    payload: Any
+    valid: bool = True
+
+
+class LogStructuredStore:
+    """A hash-indexed hybrid log holding one partition('s fragment)."""
+
+    def __init__(self, crdt: Crdt, name: str = "", compact_threshold: float = 0.5):
+        if not 0.0 < compact_threshold <= 1.0:
+            raise StateError(f"compact_threshold must be in (0, 1], got {compact_threshold}")
+        self.crdt = crdt
+        self.name = name
+        self.compact_threshold = compact_threshold
+        self.index = HashIndex(name=f"{name}.idx")
+        self._log: list[LogEntry] = []
+        self._readonly_boundary = 0
+        self._invalid = 0
+        self.compactions = 0
+
+    # -- sizes ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @property
+    def log_length(self) -> int:
+        """Total log positions, live or invalidated (pre-compaction)."""
+        return len(self._log)
+
+    @property
+    def readonly_boundary(self) -> int:
+        """First mutable log position (the hybrid-log split point)."""
+        return self._readonly_boundary
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate resident bytes of live entries plus the index."""
+        live = sum(
+            ENTRY_HEADER_BYTES + KEY_BYTES + self.crdt.value_bytes(entry.payload)
+            for entry in self._log
+            if entry.valid
+        )
+        return live + self.index.size_bytes
+
+    # -- point operations -------------------------------------------------------
+    def update(self, key: Hashable, value: Any) -> None:
+        """RMW: fold one stream value into the payload stored under ``key``."""
+        self._rmw(key, value, self.crdt.update)
+
+    def absorb(self, key: Hashable, partial: Any) -> None:
+        """Merge a pre-aggregated partial payload into ``key``.
+
+        Used both for vectorised batch updates (the batch's per-key
+        partial) and for leader-side merging of shipped fragment deltas.
+        """
+        self._rmw(key, partial, self.crdt.merge)
+
+    def _rmw(self, key: Hashable, value: Any, combine: Callable[[Any, Any], Any]) -> None:
+        address = self.index.get(key)
+        if address is None:
+            payload = combine(self.crdt.zero(), value)
+            self._append(key, payload)
+            return
+        entry = self._log[address]
+        if address >= self._readonly_boundary:
+            entry.payload = combine(entry.payload, value)
+            return
+        # Read-only region: copy-on-write to the mutable tail.
+        merged = combine(entry.payload, value)
+        entry.valid = False
+        self._invalid += 1
+        self._append(key, merged)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the live payload under ``key`` (None if absent)."""
+        address = self.index.get(key)
+        if address is None:
+            return None
+        return self._log[address].payload
+
+    def remove(self, key: Hashable) -> Any:
+        """Invalidate ``key`` and return its payload (window eviction)."""
+        address = self.index.get(key)
+        if address is None:
+            raise StateError(f"store {self.name!r}: remove of absent key {key!r}")
+        entry = self._log[address]
+        entry.valid = False
+        self._invalid += 1
+        self.index.remove(key)
+        self._maybe_compact()
+        return entry.payload
+
+    def replace(self, key: Hashable, payload: Any) -> None:
+        """Overwrite the payload under ``key`` (session-window rewrites)."""
+        address = self.index.get(key)
+        if address is None:
+            self._append(key, payload)
+            return
+        if address >= self._readonly_boundary:
+            self._log[address].payload = payload
+        else:
+            self._log[address].valid = False
+            self._invalid += 1
+            self._append(key, payload)
+
+    # -- scans --------------------------------------------------------------------
+    def scan(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate live ``(key, payload)`` pairs in log order.
+
+        Log order is what a range scan over the LSS would produce; the
+        paper's state backend must support such scans for window
+        post-processing (Sec. 7.1.1).
+        """
+        for entry in self._log:
+            if entry.valid:
+                yield entry.key, entry.payload
+
+    def keys_matching(self, predicate: Callable[[Hashable], bool]) -> list[Hashable]:
+        """Live keys satisfying ``predicate`` (e.g. 'belongs to window w')."""
+        return [entry.key for entry in self._log if entry.valid and predicate(entry.key)]
+
+    # -- epoch delta ------------------------------------------------------------------
+    def delta_pairs(self) -> list[tuple[Hashable, Any]]:
+        """Live pairs modified since the read-only boundary (no side effects)."""
+        return [
+            (entry.key, entry.payload)
+            for entry in self._log[self._readonly_boundary:]
+            if entry.valid
+        ]
+
+    def delta_bytes(self) -> int:
+        """Serialized size of the current delta (prices the RDMA transfer)."""
+        return sum(
+            ENTRY_HEADER_BYTES + KEY_BYTES + self.crdt.value_bytes(entry.payload)
+            for entry in self._log[self._readonly_boundary:]
+            if entry.valid
+        )
+
+    def mark_readonly(self) -> int:
+        """Advance the boundary to the tail (step 2 of the epoch protocol).
+
+        Freezes the current delta against concurrent CPU writes: further
+        RMWs copy-on-write to the tail.  Returns the frozen boundary.
+        """
+        frozen = self._readonly_boundary
+        self._readonly_boundary = len(self._log)
+        return frozen
+
+    def ship_delta(self) -> tuple[list[tuple[Hashable, Any]], int]:
+        """Extract and invalidate the epoch delta (steps 2-4 for helpers).
+
+        Returns ``(pairs, nbytes)``.  After shipping, the shipped keys are
+        dropped entirely — the next RMW restarts from the CRDT zero, which
+        is safe because the leader has merged the shipped partials
+        (paper, Sec. 7.2.2 'Properties').
+        """
+        pairs = self.delta_pairs()
+        nbytes = self.delta_bytes()
+        for address in range(self._readonly_boundary, len(self._log)):
+            entry = self._log[address]
+            if entry.valid:
+                entry.valid = False
+                self._invalid += 1
+                self.index.remove(entry.key)
+        self._readonly_boundary = len(self._log)
+        self._maybe_compact()
+        return pairs, nbytes
+
+    # -- maintenance -----------------------------------------------------------------------
+    def _append(self, key: Hashable, payload: Any) -> None:
+        self.index.put(key, len(self._log))
+        self._log.append(LogEntry(key, payload))
+
+    def _maybe_compact(self) -> None:
+        if not self._log:
+            return
+        if self._invalid / len(self._log) < self.compact_threshold:
+            return
+        live = [entry for entry in self._log if entry.valid]
+        boundary_live = sum(
+            1 for entry in self._log[: self._readonly_boundary] if entry.valid
+        )
+        self._log = live
+        self._invalid = 0
+        self._readonly_boundary = boundary_live
+        self.index.clear()
+        for address, entry in enumerate(self._log):
+            self.index.put(entry.key, address)
+        self.compactions += 1

@@ -1,0 +1,286 @@
+"""The Slash State Backend facade (paper Sec. 7).
+
+One :class:`SlashStateBackend` instance lives on each executor.  Engines
+obtain an :class:`OperatorStateHandle` per stateful operator and use it
+for the hot path:
+
+* ``update`` / ``absorb`` — per-record RMW or per-batch partial merge
+  into the fragment (or primary store) of the owning partition;
+* ``collect_deltas`` — at an epoch boundary, freeze and extract the delta
+  of every remote partition's fragment (the executor ships these over
+  RDMA channels; the SSB itself is transport-agnostic);
+* ``merge_delta`` — leader side: validate epoch order and fold a shipped
+  delta into the primary store, advancing the vector clock with the
+  piggybacked watermark;
+* ``extract_window`` / ``led_items`` — window triggering reads over the
+  partitions this executor leads.
+
+Consistency contract (property P2): for every key, the merge of the
+leader's primary payload with all shipped partials equals the sequential
+fold of all updates — guaranteed by the CRDT laws plus the epoch ledger's
+no-skip/no-replay validation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+from repro.common.errors import StateError
+from repro.state.crdt import Crdt
+from repro.state.epoch import EpochDelta, EpochLedger
+from repro.state.lss import LogStructuredStore
+from repro.state.partition import PartitionDirectory
+from repro.state.vector_clock import VectorClock, WatermarkTracker
+
+# Serialized overhead of a delta message even when it carries no pairs
+# (header, epoch number, piggybacked watermark).
+DELTA_HEADER_BYTES = 32
+
+
+class OperatorStateHandle:
+    """Per-operator state access on one executor."""
+
+    def __init__(
+        self,
+        backend: "SlashStateBackend",
+        operator_id: str,
+        crdt: Crdt,
+    ):
+        self.backend = backend
+        self.operator_id = operator_id
+        self.crdt = crdt
+        directory = backend.directory
+        self._stores = [
+            LogStructuredStore(crdt, name=f"{operator_id}.p{p}@e{backend.executor_id}")
+            for p in range(directory.executors)
+        ]
+        self._epochs_shipped = [0] * directory.executors
+
+    # -- hot path ----------------------------------------------------------
+    def store_for(self, partition: int) -> LogStructuredStore:
+        """The local store (fragment or primary) holding ``partition``."""
+        return self._stores[partition]
+
+    def partition_of(self, key: Hashable) -> int:
+        """Route a *state key* to its partition via its group component.
+
+        State keys are either bare group keys or ``(window_id, group_key)``
+        tuples; only the group component is hashed so that all windows of
+        one group share a leader.
+        """
+        group_key = key[1] if isinstance(key, tuple) else key
+        return self.backend.directory.partitioner(group_key)
+
+    def update(self, key: Hashable, value: Any) -> None:
+        """RMW one stream value into ``key``'s payload."""
+        self._stores[self.partition_of(key)].update(key, value)
+
+    def absorb(self, key: Hashable, partial: Any) -> None:
+        """Merge a pre-aggregated partial payload into ``key``."""
+        self._stores[self.partition_of(key)].absorb(key, partial)
+
+    def get_local(self, key: Hashable) -> Optional[Any]:
+        """Read ``key``'s payload from this executor's local store only."""
+        return self._stores[self.partition_of(key)].get(key)
+
+    # -- epoch synchronisation ------------------------------------------------
+    def collect_deltas(self) -> list[EpochDelta]:
+        """Freeze and extract this epoch's delta for every remote partition.
+
+        Steps 1-2 of the synchronisation phase (Fig. 5b): the fragments of
+        all partitions this executor does *not* lead are marked read-only,
+        drained, and reset.  An (empty) delta is produced even for clean
+        fragments so the leader still learns the helper's watermark and
+        the epoch sequence stays dense.
+        """
+        backend = self.backend
+        deltas = []
+        for partition in range(backend.directory.executors):
+            if backend.directory.is_leader(backend.executor_id, partition):
+                continue
+            store = self._stores[partition]
+            # ship_delta atomically freezes and drains the mutable region
+            # (the simulation analogue of mark-read-only + DMA + invalidate).
+            pairs, nbytes = store.ship_delta()
+            epoch = self._epochs_shipped[partition]
+            self._epochs_shipped[partition] += 1
+            deltas.append(
+                EpochDelta(
+                    operator_id=self.operator_id,
+                    partition=partition,
+                    from_executor=backend.executor_id,
+                    epoch=epoch,
+                    pairs=tuple(pairs),
+                    nbytes=nbytes + DELTA_HEADER_BYTES,
+                    watermark=backend.watermarks.watermark,
+                )
+            )
+        return deltas
+
+    def merge_delta(self, delta: EpochDelta) -> None:
+        """Leader side: validate and fold a shipped delta (step 4)."""
+        backend = self.backend
+        if delta.operator_id != self.operator_id:
+            raise StateError(
+                f"delta for operator {delta.operator_id!r} offered to "
+                f"{self.operator_id!r}"
+            )
+        if not backend.directory.is_leader(backend.executor_id, delta.partition):
+            raise StateError(
+                f"executor {backend.executor_id} is not the leader of "
+                f"partition {delta.partition}"
+            )
+        backend.ledger.admit(delta)
+        store = self._stores[delta.partition]
+        for key, partial in delta.pairs:
+            store.absorb(key, partial)
+        backend.clock.advance(delta.from_executor, delta.watermark)
+
+    # -- trigger-time reads ----------------------------------------------------------
+    def extract_window(self, window_id: Hashable) -> dict[Hashable, Any]:
+        """Pop all pairs of ``window_id`` from the partitions led here.
+
+        Returns ``{group_key: payload}``; the payloads are removed from
+        the store (the window is finished).  Only state keys of the form
+        ``(window_id, group_key)`` participate.
+        """
+        results: dict[Hashable, Any] = {}
+        for partition in self.backend.directory.partitions_led_by(self.backend.executor_id):
+            store = self._stores[partition]
+            matching = store.keys_matching(
+                lambda key: isinstance(key, tuple) and key[0] == window_id
+            )
+            for key in matching:
+                results[key[1]] = store.remove(key)
+        return results
+
+    def led_items(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate the live pairs of every partition this executor leads."""
+        for partition in self.backend.directory.partitions_led_by(self.backend.executor_id):
+            yield from self._stores[partition].scan()
+
+    def replace_led(self, key: Hashable, payload: Any) -> None:
+        """Overwrite a payload in a led partition (session-window rewrite)."""
+        partition = self.partition_of(key)
+        if not self.backend.directory.is_leader(self.backend.executor_id, partition):
+            raise StateError(f"key {key!r} is not led by this executor")
+        self._stores[partition].replace(key, payload)
+
+    def remove_led(self, key: Hashable) -> Any:
+        """Remove a payload from a led partition."""
+        partition = self.partition_of(key)
+        if not self.backend.directory.is_leader(self.backend.executor_id, partition):
+            raise StateError(f"key {key!r} is not led by this executor")
+        return self._stores[partition].remove(key)
+
+    # -- sizing ------------------------------------------------------------------------------
+    def fragment_bytes(self) -> int:
+        """Resident bytes across every local store of this operator."""
+        return sum(store.size_bytes for store in self._stores)
+
+    def working_set_bytes(self) -> int:
+        """The hot set a per-record RMW touches, for the cache model."""
+        return self.fragment_bytes()
+
+
+class SlashStateBackend:
+    """All operator state of one executor, plus progress tracking."""
+
+    def __init__(self, executor_id: int, directory: PartitionDirectory):
+        if not 0 <= executor_id < directory.executors:
+            raise StateError(
+                f"executor id {executor_id} out of range for "
+                f"{directory.executors} executors"
+            )
+        self.executor_id = executor_id
+        self.directory = directory
+        self.watermarks = WatermarkTracker(executor_id)
+        self.clock = VectorClock(range(directory.executors))
+        self.ledger = EpochLedger()
+        self._handles: dict[str, OperatorStateHandle] = {}
+
+    def handle(self, operator_id: str, crdt: Crdt) -> OperatorStateHandle:
+        """Get or create the state handle for ``operator_id``."""
+        existing = self._handles.get(operator_id)
+        if existing is not None:
+            if existing.crdt is not crdt and type(existing.crdt) is not type(crdt):
+                raise StateError(
+                    f"operator {operator_id!r} re-registered with a different CRDT"
+                )
+            return existing
+        handle = OperatorStateHandle(self, operator_id, crdt)
+        self._handles[operator_id] = handle
+        return handle
+
+    def handles(self) -> list[OperatorStateHandle]:
+        """All registered handles."""
+        return list(self._handles.values())
+
+    def observe_watermark(self, timestamp: float) -> None:
+        """Advance both the local watermark and this executor's clock entry."""
+        self.watermarks.observe(timestamp)
+        self.clock.advance(self.executor_id, self.watermarks.watermark)
+
+    def total_state_bytes(self) -> int:
+        """Resident state bytes across all operators on this executor."""
+        return sum(handle.fragment_bytes() for handle in self._handles.values())
+
+    # -- epoch-aligned snapshots -------------------------------------------
+    def snapshot(self) -> dict:
+        """A consistent, self-contained snapshot of this executor's state.
+
+        Epochs are the classic synchronisation point for checkpointing
+        (the paper cites Chandy-Lamport-style epoch algorithms in
+        Sec. 7.2.2); taken right after ``collect_deltas`` — when every
+        fragment has just been drained — a leader-side snapshot of the
+        primary partitions is a consistent checkpoint of the operator.
+
+        The snapshot contains plain Python data (deep-copied payloads),
+        so later mutation of the live stores cannot leak into it.
+        """
+        import copy
+
+        return {
+            "executor_id": self.executor_id,
+            "watermark": self.watermarks.watermark,
+            "clock": self.clock.snapshot(),
+            "operators": {
+                operator_id: {
+                    partition: copy.deepcopy(
+                        list(handle.store_for(partition).scan())
+                    )
+                    for partition in range(self.directory.executors)
+                }
+                for operator_id, handle in self._handles.items()
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rebuild state from :meth:`snapshot` (registered handles only).
+
+        Every operator in the snapshot must already be registered (the
+        CRDT strategy is code, not data, and is not serialized).  The
+        restored payloads *replace* current store contents.
+        """
+        import copy
+
+        if snapshot["executor_id"] != self.executor_id:
+            raise StateError(
+                f"snapshot of executor {snapshot['executor_id']} offered to "
+                f"executor {self.executor_id}"
+            )
+        for operator_id, partitions in snapshot["operators"].items():
+            handle = self._handles.get(operator_id)
+            if handle is None:
+                raise StateError(
+                    f"snapshot contains unregistered operator {operator_id!r}"
+                )
+            for partition, pairs in partitions.items():
+                store = handle.store_for(partition)
+                for key in list(store.index.keys()):
+                    store.remove(key)
+                for key, payload in pairs:
+                    store.absorb(key, copy.deepcopy(payload))
+        for executor_id, watermark in snapshot["clock"].items():
+            self.clock.advance(executor_id, watermark)
+        self.watermarks.observe(snapshot["watermark"])

@@ -1,0 +1,89 @@
+"""The workload protocol shared by every benchmark generator.
+
+A :class:`Workload` couples a query with a deterministic data generator.
+``flows(nodes, threads_per_node)`` returns, for every worker, the
+event-time-ordered list of ``(stream_name, RecordBatch)`` items that
+worker ingests — the weak-scaling shape of the paper's end-to-end
+methodology (each thread processes its own fixed-size partition;
+partitions are non-disjoint in keys, Sec. 8.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngTree
+from repro.core.query import Query
+from repro.core.records import RecordBatch, Schema
+
+Flow = list[tuple[str, RecordBatch]]
+
+
+class Workload:
+    """Base class: subclasses implement ``build_query`` and ``_flow``."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        records_per_thread: int = 4096,
+        batch_records: int = 512,
+        seed: int = 7,
+        span_ms: int | None = None,
+    ):
+        if records_per_thread <= 0:
+            raise ConfigError("records_per_thread must be positive")
+        if batch_records <= 0:
+            raise ConfigError("batch_records must be positive")
+        self.records_per_thread = records_per_thread
+        self.batch_records = batch_records
+        self.rng = RngTree(seed).child(self.name)
+        self._span_ms = span_ms
+
+    # -- to implement -------------------------------------------------------
+    def build_query(self) -> Query:
+        """The streaming query this workload executes."""
+        raise NotImplementedError
+
+    @property
+    def default_span_ms(self) -> int:
+        """Event-time span every flow covers (aligns windows cluster-wide)."""
+        raise NotImplementedError
+
+    def _flow(self, node: int, thread: int) -> Flow:
+        """Generate one worker's flow."""
+        raise NotImplementedError
+
+    # -- provided --------------------------------------------------------------
+    @property
+    def span_ms(self) -> int:
+        return self._span_ms if self._span_ms is not None else self.default_span_ms
+
+    def flows(self, nodes: int, threads_per_node: int) -> dict[tuple[int, int], Flow]:
+        """All workers' flows for an ``nodes x threads_per_node`` deployment."""
+        if nodes <= 0 or threads_per_node <= 0:
+            raise ConfigError("nodes and threads_per_node must be positive")
+        return {
+            (node, thread): self._flow(node, thread)
+            for node in range(nodes)
+            for thread in range(threads_per_node)
+        }
+
+    def total_records(self, nodes: int, threads_per_node: int) -> int:
+        """Source records across the whole deployment (weak scaling)."""
+        return nodes * threads_per_node * self.records_per_thread
+
+    # -- helpers for subclasses ----------------------------------------------------
+    def _generator(self, *names) -> np.random.Generator:
+        return self.rng.generator(*names)
+
+    def _batches(self, schema: Schema, stream: str, **columns: np.ndarray) -> Iterator[tuple[str, RecordBatch]]:
+        """Cut column arrays into (stream, batch) items of batch_records."""
+        total = len(next(iter(columns.values())))
+        for start in range(0, total, self.batch_records):
+            end = min(start + self.batch_records, total)
+            sliced = {name: col[start:end] for name, col in columns.items()}
+            yield stream, schema.batch_from_columns(**sliced)

@@ -1,0 +1,129 @@
+"""Key distributions and timestamp synthesis for workload generators.
+
+The paper's workloads draw partitioning keys from three families:
+uniform (YSB, RO), Zipf with tunable skew ``z`` (the Fig. 8d skew sweep),
+and Pareto with a heavy tail (the NB7 bid stream).  Timestamps are
+strictly monotonically increasing per flow, per the paper's data model
+(Sec. 2.2), which is what makes per-flow maxima valid low watermarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+def monotone_timestamps(count: int, span_ms: int, rng: np.random.Generator) -> np.ndarray:
+    """``count`` strictly increasing int64 timestamps covering ``span_ms``.
+
+    Random positive inter-arrival gaps are drawn and rescaled so the flow
+    spans exactly ``[0, span_ms)``; strict monotonicity requires
+    ``span_ms >= count``.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    if span_ms < count:
+        raise ConfigError(
+            f"span of {span_ms} ms cannot hold {count} strictly increasing "
+            "millisecond timestamps"
+        )
+    gaps = rng.exponential(1.0, size=count)
+    positions = np.cumsum(gaps)
+    scaled = (positions - positions[0]) / (positions[-1] - positions[0] + 1e-12)
+    timestamps = np.floor(scaled * (span_ms - count)).astype(np.int64)
+    # Adding the index guarantees strictness even after flooring.
+    return timestamps + np.arange(count, dtype=np.int64)
+
+
+def uniform_keys(count: int, key_range: int, rng: np.random.Generator) -> np.ndarray:
+    """Keys drawn uniformly from ``[0, key_range)``."""
+    if key_range <= 0:
+        raise ConfigError(f"key_range must be positive, got {key_range}")
+    return rng.integers(0, key_range, size=count, dtype=np.int64)
+
+
+def zipf_keys(
+    count: int,
+    key_range: int,
+    z: float,
+    rng: np.random.Generator,
+    mapping_rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Keys from a Zipf(z) distribution over ``[0, key_range)``.
+
+    ``z = 0`` degenerates to uniform; larger ``z`` concentrates mass on
+    few hot keys (the Fig. 8d sweep uses z = 0.2 ... 2.0).  Implemented by
+    inverse-CDF sampling over the truncated Zipf probability vector, with
+    the rank-to-key mapping shuffled so hot keys do not cluster at 0 (and
+    therefore do not all hash to one partition by accident).
+
+    ``mapping_rng`` derives the rank-to-key shuffle.  It must be the
+    *same* stream for every flow of one workload: skew is a global
+    property — all producers share the same hot keys, which is exactly
+    what overloads one hash-partitioned consumer (Fig. 8d).  Defaults to
+    a fixed-seed generator.
+    """
+    if key_range <= 0:
+        raise ConfigError(f"key_range must be positive, got {key_range}")
+    if z < 0:
+        raise ConfigError(f"zipf exponent must be >= 0, got {z}")
+    if z == 0:
+        return uniform_keys(count, key_range, rng)
+    # Truncate the support: beyond ~1M ranks the tail mass is negligible
+    # and the probability vector would dominate memory.
+    support = min(key_range, 1_000_000)
+    ranks = np.arange(1, support + 1, dtype=np.float64)
+    weights = ranks ** -z
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    draws = rng.random(count)
+    sampled_ranks = np.searchsorted(cdf, draws, side="left")
+    # Permute ranks onto the key space deterministically and globally.
+    if mapping_rng is None:
+        mapping_rng = np.random.default_rng(0x5EED)
+    mapping = mapping_rng.permutation(support)
+    return mapping[sampled_ranks].astype(np.int64)
+
+
+def pareto_keys(
+    count: int,
+    key_range: int,
+    rng: np.random.Generator,
+    shape: float = 1.16,
+) -> np.ndarray:
+    """Heavy-tailed keys (Pareto), as the NB7 bid stream specifies.
+
+    ``shape ~ 1.16`` is the classic 80/20 Pareto; smaller values are more
+    skewed.  Values are folded into ``[0, key_range)``.
+    """
+    if key_range <= 0:
+        raise ConfigError(f"key_range must be positive, got {key_range}")
+    if shape <= 0:
+        raise ConfigError(f"pareto shape must be positive, got {shape}")
+    raw = rng.pareto(shape, size=count)
+    scaled = np.floor(raw / (raw.max() + 1e-12) * (key_range - 1)).astype(np.int64)
+    return scaled
+
+
+def distinct_fraction(keys: np.ndarray) -> float:
+    """Share of distinct keys in a sample (a cheap skew observable)."""
+    if len(keys) == 0:
+        return 0.0
+    return len(np.unique(keys)) / len(keys)
+
+
+def effective_working_set_keys(keys: np.ndarray, coverage: float = 0.9) -> int:
+    """Number of hot keys covering ``coverage`` of the accesses.
+
+    Used by cost calibration: under skew, the effective working set that
+    must stay cache-resident shrinks far below the distinct-key count.
+    """
+    if len(keys) == 0:
+        return 0
+    _values, counts = np.unique(keys, return_counts=True)
+    ordered = np.sort(counts)[::-1]
+    cumulative = np.cumsum(ordered) / len(keys)
+    return int(np.searchsorted(cumulative, coverage) + 1)

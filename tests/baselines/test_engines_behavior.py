@@ -1,0 +1,125 @@
+"""Behavioural tests on the engines: the paper's qualitative stories.
+
+These are integration-level assertions on *performance observables*
+(simulated time, counters), not correctness — correctness is covered by
+tests/integration/test_engines_match_reference.py.
+"""
+
+import pytest
+
+from repro.baselines.flink import FlinkEngine
+from repro.baselines.lightsaber import LightSaberEngine
+from repro.baselines.uppar import UpParEngine
+from repro.common.config import paper_cluster
+from repro.common.errors import ConfigError
+from repro.core.engine import SlashEngine
+from repro.workloads.ysb import YsbWorkload
+
+
+def run(engine, nodes=2, threads=4, **workload_kwargs):
+    defaults = {"records_per_thread": 2000, "key_range": 10_000, "batch_records": 400}
+    defaults.update(workload_kwargs)
+    workload = YsbWorkload(**defaults)
+    flows = workload.flows(nodes, threads)
+    return engine.run(workload.build_query(), flows)
+
+
+class TestOrdering:
+    def test_slash_fastest_flink_slowest(self):
+        slash = run(SlashEngine(epoch_bytes=64 * 1024))
+        uppar = run(UpParEngine())
+        flink = run(FlinkEngine())
+        assert (
+            slash.throughput_records_per_s
+            > uppar.throughput_records_per_s
+            > flink.throughput_records_per_s
+        )
+
+    def test_slash_weak_scaling_roughly_linear(self):
+        two = run(SlashEngine(epoch_bytes=64 * 1024), nodes=2)
+        eight = run(SlashEngine(epoch_bytes=64 * 1024), nodes=8)
+        per_node_2 = two.throughput_records_per_s / 2
+        per_node_8 = eight.throughput_records_per_s / 8
+        assert per_node_8 > 0.6 * per_node_2
+
+    def test_lightsaber_single_node_competitive(self):
+        """Fig. 7's premise: on ONE node, scale-up is in the same league
+        as (or better than) one node's worth of Slash."""
+        ls = run(LightSaberEngine(), nodes=1, threads=4)
+        slash2 = run(SlashEngine(epoch_bytes=64 * 1024), nodes=2, threads=4)
+        assert ls.throughput_records_per_s > 0.3 * slash2.throughput_records_per_s
+
+
+class TestUpParConstraints:
+    def test_needs_two_threads(self):
+        with pytest.raises(ConfigError, match="2 threads"):
+            run(UpParEngine(), threads=1)
+
+    def test_counters_split_by_role(self):
+        result = run(UpParEngine())
+        senders = result.extra["sender_counters"]
+        receivers = result.extra["receiver_counters"]
+        assert senders.records > 0
+        assert receivers.records > 0
+        assert senders.network_bytes > 0
+
+
+class TestLightSaberConstraints:
+    def test_rejects_multi_node_flows(self):
+        with pytest.raises(ConfigError, match="single-node"):
+            run(LightSaberEngine(), nodes=2)
+
+    def test_rejects_more_threads_than_cores(self):
+        workload = YsbWorkload(records_per_thread=100, key_range=10, batch_records=50)
+        flows = workload.flows(1, 11)
+        with pytest.raises(ConfigError, match="cores"):
+            LightSaberEngine().run(workload.build_query(), flows)
+
+    def test_task_queue_contention_hurts_scaling(self):
+        """The shared task queue makes per-thread efficiency drop."""
+        one = run(LightSaberEngine(), nodes=1, threads=1)
+        ten = run(LightSaberEngine(), nodes=1, threads=10)
+        per_thread_1 = one.throughput_records_per_s
+        per_thread_10 = ten.throughput_records_per_s / 10
+        assert per_thread_10 < per_thread_1
+
+
+class TestSlashInternalsObservable:
+    def test_channel_count_matches_paper(self):
+        """Sec. 7.2.2: n^2 channels for state synchronisation."""
+        result = run(SlashEngine(epoch_bytes=64 * 1024), nodes=4)
+        # One reliable connection per ordered pair: n*(n-1).
+        assert result.extra["connections"] == 4 * 3
+
+    def test_state_drained_after_run(self):
+        """All windows trigger at EOS, so no state should linger."""
+        result = run(SlashEngine(epoch_bytes=64 * 1024))
+        assert result.extra["state_bytes"] == 0
+
+    def test_deterministic_across_runs(self):
+        a = run(SlashEngine(epoch_bytes=64 * 1024))
+        b = run(SlashEngine(epoch_bytes=64 * 1024))
+        assert a.sim_seconds == b.sim_seconds
+        assert a.aggregates == b.aggregates
+        assert a.counters.total_cycles == b.counters.total_cycles
+
+    def test_per_node_counters_cover_cluster(self):
+        result = run(SlashEngine(epoch_bytes=64 * 1024), nodes=3)
+        assert len(result.per_node_counters) == 3
+        total = sum(c.instructions for c in result.per_node_counters)
+        assert total == pytest.approx(result.counters.instructions)
+
+
+class TestFlinkSpecifics:
+    def test_serde_charged_per_record(self):
+        """Flink pays serialization; UpPar does not."""
+        flink = run(FlinkEngine())
+        uppar = run(UpParEngine())
+        flink_instr = flink.counters.instructions / flink.input_records
+        uppar_instr = uppar.counters.instructions / uppar.input_records
+        assert flink_instr > 2 * uppar_instr
+
+    def test_larger_cluster_config_honoured(self):
+        engine = FlinkEngine(cluster_config=paper_cluster(2))
+        with pytest.raises(ConfigError, match="cluster"):
+            run(engine, nodes=4)

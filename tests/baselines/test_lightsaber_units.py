@@ -1,0 +1,55 @@
+"""Unit-level tests for the LightSaber-like scale-up engine."""
+
+import math
+
+import pytest
+
+from repro.baselines.lightsaber import LightSaberEngine
+from repro.baselines.reference import SequentialReference
+from repro.workloads.cluster_monitoring import ClusterMonitoringWorkload
+from repro.workloads.nexmark import Nexmark7Workload
+from repro.workloads.ysb import YsbWorkload
+
+
+def run(workload, threads=4):
+    flows = workload.flows(1, threads)
+    expected = SequentialReference().run(workload.build_query(), flows)
+    result = LightSaberEngine().run(workload.build_query(), flows)
+    assert set(result.aggregates) == set(expected.aggregates)
+    for key, value in expected.aggregates.items():
+        assert math.isclose(result.aggregates[key], value, rel_tol=1e-9)
+    return result
+
+
+def test_ysb_correct():
+    run(YsbWorkload(records_per_thread=900, key_range=80, batch_records=150))
+
+
+def test_cm_avg_correct():
+    run(ClusterMonitoringWorkload(records_per_thread=900, jobs=60, batch_records=150))
+
+
+def test_nb7_max_correct():
+    run(Nexmark7Workload(records_per_thread=900, key_range=60, batch_records=150))
+
+
+def test_mid_run_windows_fire_before_eos():
+    """Worker 0 merges due windows while flows are still running, so
+    triggering is not all deferred to the finalizer."""
+    workload = YsbWorkload(
+        records_per_thread=3000, key_range=30, batch_records=200, windows=8
+    )
+    result = run(workload, threads=2)
+    windows = {win for win, _key in result.aggregates}
+    assert len(windows) >= 6
+
+
+def test_counters_accumulated():
+    result = run(YsbWorkload(records_per_thread=600, key_range=40, batch_records=150))
+    assert result.counters.instructions > 0
+    assert result.counters.records > 0
+    assert len(result.per_node_counters) == 1
+
+
+def test_single_thread_runs():
+    run(YsbWorkload(records_per_thread=600, key_range=40, batch_records=150), threads=1)

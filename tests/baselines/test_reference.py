@@ -1,0 +1,50 @@
+"""Tests for the sequential reference executor."""
+
+import pytest
+
+from repro.baselines.reference import SequentialReference
+from repro.workloads.readonly import ReadOnlyWorkload
+from repro.workloads.ysb import YsbWorkload
+from repro.workloads.nexmark import Nexmark8Workload
+
+
+def test_counts_match_manual_fold():
+    workload = ReadOnlyWorkload(records_per_thread=500, key_range=20)
+    flows = workload.flows(1, 2)
+    output = SequentialReference().run(workload.build_query(), flows)
+    manual = {}
+    for flow in flows.values():
+        for _stream, batch in flow:
+            for key in batch.keys:
+                manual[int(key)] = manual.get(int(key), 0) + 1
+    assert {key: v for (_win, key), v in output.aggregates.items()} == manual
+    assert output.records == 1000
+
+
+def test_filter_applied():
+    workload = YsbWorkload(records_per_thread=900, key_range=10)
+    flows = workload.flows(1, 1)
+    output = SequentialReference().run(workload.build_query(), flows)
+    total_counted = sum(output.aggregates.values())
+    assert 0 < total_counted < 900  # only 'view' events survive
+
+
+def test_join_pairs_sorted_and_consistent():
+    workload = Nexmark8Workload(records_per_thread=300, sellers=10)
+    flows = workload.flows(1, 1)
+    output = SequentialReference().run(workload.build_query(), flows)
+    assert output.join_pairs == sorted(output.join_pairs)
+    assert len(output.join_pairs) > 0
+    # Every pair joins on the key recorded in the tuple.
+    for _win, key, left, right in output.join_pairs:
+        assert left[1] == key  # key field position per schema
+        assert right[1] == key
+
+
+def test_order_of_flows_is_irrelevant():
+    workload = ReadOnlyWorkload(records_per_thread=400, key_range=50)
+    flows = workload.flows(1, 3)
+    reversed_flows = dict(reversed(list(flows.items())))
+    a = SequentialReference().run(workload.build_query(), flows)
+    b = SequentialReference().run(workload.build_query(), reversed_flows)
+    assert a.aggregates == b.aggregates

@@ -1,0 +1,85 @@
+"""Tests for the two-node drill-down transfer benches."""
+
+import pytest
+
+from repro.baselines.transfer import SlashTransferBench, UpParTransferBench
+from repro.common.errors import ConfigError
+from repro.workloads.readonly import ReadOnlyWorkload
+from repro.workloads.ysb import YsbWorkload
+
+RO = lambda n=8000: ReadOnlyWorkload(records_per_thread=n, key_range=2000, batch_records=2000)
+
+
+class TestSlashTransfer:
+    def test_counts_are_correct(self):
+        workload = ReadOnlyWorkload(records_per_thread=2000, key_range=100, batch_records=500)
+        result = SlashTransferBench(threads=2).run(workload)
+        assert result.records == 4000
+        assert sum(v for v in result.state.values()) == 4000
+
+    def test_throughput_below_link_rate(self):
+        result = SlashTransferBench(threads=2).run(RO())
+        assert 0 < result.throughput_bytes_per_s <= 11.8e9
+
+    def test_more_threads_more_throughput_until_saturation(self):
+        one = SlashTransferBench(threads=1).run(RO())
+        four = SlashTransferBench(threads=4).run(RO())
+        assert four.throughput_bytes_per_s > one.throughput_bytes_per_s
+
+    def test_larger_buffers_higher_latency(self):
+        small = SlashTransferBench(threads=2, buffer_bytes=8 * 1024).run(RO(4000))
+        large = SlashTransferBench(threads=2, buffer_bytes=512 * 1024).run(RO(16000))
+        assert large.mean_latency_s > small.mean_latency_s
+
+    def test_counters_populated(self):
+        result = SlashTransferBench(threads=2).run(RO(4000))
+        assert result.sender_counters.total_cycles > 0
+        assert result.receiver_counters.records > 0
+
+    def test_signaled_writes_cost_more_cpu(self):
+        plain = SlashTransferBench(threads=1, buffer_bytes=8192).run(RO(4000))
+        signaled = SlashTransferBench(
+            threads=1, buffer_bytes=8192, signal_writes=True
+        ).run(RO(4000))
+        assert (
+            signaled.sender_counters.total_cycles > plain.sender_counters.total_cycles
+        )
+
+
+class TestUpParTransfer:
+    def test_counts_are_correct(self):
+        workload = ReadOnlyWorkload(records_per_thread=2000, key_range=100, batch_records=500)
+        result = UpParTransferBench(threads=2).run(workload)
+        assert sum(result.state.values()) == 4000
+
+    def test_slower_than_slash_at_low_parallelism(self):
+        workload = RO()
+        slash = SlashTransferBench(threads=2).run(workload)
+        uppar = UpParTransferBench(threads=2).run(workload)
+        assert uppar.throughput_bytes_per_s < slash.throughput_bytes_per_s
+
+    def test_ysb_state_matches_between_shapes(self):
+        """Both shapes compute identical YSB window counts."""
+        workload = YsbWorkload(records_per_thread=1500, key_range=100, batch_records=300)
+        slash = SlashTransferBench(threads=2).run(workload)
+        uppar = UpParTransferBench(threads=2).run(workload)
+        assert slash.state == uppar.state
+
+    def test_skew_degrades_uppar_but_not_slash(self):
+        """Fig. 8d: skewed keys collapse the hash-partitioned shape
+        (one consumer owns the hot keys) but leave Slash flat."""
+        uniform = ReadOnlyWorkload(records_per_thread=8000, key_range=100_000, batch_records=2000)
+        skewed = ReadOnlyWorkload(
+            records_per_thread=8000, key_range=100_000, zipf_z=2.0, batch_records=2000
+        )
+        uppar_uniform = UpParTransferBench(threads=8).run(uniform)
+        uppar_skewed = UpParTransferBench(threads=8).run(skewed)
+        slash_uniform = SlashTransferBench(threads=8).run(uniform)
+        slash_skewed = SlashTransferBench(threads=8).run(skewed)
+        assert uppar_skewed.throughput_bytes_per_s < 0.8 * uppar_uniform.throughput_bytes_per_s
+        slash_ratio = slash_skewed.throughput_bytes_per_s / slash_uniform.throughput_bytes_per_s
+        assert slash_ratio > 0.9  # Slash is skew-agnostic on RO
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigError):
+            UpParTransferBench(threads=0)

@@ -1,0 +1,105 @@
+"""Unit and property tests for credit-based flow control."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.protocol import ChannelStats, FlowControl
+from repro.common.errors import ProtocolError
+
+
+def test_initial_balance():
+    flow = FlowControl(8)
+    assert flow.available == 8
+    assert flow.outstanding == 0
+    assert flow.can_send()
+
+
+def test_spend_decrements():
+    flow = FlowControl(2)
+    flow.spend()
+    assert flow.available == 1
+    assert flow.outstanding == 1
+
+
+def test_spend_at_zero_raises():
+    flow = FlowControl(1)
+    flow.spend()
+    assert not flow.can_send()
+    with pytest.raises(ProtocolError, match="zero credits"):
+        flow.spend()
+
+
+def test_refill_restores():
+    flow = FlowControl(4)
+    for _ in range(3):
+        flow.spend()
+    flow.refill(2)
+    assert flow.available == 3
+
+
+def test_refill_above_initial_raises():
+    flow = FlowControl(4)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        flow.refill(1)
+
+
+def test_refill_nonpositive_raises():
+    flow = FlowControl(4)
+    flow.spend()
+    with pytest.raises(ProtocolError):
+        flow.refill(0)
+
+
+def test_zero_credit_channel_rejected():
+    with pytest.raises(ProtocolError):
+        FlowControl(0)
+
+
+@given(st.integers(min_value=1, max_value=64), st.lists(st.booleans(), max_size=200))
+def test_property_balance_always_in_range(credits, ops):
+    """Randomly interleaved spends/refills keep 0 <= available <= credits."""
+    flow = FlowControl(credits)
+    for is_spend in ops:
+        if is_spend:
+            if flow.can_send():
+                flow.spend()
+        else:
+            if flow.outstanding > 0:
+                flow.refill(1)
+        assert 0 <= flow.available <= credits
+        assert flow.available + flow.outstanding == credits
+
+
+def test_stats_throughput():
+    stats = ChannelStats()
+    stats.record_send(1000)
+    stats.record_send(1000)
+    assert stats.messages == 2
+    assert stats.throughput_bytes_per_s(2.0) == pytest.approx(1000)
+    assert stats.throughput_bytes_per_s(0.0) == 0.0
+
+
+def test_stats_latency_aggregates():
+    stats = ChannelStats()
+    for latency in (1e-6, 3e-6, 2e-6):
+        stats.record_latency(latency)
+    assert stats.mean_latency_s == pytest.approx(2e-6)
+    assert stats.max_latency_s == pytest.approx(3e-6)
+    assert len(stats.latencies) == 3
+
+
+def test_stats_latency_list_capped():
+    stats = ChannelStats()
+    stats._latency_cap = 10
+    for i in range(50):
+        stats.record_latency(float(i))
+    assert len(stats.latencies) == 10
+    assert stats.mean_latency_s == pytest.approx(sum(range(50)) / 50)
+
+
+def test_stats_stall_accounting():
+    stats = ChannelStats()
+    stats.record_stall(0.5)
+    stats.record_stall(0.0)  # zero-length stalls are not counted
+    assert stats.credit_stalls == 1
+    assert stats.credit_stall_s == pytest.approx(0.5)

@@ -1,0 +1,74 @@
+"""Unit tests for the hardware configuration dataclasses."""
+
+import pytest
+
+from repro.common.config import (
+    ClusterConfig,
+    CpuConfig,
+    NicConfig,
+    NodeConfig,
+    paper_cluster,
+    DEFAULT_CREDITS,
+    DEFAULT_BUFFER_BYTES,
+)
+from repro.common.errors import ConfigError
+
+
+def test_paper_cluster_defaults():
+    cluster = paper_cluster()
+    assert cluster.nodes == 16
+    assert cluster.node.cpu.cores == 10
+    assert cluster.node.cpu.frequency_hz == pytest.approx(2.4e9)
+    assert cluster.node.nic.bandwidth_bytes_per_s == pytest.approx(11.8e9)
+
+
+def test_paper_cluster_sized():
+    assert paper_cluster(4).nodes == 4
+
+
+def test_with_nodes_returns_copy():
+    base = paper_cluster(16)
+    scaled = base.with_nodes(2)
+    assert scaled.nodes == 2
+    assert base.nodes == 16
+    assert scaled.node == base.node
+
+
+def test_cpu_cycle_conversions_roundtrip():
+    cpu = CpuConfig()
+    assert cpu.cycles(cpu.seconds(240)) == pytest.approx(240)
+
+
+def test_cpu_rejects_zero_cores():
+    with pytest.raises(ConfigError):
+        CpuConfig(cores=0)
+
+
+def test_cpu_rejects_inverted_cache_sizes():
+    with pytest.raises(ConfigError):
+        CpuConfig(l1d_bytes=10 ** 9, l2_bytes=10 ** 6, llc_bytes=10 ** 7)
+
+
+def test_nic_wire_time():
+    nic = NicConfig()
+    assert nic.wire_time(11.8e9) == pytest.approx(1.0)
+
+
+def test_nic_rejects_achievable_above_wire():
+    with pytest.raises(ConfigError):
+        NicConfig(bandwidth_bytes_per_s=20e9)
+
+
+def test_node_rejects_nonpositive_dram():
+    with pytest.raises(ConfigError):
+        NodeConfig(dram_bytes=0)
+
+
+def test_cluster_rejects_zero_nodes():
+    with pytest.raises(ConfigError):
+        ClusterConfig(nodes=0)
+
+
+def test_defaults_match_paper():
+    assert DEFAULT_CREDITS == 8
+    assert DEFAULT_BUFFER_BYTES == 64 * 1024

@@ -1,0 +1,56 @@
+"""The top-level package exposes a stable public API."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_error_hierarchy():
+    for error in (
+        repro.ConfigError,
+        repro.SimulationError,
+        repro.ProtocolError,
+        repro.StateError,
+        repro.QueryError,
+    ):
+        assert issubclass(error, repro.ReproError)
+        assert issubclass(error, Exception)
+
+
+def test_minimal_quickstart_through_top_level_api():
+    """The README's four-line quickstart must work verbatim."""
+    from repro import SlashEngine
+    from repro.workloads import YsbWorkload
+
+    workload = YsbWorkload(records_per_thread=400, key_range=40, batch_records=100)
+    engine = SlashEngine(epoch_bytes=32 * 1024)
+    result = engine.run(workload.build_query(), workload.flows(2, 2))
+    assert result.throughput_records_per_s > 0
+    assert result.aggregates
+
+
+def test_query_builder_through_top_level_api():
+    import numpy as np
+
+    from repro import Query, Schema, TumblingWindow
+
+    schema = Schema("s", (("ts", "i8"), ("key", "i8")), record_bytes=16)
+    query = Query("api-test")
+    query.stream("s", schema).aggregate(TumblingWindow(1000), agg="count")
+    query.validate()
+    batch = schema.batch_from_columns(
+        ts=np.array([1, 2], dtype=np.int64), key=np.array([5, 5], dtype=np.int64)
+    )
+    assert len(batch) == 2
+
+
+def test_paper_cluster_accessible():
+    cluster = repro.paper_cluster(4)
+    assert cluster.nodes == 4

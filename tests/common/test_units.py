@@ -1,0 +1,54 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_binary_sizes():
+    assert units.KIB == 1024
+    assert units.MIB == 1024 ** 2
+    assert units.GIB == 1024 ** 3
+
+
+def test_decimal_sizes():
+    assert units.KB == 1000
+    assert units.MB == 10 ** 6
+    assert units.GB == 10 ** 9
+
+
+def test_gbit_per_s_100g_link():
+    assert units.gbit_per_s(100) == pytest.approx(12.5e9)
+
+
+def test_gbit_per_s_zero():
+    assert units.gbit_per_s(0) == 0.0
+
+
+def test_fmt_bytes_small():
+    assert units.fmt_bytes(512) == "512.0 B"
+
+
+def test_fmt_bytes_kib():
+    assert units.fmt_bytes(64 * units.KIB) == "64.0 KiB"
+
+
+def test_fmt_bytes_gib():
+    assert units.fmt_bytes(2 * units.GIB) == "2.0 GiB"
+
+
+def test_fmt_rate_gb():
+    assert units.fmt_rate(11.8e9) == "11.80 GB/s"
+
+
+def test_fmt_rate_records():
+    assert units.fmt_rate_records(2.0e9) == "2.00 G rec/s"
+    assert units.fmt_rate_records(1500) == "1.50 K rec/s"
+
+
+def test_fmt_time_scales():
+    assert units.fmt_time(0) == "0 s"
+    assert units.fmt_time(1.5) == "1.500 s"
+    assert units.fmt_time(2e-3) == "2.0 ms"
+    assert units.fmt_time(82e-6) == "82.0 us"
+    assert units.fmt_time(600e-9) == "600.0 ns"

@@ -1,0 +1,15 @@
+"""Test-suite configuration.
+
+Hypothesis runs derandomized: property tests explore the same example
+sequence on every run, so the suite's outcome is reproducible (matching
+the library's own determinism guarantees).  Set HYPOTHESIS_PROFILE=random
+to explore fresh examples locally.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("deterministic", derandomize=True, deadline=None)
+settings.register_profile("random", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))

@@ -1,0 +1,129 @@
+"""Tests for the vectorised partial-aggregation kernels.
+
+The key property: every vectorised kernel must agree exactly with the
+scalar reference fold, for any batch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import QueryError
+from repro.core.aggregations import (
+    group_rows,
+    partial_aggregate,
+    sequential_aggregate,
+)
+from repro.state.crdt import crdt_by_name
+
+batches = st.integers(1, 60).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),   # windows
+        st.lists(st.integers(0, 6), min_size=n, max_size=n),   # keys
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=n, max_size=n
+        ),
+    )
+)
+
+
+def arrays(data):
+    wins, keys, values = data
+    return (
+        np.array(wins, dtype=np.int64),
+        np.array(keys, dtype=np.int64),
+        np.array(values, dtype=np.float64),
+    )
+
+
+class TestPartialAggregate:
+    def test_count(self):
+        wins = np.array([0, 0, 0, 1])
+        keys = np.array([7, 7, 8, 7])
+        partials = partial_aggregate(crdt_by_name("count"), wins, keys, None)
+        assert partials == {(0, 7): 2, (0, 8): 1, (1, 7): 1}
+
+    def test_sum(self):
+        wins = np.array([0, 0])
+        keys = np.array([1, 1])
+        values = np.array([2.5, 3.5])
+        partials = partial_aggregate(crdt_by_name("sum"), wins, keys, values)
+        assert partials == {(0, 1): 6.0}
+
+    def test_min_max(self):
+        wins = np.zeros(3, dtype=np.int64)
+        keys = np.zeros(3, dtype=np.int64)
+        values = np.array([3.0, 1.0, 2.0])
+        assert partial_aggregate(crdt_by_name("min"), wins, keys, values) == {(0, 0): 1.0}
+        assert partial_aggregate(crdt_by_name("max"), wins, keys, values) == {(0, 0): 3.0}
+
+    def test_avg_pairs(self):
+        wins = np.zeros(4, dtype=np.int64)
+        keys = np.array([1, 1, 2, 2])
+        values = np.array([1.0, 3.0, 10.0, 20.0])
+        partials = partial_aggregate(crdt_by_name("avg"), wins, keys, values)
+        assert partials == {(0, 1): (4.0, 2), (0, 2): (30.0, 2)}
+
+    def test_empty_batch(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert partial_aggregate(crdt_by_name("count"), empty, empty, None) == {}
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(QueryError):
+            partial_aggregate(
+                crdt_by_name("count"), np.zeros(2, np.int64), np.zeros(3, np.int64), None
+            )
+
+    def test_value_required_for_sum(self):
+        wins = np.zeros(1, dtype=np.int64)
+        with pytest.raises(QueryError, match="value column"):
+            partial_aggregate(crdt_by_name("sum"), wins, wins, None)
+
+    def test_append_has_no_kernel(self):
+        wins = np.zeros(1, dtype=np.int64)
+        with pytest.raises(QueryError, match="kernel"):
+            partial_aggregate(crdt_by_name("append"), wins, wins, None)
+
+    def test_results_are_plain_python(self):
+        wins = np.zeros(1, dtype=np.int64)
+        keys = np.zeros(1, dtype=np.int64)
+        partials = partial_aggregate(crdt_by_name("count"), wins, keys, None)
+        ((win, key), count) = next(iter(partials.items()))
+        assert type(win) is int and type(key) is int
+        assert isinstance(count, int)
+
+    @pytest.mark.parametrize("agg", ["count", "sum", "min", "max", "avg"])
+    @settings(max_examples=40, deadline=None)
+    @given(data=batches)
+    def test_property_matches_scalar_reference(self, agg, data):
+        wins, keys, values = arrays(data)
+        crdt = crdt_by_name(agg)
+        vec = partial_aggregate(crdt, wins, keys, None if agg == "count" else values)
+        ref = sequential_aggregate(crdt, wins, keys, None if agg == "count" else values)
+        assert set(vec) == set(ref)
+        for group in ref:
+            assert vec[group] == pytest.approx(ref[group])
+
+
+class TestGroupRows:
+    def test_groups_and_order(self):
+        wins = np.array([0, 1, 0, 1])
+        keys = np.array([5, 5, 5, 6])
+        groups = group_rows(wins, keys)
+        assert set(groups) == {(0, 5), (1, 5), (1, 6)}
+        assert list(groups[(0, 5)]) == [0, 2]
+        assert list(groups[(1, 6)]) == [3]
+
+    def test_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert group_rows(empty, empty) == {}
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=batches)
+    def test_property_groups_partition_rows(self, data):
+        wins, keys, _values = arrays(data)
+        groups = group_rows(wins, keys)
+        all_rows = sorted(i for idx in groups.values() for i in idx)
+        assert all_rows == list(range(len(wins)))
+        for (win, key), indices in groups.items():
+            assert all(wins[i] == win and keys[i] == key for i in indices)

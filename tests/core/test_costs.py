@@ -1,0 +1,84 @@
+"""Tests for the engine cost surfaces and working-set quantisation."""
+
+import math
+
+import pytest
+
+from repro.baselines.costs import FLINK_COSTS, FLINK_RUNTIME_FACTOR, UPPAR_COSTS
+from repro.core.costs import (
+    DEFAULT_SLASH_COSTS,
+    INTERPRETED_FACTOR,
+    interpreted,
+    quantize_working_set,
+)
+
+
+class TestQuantizeWorkingSet:
+    def test_floor(self):
+        assert quantize_working_set(0) == 4096.0
+        assert quantize_working_set(100) == 4096.0
+
+    def test_monotone(self):
+        values = [quantize_working_set(x) for x in (5e3, 5e4, 5e5, 5e6, 5e7)]
+        assert values == sorted(values)
+
+    def test_never_underestimates(self):
+        for x in (4097, 10_000, 123_456, 9_999_999):
+            assert quantize_working_set(x) >= x
+
+    def test_quantisation_is_coarse(self):
+        """Nearby sizes map to the same bucket (memoisation works)."""
+        assert quantize_working_set(1_000_000) == quantize_working_set(1_000_001)
+
+    def test_bounded_overestimate(self):
+        for x in (10_000, 1_000_000, 50_000_000):
+            assert quantize_working_set(x) <= x * 1.2 + 1
+
+
+class TestSlashCosts:
+    def test_default_magnitudes_match_calibration(self):
+        """Pipeline + update ~= the paper's 42 instructions per record."""
+        costs = DEFAULT_SLASH_COSTS
+        total_instr = costs.pipeline.instructions + costs.update.instructions
+        assert 30 <= total_instr <= 60
+
+    def test_interpreted_scales_hot_path_only(self):
+        base = DEFAULT_SLASH_COSTS
+        slow = interpreted(base)
+        assert slow.pipeline.instructions == pytest.approx(
+            base.pipeline.instructions * INTERPRETED_FACTOR
+        )
+        assert slow.update.instructions == pytest.approx(
+            base.update.instructions * INTERPRETED_FACTOR
+        )
+        # Protocol costs untouched.
+        assert slow.merge_pair == base.merge_pair
+        assert slow.emit == base.emit
+
+    def test_append_has_lower_mlp_than_update(self):
+        """The join-appends-are-memory-intensive calibration point."""
+        assert DEFAULT_SLASH_COSTS.append.mlp < DEFAULT_SLASH_COSTS.update.mlp
+
+
+class TestExchangeCosts:
+    def test_partition_lines_grow_with_record_size(self):
+        small = UPPAR_COSTS.partition_lines_for(16)
+        large = UPPAR_COSTS.partition_lines_for(269)
+        assert large > small
+        assert large - small == pytest.approx((269 - 16) / 64.0)
+
+    def test_flink_is_uppar_scaled(self):
+        assert FLINK_COSTS.partition.instructions == pytest.approx(
+            UPPAR_COSTS.partition.instructions * FLINK_RUNTIME_FACTOR
+        )
+        assert FLINK_COSTS.serde.instructions > 0
+        assert UPPAR_COSTS.serde.instructions == 0
+
+    def test_light_update_cheaper_than_update(self):
+        assert (
+            UPPAR_COSTS.light_update.instructions < UPPAR_COSTS.update.instructions
+        )
+        assert (
+            DEFAULT_SLASH_COSTS.light_update.instructions
+            < DEFAULT_SLASH_COSTS.update.instructions
+        )

@@ -1,0 +1,73 @@
+"""Tests for RunResult contents and the engine's observables."""
+
+import pytest
+
+from repro.core.engine import RunResult, SlashEngine
+from repro.simnet.counters import HwCounters
+from repro.workloads.ysb import YsbWorkload
+
+
+def run_small(nodes=2, threads=2):
+    workload = YsbWorkload(records_per_thread=800, key_range=100, batch_records=200)
+    engine = SlashEngine(epoch_bytes=32 * 1024)
+    return engine.run(workload.build_query(), workload.flows(nodes, threads))
+
+
+class TestRunResult:
+    def test_throughput_definition(self):
+        result = run_small()
+        assert result.throughput_records_per_s == pytest.approx(
+            result.input_records / result.sim_seconds
+        )
+
+    def test_zero_time_guard(self):
+        empty = RunResult("x", "q", 1, 1, 100, 0.0)
+        assert empty.throughput_records_per_s == 0.0
+
+    def test_sorted_join_pairs_on_aggregation_is_empty(self):
+        result = run_small()
+        assert result.sorted_join_pairs() == []
+
+    def test_extra_observables_present(self):
+        result = run_small(nodes=3)
+        extra = result.extra
+        assert extra["connections"] == 3 * 2
+        assert extra["state_bytes"] == 0  # all windows drained
+        assert extra["trigger_lag_mean_s"] >= 0
+        assert extra["trigger_lag_max_s"] >= extra["trigger_lag_mean_s"]
+
+    def test_counters_are_hwcounters(self):
+        result = run_small()
+        assert isinstance(result.counters, HwCounters)
+        assert result.counters.records > 0
+        assert result.counters.network_bytes > 0  # SSB deltas crossed the wire
+
+    def test_threads_per_node_reported(self):
+        result = run_small(nodes=2, threads=3)
+        assert result.threads_per_node == 3
+        assert result.nodes == 2
+
+    def test_emitted_equals_aggregate_count(self):
+        result = run_small()
+        assert result.emitted == len(result.aggregates)
+
+
+class TestEngineKnobs:
+    def test_buffer_bytes_knob_respected(self):
+        workload = YsbWorkload(records_per_thread=500, key_range=50, batch_records=100)
+        flows = workload.flows(2, 1)
+        small = SlashEngine(epoch_bytes=16 * 1024, buffer_bytes=4096)
+        large = SlashEngine(epoch_bytes=16 * 1024, buffer_bytes=256 * 1024)
+        result_small = small.run(workload.build_query(), flows)
+        result_large = large.run(workload.build_query(), flows)
+        # Same answers regardless of channel geometry.
+        assert result_small.aggregates == result_large.aggregates
+
+    def test_credits_knob_respected(self):
+        workload = YsbWorkload(records_per_thread=500, key_range=50, batch_records=100)
+        flows = workload.flows(2, 1)
+        for credits in (1, 4):
+            result = SlashEngine(epoch_bytes=16 * 1024, credits=credits).run(
+                workload.build_query(), flows
+            )
+            assert result.aggregates  # correct under any pipelining depth

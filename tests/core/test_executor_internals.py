@@ -1,0 +1,190 @@
+"""Unit tests for SlashExecutor internals: watermarks, chunking, wiring."""
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import QueryError
+from repro.core.engine import SlashEngine
+from repro.core.executor import (
+    CHUNK_HEADER_BYTES,
+    DeltaChunk,
+    DoneToken,
+    FlowWatermarks,
+    SlashExecutor,
+)
+from repro.core.pipeline import compile_query
+from repro.rdma.connection import ConnectionManager
+from repro.simnet.cluster import Cluster
+from repro.simnet.kernel import Simulator
+from repro.state.crdt import AppendLogCrdt, SumCrdt
+from repro.state.epoch import EpochDelta
+from repro.state.partition import PartitionDirectory
+from repro.workloads.ysb import YsbWorkload
+
+
+class TestFlowWatermarks:
+    def test_single_flow_single_stream(self):
+        wm = FlowWatermarks(1, ["s"])
+        assert wm.watermark == float("-inf")
+        wm.observe(0, "s", 10)
+        assert wm.watermark == 10
+
+    def test_min_over_streams(self):
+        wm = FlowWatermarks(1, ["a", "b"])
+        wm.observe(0, "a", 100)
+        assert wm.watermark == float("-inf")  # stream b unseen
+        wm.observe(0, "b", 40)
+        assert wm.watermark == 40
+
+    def test_min_over_flows(self):
+        wm = FlowWatermarks(2, ["s"])
+        wm.observe(0, "s", 100)
+        wm.observe(1, "s", 60)
+        assert wm.watermark == 60
+
+    def test_finished_flows_drop_out(self):
+        wm = FlowWatermarks(2, ["s"])
+        wm.observe(0, "s", 100)
+        wm.observe(1, "s", 60)
+        wm.finish(1)
+        assert wm.watermark == 100
+        wm.finish(0)
+        assert wm.watermark == float("inf")
+
+    def test_never_regresses(self):
+        wm = FlowWatermarks(1, ["s"])
+        wm.observe(0, "s", 100)
+        wm.observe(0, "s", 50)
+        assert wm.watermark == 100
+
+
+def make_executor(nodes=2, flows_count=2, crdt=None):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(nodes=nodes))
+    cm = ConnectionManager(cluster)
+    directory = PartitionDirectory(nodes)
+    workload = YsbWorkload(records_per_thread=400, key_range=50, batch_records=100)
+    plan = compile_query(workload.build_query())
+    flows = [workload.flows(nodes, flows_count)[(0, t)] for t in range(flows_count)]
+    executor = SlashExecutor(
+        cluster, cm, directory, cluster.node(0), 0, plan, flows,
+        buffer_bytes=8192, epoch_bytes=16 * 1024,
+    )
+    return sim, cluster, executor
+
+
+class TestChunking:
+    def test_small_delta_is_one_chunk(self):
+        _sim, _cluster, executor = make_executor()
+        delta = EpochDelta("ysb.agg", 1, 0, 0, ((("k"), 1.0),), 48, 5.0)
+        chunks = list(executor._chunk_delta(delta))
+        assert len(chunks) == 1
+        assert chunks[0].last
+
+    def test_many_pairs_split_into_chunks(self):
+        _sim, _cluster, executor = make_executor()
+        pairs = tuple(((0, k), float(k)) for k in range(2000))
+        delta = EpochDelta("ysb.agg", 1, 0, 3, pairs, 2000 * 32, 7.0)
+        chunks = list(executor._chunk_delta(delta))
+        assert len(chunks) > 1
+        assert sum(len(c.pairs) for c in chunks) == 2000
+        assert [c.last for c in chunks] == [False] * (len(chunks) - 1) + [True]
+        # Every chunk fits the channel buffer.
+        for chunk in chunks:
+            assert chunk.nbytes <= executor.buffer_bytes - 512
+            assert chunk.epoch == 3
+            assert chunk.partition == 1
+
+    def test_oversized_append_payload_is_split(self):
+        """One key whose record list exceeds a buffer must be split into
+        mergeable sub-partials."""
+        crdt = AppendLogCrdt(record_bytes=100)
+        pairs = [("hot", list(range(500)))]  # ~50 KB >> 8 KiB buffer
+        split = list(SlashExecutor._split_oversized(pairs, crdt, capacity=4096))
+        assert len(split) > 1
+        reassembled = []
+        for key, payload in split:
+            assert key == "hot"
+            assert 8 + crdt.value_bytes(payload) <= 4096
+            reassembled.extend(payload)
+        assert reassembled == list(range(500))
+
+    def test_scalar_pairs_never_split(self):
+        crdt = SumCrdt()
+        pairs = [("a", 1.0), ("b", 2.0)]
+        assert list(SlashExecutor._split_oversized(pairs, crdt, 4096)) == pairs
+
+
+class TestWiring:
+    def test_connect_creates_channel_per_ordered_pair(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(nodes=3))
+        cm = ConnectionManager(cluster)
+        directory = PartitionDirectory(3)
+        workload = YsbWorkload(records_per_thread=100, key_range=10, batch_records=50)
+        plan = compile_query(workload.build_query())
+        flows = workload.flows(3, 1)
+        executors = [
+            SlashExecutor(
+                cluster, cm, directory, cluster.node(i), i, plan,
+                [flows[(i, 0)]],
+            )
+            for i in range(3)
+        ]
+        for executor in executors:
+            executor.connect(executors)
+        # n * (n-1) ordered pairs -> the paper's n^2 channels overall.
+        assert cm.connection_count == 3 * 2
+        for executor in executors:
+            assert len(executor._out_channels) == 2
+            assert len(executor._in_channels) == 2
+
+    def test_too_many_flows_rejected(self):
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(nodes=1))
+        cm = ConnectionManager(cluster)
+        directory = PartitionDirectory(1)
+        workload = YsbWorkload(records_per_thread=100, key_range=10, batch_records=50)
+        plan = compile_query(workload.build_query())
+        flow = workload.flows(1, 1)[(0, 0)]
+        with pytest.raises(QueryError, match="exceed"):
+            SlashExecutor(
+                cluster, cm, directory, cluster.node(0), 0, plan, [flow] * 11
+            )
+
+
+class TestEngineValidation:
+    def test_sparse_thread_ids_rejected(self):
+        workload = YsbWorkload(records_per_thread=100, key_range=10, batch_records=50)
+        flows = workload.flows(1, 2)
+        flows[(0, 5)] = flows.pop((0, 1))
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="dense"):
+            SlashEngine().run(workload.build_query(), flows)
+
+    def test_empty_flows_rejected(self):
+        from repro.common.errors import ConfigError
+
+        workload = YsbWorkload(records_per_thread=100, key_range=10, batch_records=50)
+        with pytest.raises(ConfigError, match="no flows"):
+            SlashEngine().run(workload.build_query(), {})
+
+    def test_flows_beyond_cluster_rejected(self):
+        from repro.common.config import paper_cluster
+        from repro.common.errors import ConfigError
+
+        workload = YsbWorkload(records_per_thread=100, key_range=10, batch_records=50)
+        flows = workload.flows(4, 1)
+        engine = SlashEngine(cluster_config=paper_cluster(2))
+        with pytest.raises(ConfigError, match="cluster"):
+            engine.run(workload.build_query(), flows)
+
+
+class TestTokens:
+    def test_done_token_and_chunk_are_distinct_payload_types(self):
+        token = DoneToken(3)
+        chunk = DeltaChunk("op", 0, 1, 2, (), CHUNK_HEADER_BYTES, 1.0, True)
+        assert token.from_executor == 3
+        assert chunk.last and chunk.epoch == 2
+        assert not isinstance(token, DeltaChunk)

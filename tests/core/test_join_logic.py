@@ -1,0 +1,69 @@
+"""Tests for the window/session join probe functions."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.join import probe_sessions, probe_window
+from repro.core.pipeline import LEFT, RIGHT
+from repro.core.windows import SessionWindows
+
+
+class TestProbeWindow:
+    def test_cartesian_per_key(self):
+        payload = [(LEFT, ("l1",)), (RIGHT, ("r1",)), (LEFT, ("l2",)), (RIGHT, ("r2",))]
+        pairs = probe_window(payload)
+        assert len(pairs) == 4
+        assert (("l1",), ("r1",)) in pairs
+
+    def test_no_match_sides(self):
+        assert probe_window([(LEFT, ("l",))]) == []
+        assert probe_window([(RIGHT, ("r",))]) == []
+        assert probe_window([]) == []
+
+    def test_output_sorted(self):
+        payload = [(LEFT, ("b",)), (LEFT, ("a",)), (RIGHT, ("r",))]
+        pairs = probe_window(payload)
+        assert pairs == sorted(pairs)
+
+    @given(st.integers(0, 5), st.integers(0, 5))
+    def test_property_output_size(self, lefts, rights):
+        payload = [(LEFT, (f"l{i}",)) for i in range(lefts)]
+        payload += [(RIGHT, (f"r{i}",)) for i in range(rights)]
+        assert len(probe_window(payload)) == lefts * rights
+
+
+class TestProbeSessions:
+    def test_closed_session_emitted(self):
+        window = SessionWindows(10)
+        payload = [(0.0, LEFT, ("l",)), (5.0, RIGHT, ("r",))]
+        emitted, remaining = probe_sessions(window, payload, frontier=15.0)
+        assert emitted == [(("l",), ("r",))]
+        assert remaining == []
+
+    def test_open_session_retained(self):
+        window = SessionWindows(10)
+        payload = [(0.0, LEFT, ("l",)), (5.0, RIGHT, ("r",))]
+        emitted, remaining = probe_sessions(window, payload, frontier=14.9)
+        assert emitted == []
+        assert len(remaining) == 2
+
+    def test_mixed_sessions(self):
+        window = SessionWindows(10)
+        payload = [
+            (0.0, LEFT, ("l1",)),
+            (5.0, RIGHT, ("r1",)),
+            (100.0, LEFT, ("l2",)),
+            (105.0, RIGHT, ("r2",)),
+        ]
+        emitted, remaining = probe_sessions(window, payload, frontier=50.0)
+        assert emitted == [(("l1",), ("r1",))]
+        assert sorted(entry[0] for entry in remaining) == [100.0, 105.0]
+
+    def test_empty_payload(self):
+        assert probe_sessions(SessionWindows(10), [], 100.0) == ([], [])
+
+    def test_infinite_frontier_drains_everything(self):
+        window = SessionWindows(10)
+        payload = [(float(t), LEFT if t % 2 else RIGHT, (t,)) for t in range(5)]
+        emitted, remaining = probe_sessions(window, payload, float("inf"))
+        assert remaining == []
+        assert len(emitted) == 2 * 3  # 2 lefts x 3 rights in one session

@@ -1,0 +1,96 @@
+"""Tests for schemas and record batches."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.core.records import RecordBatch, Schema, concat_batches
+
+SCHEMA = Schema("s", (("ts", "i8"), ("key", "i8"), ("v", "f8")), record_bytes=24)
+
+
+def make_batch(n=5):
+    return SCHEMA.batch_from_columns(
+        ts=np.arange(n, dtype=np.int64),
+        key=np.arange(n, dtype=np.int64) % 3,
+        v=np.linspace(0, 1, n),
+    )
+
+
+class TestSchema:
+    def test_requires_ts_and_key(self):
+        with pytest.raises(QueryError, match="ts"):
+            Schema("x", (("key", "i8"),), 8)
+        with pytest.raises(QueryError, match="key"):
+            Schema("x", (("ts", "i8"),), 8)
+
+    def test_rejects_duplicate_fields(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            Schema("x", (("ts", "i8"), ("key", "i8"), ("ts", "f8")), 8)
+
+    def test_rejects_bad_record_bytes(self):
+        with pytest.raises(QueryError):
+            Schema("x", (("ts", "i8"), ("key", "i8")), 0)
+
+    def test_dtype_and_names(self):
+        assert SCHEMA.field_names == ("ts", "key", "v")
+        assert SCHEMA.dtype.names == ("ts", "key", "v")
+
+    def test_empty_batch(self):
+        assert len(SCHEMA.empty_batch()) == 0
+
+    def test_batch_from_columns_missing(self):
+        with pytest.raises(QueryError, match="missing"):
+            SCHEMA.batch_from_columns(ts=np.array([1]), key=np.array([2]))
+
+    def test_batch_from_columns_ragged(self):
+        with pytest.raises(QueryError, match="ragged"):
+            SCHEMA.batch_from_columns(
+                ts=np.array([1]), key=np.array([2]), v=np.array([1.0, 2.0])
+            )
+
+
+class TestRecordBatch:
+    def test_len_and_columns(self):
+        batch = make_batch(5)
+        assert len(batch) == 5
+        assert list(batch.keys) == [0, 1, 2, 0, 1]
+        assert list(batch.timestamps) == [0, 1, 2, 3, 4]
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError):
+            make_batch().col("nope")
+
+    def test_wire_bytes(self):
+        assert make_batch(5).wire_bytes == 5 * 24
+
+    def test_max_timestamp(self):
+        assert make_batch(5).max_timestamp == 4
+        assert SCHEMA.empty_batch().max_timestamp == float("-inf")
+
+    def test_select_mask(self):
+        batch = make_batch(5)
+        selected = batch.select(batch.keys == 0)
+        assert len(selected) == 2
+        assert list(selected.timestamps) == [0, 3]
+
+    def test_take_indices(self):
+        batch = make_batch(5)
+        taken = batch.take(np.array([4, 0]))
+        assert list(taken.timestamps) == [4, 0]
+
+    def test_dtype_mismatch_rejected(self):
+        other = np.zeros(3, dtype=[("ts", "i8"), ("key", "i8")])
+        with pytest.raises(QueryError):
+            RecordBatch(SCHEMA, other)
+
+    def test_rows_iteration(self):
+        rows = list(make_batch(2).rows())
+        assert rows[0][:2] == (0, 0)
+
+
+def test_concat_batches():
+    merged = concat_batches(SCHEMA, [make_batch(2), make_batch(3)])
+    assert len(merged) == 5
+    assert len(concat_batches(SCHEMA, [])) == 0
+    assert len(concat_batches(SCHEMA, [SCHEMA.empty_batch()])) == 0

@@ -1,0 +1,114 @@
+"""Tests for the window assigners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import QueryError
+from repro.core.windows import SessionWindows, SlidingWindow, TumblingWindow
+
+
+class TestTumbling:
+    def test_assignment(self):
+        window = TumblingWindow(100)
+        timestamps = np.array([0, 99, 100, 250])
+        assert list(window.assign(timestamps)) == [0, 0, 1, 2]
+
+    def test_window_end(self):
+        assert TumblingWindow(100).window_end(2) == 300
+
+    def test_identity_slices(self):
+        window = TumblingWindow(100)
+        assert window.windows_of_slice(5) == (5,)
+        assert window.slices_of_window(5) == (5,)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(QueryError):
+            TumblingWindow(0)
+
+    @given(st.integers(0, 10 ** 12), st.integers(1, 10 ** 6))
+    def test_property_record_inside_its_window(self, ts, size):
+        window = TumblingWindow(size)
+        wid = int(window.assign(np.array([ts]))[0])
+        assert wid * size <= ts < window.window_end(wid)
+
+
+class TestSliding:
+    def test_requires_multiple(self):
+        with pytest.raises(QueryError):
+            SlidingWindow(100, 33)
+        with pytest.raises(QueryError):
+            SlidingWindow(100, 0)
+
+    def test_slices_per_window(self):
+        assert SlidingWindow(100, 25).slices_per_window == 4
+
+    def test_assignment_is_slicing(self):
+        window = SlidingWindow(100, 50)
+        assert list(window.assign(np.array([0, 49, 50, 149]))) == [0, 0, 1, 2]
+
+    def test_window_end(self):
+        window = SlidingWindow(100, 50)  # 2 slices per window
+        assert window.window_end(0) == 100
+        assert window.window_end(3) == 250
+
+    def test_slice_window_duality(self):
+        window = SlidingWindow(100, 25)
+        assert window.slices_of_window(4) == (4, 5, 6, 7)
+        assert window.windows_of_slice(6) == (3, 4, 5, 6)
+        # Duality: w contains s iff s's windows include w.
+        for w in window.windows_of_slice(6):
+            assert 6 in window.slices_of_window(w)
+
+
+class TestSessions:
+    def test_rejects_bad_gap(self):
+        with pytest.raises(QueryError):
+            SessionWindows(0)
+
+    def test_no_static_ids(self):
+        window = SessionWindows(10)
+        assert not window.static_ids
+        assert list(window.assign(np.array([5, 100]))) == [0, 0]
+        with pytest.raises(QueryError):
+            window.window_end(0)
+
+    def test_split_single_session(self):
+        window = SessionWindows(10)
+        sessions = window.split_sessions([1, 5, 9])
+        assert sessions == [(1, 19, [0, 1, 2])]
+
+    def test_split_by_gap(self):
+        window = SessionWindows(10)
+        sessions = window.split_sessions([0, 5, 30, 35])
+        assert len(sessions) == 2
+        assert sessions[0] == (0, 15, [0, 1])
+        assert sessions[1] == (30, 45, [2, 3])
+
+    def test_split_unsorted_input(self):
+        window = SessionWindows(10)
+        sessions = window.split_sessions([30, 0, 35, 5])
+        assert sessions[0][2] == [1, 3]  # indices of ts 0 and 5
+        assert sessions[1][2] == [0, 2]
+
+    def test_split_empty(self):
+        assert SessionWindows(10).split_sessions([]) == []
+
+    def test_boundary_gap_exactly_equal_stays_together(self):
+        window = SessionWindows(10)
+        assert len(window.split_sessions([0, 10])) == 1
+        assert len(window.split_sessions([0, 11])) == 2
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=50), st.integers(1, 100))
+    def test_property_sessions_partition_input(self, timestamps, gap):
+        window = SessionWindows(gap)
+        sessions = window.split_sessions(timestamps)
+        seen = sorted(i for _s, _e, members in sessions for i in members)
+        assert seen == list(range(len(timestamps)))
+        # Sessions are separated by more than gap and internally dense.
+        for start, end, members in sessions:
+            member_ts = sorted(timestamps[i] for i in members)
+            assert member_ts[0] == start
+            assert end == member_ts[-1] + gap
+            for a, b in zip(member_ts, member_ts[1:]):
+                assert b - a <= gap

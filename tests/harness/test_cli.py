@@ -1,0 +1,51 @@
+"""Tests for the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_quick_experiment_writes_outputs(tmp_path, capsys):
+    code = main(
+        ["run", "abl-epoch", "--quick", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "epoch" in out
+    assert (tmp_path / "abl-epoch.txt").exists()
+    rows = json.loads((tmp_path / "abl-epoch.json").read_text())
+    assert rows and all("epoch_bytes" in row for row in rows)
+
+
+def test_run_fig7_quick(capsys):
+    assert main(["run", "fig7", "--quick", "--records", "800"]) == 0
+    out = capsys.readouterr().out
+    assert "LightSaber" in out
+    assert "slash x2" in out
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["run", "fig6a-c"])
+    assert args.nodes == [2, 4, 8, 16]
+    assert args.threads == 10
+    assert not args.quick
+
+
+def test_every_registered_experiment_has_description():
+    for name, (description, factory) in EXPERIMENTS.items():
+        assert description
+        assert callable(factory)

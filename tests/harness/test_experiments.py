@@ -1,0 +1,205 @@
+"""Tests for the experiment harness — miniature versions of each figure.
+
+These run the exact code paths the benchmark files use, at tiny sizes,
+and assert the qualitative claims of the paper (the 'shape'): who wins,
+which way curves bend, which category dominates a breakdown.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness import (
+    ablation_credits,
+    ablation_epoch_bytes,
+    ablation_execution_strategy,
+    ablation_selective_signaling,
+    build_engine,
+    fig6_aggregations,
+    fig6_joins,
+    fig7_cost,
+    fig8_buffer_sweep,
+    fig8_parallelism,
+    fig8_skew,
+    fig9_breakdown_ro,
+    fig10_breakdown_ysb,
+    make_workload,
+    run_end_to_end,
+    table1_counters,
+)
+
+TINY = {"records_per_thread": 1200, "batch_records": 300}
+
+
+class TestRunner:
+    def test_make_workload_known(self):
+        assert make_workload("ysb", records_per_thread=10).records_per_thread == 10
+
+    def test_make_workload_unknown(self):
+        with pytest.raises(ConfigError):
+            make_workload("tpch")
+
+    def test_build_engine_all_systems(self):
+        for system in ("slash", "uppar", "flink", "lightsaber"):
+            assert build_engine(system, 2) is not None
+        with pytest.raises(ConfigError):
+            build_engine("spark", 2)
+
+    def test_run_end_to_end_row(self):
+        row = run_end_to_end("slash", "ysb", 2, 2, workload_overrides=TINY)
+        assert row.records == 2 * 2 * 1200
+        assert row.throughput_records_per_s > 0
+        assert row.per_node_throughput == pytest.approx(
+            row.throughput_records_per_s / 2
+        )
+
+
+class TestFig6Shape:
+    def test_aggregations_ordering_and_render(self):
+        report = fig6_aggregations(
+            node_counts=(2,), threads=4, workload_overrides=TINY,
+        )
+        by_system = {
+            row["system"]: row["throughput"]
+            for row in report.rows
+            if row["workload"] == "ysb"
+        }
+        assert by_system["slash"] > by_system["uppar"] > by_system["flink"]
+        rendered = report.render()
+        assert "ysb" in rendered and "slash/uppar" in rendered
+
+    def test_joins_ordering(self):
+        report = fig6_joins(
+            node_counts=(2,), threads=4,
+            workload_overrides={"records_per_thread": 500, "batch_records": 125},
+        )
+        for workload in ("nb8", "nb11"):
+            by_system = {
+                row["system"]: row["throughput"]
+                for row in report.rows
+                if row["workload"] == workload
+            }
+            assert by_system["slash"] > by_system["flink"]
+            assert by_system["slash"] > by_system["uppar"]
+
+
+class TestFig7Shape:
+    def test_slash_beats_lightsaber_with_nodes(self):
+        report = fig7_cost(
+            node_counts=(2, 4), threads=4, workloads=("ysb",),
+            workload_overrides=TINY,
+        )
+        speedups = [
+            row["speedup_vs_lightsaber"]
+            for row in report.rows
+            if row["system"] == "slash"
+        ]
+        assert speedups[0] > 1.0  # 2 nodes already beat one scale-up node
+        assert speedups[1] > speedups[0]  # and it keeps scaling
+
+
+class TestFig8Shapes:
+    def test_buffer_sweep_throughput_grows_then_saturates(self):
+        report = fig8_buffer_sweep(
+            buffer_sizes=(4096, 65536), threads=2, records_per_thread=20_000
+        )
+        slash = {
+            row["buffer_bytes"]: row["throughput_bytes_per_s"]
+            for row in report.rows
+            if row["system"] == "slash"
+        }
+        assert slash[65536] > slash[4096]
+        latency = {
+            row["buffer_bytes"]: row["mean_latency_s"]
+            for row in report.rows
+            if row["system"] == "slash"
+        }
+        assert latency[65536] > latency[4096]
+
+    def test_parallelism_slash_saturates_before_uppar(self):
+        report = fig8_parallelism(
+            thread_counts=(2, 8), records_per_thread=20_000
+        )
+        rows = {(r["system"], r["threads"]): r["throughput_bytes_per_s"] for r in report.rows}
+        assert rows[("slash", 2)] > rows[("uppar", 2)]
+        assert rows[("uppar", 8)] > rows[("uppar", 2)]
+
+    def test_skew_directions(self):
+        report = fig8_skew(
+            zipf_zs=(0.2, 2.0), threads=4, records_per_thread=16_000
+        )
+        rows = {
+            (r["workload"], r["system"], r["z"]): r for r in report.rows
+        }
+        # RO: UpPar collapses, Slash flat.
+        assert (
+            rows[("ro", "uppar", 2.0)]["throughput_bytes_per_s"]
+            < rows[("ro", "uppar", 0.2)]["throughput_bytes_per_s"]
+        )
+        slash_ratio = (
+            rows[("ro", "slash", 2.0)]["throughput_bytes_per_s"]
+            / rows[("ro", "slash", 0.2)]["throughput_bytes_per_s"]
+        )
+        assert slash_ratio > 0.85
+        # YSB: Slash rises with skew.
+        assert (
+            rows[("ysb", "slash", 2.0)]["throughput_records_per_s"]
+            > rows[("ysb", "slash", 0.2)]["throughput_records_per_s"]
+        )
+
+
+class TestBreakdownShapes:
+    def test_fig9_verdicts(self):
+        report = fig9_breakdown_ro(thread_counts=(2,), records_per_thread=20_000)
+        rendered = report.render()
+        assert "uppar sender" in rendered
+        # The paper's verdicts: UpPar receiver core-bound (waiting on the
+        # slow sender); Slash sender core-bound (waiting on the network).
+        (payload,) = [r for r in report.rows if r["system"] == "uppar"]
+        from repro.simnet.counters import CycleCategory
+
+        receiver = payload["receiver"]
+        assert receiver[CycleCategory.CORE] == max(
+            v for k, v in receiver.items() if k != CycleCategory.RETIRING
+        )
+
+    def test_fig10_slash_memory_bound(self):
+        report = fig10_breakdown_ysb(threads=4, records_per_thread=4_000)
+        (slash_row,) = [r for r in report.rows if r["system"] == "slash"]
+        from repro.simnet.counters import CycleCategory
+
+        busy = slash_row["busy"]["slash (whole)"]
+        assert busy[CycleCategory.MEMORY] > busy[CycleCategory.FRONTEND]
+
+    def test_table1_magnitudes(self):
+        report = table1_counters(threads=4, records_per_thread=4_000)
+        rows = {r["who"]: r for r in report.rows}
+        # UpPar needs more cycles per record than Slash.
+        assert rows["uppar sender"]["cyc_per_rec"] > rows["slash"]["cyc_per_rec"] * 0.5
+        assert rows["slash"]["ipc"] > 0
+        assert rows["slash"]["mem_bw_bytes_per_s"] > 0
+
+
+class TestAblations:
+    def test_credits_eight_is_sweet_spot(self):
+        report = ablation_credits(
+            credit_counts=(1, 8), threads=2, records_per_thread=20_000
+        )
+        rows = {r["credits"]: r["throughput_bytes_per_s"] for r in report.rows}
+        assert rows[8] > rows[1]  # no pipelining with a single credit
+
+    def test_epoch_sweep_runs(self):
+        report = ablation_epoch_bytes(
+            epoch_sizes=(16 * 1024, 1024 * 1024), nodes=2, threads=2
+        )
+        assert len(report.rows) == 2
+        assert all(r["throughput"] > 0 for r in report.rows)
+
+    def test_execution_strategy_compiled_faster(self):
+        report = ablation_execution_strategy(nodes=2, threads=2, records_per_thread=1000)
+        rows = {r["strategy"]: r["throughput"] for r in report.rows}
+        assert rows["compiled"] > rows["interpreted"]
+
+    def test_selective_signaling_wins(self):
+        report = ablation_selective_signaling(threads=2, records_per_thread=20_000)
+        rows = {r["signaled"]: r["throughput_bytes_per_s"] for r in report.rows}
+        assert rows[False] >= rows[True] * 0.98

@@ -1,0 +1,72 @@
+"""Determinism: every engine run is a pure function of its inputs.
+
+Reruns of identical configurations must be bit-identical in simulated
+time, query output, and accounted counters — this is what makes every
+number in EXPERIMENTS.md reproducible.
+"""
+
+import pytest
+
+from repro.baselines.flink import FlinkEngine
+from repro.baselines.lightsaber import LightSaberEngine
+from repro.baselines.transfer import SlashTransferBench, UpParTransferBench
+from repro.baselines.uppar import UpParEngine
+from repro.core.engine import SlashEngine
+from repro.workloads.readonly import ReadOnlyWorkload
+from repro.workloads.ysb import YsbWorkload
+
+
+def fingerprint(result):
+    return (
+        result.sim_seconds,
+        result.input_records,
+        result.emitted,
+        result.counters.total_cycles,
+        result.counters.instructions,
+        tuple(sorted(result.aggregates.items())),
+    )
+
+
+@pytest.mark.parametrize(
+    "engine_factory,nodes,threads",
+    [
+        (lambda: SlashEngine(epoch_bytes=48 * 1024), 3, 2),
+        (lambda: UpParEngine(), 2, 4),
+        (lambda: FlinkEngine(), 2, 2),
+        (lambda: LightSaberEngine(), 1, 3),
+    ],
+    ids=["slash", "uppar", "flink", "lightsaber"],
+)
+def test_engine_runs_are_bit_identical(engine_factory, nodes, threads):
+    def once():
+        workload = YsbWorkload(records_per_thread=900, key_range=120, batch_records=150)
+        return fingerprint(
+            engine_factory().run(workload.build_query(), workload.flows(nodes, threads))
+        )
+
+    assert once() == once()
+
+
+def test_transfer_benches_are_bit_identical():
+    def once(bench_cls):
+        workload = ReadOnlyWorkload(records_per_thread=5000, key_range=500, batch_records=1000)
+        result = bench_cls(threads=2).run(workload)
+        return (
+            result.sim_seconds,
+            result.payload_bytes,
+            result.mean_latency_s,
+            result.sender_counters.total_cycles,
+        )
+
+    for bench_cls in (SlashTransferBench, UpParTransferBench):
+        assert once(bench_cls) == once(bench_cls)
+
+
+def test_different_seeds_change_data_not_contract():
+    a = YsbWorkload(records_per_thread=500, key_range=60, batch_records=100, seed=1)
+    b = YsbWorkload(records_per_thread=500, key_range=60, batch_records=100, seed=2)
+    engine = SlashEngine(epoch_bytes=32 * 1024)
+    result_a = engine.run(a.build_query(), a.flows(2, 2))
+    result_b = engine.run(b.build_query(), b.flows(2, 2))
+    assert result_a.aggregates != result_b.aggregates  # data differs
+    assert result_a.input_records == result_b.input_records  # shape same

@@ -1,0 +1,50 @@
+"""Smoke checks on the example scripts.
+
+Full example runs are exercised manually / in CI-nightly (some sweep
+tens of seconds of simulation); here we guarantee each script parses,
+imports against the current API, and exposes a ``main`` entry point.
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "nexmark_auctions",
+        "drilldown_channels",
+        "skew_robustness",
+        "sliding_windows",
+        "state_backend_tour",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    function_names = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in function_names
+    # Every example must carry a module docstring with a Run: line.
+    docstring = ast.get_docstring(tree)
+    assert docstring and "Run:" in docstring
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    """Importing must resolve every symbol against the current API
+    (without executing main, which the __main__ guard prevents)."""
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)

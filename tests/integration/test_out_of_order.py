@@ -1,0 +1,100 @@
+"""Integration tests for bounded out-of-order streams (library extension).
+
+The paper's data model assumes strictly monotone timestamps.  This
+extension declares a per-stream disorder bound on the query; engines
+subtract it from observed maxima when computing watermarks, preserving
+P1 (no early triggering) and P2 (same answer as the sequential
+reference) for disorderly sources.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.flink import FlinkEngine
+from repro.baselines.lightsaber import LightSaberEngine
+from repro.baselines.reference import SequentialReference
+from repro.baselines.uppar import UpParEngine
+from repro.common.errors import QueryError
+from repro.core.engine import SlashEngine
+from repro.core.query import Query
+from repro.workloads.ysb import YsbWorkload
+
+DISORDER = 40_000  # 40 s of event-time disorder
+
+
+def make_workload():
+    return YsbWorkload(
+        records_per_thread=1500,
+        key_range=300,
+        batch_records=250,
+        disorder_ms=DISORDER,
+        seed=13,
+    )
+
+
+def test_workload_actually_disorders_timestamps():
+    workload = make_workload()
+    flow = workload.flows(1, 1)[(0, 0)]
+    all_ts = np.concatenate([batch.timestamps for _s, batch in flow])
+    diffs = np.diff(all_ts)
+    assert (diffs < 0).any()  # genuinely out of order...
+    # ...but within the declared bound: a record trails the running max
+    # by at most DISORDER.
+    running_max = np.maximum.accumulate(all_ts)
+    assert int((running_max - all_ts).max()) <= DISORDER
+
+
+def test_query_declares_disorder():
+    workload = make_workload()
+    query = workload.build_query()
+    assert query.streams[0].disorder_ms == DISORDER
+
+
+def test_negative_disorder_rejected():
+    from repro.workloads.ysb import YSB_SCHEMA
+
+    with pytest.raises(QueryError):
+        Query("q").stream("s", YSB_SCHEMA, disorder_ms=-1)
+
+
+@pytest.mark.parametrize(
+    "engine_factory,nodes,threads",
+    [
+        (lambda: SlashEngine(epoch_bytes=48 * 1024), 3, 2),
+        (lambda: UpParEngine(), 2, 4),
+        (lambda: FlinkEngine(), 2, 4),
+        (lambda: LightSaberEngine(), 1, 4),
+    ],
+    ids=["slash", "uppar", "flink", "lightsaber"],
+)
+def test_p2_holds_under_disorder(engine_factory, nodes, threads):
+    workload = make_workload()
+    flows = workload.flows(nodes, threads)
+    expected = SequentialReference().run(workload.build_query(), flows)
+    result = engine_factory().run(workload.build_query(), flows)
+    assert set(result.aggregates) == set(expected.aggregates)
+    for key, value in expected.aggregates.items():
+        assert math.isclose(result.aggregates[key], value, rel_tol=1e-9), key
+
+
+def test_without_declared_bound_disordered_input_can_lose_records():
+    """The negative control: feeding disorderly data to a query that
+    declares disorder_ms=0 violates the watermark contract, so some
+    window fires early and the distributed answer diverges.  (This
+    documents WHY the bound must be declared.)"""
+    workload = make_workload()
+    flows = workload.flows(3, 2)
+    # Same data, but a query that (wrongly) claims monotone streams.
+    honest = workload.build_query()
+    lying = YsbWorkload(
+        records_per_thread=1500, key_range=300, batch_records=250, seed=13
+    ).build_query()
+    expected = SequentialReference().run(honest, flows)
+    # Use tiny epochs so watermarks propagate aggressively mid-run.
+    result = SlashEngine(epoch_bytes=8 * 1024).run(lying, flows)
+    diverged = any(
+        result.aggregates.get(key) != value for key, value in expected.aggregates.items()
+    )
+    assert diverged

@@ -1,0 +1,86 @@
+"""Tests for tables, series rendering, and top-down breakdown reports."""
+
+import pytest
+
+from repro.metrics.breakdown import (
+    breakdown_percentages,
+    breakdown_table,
+    dominant_category,
+    table1_row,
+)
+from repro.metrics.reporting import TextTable, format_si, series_block
+from repro.simnet.cost_model import OpCost
+from repro.simnet.counters import HwCounters
+
+
+class TestFormatSi:
+    def test_magnitudes(self):
+        assert format_si(2.04e9, "rec/s") == "2.04 Grec/s"
+        assert format_si(1500, "B", digits=1) == "1.5 KB"
+        assert format_si(11.8e9) == "11.80 G"
+        assert format_si(3.5) == "3.50"
+        assert format_si(0, "x") == "0 x"
+
+
+class TestTextTable:
+    def test_render_aligned(self):
+        table = TextTable("t", ["a", "long-header"])
+        table.add_row(1, "x").add_row("wide-cell", 2)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "== t =="
+        assert "long-header" in lines[1]
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned widths
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            TextTable("t", ["a", "b"]).add_row(1)
+
+    def test_str_is_render(self):
+        table = TextTable("t", ["a"])
+        assert str(table) == table.render()
+
+
+def test_series_block():
+    block = series_block("fig", "x", {"slash": [(1, 2.0)], "uppar": [(1, 1.0)]})
+    assert "== fig ==" in block
+    assert "slash" in block and "x=1" in block
+
+
+def make_counters(memory=100.0, core=10.0, frontend=5.0):
+    counters = HwCounters()
+    counters.charge(
+        OpCost(
+            instructions=40, retiring=10, frontend=frontend, bad_spec=2,
+            memory=memory, core=core, l1_misses=1.7, l2_misses=1.5,
+            llc_misses=1.3, mem_bytes=166,
+        ),
+        count=100,
+    )
+    counters.count_records(100)
+    return counters
+
+
+class TestBreakdown:
+    def test_percentages_sum_to_100(self):
+        shares = breakdown_percentages(make_counters())
+        assert sum(shares.values()) == pytest.approx(100.0)
+        assert shares["MemB"] > shares["FeB"]
+
+    def test_dominant_category_ignores_retiring(self):
+        assert dominant_category(make_counters(memory=1000)) == "MemB"
+        assert dominant_category(make_counters(memory=1, core=1000)) == "CoreB"
+        assert dominant_category(make_counters(memory=1, core=1, frontend=50)) == "FeB"
+
+    def test_breakdown_table_renders(self):
+        table = breakdown_table("fig9", {"slash sender": make_counters()})
+        rendered = table.render()
+        assert "slash sender" in rendered
+        assert "MemB" in rendered
+
+    def test_table1_row_metrics(self):
+        row = table1_row(make_counters(), elapsed_s=1e-3)
+        assert row["instr_per_rec"] == pytest.approx(40)
+        assert row["llc_miss_per_rec"] == pytest.approx(1.3)
+        assert row["mem_bw_bytes_per_s"] == pytest.approx(166 * 100 / 1e-3)
+        assert 0 < row["ipc"] < 4

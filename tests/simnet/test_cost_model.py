@@ -1,0 +1,166 @@
+"""Unit and property tests for the micro-architecture cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import CpuConfig
+from repro.common.errors import ConfigError
+from repro.simnet.cost_model import CacheModel, CostModel, CostProfile, OpCost
+from repro.simnet.counters import CycleCategory, HwCounters
+
+
+CPU = CpuConfig()
+
+
+def test_opcost_total_cycles():
+    cost = OpCost(retiring=1, frontend=2, bad_spec=3, memory=4, core=5)
+    assert cost.total_cycles == 15
+
+
+def test_opcost_plus_and_scaled():
+    a = OpCost(instructions=10, retiring=2.5, l1_misses=1)
+    b = OpCost(instructions=6, core=4, mem_bytes=128)
+    combined = a.plus(b)
+    assert combined.instructions == 16
+    assert combined.retiring == 2.5
+    assert combined.core == 4
+    assert combined.mem_bytes == 128
+    doubled = combined.scaled(2)
+    assert doubled.instructions == 32
+    assert doubled.l1_misses == 2
+
+
+def test_profile_rejects_bad_values():
+    with pytest.raises(ConfigError):
+        CostProfile("x", instructions=-1)
+    with pytest.raises(ConfigError):
+        CostProfile("x", instructions=1, mlp=0)
+
+
+def test_profile_scaled():
+    profile = CostProfile("p", instructions=10, frontend=4, core=2)
+    big = profile.scaled(3)
+    assert big.instructions == 30
+    assert big.frontend == 12
+    assert big.mlp == profile.mlp
+
+
+def test_cache_miss_rates_tiny_working_set():
+    cache = CacheModel(CPU)
+    assert cache.miss_rates(1024) == (0.0, 0.0, 0.0)
+
+
+def test_cache_miss_rates_huge_working_set():
+    cache = CacheModel(CPU)
+    l1, l2, llc = cache.miss_rates(100 * 1024 ** 3)
+    assert l1 == pytest.approx(1.0, abs=1e-3)
+    assert llc == pytest.approx(1.0, abs=1e-3)
+
+
+def test_cache_miss_rates_monotone_in_level():
+    cache = CacheModel(CPU)
+    l1, l2, llc = cache.miss_rates(4 * 1024 ** 2)  # 4 MiB: fits LLC only
+    assert l1 >= l2 >= llc
+    assert llc == 0.0
+    assert l1 > 0.9
+
+
+@given(st.floats(min_value=1.0, max_value=1e12))
+def test_property_miss_rates_ordered_and_bounded(ws):
+    l1, l2, llc = CacheModel(CPU).miss_rates(ws)
+    assert 0.0 <= llc <= l2 <= l1 <= 1.0
+
+
+def test_access_cost_counts_misses_and_traffic():
+    cache = CacheModel(CPU)
+    ws = 1 << 40  # everything misses
+    cost = cache.access_cost(ws, lines_touched=2.0, mlp=8.0)
+    assert cost.l1_misses == pytest.approx(2.0, rel=1e-4)
+    assert cost.llc_misses == pytest.approx(2.0, rel=1e-4)
+    assert cost.mem_bytes == pytest.approx(2.0 * 64 * 2, rel=1e-4)  # fill + writeback
+    assert cost.memory == pytest.approx(2.0 * CPU.dram_latency_cycles / 8.0, rel=1e-2)
+
+
+def test_access_cost_clean_reads_halve_traffic():
+    cache = CacheModel(CPU)
+    ws = 1 << 40
+    dirty = cache.access_cost(ws, 1.0, 8.0, dirty_fraction=1.0)
+    clean = cache.access_cost(ws, 1.0, 8.0, dirty_fraction=0.0)
+    assert clean.mem_bytes == pytest.approx(dirty.mem_bytes / 2)
+
+
+def test_streaming_cost_compulsory_misses():
+    cache = CacheModel(CPU)
+    cost = cache.streaming_cost(64 * 100)
+    assert cost.llc_misses == pytest.approx(100)
+    assert cost.mem_bytes == pytest.approx(6400)
+
+
+def test_cost_model_retiring_from_instructions():
+    model = CostModel(CPU)
+    profile = CostProfile("p", instructions=40)
+    cost = model.op(profile)
+    assert cost.retiring == pytest.approx(10.0)
+    assert cost.total_cycles == pytest.approx(10.0)
+
+
+def test_cost_model_memoizes():
+    model = CostModel(CPU)
+    profile = CostProfile("p", instructions=40)
+    assert model.op(profile, 1e9, 2.0) is model.op(profile, 1e9, 2.0)
+
+
+def test_cost_model_seconds():
+    model = CostModel(CPU)
+    cost = OpCost(retiring=CPU.frequency_hz)  # one second worth of cycles
+    assert model.seconds(cost) == pytest.approx(1.0)
+    assert model.seconds(cost, count=0.5) == pytest.approx(0.5)
+
+
+def test_counters_charge_and_derive():
+    counters = HwCounters()
+    cost = OpCost(
+        instructions=42, retiring=10.5, frontend=2, bad_spec=2, memory=25, core=13,
+        l1_misses=1.7, l2_misses=1.5, llc_misses=1.3, mem_bytes=166,
+    )
+    counters.charge(cost, count=1000)
+    counters.count_records(1000)
+    assert counters.instructions_per_record == pytest.approx(42)
+    assert counters.cycles_per_record == pytest.approx(52.5)
+    assert counters.ipc == pytest.approx(0.8)
+    assert counters.llc_misses_per_record == pytest.approx(1.3)
+    breakdown = counters.breakdown()
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert breakdown[CycleCategory.MEMORY] > breakdown[CycleCategory.FRONTEND]
+
+
+def test_counters_wait_is_core_bound():
+    counters = HwCounters()
+    counters.charge_wait(500)
+    assert counters.cycles[CycleCategory.CORE] == 500
+    assert counters.total_cycles == 500
+
+
+def test_counters_merge_and_copy():
+    a = HwCounters()
+    a.charge(OpCost(instructions=10, retiring=2.5))
+    a.count_records(5)
+    b = a.copy()
+    b.merge(a)
+    assert b.instructions == 20
+    assert b.records == 10
+    assert a.records == 5
+
+
+def test_counters_empty_derived_metrics_are_zero():
+    counters = HwCounters()
+    assert counters.ipc == 0.0
+    assert counters.cycles_per_record == 0.0
+    assert counters.memory_bandwidth(0.0) == 0.0
+    assert all(v == 0.0 for v in counters.breakdown().values())
+
+
+def test_memory_bandwidth():
+    counters = HwCounters()
+    counters.charge(OpCost(mem_bytes=70.2e9))
+    assert counters.memory_bandwidth(1.0) == pytest.approx(70.2e9)

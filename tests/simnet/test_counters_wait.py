@@ -1,0 +1,58 @@
+"""Tests for busy/wait cycle separation in the counters."""
+
+import pytest
+
+from repro.simnet.cost_model import OpCost
+from repro.simnet.counters import CycleCategory, HwCounters
+
+
+def test_wait_cycles_tracked_separately():
+    counters = HwCounters()
+    counters.charge(OpCost(instructions=40, retiring=10, core=10), count=10)
+    counters.charge_wait(300)
+    assert counters.total_cycles == pytest.approx(500)
+    assert counters.wait_cycles == pytest.approx(300)
+    assert counters.busy_cycles == pytest.approx(200)
+
+
+def test_busy_ipc_excludes_waits():
+    counters = HwCounters()
+    counters.charge(OpCost(instructions=100, retiring=25, core=75), count=1)
+    counters.charge_wait(900)
+    assert counters.ipc == pytest.approx(0.1)
+    assert counters.busy_ipc == pytest.approx(1.0)
+
+
+def test_breakdown_exclude_wait():
+    counters = HwCounters()
+    counters.charge(OpCost(retiring=50, memory=50), count=1)
+    counters.charge_wait(100)
+    full = counters.breakdown()
+    busy = counters.breakdown(exclude_wait=True)
+    assert full[CycleCategory.CORE] == pytest.approx(0.5)
+    assert busy[CycleCategory.CORE] == pytest.approx(0.0)
+    assert busy[CycleCategory.MEMORY] == pytest.approx(0.5)
+    assert sum(busy.values()) == pytest.approx(1.0)
+
+
+def test_merge_and_copy_carry_wait_cycles():
+    a = HwCounters()
+    a.charge_wait(70)
+    b = a.copy()
+    b.merge(a)
+    assert b.wait_cycles == pytest.approx(140)
+
+
+def test_busy_cycles_per_record():
+    counters = HwCounters()
+    counters.charge(OpCost(retiring=100), count=1)
+    counters.charge_wait(100)
+    counters.count_records(10)
+    assert counters.busy_cycles_per_record == pytest.approx(10)
+    assert counters.cycles_per_record == pytest.approx(20)
+
+
+def test_zero_division_safety():
+    counters = HwCounters()
+    assert counters.busy_ipc == 0.0
+    assert counters.busy_cycles == 0.0

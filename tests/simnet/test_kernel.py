@@ -1,0 +1,325 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simnet.kernel import AllOf, Signal, Simulator, Timeout
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1.5)
+        return sim.now
+
+    proc = sim.process(body())
+    assert sim.run_until_process(proc) == pytest.approx(1.5)
+
+
+def test_timeout_rejects_negative():
+    with pytest.raises(SimulationError):
+        Timeout(-1)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    times = []
+
+    def body():
+        for _ in range(3):
+            yield Timeout(0.25)
+            times.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert times == pytest.approx([0.25, 0.5, 0.75])
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+
+    def make(tag):
+        def body():
+            yield Timeout(1.0)
+            order.append(tag)
+
+        return body
+
+    for tag in "abc":
+        sim.process(make(tag)())
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1)
+        return 99
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    assert sim.run_until_process(sim.process(parent())) == 100
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(0.5)
+        return "done"
+
+    def parent(proc):
+        yield Timeout(2.0)
+        value = yield proc
+        return sim.now, value
+
+    child_proc = sim.process(child())
+    when, value = sim.run_until_process(sim.process(parent(child_proc)))
+    assert value == "done"
+    assert when == pytest.approx(2.0)
+
+
+def test_exception_in_child_reraised_in_parent():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            return str(exc)
+
+    assert sim.run_until_process(sim.process(parent())) == "boom"
+
+
+def test_unobserved_failure_surfaces_in_run():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1)
+        raise RuntimeError("silent death")
+
+    sim.process(body())
+    with pytest.raises(RuntimeError, match="silent death"):
+        sim.run()
+
+
+def test_signal_wakes_waiter_with_value():
+    sim = Simulator()
+
+    def waiter(sig):
+        value = yield sig
+        return value, sim.now
+
+    def firer(sig):
+        yield Timeout(3)
+        sig.fire("hello")
+
+    sig = Signal()
+    proc = sim.process(waiter(sig))
+    sim.process(firer(sig))
+    assert sim.run_until_process(proc) == ("hello", 3)
+
+
+def test_signal_fire_twice_raises():
+    sig = Signal()
+    sig.fire()
+    with pytest.raises(SimulationError):
+        sig.fire()
+
+
+def test_wait_on_already_fired_signal():
+    sim = Simulator()
+    sig = Signal()
+    sig.fire(7)
+
+    def body():
+        value = yield sig
+        return value
+
+    assert sim.run_until_process(sim.process(body())) == 7
+
+
+def test_signal_fail_raises_in_waiter():
+    sim = Simulator()
+    sig = Signal()
+
+    def waiter():
+        with pytest.raises(KeyError):
+            yield sig
+        return True
+
+    def failer():
+        yield Timeout(1)
+        sig.fail(KeyError("nope"))
+
+    proc = sim.process(waiter())
+    sim.process(failer())
+    assert sim.run_until_process(proc) is True
+
+
+def test_allof_waits_for_slowest():
+    sim = Simulator()
+
+    def body():
+        values = yield AllOf([Timeout(1, "a"), Timeout(5, "b"), Timeout(3, "c")])
+        return sim.now, values
+
+    when, values = sim.run_until_process(sim.process(body()))
+    assert when == pytest.approx(5)
+    assert values == ["a", "b", "c"]
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+
+    def body():
+        values = yield AllOf([])
+        return sim.now, values
+
+    assert sim.run_until_process(sim.process(body())) == (0.0, [])
+
+
+def test_yield_non_waitable_raises():
+    sim = Simulator()
+
+    def body():
+        yield 42
+
+    sim.process(body())
+    with pytest.raises(SimulationError, match="expected a Waitable"):
+        sim.run()
+
+
+def test_run_until_stops_at_limit():
+    sim = Simulator()
+
+    def body():
+        while True:
+            yield Timeout(1)
+
+    sim.process(body())
+    assert sim.run(until=10.5) == pytest.approx(10.5)
+    assert sim.now == pytest.approx(10.5)
+
+
+def test_run_until_process_detects_deadlock():
+    sim = Simulator()
+    sig = Signal()  # never fired
+
+    def body():
+        yield sig
+
+    proc = sim.process(body())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_process(proc)
+
+
+def test_process_value_before_completion_raises():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1)
+
+    proc = sim.process(body())
+    with pytest.raises(SimulationError):
+        _ = proc.value
+
+
+def test_non_generator_body_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="generator"):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_resource_serializes_fifo():
+    sim = Simulator()
+    res = sim.resource(capacity=1, name="r")
+    order = []
+
+    def worker(tag, hold):
+        yield res.acquire()
+        order.append(("start", tag, sim.now))
+        yield Timeout(hold)
+        order.append(("end", tag, sim.now))
+        res.release()
+
+    sim.process(worker("a", 2))
+    sim.process(worker("b", 1))
+    sim.run()
+    assert order == [
+        ("start", "a", 0.0),
+        ("end", "a", 2.0),
+        ("start", "b", 2.0),
+        ("end", "b", 3.0),
+    ]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    res = sim.resource(capacity=2)
+    ends = []
+
+    def worker():
+        yield res.acquire()
+        yield Timeout(1)
+        res.release()
+        ends.append(sim.now)
+
+    for _ in range(3):
+        sim.process(worker())
+    sim.run()
+    assert ends == pytest.approx([1.0, 1.0, 2.0])
+
+
+def test_resource_release_without_acquire_raises():
+    sim = Simulator()
+    res = sim.resource()
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_store_fifo_and_blocking():
+    sim = Simulator()
+    store = sim.store()
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+    def producer():
+        store.put("x")
+        yield Timeout(2)
+        store.put("y")
+        store.put("z")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [("x", 0.0), ("y", 2.0), ("z", 2.0)]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = sim.store()
+    assert store.try_get() == (False, None)
+    store.put(1)
+    assert store.try_get() == (True, 1)
+    assert len(store) == 0
+
+
+def test_call_in_past_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-0.1, lambda: None)

@@ -1,0 +1,197 @@
+"""Tests for the hash index and the hybrid-log store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import StateError
+from repro.state.crdt import AppendLogCrdt, SumCrdt
+from repro.state.hash_index import HashIndex
+from repro.state.lss import LogStructuredStore
+
+
+class TestHashIndex:
+    def test_put_get(self):
+        index = HashIndex()
+        index.put("a", 0)
+        assert index.get("a") == 0
+        assert index.get("b") is None
+        assert "a" in index
+        assert len(index) == 1
+
+    def test_move(self):
+        index = HashIndex()
+        index.put("a", 0)
+        index.put("a", 5)
+        assert index.get("a") == 5
+        assert index.inserts == 1
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(StateError):
+            HashIndex().remove("x")
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(StateError):
+            HashIndex().put("a", -1)
+
+    def test_size_bytes_scales(self):
+        index = HashIndex()
+        for i in range(10):
+            index.put(i, i)
+        assert index.size_bytes == 160
+
+
+class TestLogStructuredStore:
+    def test_rmw_from_zero(self):
+        store = LogStructuredStore(SumCrdt())
+        store.update("k", 5)
+        store.update("k", 3)
+        assert store.get("k") == 8
+        assert len(store) == 1
+
+    def test_absorb_merges_partials(self):
+        store = LogStructuredStore(SumCrdt())
+        store.absorb("k", 10)
+        store.absorb("k", 7)
+        assert store.get("k") == 17
+
+    def test_in_place_update_in_mutable_region(self):
+        store = LogStructuredStore(SumCrdt())
+        store.update("k", 1)
+        store.update("k", 1)
+        assert store.log_length == 1  # updated in place, no new version
+
+    def test_copy_on_write_below_boundary(self):
+        store = LogStructuredStore(SumCrdt())
+        store.update("k", 1)
+        store.mark_readonly()
+        store.update("k", 2)
+        assert store.get("k") == 3
+        assert store.log_length == 2  # a new version was appended
+
+    def test_remove_returns_payload(self):
+        store = LogStructuredStore(SumCrdt())
+        store.update("k", 4)
+        assert store.remove("k") == 4
+        assert store.get("k") is None
+        with pytest.raises(StateError):
+            store.remove("k")
+
+    def test_replace(self):
+        store = LogStructuredStore(SumCrdt())
+        store.replace("k", 42)
+        assert store.get("k") == 42
+        store.replace("k", 43)
+        assert store.get("k") == 43
+        store.mark_readonly()
+        store.replace("k", 44)
+        assert store.get("k") == 44
+
+    def test_scan_live_only(self):
+        store = LogStructuredStore(SumCrdt())
+        store.update("a", 1)
+        store.update("b", 2)
+        store.remove("a")
+        assert dict(store.scan()) == {"b": 2}
+
+    def test_keys_matching(self):
+        store = LogStructuredStore(SumCrdt())
+        store.update((1, "a"), 1)
+        store.update((2, "a"), 1)
+        store.update((1, "b"), 1)
+        keys = store.keys_matching(lambda k: k[0] == 1)
+        assert sorted(keys) == [(1, "a"), (1, "b")]
+
+    def test_delta_contains_only_changes_since_boundary(self):
+        store = LogStructuredStore(SumCrdt())
+        store.update("old", 1)
+        store.mark_readonly()
+        store.update("new", 2)
+        assert store.delta_pairs() == [("new", 2)]
+
+    def test_delta_includes_cow_of_old_keys(self):
+        store = LogStructuredStore(SumCrdt())
+        store.update("k", 1)
+        store.mark_readonly()
+        store.update("k", 2)
+        assert store.delta_pairs() == [("k", 3)]
+
+    def test_ship_delta_resets_fragment(self):
+        """After shipping, RMWs restart from zero (paper Sec. 7.2.2)."""
+        store = LogStructuredStore(SumCrdt())
+        store.update("k", 5)
+        store.update("k", 2)
+        pairs, nbytes = store.ship_delta()
+        assert pairs == [("k", 7)]
+        assert nbytes > 0
+        assert store.get("k") is None
+        store.update("k", 1)
+        assert store.get("k") == 1
+
+    def test_ship_delta_empty(self):
+        store = LogStructuredStore(SumCrdt())
+        pairs, nbytes = store.ship_delta()
+        assert pairs == []
+        assert nbytes == 0
+
+    def test_delta_bytes_append_crdt_scales_with_records(self):
+        store = LogStructuredStore(AppendLogCrdt(record_bytes=100))
+        store.update("k", "r1")
+        store.update("k", "r2")
+        assert store.delta_bytes() == 8 + 8 + (8 + 200)
+
+    def test_compaction_preserves_content(self):
+        store = LogStructuredStore(SumCrdt(), compact_threshold=0.5)
+        for i in range(20):
+            store.update(i, 1)
+        for i in range(15):
+            store.remove(i)
+        assert store.compactions >= 1
+        assert dict(store.scan()) == {i: 1 for i in range(15, 20)}
+        # Post-compaction updates still work.
+        store.update(15, 1)
+        assert store.get(15) == 2
+
+    def test_compaction_preserves_boundary_semantics(self):
+        store = LogStructuredStore(SumCrdt(), compact_threshold=0.4)
+        store.update("frozen", 1)
+        store.mark_readonly()
+        for i in range(10):
+            store.update(i, 1)
+        for i in range(10):
+            store.remove(i)
+        # "frozen" is below the boundary: an update must copy-on-write.
+        length_before = store.log_length
+        store.update("frozen", 1)
+        assert store.get("frozen") == 2
+        assert store.log_length == length_before + 1
+
+    def test_size_bytes(self):
+        store = LogStructuredStore(SumCrdt())
+        assert store.size_bytes == 0
+        store.update("k", 1)
+        assert store.size_bytes > 0
+
+    def test_bad_compact_threshold(self):
+        with pytest.raises(StateError):
+            LogStructuredStore(SumCrdt(), compact_threshold=0.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-100, 100)),
+            min_size=1,
+            max_size=100,
+        ),
+        st.lists(st.integers(0, 99), max_size=5),
+    )
+    def test_property_store_matches_dict_with_boundaries(self, updates, boundary_points):
+        """Interleaving mark_readonly anywhere never changes visible state."""
+        store = LogStructuredStore(SumCrdt())
+        reference: dict[int, float] = {}
+        boundary_set = set(boundary_points)
+        for i, (key, value) in enumerate(updates):
+            if i in boundary_set:
+                store.mark_readonly()
+            store.update(key, value)
+            reference[key] = reference.get(key, 0.0) + value
+        for key, expected in reference.items():
+            assert store.get(key) == pytest.approx(expected)

@@ -1,0 +1,90 @@
+"""Property tests: hybrid-log store under randomized op sequences.
+
+Hypothesis drives arbitrary interleavings of updates, absorbs, removals,
+boundary advances, and delta shipments against a plain-dict reference
+model; the store must agree at every observation point.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.state.crdt import AppendLogCrdt, SumCrdt
+from repro.state.lss import LogStructuredStore
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("update"), st.integers(0, 7), st.integers(-50, 50)),
+        st.tuples(st.just("absorb"), st.integers(0, 7), st.integers(-50, 50)),
+        st.tuples(st.just("remove"), st.integers(0, 7), st.none()),
+        st.tuples(st.just("mark_readonly"), st.none(), st.none()),
+        st.tuples(st.just("ship"), st.none(), st.none()),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequence=ops)
+def test_property_store_tracks_model_through_ships(sequence):
+    """The store's visible content equals a dict model where shipping
+    moves the whole current content into a 'shipped' accumulator."""
+    store = LogStructuredStore(SumCrdt(), compact_threshold=0.4)
+    model: dict[int, float] = {}
+    shipped: dict[int, float] = {}
+
+    for op, key, value in sequence:
+        if op == "update":
+            store.update(key, value)
+            model[key] = model.get(key, 0.0) + value
+        elif op == "absorb":
+            store.absorb(key, value)
+            model[key] = model.get(key, 0.0) + value
+        elif op == "remove":
+            if key in model:
+                assert store.remove(key) == pytest.approx(model.pop(key))
+            else:
+                assert store.get(key) is None
+        elif op == "mark_readonly":
+            store.mark_readonly()
+        elif op == "ship":
+            pairs, nbytes = store.ship_delta()
+            assert nbytes >= 0
+            for k, payload in pairs:
+                shipped[k] = shipped.get(k, 0.0) + payload
+                # Shipped pairs leave the store entirely.
+                model.pop(k, None)
+
+        # Invariant: visible content equals the model at every step.
+        assert dict(store.scan()) == pytest.approx(model)
+
+    # The resident content equals the model's surviving updates.
+    store_total = sum(payload for _k, payload in store.scan())
+    assert store_total == pytest.approx(sum(model.values()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    appends=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 999)), max_size=60
+    ),
+    ship_points=st.sets(st.integers(0, 59), max_size=4),
+)
+def test_property_append_log_conservation(appends, ship_points):
+    """For holistic payloads, shipping + merging loses no record and
+    duplicates none (the multiset of records is conserved)."""
+    crdt = AppendLogCrdt()
+    helper = LogStructuredStore(crdt, compact_threshold=0.5)
+    leader = LogStructuredStore(crdt, compact_threshold=0.5)
+    expected: dict[int, list[int]] = {}
+    for i, (key, record) in enumerate(appends):
+        if i in ship_points:
+            pairs, _nbytes = helper.ship_delta()
+            for k, payload in pairs:
+                leader.absorb(k, payload)
+        helper.update(key, record)
+        expected.setdefault(key, []).append(record)
+    pairs, _nbytes = helper.ship_delta()
+    for k, payload in pairs:
+        leader.absorb(k, payload)
+    merged = {k: sorted(v) for k, v in leader.scan()}
+    assert merged == {k: sorted(v) for k, v in expected.items()}

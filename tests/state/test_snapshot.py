@@ -1,0 +1,88 @@
+"""Tests for epoch-aligned SSB snapshots (extension)."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.state.crdt import AppendLogCrdt, SumCrdt
+from repro.state.partition import PartitionDirectory
+from repro.state.ssb import SlashStateBackend
+
+
+def make_backend(n=2, executor=0, crdt=None):
+    backend = SlashStateBackend(executor, PartitionDirectory(n))
+    handle = backend.handle("agg", crdt or SumCrdt())
+    return backend, handle
+
+
+def test_snapshot_roundtrip():
+    backend, handle = make_backend()
+    handle.update((1, "a"), 10)
+    handle.update((1, "b"), 20)
+    backend.observe_watermark(123.0)
+    snap = backend.snapshot()
+
+    fresh_backend, fresh_handle = make_backend()
+    fresh_backend.restore(snap)
+    assert fresh_handle.get_local((1, "a")) == 10
+    assert fresh_handle.get_local((1, "b")) == 20
+    assert fresh_backend.watermarks.watermark == 123.0
+    assert fresh_backend.clock.entry(0) == 123.0
+
+
+def test_snapshot_is_isolated_from_later_mutation():
+    backend, handle = make_backend()
+    handle.update("k", 5)
+    snap = backend.snapshot()
+    handle.update("k", 100)  # post-snapshot mutation
+
+    fresh_backend, fresh_handle = make_backend()
+    fresh_backend.restore(snap)
+    assert fresh_handle.get_local("k") == 5
+
+
+def test_snapshot_deepcopies_holistic_payloads():
+    backend, handle = make_backend(crdt=AppendLogCrdt())
+    handle.update("k", "r1")
+    snap = backend.snapshot()
+    handle.update("k", "r2")  # appends to the SAME list object in the store
+
+    fresh_backend, fresh_handle = make_backend(crdt=AppendLogCrdt())
+    fresh_backend.restore(snap)
+    assert fresh_handle.get_local("k") == ["r1"]
+
+
+def test_restore_replaces_existing_state():
+    backend, handle = make_backend()
+    handle.update("old", 1)
+    snap = backend.snapshot()
+    fresh_backend, fresh_handle = make_backend()
+    fresh_handle.update("junk", 999)
+    fresh_backend.restore(snap)
+    assert fresh_handle.get_local("junk") is None
+    assert fresh_handle.get_local("old") == 1
+
+
+def test_restore_wrong_executor_rejected():
+    backend, _ = make_backend(executor=0)
+    snap = backend.snapshot()
+    other, _ = make_backend(executor=1)
+    with pytest.raises(StateError, match="snapshot of executor"):
+        other.restore(snap)
+
+
+def test_restore_unregistered_operator_rejected():
+    backend, _ = make_backend()
+    snap = backend.snapshot()
+    fresh = SlashStateBackend(0, PartitionDirectory(2))
+    with pytest.raises(StateError, match="unregistered operator"):
+        fresh.restore(snap)
+
+
+def test_snapshot_covers_all_partitions():
+    backend, handle = make_backend(n=4)
+    # Spread keys over partitions.
+    for key in range(40):
+        handle.update((0, key), 1)
+    snap = backend.snapshot()
+    total = sum(len(pairs) for pairs in snap["operators"]["agg"].values())
+    assert total == 40

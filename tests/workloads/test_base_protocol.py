@@ -1,0 +1,66 @@
+"""Tests for the Workload base-class contract."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.records import Schema
+from repro.workloads.base import Workload
+
+
+class _Toy(Workload):
+    name = "toy"
+    schema = Schema("toy", (("ts", "i8"), ("key", "i8")), record_bytes=16)
+
+    @property
+    def default_span_ms(self):
+        return 100_000
+
+    def _flow(self, node, thread):
+        rng = self._generator("flow", node, thread)
+        n = self.records_per_thread
+        ts = np.sort(rng.choice(self.span_ms, size=n, replace=False)).astype(np.int64)
+        key = rng.integers(0, 10, size=n, dtype=np.int64)
+        return list(self._batches(self.schema, "toy", ts=ts, key=key))
+
+
+def test_span_override():
+    assert _Toy(span_ms=5000).span_ms == 5000
+    assert _Toy().span_ms == 100_000
+
+
+def test_batches_cut_to_batch_records():
+    workload = _Toy(records_per_thread=1000, batch_records=300)
+    flow = workload.flows(1, 1)[(0, 0)]
+    lengths = [len(batch) for _s, batch in flow]
+    assert lengths == [300, 300, 300, 100]
+
+
+def test_total_records():
+    assert _Toy(records_per_thread=100).total_records(3, 4) == 1200
+
+
+def test_rng_isolated_per_workload_name():
+    class _Other(_Toy):
+        name = "other-toy"
+
+    a = _Toy(seed=5).flows(1, 1)[(0, 0)]
+    b = _Other(seed=5).flows(1, 1)[(0, 0)]
+    assert not np.array_equal(a[0][1].keys, b[0][1].keys)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        _Toy(records_per_thread=-1)
+    with pytest.raises(ConfigError):
+        _Toy().flows(1, 0)
+
+
+def test_abstract_methods_required():
+    workload = Workload()
+    with pytest.raises(NotImplementedError):
+        workload.build_query()
+    with pytest.raises(NotImplementedError):
+        _ = workload.span_ms
+    with pytest.raises(NotImplementedError):
+        workload._flow(0, 0)

@@ -1,0 +1,100 @@
+"""Tests for key distributions and timestamp synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngTree
+from repro.workloads.distributions import (
+    distinct_fraction,
+    effective_working_set_keys,
+    monotone_timestamps,
+    pareto_keys,
+    uniform_keys,
+    zipf_keys,
+)
+
+
+def rng():
+    return RngTree(11).generator("test")
+
+
+class TestMonotoneTimestamps:
+    def test_strictly_increasing(self):
+        ts = monotone_timestamps(1000, 100_000, rng())
+        assert np.all(np.diff(ts) > 0)
+
+    def test_span_respected(self):
+        ts = monotone_timestamps(1000, 100_000, rng())
+        assert ts.min() >= 0
+        assert ts.max() < 100_000
+
+    def test_empty(self):
+        assert len(monotone_timestamps(0, 100, rng())) == 0
+
+    def test_span_too_small(self):
+        with pytest.raises(ConfigError):
+            monotone_timestamps(100, 50, rng())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 500), st.integers(0, 10))
+    def test_property_strict_even_at_tight_span(self, count, slack):
+        ts = monotone_timestamps(count, count + slack, rng())
+        assert np.all(np.diff(ts) > 0)
+        assert ts.max() < count + slack
+
+
+class TestKeyDistributions:
+    def test_uniform_range(self):
+        keys = uniform_keys(10_000, 100, rng())
+        assert keys.min() >= 0
+        assert keys.max() < 100
+        assert len(np.unique(keys)) == 100
+
+    def test_zipf_zero_is_uniform(self):
+        a = zipf_keys(100, 50, 0.0, rng())
+        assert a.min() >= 0 and a.max() < 50
+
+    def test_zipf_concentration_grows_with_z(self):
+        low = zipf_keys(20_000, 10_000, 0.2, rng())
+        high = zipf_keys(20_000, 10_000, 1.8, rng())
+        assert distinct_fraction(high) < distinct_fraction(low)
+
+    def test_zipf_range(self):
+        keys = zipf_keys(1000, 100, 1.0, rng())
+        assert keys.min() >= 0 and keys.max() < 100
+
+    def test_zipf_negative_z_rejected(self):
+        with pytest.raises(ConfigError):
+            zipf_keys(10, 10, -0.5, rng())
+
+    def test_pareto_heavy_tail(self):
+        keys = pareto_keys(50_000, 1_000_000, rng())
+        assert keys.min() >= 0 and keys.max() < 1_000_000
+        # Heavy hitters: top-10% of keys carry most of the mass.
+        hot = effective_working_set_keys(keys, coverage=0.8)
+        assert hot < len(np.unique(keys)) / 2
+
+    def test_pareto_bad_args(self):
+        with pytest.raises(ConfigError):
+            pareto_keys(10, 0, rng())
+        with pytest.raises(ConfigError):
+            pareto_keys(10, 10, rng(), shape=0)
+
+    def test_bad_key_range(self):
+        with pytest.raises(ConfigError):
+            uniform_keys(10, 0, rng())
+
+
+class TestSkewObservables:
+    def test_distinct_fraction(self):
+        assert distinct_fraction(np.array([1, 1, 1, 2])) == 0.5
+        assert distinct_fraction(np.array([], dtype=np.int64)) == 0.0
+
+    def test_effective_working_set(self):
+        keys = np.array([0] * 90 + list(range(1, 11)))
+        assert effective_working_set_keys(keys, coverage=0.9) == 1
+        assert effective_working_set_keys(np.array([], dtype=np.int64)) == 0
+        uniform = np.arange(100)
+        assert effective_working_set_keys(uniform, coverage=0.9) == 90
