@@ -32,9 +32,12 @@ Quick start::
 
 from repro.common.config import ClusterConfig, CpuConfig, NicConfig, NodeConfig, paper_cluster
 from repro.common.errors import (
+    ChannelResetError,
     ConfigError,
+    FaultError,
     ProtocolError,
     QueryError,
+    RecoveryError,
     ReproError,
     SimulationError,
     StateError,
@@ -59,6 +62,9 @@ __all__ = [
     "ProtocolError",
     "StateError",
     "QueryError",
+    "FaultError",
+    "RecoveryError",
+    "ChannelResetError",
     "SlashEngine",
     "RunResult",
     "Query",

@@ -23,12 +23,12 @@ from typing import Any, Generator, Optional
 from repro.channel.circular_queue import FOOTER_BYTES, CircularQueue
 from repro.channel.protocol import ChannelStats, FlowControl
 from repro.common.config import DEFAULT_BUFFER_BYTES, DEFAULT_CREDITS
-from repro.common.errors import ProtocolError
+from repro.common.errors import ChannelResetError, FaultError, ProtocolError
 from repro.rdma.connection import ConnectionManager
 from repro.rdma.verbs import QueuePair
 from repro.simnet.cluster import Core
 from repro.simnet.cost_model import OpCost
-from repro.simnet.kernel import Simulator, Store
+from repro.simnet.kernel import FirstOf, Signal, Simulator, Store, Timeout
 from repro.simnet.trace import trace
 
 
@@ -40,6 +40,30 @@ class _Eos:
 
 
 CHANNEL_EOS = _Eos()
+
+
+class _PoisonCredit:
+    """Sentinel injected into a producer's credit queue by ``mark_dead``.
+
+    Wakes a sender parked on credit from a peer that will never return
+    one, without confusing the flow-control accounting.
+    """
+
+    def __repr__(self) -> str:
+        return "POISON_CREDIT"
+
+
+_POISON_CREDIT = _PoisonCredit()
+
+
+class _ResetToken:
+    """Sentinel injected into a consumer's arrival queue by ``force_reset``."""
+
+    def __repr__(self) -> str:
+        return "CHANNEL_RESET"
+
+
+_RESET_TOKEN = _ResetToken()
 
 # Wire size of a credit-return message (an 8-byte counter plus header).
 CREDIT_MSG_BYTES = 16
@@ -73,11 +97,28 @@ class ProducerEndpoint:
         self.signal_writes = signal_writes
         self._next_slot = 0
         self._closed = False
+        # Fault-mode state: a dead peer blackholes sends; the credit
+        # ticket persists across timed-out waits so an abandoned wait can
+        # never swallow a credit message.
+        self._dead = False
+        self._credit_ticket: Optional[Signal] = None
 
     @property
     def closed(self) -> bool:
         """Whether EOS has been sent."""
         return self._closed
+
+    @property
+    def dead(self) -> bool:
+        """Whether the peer has been declared dead (sends are dropped)."""
+        return self._dead
+
+    def mark_dead(self) -> None:
+        """Declare the consumer dead: drop future sends, wake credit waits."""
+        if self._dead:
+            return
+        self._dead = True
+        self.qp.recv_queue.put((_POISON_CREDIT, 0))
 
     def send(self, core: Core, payload: Any, nbytes: int) -> Generator[Any, Any, None]:
         """Transfer one buffer; drive with ``yield from``.
@@ -85,6 +126,9 @@ class ProducerEndpoint:
         Blocks (spin-waiting, charged as core-bound cycles) when the
         producer holds no credit — the self-adjusting rate of Sec. 6.2.
         """
+        if self.sim.faults is not None:
+            yield from self._send_fault_tolerant(core, payload, nbytes, cooperative=False)
+            return
         if self._closed:
             raise ProtocolError(f"{self.name}: send after EOS")
         self.queue.check_payload(nbytes)
@@ -106,6 +150,9 @@ class ProducerEndpoint:
         """
         from repro.core.scheduler import Park  # local import: layering
 
+        if self.sim.faults is not None:
+            yield from self._send_fault_tolerant(core, payload, nbytes, cooperative=True)
+            return
         if self._closed:
             raise ProtocolError(f"{self.name}: send after EOS")
         self.queue.check_payload(nbytes)
@@ -116,6 +163,62 @@ class ProducerEndpoint:
             self._apply_credit(credit_msg[0])
             self.stats.record_stall(self.sim.now - stall_start)
         yield from self._post(core, payload, nbytes)
+
+    def _send_fault_tolerant(
+        self, core: Core, payload: Any, nbytes: int, cooperative: bool
+    ) -> Generator[Any, Any, None]:
+        """The fault-mode send path: credit timeouts + reliable transfer.
+
+        Credit waits race against a timeout; on expiry the producer checks
+        whether the peer crashed (→ declare it dead and drop the send —
+        the recovery protocol re-creates the data elsewhere) and otherwise
+        keeps waiting with the *same* ticket, so a credit arriving after a
+        timed-out wait is still applied, never lost.
+        """
+        from repro.core.scheduler import Park  # local import: layering
+
+        if self._closed:
+            raise ProtocolError(f"{self.name}: send after EOS")
+        faults = self.sim.faults
+        if self._dead:
+            self._blackhole(nbytes)
+            return
+        self.queue.check_payload(nbytes)
+        self._drain_credits()
+        while not self.flow.can_send():
+            if self._dead:
+                self._blackhole(nbytes)
+                return
+            stall_start = self.sim.now
+            if self._credit_ticket is None:
+                self._credit_ticket = self.qp.recv()
+            race = FirstOf(
+                [self._credit_ticket, Timeout(faults.credit_timeout_s)]
+            )
+            if cooperative:
+                index, value = yield Park(race)
+            else:
+                index, value = yield from core.spin_wait(race)
+            if index == 0:
+                self._credit_ticket = None
+                if value[0] is _POISON_CREDIT:
+                    self._blackhole(nbytes)
+                    return
+                self._apply_credit(value[0])
+                self.stats.record_stall(self.sim.now - stall_start)
+            else:
+                self.stats.credit_timeouts += 1
+                faults.note_credit_timeout(self.name)
+                if faults.is_crashed_node(self.qp.remote.index):
+                    self.mark_dead()
+                    self._blackhole(nbytes)
+                    return
+        yield from self._post_reliable(core, payload, nbytes, cooperative)
+
+    def _blackhole(self, nbytes: int) -> None:
+        self.stats.blackholed_sends += 1
+        self.sim.faults.note_blackholed_send(self.name)
+        trace(self.sim, "channel", f"{self.name} send to dead peer dropped", bytes=nbytes)
 
     def _post(self, core: Core, payload: Any, nbytes: int) -> Generator[Any, Any, None]:
         self.flow.spend()
@@ -135,8 +238,77 @@ class ProducerEndpoint:
         self.stats.record_send(nbytes)
         trace(self.sim, "channel", f"{self.name} send", slot=slot % self.queue.credits, bytes=nbytes)
 
+    def _post_reliable(
+        self, core: Core, payload: Any, nbytes: int, cooperative: bool
+    ) -> Generator[Any, Any, None]:
+        """Post a WRITE with ACK tracking and bounded-backoff retransmission.
+
+        One ACK signal and one first-delivery-wins transfer record are
+        shared across all attempts of a buffer: a retransmission of a
+        merely-slow (not lost) WRITE is discarded at the receiver, and a
+        late ACK from an earlier attempt satisfies a later wait.
+        """
+        from repro.core.scheduler import Park  # local import: layering
+
+        faults = self.sim.faults
+        self.flow.spend()
+        slot = self._next_slot
+        self._next_slot += 1
+        stamped = (self.sim.now, payload)
+        ack = Signal(name=f"{self.name}.ack.{slot}")
+        xfer_state: dict[str, bool] = {"delivered": False}
+        rto = faults.rto_s
+        attempt = 0
+        while True:
+            yield from self.qp.post_write(
+                core,
+                stamped,
+                nbytes + FOOTER_BYTES,
+                self.queue.region,
+                self.queue.offset_of(slot),
+                signaled=self.signal_writes,
+                ack_signal=ack,
+                xfer_state=xfer_state,
+            )
+            if self.signal_writes:
+                yield from self.qp.poll_cq(core)
+            race = FirstOf([ack, Timeout(rto)])
+            if cooperative:
+                index, _value = yield Park(race)
+            else:
+                index, _value = yield from core.spin_wait(race)
+            if index == 0:
+                break
+            if faults.is_crashed_node(self.qp.remote.index):
+                self.mark_dead()
+                self._blackhole(nbytes)
+                return
+            attempt += 1
+            if attempt >= faults.max_retries:
+                raise FaultError(
+                    f"{self.name}: transfer for slot {slot} lost "
+                    f"{faults.max_retries} times; peer unreachable"
+                )
+            core.counters.count_retransmit(nbytes)
+            trace(
+                self.sim, "channel", f"{self.name} retransmit",
+                slot=slot % self.queue.credits, attempt=attempt, rto_s=rto,
+            )
+            rto *= 2
+        self.stats.record_send(nbytes)
+        trace(self.sim, "channel", f"{self.name} send", slot=slot % self.queue.credits, bytes=nbytes)
+
     def close(self, core: Core) -> Generator[Any, Any, None]:
-        """Send the end-of-stream sentinel (consumes a credit like data)."""
+        """Send the end-of-stream sentinel (consumes a credit like data).
+
+        Idempotent: a second close (e.g. after a channel reset raced the
+        first one) is a no-op, so EOS is delivered at most once.
+        """
+        if self._closed:
+            return
+        if self._dead:
+            self._closed = True
+            return
         yield from self.send(core, CHANNEL_EOS, 0)
         self._closed = True
 
@@ -148,14 +320,39 @@ class ProducerEndpoint:
         credit while the merge coroutines that would return it never get
         the core.  Scheduler tasks must use this variant.
         """
+        if self._closed:
+            return
+        if self._dead:
+            self._closed = True
+            return
         yield from self.send_cooperative(core, CHANNEL_EOS, 0)
         self._closed = True
+
+    def reset_endpoint(self, rearm_eos: bool = False) -> None:
+        """Return to the post-setup state after a channel teardown.
+
+        ``rearm_eos`` re-opens a closed producer whose EOS never reached
+        the consumer (it died in the torn-down ring), so the caller's
+        normal close path delivers it exactly once on the fresh channel.
+        """
+        self._next_slot = 0
+        self._dead = False
+        self._credit_ticket = None
+        while True:
+            ok, _payload, _nbytes = self.qp.try_recv()
+            if not ok:
+                break
+        self.flow = FlowControl(self.flow.initial)
+        if rearm_eos:
+            self._closed = False
 
     def _drain_credits(self) -> None:
         while True:
             ok, credit_payload, _nbytes = self.qp.try_recv()
             if not ok:
                 return
+            if credit_payload is _POISON_CREDIT:
+                continue
             self._apply_credit(credit_payload)
 
     def _apply_credit(self, credit_payload: Any) -> None:
@@ -186,6 +383,10 @@ class ConsumerEndpoint:
         self._next_slot = 0
         self._release_slot = 0
         self._eos_seen = False
+        # Fault-mode state: credit starvation withholds returns until
+        # flushed; ``force_reset`` interrupts a parked receiver.
+        self.withhold_credits = False
+        self._withheld = 0
         #: Optional fan-in hook: a store that receives one token per
         #: arrival, letting a worker sleep on many channels at once.
         self.notify_store: Optional[Store] = None
@@ -213,14 +414,18 @@ class ConsumerEndpoint:
         single cached load is far below the simulation's time quantum).
         """
         core.counters.charge(_POLL_COST, 1.0)
-        ok, _offset = self._arrivals.try_get()
+        ok, offset = self._arrivals.try_get()
         if not ok:
             return False, None, 0
+        if offset is _RESET_TOKEN:
+            raise ChannelResetError(f"{self.name}: channel was reset")
         return self._take()
 
     def recv(self, core: Core) -> Generator[Any, Any, tuple[Any, int]]:
         """Blocking receive; spin-waits (core-bound) until a buffer lands."""
-        yield from core.spin_wait(self._arrivals.get())
+        arrival = yield from core.spin_wait(self._arrivals.get())
+        if arrival is _RESET_TOKEN:
+            raise ChannelResetError(f"{self.name}: channel was reset")
         ok, payload, nbytes = self._take()
         assert ok
         return payload, nbytes
@@ -235,7 +440,9 @@ class ConsumerEndpoint:
         from repro.core.scheduler import Park  # local import: layering
 
         core.counters.charge(_POLL_COST, 1.0)
-        yield Park(self._arrivals.get())
+        arrival = yield Park(self._arrivals.get())
+        if arrival is _RESET_TOKEN:
+            raise ChannelResetError(f"{self.name}: channel was reset")
         ok, payload, nbytes = self._take()
         assert ok
         return payload, nbytes
@@ -262,7 +469,39 @@ class ConsumerEndpoint:
             raise ProtocolError(f"{self.name}: release without a received buffer")
         self.queue.release_slot(self._release_slot)
         self._release_slot += 1
+        if self.withhold_credits:
+            self._withheld += 1
+            return
         yield from self.qp.post_send(core, 1, CREDIT_MSG_BYTES)
+
+    def flush_withheld(self, core: Core) -> Generator[Any, Any, None]:
+        """Return every credit held back during a starvation window."""
+        count, self._withheld = self._withheld, 0
+        if count:
+            yield from self.qp.post_send(core, count, CREDIT_MSG_BYTES)
+
+    def force_reset(self) -> None:
+        """Interrupt the receiver: its next (or current, if parked) receive
+        raises :class:`ChannelResetError`.  Queued arrivals ahead of the
+        token are still delivered in FIFO order first."""
+        self._arrivals.put(_RESET_TOKEN)
+
+    def reset_endpoint(self) -> None:
+        """Drop undelivered ring contents and return to the initial state.
+
+        ``_eos_seen`` survives on purpose: if EOS was consumed before the
+        reset, re-establishing the channel must not expect (or accept) a
+        second one.
+        """
+        self.queue.reset()
+        self._next_slot = 0
+        self._release_slot = 0
+        self.withhold_credits = False
+        self._withheld = 0
+        while True:
+            ok, _item = self._arrivals.try_get()
+            if not ok:
+                break
 
 
 class RdmaChannel:
@@ -272,6 +511,18 @@ class RdmaChannel:
         self.producer = producer
         self.consumer = consumer
         self.stats = stats
+
+    def reset(self) -> None:
+        """Tear down and re-establish the channel after a fault.
+
+        In-flight buffers are dropped (higher layers re-ship from retained
+        epoch deltas).  End-of-stream stays exactly-once across the reset:
+        the producer is re-armed to resend EOS only if it had closed but
+        the consumer never saw the sentinel (it died with the ring).
+        """
+        rearm = self.producer.closed and not self.consumer.eos
+        self.consumer.reset_endpoint()
+        self.producer.reset_endpoint(rearm_eos=rearm)
 
     @classmethod
     def create(

@@ -77,6 +77,10 @@ class ChannelStats:
     payload_bytes: float = 0.0
     credit_stall_s: float = 0.0
     credit_stalls: int = 0
+    # Fault-mode accounting: credit waits that hit the timeout, and sends
+    # silently dropped because the peer was declared dead.
+    credit_timeouts: int = 0
+    blackholed_sends: int = 0
     _latency_sum: float = 0.0
     _latency_count: int = 0
     _latency_max: float = 0.0

@@ -43,3 +43,38 @@ class StateError(ReproError):
 
 class QueryError(ReproError):
     """An invalid streaming query (bad DAG, unsupported operator combo)."""
+
+
+class FaultError(ReproError):
+    """An injected fault exhausted the system's tolerance budget.
+
+    Raised when a transfer exceeds its bounded retransmission budget
+    (RNR-NAK retry count), when a fault plan is malformed (e.g. crashing
+    a node that does not exist), or when a fault fires against a
+    component that cannot absorb it.  Distinct from
+    :class:`RecoveryError`: a ``FaultError`` means the *fault model*
+    gave up, not that recovery was attempted and failed.
+    """
+
+
+class RecoveryError(ReproError):
+    """Epoch-based recovery could not restore a consistent state.
+
+    Examples: a leader and its checkpoint backup crashed in the same
+    run (no surviving replica to promote), a replay window whose source
+    offsets were never recorded, or a promoted helper discovering a gap
+    in the retained delta logs.  When this is raised, the zero-lost-
+    results invariant can no longer be guaranteed and the run aborts
+    loudly rather than emitting silently-wrong window results.
+    """
+
+
+class ChannelResetError(ReproError):
+    """An RDMA channel was torn down while an endpoint was using it.
+
+    Raised at a producer blocked on credit (or a consumer blocked on
+    arrivals) when the peer is declared dead and the channel enters the
+    reset/re-establish handshake.  Callers catch it to re-route traffic
+    to the promoted leader or to abandon the stream; it is *not* a bug,
+    unlike :class:`~repro.common.errors.ProtocolError`.
+    """

@@ -25,6 +25,8 @@ from repro.core.costs import DEFAULT_SLASH_COSTS, SlashCosts
 from repro.core.executor import Flow, SlashExecutor
 from repro.core.pipeline import compile_query
 from repro.core.query import Query
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.rdma.connection import ConnectionManager
 from repro.simnet.cluster import Cluster
 from repro.simnet.counters import HwCounters
@@ -79,6 +81,8 @@ class SlashEngine:
         epoch_bytes: int = SIM_EPOCH_BYTES,
         costs: SlashCosts = DEFAULT_SLASH_COSTS,
         leaders: Optional[list[int]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_overrides: Optional[dict] = None,
     ):
         self.cluster_config = cluster_config or paper_cluster()
         self.credits = credits
@@ -90,6 +94,11 @@ class SlashEngine:
         # dedicated state node and every other node into pure compute —
         # the decoupled layout of the paper's challenge C1.
         self.leaders = leaders
+        # Optional chaos schedule: when set, the run executes in fault
+        # mode (checkpoints, watchdogs, reliable transfers) and the
+        # injector applies the plan's events at exact simulated instants.
+        self.fault_plan = fault_plan
+        self.fault_overrides = dict(fault_overrides or {})
 
     def run(self, query: Query, flows: dict[tuple[int, int], Flow]) -> RunResult:
         """Execute ``query`` over ``flows`` and return the results.
@@ -109,6 +118,13 @@ class SlashEngine:
         cm = ConnectionManager(cluster)
         directory = PartitionDirectory(nodes, leaders=self.leaders)
         plan = compile_query(query)
+
+        injector: Optional[FaultInjector] = None
+        if self.fault_plan is not None and len(self.fault_plan):
+            injector = FaultInjector(sim, self.fault_plan, **self.fault_overrides)
+            # Attaching the injector before executor construction flips
+            # every layer onto its fault-tolerant code path.
+            sim.faults = injector
 
         executors = []
         for node_index in range(nodes):
@@ -133,11 +149,18 @@ class SlashEngine:
             )
         for executor in executors:
             executor.connect(executors)
+        if injector is not None:
+            injector.register(cluster, directory, executors)
         for executor in executors:
             executor.start()
+        if injector is not None:
+            injector.arm()
         sim.run()
 
+        crashed = injector.crashed if injector is not None else set()
         for executor in executors:
+            if executor.executor_id in crashed:
+                continue
             if not executor.finished.fired:
                 raise QueryError(
                     f"executor {executor.executor_id} never finished "
@@ -155,9 +178,18 @@ class SlashEngine:
             sim_seconds=sim.now,
         )
         for executor in executors:
-            result.aggregates.update(executor.results.aggregates)
-            result.join_pairs.extend(executor.results.join_pairs)
-            result.emitted += executor.results.emitted
+            if executor.executor_id in crashed:
+                # A crashed executor's output is its last committed
+                # checkpoint: post-checkpoint emissions were discarded and
+                # re-fired (for its led partitions) by the promoted leader.
+                checkpoint = injector.committed_results(executor.executor_id)
+                result.aggregates.update(checkpoint.aggregates)
+                result.join_pairs.extend(checkpoint.join_pairs)
+                result.emitted += checkpoint.emitted
+            else:
+                result.aggregates.update(executor.results.aggregates)
+                result.join_pairs.extend(executor.results.join_pairs)
+                result.emitted += executor.results.emitted
             node_counters = executor.node.counters()
             result.per_node_counters.append(node_counters)
             result.counters.merge(node_counters)
@@ -170,6 +202,8 @@ class SlashEngine:
         result.extra["state_bytes"] = sum(
             e.backend.total_state_bytes() for e in executors
         )
+        if injector is not None:
+            result.extra["faults"] = injector.report()
         return result
 
     @staticmethod

@@ -30,7 +30,7 @@ from repro.common.config import (
     DEFAULT_CREDITS,
     DEFAULT_EPOCH_BYTES,
 )
-from repro.common.errors import QueryError, SimulationError
+from repro.common.errors import ChannelResetError, QueryError, SimulationError
 from repro.core.costs import DEFAULT_SLASH_COSTS, SlashCosts, quantize_working_set
 from repro.core.join import probe_sessions, probe_window
 from repro.core.pipeline import PhysicalPlan
@@ -40,7 +40,7 @@ from repro.core.scheduler import SCHED_YIELD, CoroScheduler
 from repro.core.windows import SessionWindows, SlidingWindow
 from repro.rdma.connection import ConnectionManager
 from repro.simnet.cluster import Cluster, Core, Node
-from repro.simnet.kernel import Signal
+from repro.simnet.kernel import Signal, Timeout
 from repro.simnet.trace import trace
 from repro.state.epoch import EpochDelta, EpochManager
 from repro.state.partition import PartitionDirectory
@@ -191,6 +191,10 @@ class SlashExecutor:
         )
         self.results = ExecutorResults()
         self.records_processed = 0
+        # Batches fully absorbed per flow; snapshotted at every epoch
+        # boundary (fault mode), which is what lets recovery replay a
+        # crashed executor's input from its last checkpointed cut.
+        self._flow_pos = [0] * len(flows)
         self._last_contribution: dict = {}
         self._ws_bytes = 0.0  # running working-set estimate for the cache model
         self._out_channels: dict[int, Any] = {}
@@ -245,7 +249,12 @@ class SlashExecutor:
         for slot, (peer_id, consumer) in enumerate(sorted(self._in_channels.items())):
             scheduler = self.schedulers[slot % thread_count]
             scheduler.add(
-                self._merge_task(scheduler.core, consumer), name=f"merge<-{peer_id}"
+                self._merge_task(scheduler.core, consumer, peer_id),
+                name=f"merge<-{peer_id}",
+            )
+        if self.sim.faults is not None:
+            self.schedulers[0].add(
+                self._watchdog_body(self.schedulers[0].core), name="watchdog"
             )
         for thread, scheduler in enumerate(self.schedulers):
             scheduler.add(self._ship_task(thread, scheduler.core), name=f"shipper{thread}")
@@ -301,6 +310,7 @@ class SlashExecutor:
                     self.trigger.note_slices(
                         key[0] for key in result.partials
                     )
+            self._flow_pos[thread] += 1
             self.watermarks.observe(thread, stream_name, result.max_timestamp)
             self.backend.observe_watermark(self.watermarks.watermark)
 
@@ -322,6 +332,10 @@ class SlashExecutor:
             self.sim, "epoch", f"exec{self.executor_id} boundary",
             epoch=self.epoch.current_epoch, deltas=len(deltas), final=final,
         )
+        if self.sim.faults is not None:
+            # Record the cut (flow positions + retained deltas) and take
+            # the epoch-boundary checkpoint, synchronously at this instant.
+            self.sim.faults.note_epoch_cut(self, deltas, final)
         # Re-anchor the working-set estimate: fragments were just drained,
         # so the hot set is what actually remains resident locally.
         self._ws_bytes = float(self.handle.fragment_bytes())
@@ -377,6 +391,11 @@ class SlashExecutor:
             deltas = self._defer_watermarks(deltas)
             for delta in deltas:
                 leader = self.directory.leader_of_partition(delta.partition)
+                if leader == self.executor_id:
+                    # Promoted to lead this partition after the delta was
+                    # collected: the recovery path already merged the
+                    # retained copy locally, nothing to ship.
+                    continue
                 producer = self._out_channels[leader]
                 # Serialisation: the delta streams out of the LSS memory.
                 yield from core.execute(
@@ -384,6 +403,13 @@ class SlashExecutor:
                 )
                 for chunk in self._chunk_delta(delta):
                     yield from producer.send_cooperative(core, chunk, chunk.nbytes)
+                if self.sim.faults is not None and self.sim.faults.should_duplicate_delta(
+                    self.executor_id
+                ):
+                    # Injected duplicate: the identical chunk sequence goes
+                    # out again; the leader's epoch ledger must dedupe it.
+                    for chunk in self._chunk_delta(delta):
+                        yield from producer.send_cooperative(core, chunk, chunk.nbytes)
             if thread == 0:
                 # Even with nothing to ship, re-check the trigger: our own
                 # watermark may have advanced past a window end.
@@ -458,62 +484,121 @@ class SlashExecutor:
         )
 
     # -- the merge coroutines -------------------------------------------------
-    def _merge_task(self, core: Core, consumer: Any) -> Generator[Any, Any, None]:
+    def _merge_task(self, core: Core, consumer: Any, peer_id: int) -> Generator[Any, Any, None]:
         cost_model = self.node.cost_model
-        while True:
-            payload, _nbytes = yield from consumer.recv_cooperative(core)
-            if payload is CHANNEL_EOS:
-                yield from consumer.release(core)
-                break
-            if isinstance(payload, DoneToken):
-                self._done_peers.add(payload.from_executor)
-                self.backend.clock.advance(payload.from_executor, float("inf"))
-                yield from consumer.release(core)
-                yield from self._check_triggers(core)
-                continue
-            chunk: DeltaChunk = payload
-            key = (chunk.operator_id, chunk.partition, chunk.from_executor, chunk.epoch)
-            self._pending_parts.setdefault(key, []).extend(chunk.pairs)
-            if chunk.last:
-                pairs = tuple(self._pending_parts.pop(key))
-                delta = EpochDelta(
-                    operator_id=chunk.operator_id,
-                    partition=chunk.partition,
-                    from_executor=chunk.from_executor,
-                    epoch=chunk.epoch,
-                    pairs=pairs,
-                    nbytes=chunk.nbytes,
-                    watermark=chunk.watermark,
-                )
-                if pairs:
-                    working_set = quantize_working_set(self._ws_bytes + 4096)
-                    merge_cost = cost_model.op(
-                        self.costs.merge_pair, working_set, self.costs.merge_lines
+        try:
+            while True:
+                payload, _nbytes = yield from consumer.recv_cooperative(core)
+                if payload is CHANNEL_EOS:
+                    yield from consumer.release(core)
+                    break
+                if isinstance(payload, DoneToken):
+                    self._done_peers.add(payload.from_executor)
+                    self.backend.clock.advance(payload.from_executor, float("inf"))
+                    yield from consumer.release(core)
+                    yield from self._check_triggers(core)
+                    continue
+                chunk: DeltaChunk = payload
+                key = (chunk.operator_id, chunk.partition, chunk.from_executor, chunk.epoch)
+                self._pending_parts.setdefault(key, []).extend(chunk.pairs)
+                if chunk.last:
+                    pairs = tuple(self._pending_parts.pop(key))
+                    delta = EpochDelta(
+                        operator_id=chunk.operator_id,
+                        partition=chunk.partition,
+                        from_executor=chunk.from_executor,
+                        epoch=chunk.epoch,
+                        pairs=pairs,
+                        nbytes=chunk.nbytes,
+                        watermark=chunk.watermark,
                     )
-                    yield from core.execute(merge_cost, float(len(pairs)))
-                self.handle.merge_delta(delta)
-                trace(
-                    self.sim, "merge",
-                    f"exec{self.executor_id} merged p{delta.partition}",
-                    from_executor=delta.from_executor, epoch=delta.epoch,
-                    pairs=len(pairs),
-                )
-                # The lag reference is when the *records* were ingested at
-                # the helper, not when the delta happened to arrive here.
-                for win, ingested_at in chunk.ingest_times:
-                    current = self._last_contribution.get(win, float("-inf"))
-                    if ingested_at > current:
-                        self._last_contribution[win] = ingested_at
-                if self.trigger is not None:
-                    self.trigger.note_slices(
-                        key0[0] for key0, _payload in pairs if isinstance(key0, tuple)
-                    )
-                yield from self._check_triggers(core)
-            yield from consumer.release(core)
+                    if pairs:
+                        working_set = quantize_working_set(self._ws_bytes + 4096)
+                        merge_cost = cost_model.op(
+                            self.costs.merge_pair, working_set, self.costs.merge_lines
+                        )
+                        yield from core.execute(merge_cost, float(len(pairs)))
+                    # The ledger rejects duplicate epochs (retransmission or
+                    # injected duplicate): a stale delta must not re-merge,
+                    # re-note windows, or count as progress.
+                    fresh = self.handle.merge_delta(delta)
+                    if fresh:
+                        trace(
+                            self.sim, "merge",
+                            f"exec{self.executor_id} merged p{delta.partition}",
+                            from_executor=delta.from_executor, epoch=delta.epoch,
+                            pairs=len(pairs),
+                        )
+                        # The lag reference is when the *records* were
+                        # ingested at the helper, not when the delta
+                        # happened to arrive here.
+                        for win, ingested_at in chunk.ingest_times:
+                            current = self._last_contribution.get(win, float("-inf"))
+                            if ingested_at > current:
+                                self._last_contribution[win] = ingested_at
+                        if self.trigger is not None:
+                            self.trigger.note_slices(
+                                key0[0] for key0, _payload in pairs if isinstance(key0, tuple)
+                            )
+                        yield from self._check_triggers(core)
+                    yield from consumer.release(core)
+                else:
+                    yield from consumer.release(core)
+        except ChannelResetError:
+            # The peer was declared dead and the channel reset: drop its
+            # half-assembled chunks — recovery re-creates that state from
+            # the checkpoint and retained deltas.
+            stale = [k for k in self._pending_parts if k[2] == peer_id]
+            for k in stale:
+                del self._pending_parts[k]
+            trace(
+                self.sim, "merge",
+                f"exec{self.executor_id} merge stream from {peer_id} reset",
+                dropped_parts=len(stale),
+            )
         self._mergers_remaining -= 1
         self._maybe_finalize_soon()
 
+    def on_peer_failed(self, peer_id: int) -> None:
+        """Sever both channel directions to a peer declared dead."""
+        producer = self._out_channels.get(peer_id)
+        if producer is not None:
+            producer.mark_dead()
+        consumer = self._in_channels.get(peer_id)
+        if consumer is not None:
+            consumer.force_reset()
+
+    def _watchdog_body(self, core: Core) -> Generator[Any, Any, None]:
+        """Fault-mode-only coroutine: react to peer-death suspicion.
+
+        Runs on scheduler 0 and wakes every watchdog period; when the
+        injector's suspicion timer for a crashed peer expires, the
+        channels to/from it are severed so parked senders and mergers
+        unblock instead of waiting on a dead node forever.
+        """
+        from repro.core.scheduler import Park
+
+        faults = self.sim.faults
+        handled: set[int] = set()
+        while not self._finalized:
+            yield Park(Timeout(faults.watchdog_period_s))
+            for peer_id in faults.suspected_peers():
+                if peer_id == self.executor_id or peer_id in handled:
+                    continue
+                handled.add(peer_id)
+                trace(
+                    self.sim, "fault",
+                    f"exec{self.executor_id} watchdog: peer {peer_id} dead",
+                )
+                self.on_peer_failed(peer_id)
+
     def _maybe_finalize_soon(self) -> None:
+        if self.sim.faults is not None and self.sim.faults.holds_finalize(
+            self.executor_id
+        ):
+            # A recovery is in flight: it may still re-deliver deltas or
+            # re-pend windows here.  finish_recovery re-invokes this.
+            return
         if (
             self._mergers_remaining == 0
             and self._shippers_remaining == 0
@@ -537,6 +622,12 @@ class SlashExecutor:
 
     # -- window triggering -------------------------------------------------------
     def _check_triggers(self, core: Core) -> Generator[Any, Any, None]:
+        if self.sim.faults is not None and self.sim.faults.triggers_suppressed(
+            self.executor_id
+        ):
+            # Mid-recovery: restored state is incomplete until the replay
+            # finishes; firing now would emit partial windows.
+            return
         frontier = self.backend.clock.min_watermark()
         plan = self.plan
         if isinstance(plan.window, SessionWindows):

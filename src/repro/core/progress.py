@@ -44,6 +44,20 @@ class WindowTriggerState:
                 if window_id not in self._fired:
                     self._pending.add(window_id)
 
+    def restore_pending(self, window_ids: Iterable[int]) -> None:
+        """Force windows back to pending, even if already fired here.
+
+        Crash recovery re-installs state for windows a promoted leader may
+        have fired for its own partitions; those must trigger again so the
+        adopted keys' results are emitted.  A re-fire only extracts the
+        re-installed keys (a previous fire removed everything else), so
+        earlier emissions are never recomputed.
+        """
+        for window_id in window_ids:
+            window_id = int(window_id)
+            self._fired.discard(window_id)
+            self._pending.add(window_id)
+
     def due_windows(self, frontier: float) -> list[int]:
         """Pop and return (ascending) every pending window that may fire.
 

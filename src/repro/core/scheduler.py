@@ -28,7 +28,7 @@ from typing import Any, Generator, Optional
 from repro.common.errors import SimulationError
 from repro.simnet.cluster import Core
 from repro.simnet.cost_model import OpCost
-from repro.simnet.kernel import Signal, Waitable
+from repro.simnet.kernel import Signal, Timeout, Waitable
 
 
 class _SchedYield:
@@ -70,6 +70,10 @@ class CoroScheduler:
         self._ready: deque[_Task] = deque()
         self._parked: dict[_Task, Signal] = {}
         self.switches = 0
+        # Fault hooks: a halted scheduler (node crash) abandons its tasks
+        # forever; a paused one (stall fault) resumes at ``_resume_at``.
+        self._halted = False
+        self._resume_at = float("-inf")
 
     def add(self, gen: Generator, name: str = "task") -> None:
         """Register a coroutine; it starts on the next scheduling round."""
@@ -82,9 +86,23 @@ class CoroScheduler:
         """Tasks alive (ready or parked)."""
         return len(self._ready) + len(self._parked)
 
+    def halt(self) -> None:
+        """Kill the scheduler: never run another task (crashed node)."""
+        self._halted = True
+
+    def pause_until(self, resume_at: float) -> None:
+        """Suspend task execution until simulated time ``resume_at``."""
+        if resume_at > self._resume_at:
+            self._resume_at = resume_at
+
     def run(self) -> Generator[Any, Any, None]:
         """Drive all tasks to completion; run as (part of) a sim process."""
         while self._ready or self._parked:
+            if self._halted:
+                return
+            if self._resume_at > self.core.sim.now:
+                yield Timeout(self._resume_at - self.core.sim.now)
+                continue
             if not self._ready:
                 # Everything is parked: spin until the first wakeup.
                 yield from self.core.spin_wait(self._any_wakeup())
@@ -112,6 +130,10 @@ class CoroScheduler:
             if isinstance(item, Waitable):
                 # Sim time passes inside the task (compute, channel ops).
                 send_value = yield item
+                if self._halted:
+                    return
+                if self._resume_at > self.core.sim.now:
+                    yield Timeout(self._resume_at - self.core.sim.now)
                 continue
             raise SimulationError(
                 f"task {task.name!r} yielded {item!r}; expected a Waitable, "

@@ -1,0 +1,33 @@
+"""Deterministic fault injection and epoch-based recovery.
+
+This package is the chaos layer of the reproduction: a
+:class:`~repro.faults.plan.FaultPlan` describes *what* goes wrong and
+*when* (node crash, NIC flap, dropped/duplicated epoch-delta transfers,
+stalled helper, credit starvation), and a
+:class:`~repro.faults.injector.FaultInjector` attached to a simulation
+kernel applies the plan at exact simulated instants.  Because the plan
+is data and the kernel is deterministic, a faulted run is as reproducible
+as a fail-free one: same seed + same plan ⇒ bit-identical results.
+
+Recovery follows the paper's epoch structure: leaders replicate a
+checkpoint of their primary partitions at every epoch boundary
+(:mod:`repro.faults.checkpoint`), helpers retain shipped deltas until
+acknowledged, and on a leader crash the lowest-id surviving executor is
+promoted, restores the last replicated checkpoint, replays retained
+deltas (deduplicated by the epoch ledger, so merges stay exactly-once),
+and re-processes the crashed executor's input from the last recorded
+epoch cut.
+"""
+
+from repro.faults.checkpoint import Checkpoint, CheckpointStore
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+]

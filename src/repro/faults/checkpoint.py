@@ -1,0 +1,159 @@
+"""Epoch-boundary checkpoints of a leader's recoverable state.
+
+Epoch boundaries are the natural synchronisation points of the Slash
+protocol (paper Sec. 7.2.2): right after ``collect_deltas`` every helper
+fragment has just been drained, so a snapshot of the partitions an
+executor *leads* — together with the epoch ledger's admission frontier —
+is a consistent cut of the operator's distributed state.
+
+A :class:`Checkpoint` additionally freezes the executor's *output* (the
+windows it has fired so far) and the per-flow input positions of the
+boundary.  Output "commits" at checkpoint boundaries: after a crash, the
+executor's post-checkpoint emissions are discarded and the promoted
+leader re-fires those windows from restored + replayed state, so the
+merged cluster output is exactly the fail-free output.
+
+Checkpoints replicate asynchronously to a buddy node (the transfer is
+charged to the simulated network); only a fully replicated checkpoint is
+eligible for restore.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import RecoveryError
+
+# Serialized overhead of a checkpoint message beyond its state payload
+# (header, ledger frontier, positions, pending-window ids).
+CHECKPOINT_HEADER_BYTES = 256
+
+
+@dataclass
+class Checkpoint:
+    """One epoch-boundary cut of an executor's recoverable state."""
+
+    executor_id: int
+    #: Index of the epoch-ship call this checkpoint was taken at (-1 for
+    #: the implicit empty checkpoint installed at deployment time).  The
+    #: executor has shipped epochs ``0 .. boundary`` when the cut is
+    #: taken, so recovery replays input from this boundary's positions
+    #: and continues the per-partition epoch sequence at ``boundary+1``.
+    boundary: int
+    #: Per-flow batch positions at the cut (``positions[thread]`` batches
+    #: of flow ``thread`` are reflected in the checkpointed state).
+    positions: list[int]
+    #: ``{partition: [(key, payload), ...]}`` for every partition the
+    #: executor led at the cut (deep-copied; later mutation of the live
+    #: stores cannot leak in).
+    partitions: dict[int, list[tuple[Any, Any]]]
+    #: Epoch-ledger admission frontier (:meth:`EpochLedger.snapshot`).
+    ledger: dict[tuple[str, int, int], int]
+    #: Window ids noted but not yet fired at the cut.
+    pending: set[int]
+    #: Per-window last local ingest time (trigger-lag reference).
+    last_contribution: dict[Any, float]
+    #: Committed output: everything fired before the cut.
+    aggregates: dict = field(default_factory=dict)
+    join_pairs: list = field(default_factory=list)
+    emitted: int = 0
+    #: Estimated wire size of the replication transfer.
+    nbytes: int = 0
+    #: Simulated time replication finished (None while in flight).
+    committed_at: Optional[float] = None
+
+    @property
+    def epochs_shipped(self) -> int:
+        """Per-partition epoch sequence position at the cut."""
+        return self.boundary + 1
+
+    @classmethod
+    def initial(cls, executor_id: int, flow_count: int) -> "Checkpoint":
+        """The empty checkpoint every executor implicitly starts from."""
+        return cls(
+            executor_id=executor_id,
+            boundary=-1,
+            positions=[0] * flow_count,
+            partitions={},
+            ledger={},
+            pending=set(),
+            last_contribution={},
+            committed_at=0.0,
+        )
+
+    @classmethod
+    def capture(cls, executor: Any, boundary: int) -> "Checkpoint":
+        """Freeze ``executor``'s recoverable state at an epoch boundary.
+
+        Must be called synchronously inside the epoch-ship step (no
+        simulated time may pass between the delta collection and this
+        capture), so the snapshot, the ledger frontier, and the flow
+        positions describe the same instant.
+        """
+        directory = executor.directory
+        led = directory.partitions_led_by(executor.executor_id)
+        partitions: dict[int, list] = {}
+        state_bytes = 0
+        for partition in led:
+            store = executor.handle.store_for(partition)
+            partitions[partition] = copy.deepcopy(list(store.scan()))
+            state_bytes += store.size_bytes
+        results = executor.results
+        return cls(
+            executor_id=executor.executor_id,
+            boundary=boundary,
+            positions=list(executor._flow_pos),
+            partitions=partitions,
+            ledger=executor.backend.ledger.snapshot(),
+            pending=(
+                set(executor.trigger.pending) if executor.trigger is not None else set()
+            ),
+            last_contribution=dict(executor._last_contribution),
+            aggregates=copy.deepcopy(results.aggregates),
+            join_pairs=list(results.join_pairs),
+            emitted=results.emitted,
+            nbytes=state_bytes
+            + CHECKPOINT_HEADER_BYTES
+            + 32 * len(results.aggregates),
+        )
+
+
+class CheckpointStore:
+    """All executors' checkpoint histories, ordered by boundary."""
+
+    def __init__(self):
+        self._by_executor: dict[int, list[Checkpoint]] = {}
+
+    def install_initial(self, executor_id: int, flow_count: int) -> Checkpoint:
+        """Seed an executor's history with the empty deployment checkpoint."""
+        checkpoint = Checkpoint.initial(executor_id, flow_count)
+        self._by_executor[executor_id] = [checkpoint]
+        return checkpoint
+
+    def add(self, checkpoint: Checkpoint) -> None:
+        """Record a freshly captured (not yet replicated) checkpoint."""
+        self._by_executor.setdefault(checkpoint.executor_id, []).append(checkpoint)
+
+    def latest_committed(self, executor_id: int) -> Checkpoint:
+        """The newest fully replicated checkpoint of ``executor_id``."""
+        history = self._by_executor.get(executor_id, [])
+        for checkpoint in reversed(history):
+            if checkpoint.committed_at is not None:
+                return checkpoint
+        raise RecoveryError(
+            f"executor {executor_id} has no committed checkpoint to restore"
+        )
+
+    def counts(self) -> tuple[int, int]:
+        """``(taken, committed)`` across all executors, excluding initials."""
+        taken = committed = 0
+        for history in self._by_executor.values():
+            for checkpoint in history:
+                if checkpoint.boundary < 0:
+                    continue
+                taken += 1
+                if checkpoint.committed_at is not None:
+                    committed += 1
+        return taken, committed

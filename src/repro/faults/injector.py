@@ -1,0 +1,633 @@
+"""The fault injector: applies a :class:`FaultPlan` and drives recovery.
+
+The injector is attached to the simulation kernel (``sim.faults``), which
+flips every layer of the stack into its fault-tolerant code path:
+
+* the RDMA layer consults :meth:`should_drop_write` per WRITE and the
+  producer endpoints switch to ACK-tracked transfers with bounded
+  exponential-backoff retransmission;
+* the channel layer arms credit timeouts and the poison/reset handshake;
+* executors run a watchdog coroutine that reacts to peer-death suspicion;
+* the injector itself records epoch cuts (``note_epoch_cut``): flow
+  positions, retained deltas, and replicated checkpoints — the raw
+  material of recovery.
+
+Recovery after a leader crash (paper Sec. 7.2.2 frames epochs as the
+classic synchronisation point for exactly this):
+
+1. the crash halts the victim's schedulers; after ``detect_s`` the
+   survivors' watchdogs poison their channels to the victim and the
+   injector promotes the lowest-id surviving executor;
+2. the promoted leader atomically (same simulated instant) restores the
+   victim's last *committed* checkpoint, seeds its epoch ledger from the
+   checkpoint's admission frontier, takes over the victim's partitions in
+   the shared directory, and merges every retained delta — the ledger
+   deduplicates anything the checkpoint already contains, so CRDT merges
+   stay exactly-once;
+3. the victim's own retained deltas (shipped but possibly never merged)
+   are re-delivered to the surviving leaders, again ledger-deduplicated;
+4. the promoted leader replays the victim's input flows from the
+   checkpoint's cut, re-absorbing its primary-partition contributions and
+   re-shipping the other partitions' partials under their original epoch
+   identities (watermark ``-inf``: replayed data must not advance clocks);
+5. recovery finishes by broadcasting a ``+inf`` clock entry for the
+   victim to every survivor (the victim will never contribute again) and
+   re-checking triggers, so windows stalled on the dead peer fire from
+   complete state.
+
+Window triggers on the promoted leader are suppressed between steps 2 and
+5 so no window can fire from partially restored state.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Any
+
+from repro.common.errors import FaultError, RecoveryError
+from repro.core.costs import quantize_working_set
+from repro.core.windows import SessionWindows, SlidingWindow
+from repro.faults.checkpoint import Checkpoint, CheckpointStore
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.simnet.kernel import Simulator, Timeout
+from repro.simnet.trace import trace
+from repro.state.epoch import EpochDelta
+from repro.state.ssb import DELTA_HEADER_BYTES
+
+# Default fault-handling tunables; the chaos harness scales these to the
+# workload's horizon.  All in simulated seconds.
+DEFAULT_DETECT_S = 1e-3
+DEFAULT_WATCHDOG_PERIOD_S = 5e-4
+DEFAULT_RTO_S = 2e-5
+DEFAULT_CREDIT_TIMEOUT_S = 5e-4
+DEFAULT_MAX_RETRIES = 8
+
+
+class FaultInjector:
+    """Applies a fault plan to one simulation and orchestrates recovery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: FaultPlan,
+        *,
+        detect_s: float = DEFAULT_DETECT_S,
+        watchdog_period_s: float = DEFAULT_WATCHDOG_PERIOD_S,
+        rto_s: float = DEFAULT_RTO_S,
+        credit_timeout_s: float = DEFAULT_CREDIT_TIMEOUT_S,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ):
+        if detect_s <= 0 or watchdog_period_s <= 0 or rto_s <= 0 or credit_timeout_s <= 0:
+            raise FaultError("fault-handling timeouts must be positive")
+        if max_retries < 1:
+            raise FaultError(f"max_retries must be >= 1, got {max_retries}")
+        self.sim = sim
+        self.plan = plan
+        self.detect_s = detect_s
+        self.watchdog_period_s = watchdog_period_s
+        self.rto_s = rto_s
+        self.credit_timeout_s = credit_timeout_s
+        self.max_retries = max_retries
+
+        self.executors: list[Any] = []
+        self.cluster: Any = None
+        self.directory: Any = None
+        self._node_to_exec: dict[int, int] = {}
+
+        self.checkpoints = CheckpointStore()
+        #: Per executor: one flow-position snapshot per epoch-ship call.
+        self._cuts: dict[int, list[list[int]]] = {}
+        #: Retained deltas by (from_executor, partition), in epoch order.
+        #: Helpers keep every shipped delta (un-pruned; see docs) so a
+        #: promoted leader can re-merge anything a crash left in flight.
+        self._retained: dict[tuple[int, int], list[EpochDelta]] = {}
+
+        self.crashed: set[int] = set()
+        self._crash_time: dict[int, float] = {}
+        self._suspected_at: dict[int, float] = {}
+        self._recovery_pending: set[int] = set()
+        self._suppressed: set[int] = set()
+        self._recovery: dict[int, dict] = {}
+
+        # Drop/duplicate windows: target -> [start, end, remaining].
+        self._drop_windows: dict[int, list[float]] = {}
+        self._dup_windows: dict[int, list[float]] = {}
+
+        self.stats = {
+            "writes_dropped": 0,
+            "deltas_duplicated": 0,
+            "credit_timeouts": 0,
+            "blackholed_sends": 0,
+            "checkpoint_bytes_replicated": 0,
+        }
+
+    # -- wiring ------------------------------------------------------------
+    def register(self, cluster: Any, directory: Any, executors: list[Any]) -> None:
+        """Bind the injector to a freshly built deployment."""
+        self.cluster = cluster
+        self.directory = directory
+        self.executors = list(executors)
+        self.plan.validate(len(executors))
+        crashes = self.plan.crash_targets()
+        if crashes:
+            plan0 = executors[0].plan
+            # Crash recovery re-fires restored windows; that is only
+            # exactly-once when a fire *extracts* all of a window's state
+            # (non-overlapping windows).  Overlapping sliding windows and
+            # session windows share state across fires, so a re-fire
+            # would emit slice-incomplete values — reject those up front.
+            window = plan0.window
+            unsupported = (
+                plan0.is_join
+                or isinstance(window, SessionWindows)
+                or (
+                    isinstance(window, SlidingWindow)
+                    and window.slices_per_window > 1
+                )
+            )
+            if unsupported:
+                raise FaultError(
+                    "leader-crash recovery supports windowed aggregations with "
+                    "non-overlapping windows (tumbling, or sliding with "
+                    "slide == size); use a non-crash fault for this query"
+                )
+        for executor in executors:
+            self._node_to_exec[executor.node.index] = executor.executor_id
+            self._cuts[executor.executor_id] = []
+            self.checkpoints.install_initial(
+                executor.executor_id, len(executor.flows)
+            )
+
+    def arm(self) -> None:
+        """Launch one simulation process per scheduled fault event."""
+        for index, event in enumerate(self.plan):
+            self.sim.process(
+                self._event_proc(event), name=f"fault.{event.kind.value}.{index}"
+            )
+
+    # -- queries from the stack --------------------------------------------
+    def is_crashed(self, executor_id: int) -> bool:
+        """Whether ``executor_id`` has been killed by the plan."""
+        return executor_id in self.crashed
+
+    def is_crashed_node(self, node_index: int) -> bool:
+        """Whether the executor on node ``node_index`` is dead."""
+        return self._node_to_exec.get(node_index, -1) in self.crashed
+
+    def alive(self) -> list[int]:
+        """Surviving executor ids, ascending."""
+        return [
+            e.executor_id for e in self.executors
+            if e.executor_id not in self.crashed
+        ]
+
+    def suspected_peers(self) -> list[int]:
+        """Crashed executors whose detection timeout has elapsed."""
+        now = self.sim.now
+        return [v for v, t in self._suspected_at.items() if t <= now]
+
+    def triggers_suppressed(self, executor_id: int) -> bool:
+        """Whether ``executor_id`` must not fire windows (mid-recovery)."""
+        return executor_id in self._suppressed
+
+    def holds_finalize(self, executor_id: int) -> bool:
+        """Whether finalisation is held open (a recovery is in flight).
+
+        Every survivor waits: the promoted leader because its windows are
+        incomplete, the others because recovery may still re-deliver the
+        victim's retained deltas to them.
+        """
+        return bool(self._recovery_pending)
+
+    def should_drop_write(self, src_node_index: int, nbytes: int) -> bool:
+        """Consult (and consume) the drop budget for a posted WRITE."""
+        executor_id = self._node_to_exec.get(src_node_index)
+        window = self._drop_windows.get(executor_id)
+        if window is None:
+            return False
+        start, end, remaining = window
+        if remaining <= 0 or not start <= self.sim.now <= end:
+            return False
+        window[2] = remaining - 1
+        self.stats["writes_dropped"] += 1
+        trace(self.sim, "fault", f"dropped WRITE from node {src_node_index}", bytes=nbytes)
+        return True
+
+    def should_duplicate_delta(self, executor_id: int) -> bool:
+        """Consult (and consume) the duplicate budget for a shipped delta."""
+        window = self._dup_windows.get(executor_id)
+        if window is None:
+            return False
+        start, end, remaining = window
+        if remaining <= 0 or not start <= self.sim.now <= end:
+            return False
+        window[2] = remaining - 1
+        self.stats["deltas_duplicated"] += 1
+        trace(self.sim, "fault", f"duplicating delta from exec {executor_id}")
+        return True
+
+    def note_credit_timeout(self, channel_name: str) -> None:
+        """A producer's credit wait timed out (accounting only)."""
+        self.stats["credit_timeouts"] += 1
+
+    def note_blackholed_send(self, channel_name: str) -> None:
+        """A send to a declared-dead peer was dropped (accounting only)."""
+        self.stats["blackholed_sends"] += 1
+
+    # -- epoch cuts (called by every executor at every boundary) ------------
+    def note_epoch_cut(self, executor: Any, deltas: list[EpochDelta], final: bool) -> None:
+        """Record a boundary: positions, retained deltas, and a checkpoint.
+
+        Called synchronously from ``_enqueue_epoch_ship`` — the positions,
+        the collected deltas, and the checkpoint snapshot all describe the
+        same simulated instant, which is what makes the cut consistent.
+        """
+        executor_id = executor.executor_id
+        if executor_id in self.crashed:
+            return
+        cuts = self._cuts[executor_id]
+        cuts.append(list(executor._flow_pos))
+        for delta in deltas:
+            self._retained.setdefault(
+                (executor_id, delta.partition), []
+            ).append(delta)
+        checkpoint = Checkpoint.capture(executor, boundary=len(cuts) - 1)
+        self.checkpoints.add(checkpoint)
+        self.sim.process(
+            self._replicate_proc(checkpoint),
+            name=f"ckpt.exec{executor_id}.b{checkpoint.boundary}",
+        )
+
+    def _replicate_proc(self, checkpoint: Checkpoint):
+        """Asynchronously copy a checkpoint to its buddy node."""
+        executor = self.executors[checkpoint.executor_id]
+        buddy = self.executors[
+            (checkpoint.executor_id + 1) % len(self.executors)
+        ]
+        if buddy.executor_id != checkpoint.executor_id and checkpoint.nbytes:
+            yield self.cluster.link(executor.node.index, buddy.node.index).send(
+                checkpoint.nbytes
+            )
+        # The source may have died mid-replication; an uncommitted
+        # checkpoint must stay unusable, so commit only on full transfer.
+        checkpoint.committed_at = self.sim.now
+        self.stats["checkpoint_bytes_replicated"] += checkpoint.nbytes
+        yield Timeout(0.0)
+
+    # -- event application --------------------------------------------------
+    def _event_proc(self, event: FaultEvent):
+        yield Timeout(event.at_s)
+        trace(
+            self.sim, "fault", f"applying {event.kind.value}",
+            target=event.target, duration_s=event.duration_s,
+        )
+        if event.kind is FaultKind.NODE_CRASH:
+            self._apply_crash(event.target)
+        elif event.kind is FaultKind.NIC_FLAP:
+            node = self.executors[event.target].node
+            node.nic_tx.degrade(event.factor)
+            node.nic_rx.degrade(event.factor)
+            yield Timeout(event.duration_s)
+            node.nic_tx.restore()
+            node.nic_rx.restore()
+        elif event.kind is FaultKind.DROP_CHUNK:
+            self._drop_windows[event.target] = [
+                event.at_s, event.at_s + event.duration_s, float(event.count)
+            ]
+        elif event.kind is FaultKind.DUPLICATE_DELTA:
+            self._dup_windows[event.target] = [
+                event.at_s, event.at_s + event.duration_s, float(event.count)
+            ]
+        elif event.kind is FaultKind.STALL:
+            executor = self.executors[event.target]
+            until = self.sim.now + event.duration_s
+            for scheduler in executor.schedulers:
+                scheduler.pause_until(until)
+        elif event.kind is FaultKind.CREDIT_STARVATION:
+            executor = self.executors[event.target]
+            for consumer in executor._in_channels.values():
+                consumer.withhold_credits = True
+            yield Timeout(event.duration_s)
+            core = executor.node.core(0)
+            for _peer, consumer in sorted(executor._in_channels.items()):
+                consumer.withhold_credits = False
+                yield from consumer.flush_withheld(core)
+        else:  # pragma: no cover - FaultKind is exhaustive
+            raise FaultError(f"unhandled fault kind {event.kind!r}")
+
+    def _apply_crash(self, victim: int) -> None:
+        executor = self.executors[victim]
+        if executor._finalized or executor.finished.fired:
+            trace(self.sim, "fault", f"crash of exec {victim} no-op (finished)")
+            return
+        now = self.sim.now
+        self.crashed.add(victim)
+        self._crash_time[victim] = now
+        self._recovery_pending.add(victim)
+        for scheduler in executor.schedulers:
+            scheduler.halt()
+        self._suspected_at[victim] = now + self.detect_s
+        self._recovery[victim] = {"crashed_at": now, "detected_at": now + self.detect_s}
+        self.sim.process(self._detection_proc(victim), name=f"detect.exec{victim}")
+
+    def _detection_proc(self, victim: int):
+        yield Timeout(self.detect_s)
+        alive = self.alive()
+        if not alive:
+            raise RecoveryError("no surviving executor to promote")
+        new_leader = min(alive)
+        self._recovery[victim]["promoted"] = new_leader
+        trace(
+            self.sim, "fault", f"exec {victim} declared dead",
+            promoted=new_leader,
+        )
+        yield from self._recovery_body(victim, new_leader)
+
+    # -- the recovery protocol ----------------------------------------------
+    def _recovery_body(self, victim: int, new_leader: int):
+        info = self._recovery[victim]
+        nl_exec = self.executors[new_leader]
+        core = nl_exec.node.core(0)
+        self._suppressed.add(new_leader)
+
+        checkpoint = self.checkpoints.latest_committed(victim)
+        info["checkpoint_boundary"] = checkpoint.boundary
+        led = list(self.directory.partitions_led_by(victim))
+
+        # Charge the checkpoint's transfer from the buddy to the promoted
+        # leader (skipped when the promoted leader *is* the buddy).
+        buddy = self.executors[(victim + 1) % len(self.executors)]
+        if buddy.executor_id != new_leader and checkpoint.nbytes:
+            yield self.cluster.link(buddy.node.index, nl_exec.node.index).send(
+                checkpoint.nbytes
+            )
+
+        # --- atomic install: restore + seed + reassign + retained merge ---
+        # No simulated time may pass inside this block.  Reassignment and
+        # the retained-backlog merge must share one instant: any delta a
+        # helper collects strictly after it routes to the new leader over
+        # the normal channel, so the per-helper epoch sequences stay dense.
+        restored_windows: set[int] = set(checkpoint.pending)
+        restore_pairs = 0
+        for partition in led:
+            store = nl_exec.handle.store_for(partition)
+            for key, payload in checkpoint.partitions.get(partition, []):
+                store.absorb(key, _copy_payload(payload))
+                restore_pairs += 1
+                if isinstance(key, tuple):
+                    restored_windows.add(int(key[0]))
+        for (operator_id, partition, helper), epoch in checkpoint.ledger.items():
+            nl_exec.backend.ledger.seed(operator_id, partition, helper, epoch)
+        for window, ingested_at in checkpoint.last_contribution.items():
+            current = nl_exec._last_contribution.get(window, float("-inf"))
+            if ingested_at > current:
+                nl_exec._last_contribution[window] = ingested_at
+        for partition in led:
+            self.directory.reassign(partition, new_leader)
+        retained_bytes_by_src: dict[int, int] = {}
+        retained_merged = 0
+        for partition in led:
+            for source in sorted(e.executor_id for e in self.executors):
+                for delta in self._retained.get((source, partition), []):
+                    # Retained deltas carry their original watermarks, but
+                    # the promoted leader's clock entries for the helpers
+                    # must only advance through their live channels (their
+                    # in-flight deltas to *this* executor may still lag),
+                    # so the backlog merges watermark-neutral.
+                    fresh = nl_exec.handle.merge_delta(
+                        dataclasses.replace(delta, watermark=float("-inf"))
+                    )
+                    if fresh:
+                        retained_merged += 1
+                        retained_bytes_by_src[source] = (
+                            retained_bytes_by_src.get(source, 0) + delta.nbytes
+                        )
+                        for key, _payload in delta.pairs:
+                            if isinstance(key, tuple):
+                                restored_windows.add(int(key[0]))
+        if nl_exec.trigger is not None:
+            nl_exec.trigger.restore_pending(restored_windows)
+        # --- end of the atomic instant ---
+
+        info["restored_pairs"] = restore_pairs
+        info["retained_deltas_merged"] = retained_merged
+
+        # Pay for the retained-backlog transfers and the restore CPU after
+        # the fact (a simulation simplification, documented in
+        # docs/fault_tolerance.md): the state is consistent the moment it
+        # is installed, and recovery completion waits for these charges.
+        for source in sorted(retained_bytes_by_src):
+            if source == new_leader:
+                continue
+            src_node = self.executors[source].node.index
+            yield self.cluster.link(src_node, nl_exec.node.index).send(
+                retained_bytes_by_src[source]
+            )
+        if restore_pairs:
+            merge_cost = nl_exec.node.cost_model.op(
+                nl_exec.costs.merge_pair,
+                quantize_working_set(float(checkpoint.nbytes)),
+                nl_exec.costs.merge_lines,
+            )
+            yield from core.execute(merge_cost, float(restore_pairs))
+
+        # --- re-deliver the victim's own retained deltas -------------------
+        # The victim may have collected (and therefore retained) epochs it
+        # never finished shipping; survivors' ledgers dedupe what they
+        # already merged and admit the rest, with original watermarks (the
+        # victim really did ship/intend them).
+        redelivered = 0
+        for (source, partition), deltas in sorted(self._retained.items()):
+            if source != victim:
+                continue
+            leader = self.directory.leader_of_partition(partition)
+            if leader in self.crashed:
+                continue  # that leader's own recovery merges these
+            target = self.executors[leader]
+            if leader != new_leader:
+                total = sum(d.nbytes for d in deltas)
+                if total:
+                    yield self.cluster.link(
+                        nl_exec.node.index, target.node.index
+                    ).send(total)
+            for delta in deltas:
+                fresh = target.handle.merge_delta(delta)
+                if fresh:
+                    redelivered += 1
+                    if target.trigger is not None:
+                        target.trigger.note_slices(
+                            int(key[0]) for key, _p in delta.pairs
+                            if isinstance(key, tuple)
+                        )
+        info["victim_deltas_redelivered"] = redelivered
+
+        # --- replay the victim's input from the checkpoint cut -------------
+        yield from self._replay_input(victim, new_leader, checkpoint, info)
+
+        # --- finish: the victim will never contribute again -----------------
+        for executor in self.executors:
+            if executor.executor_id in self.crashed:
+                continue
+            executor.backend.clock.advance(victim, float("inf"))
+            executor._done_peers.add(victim)
+        self._recovery_pending.discard(victim)
+        self._suppressed.discard(new_leader)
+        info["recovered_at"] = self.sim.now
+        info["recovery_s"] = self.sim.now - info["crashed_at"]
+        trace(
+            self.sim, "fault", f"recovery of exec {victim} complete",
+            promoted=new_leader, recovery_s=info["recovery_s"],
+        )
+        for executor in self.executors:
+            if executor.executor_id in self.crashed:
+                continue
+            yield from executor._check_triggers(executor.node.core(0))
+            executor._maybe_finalize_soon()
+
+    def _replay_input(self, victim: int, new_leader: int, checkpoint: Checkpoint, info: dict):
+        """Re-process the victim's flows from the checkpoint's positions.
+
+        Segments between recorded cuts reproduce the victim's original
+        epochs under their original identities — the ledgers of the
+        surviving leaders admit exactly the ones that never arrived.  The
+        final segment (everything past the last recorded cut) continues
+        the sequence, covering input the victim never got to process.
+        """
+        nl_exec = self.executors[new_leader]
+        dead_exec = self.executors[victim]
+        core = nl_exec.node.core(0)
+        cost_model = nl_exec.node.cost_model
+        crdt = nl_exec.handle.crdt
+        led_set = set(self.directory.partitions_led_by(new_leader))
+        plan = dead_exec.plan
+
+        flows = dead_exec.flows
+        cuts = self._cuts[victim]
+        segments: list[tuple[list[int], int]] = []
+        for boundary in range(checkpoint.boundary + 1, len(cuts)):
+            segments.append((cuts[boundary], boundary))
+        segments.append(([len(flow) for flow in flows], len(cuts)))
+
+        positions = list(checkpoint.positions) or [0] * len(flows)
+        replayed_batches = 0
+        reshipped = 0
+        for end_positions, epoch in segments:
+            staged: dict[int, dict[Any, Any]] = {}
+            touched_led: set[int] = set()
+            for thread, flow in enumerate(flows):
+                start = positions[thread] if thread < len(positions) else 0
+                end = end_positions[thread] if thread < len(end_positions) else start
+                for stream_name, batch in flow[start:end]:
+                    pipeline = plan.pipeline_for(stream_name)
+                    read_cost = cost_model.cache.streaming_cost(batch.wire_bytes)
+                    yield from core.execute(read_cost, 1.0)
+                    result = pipeline.process_batch(batch)
+                    replayed_batches += 1
+                    if not result.survivors:
+                        continue
+                    update_cost = cost_model.op(
+                        nl_exec.costs.update,
+                        quantize_working_set(nl_exec._ws_bytes + 4096),
+                        nl_exec.costs.update_lines,
+                    )
+                    yield from core.execute(update_cost, float(result.survivors))
+                    now = self.sim.now
+                    for state_key, partial in result.partials.items():
+                        partition = nl_exec.handle.partition_of(state_key)
+                        if partition in led_set:
+                            nl_exec.handle.store_for(partition).absorb(
+                                state_key, partial
+                            )
+                            if isinstance(state_key, tuple):
+                                window = int(state_key[0])
+                                touched_led.add(window)
+                                if now > nl_exec._last_contribution.get(
+                                    window, float("-inf")
+                                ):
+                                    nl_exec._last_contribution[window] = now
+                        else:
+                            bucket = staged.setdefault(partition, {})
+                            if state_key in bucket:
+                                bucket[state_key] = crdt.merge(
+                                    bucket[state_key], partial
+                                )
+                            else:
+                                bucket[state_key] = partial
+            if touched_led and nl_exec.trigger is not None:
+                nl_exec.trigger.restore_pending(touched_led)
+            # Ship this segment's remote partials under the victim's
+            # original epoch identity for the segment.
+            for partition in sorted(staged):
+                pairs = tuple(staged[partition].items())
+                nbytes = DELTA_HEADER_BYTES + sum(
+                    16 + crdt.value_bytes(payload) for _k, payload in pairs
+                )
+                delta = EpochDelta(
+                    operator_id=plan.operator_id,
+                    partition=partition,
+                    from_executor=victim,
+                    epoch=epoch,
+                    pairs=pairs,
+                    nbytes=nbytes,
+                    watermark=float("-inf"),
+                )
+                leader = self.directory.leader_of_partition(partition)
+                if leader in self.crashed:
+                    continue
+                target = self.executors[leader]
+                if leader != new_leader:
+                    yield self.cluster.link(
+                        nl_exec.node.index, target.node.index
+                    ).send(nbytes)
+                fresh = target.handle.merge_delta(delta)
+                if fresh:
+                    reshipped += 1
+                    if target.trigger is not None:
+                        if leader == new_leader:
+                            target.trigger.restore_pending(
+                                int(key[0]) for key, _p in pairs
+                                if isinstance(key, tuple)
+                            )
+                        else:
+                            target.trigger.note_slices(
+                                int(key[0]) for key, _p in pairs
+                                if isinstance(key, tuple)
+                            )
+            positions = list(end_positions)
+        info["replayed_batches"] = replayed_batches
+        info["reshipped_deltas"] = reshipped
+        yield Timeout(0.0)
+
+    # -- results & reporting -------------------------------------------------
+    def committed_results(self, executor_id: int) -> Checkpoint:
+        """The committed output of a crashed executor (checkpoint cut)."""
+        if executor_id not in self.crashed:
+            raise RecoveryError(f"executor {executor_id} did not crash")
+        return self.checkpoints.latest_committed(executor_id)
+
+    def report(self) -> dict:
+        """JSON-able summary of what the plan did and what recovery cost."""
+        taken, committed = self.checkpoints.counts()
+        return {
+            "seed": self.plan.seed,
+            "events": [
+                {
+                    "kind": event.kind.value,
+                    "at_s": event.at_s,
+                    "target": event.target,
+                    "duration_s": event.duration_s,
+                }
+                for event in self.plan
+            ],
+            "crashes": {
+                str(victim): dict(info) for victim, info in self._recovery.items()
+            },
+            "checkpoints_taken": taken,
+            "checkpoints_committed": committed,
+            **self.stats,
+        }
+
+
+def _copy_payload(payload: Any) -> Any:
+    return copy.deepcopy(payload)

@@ -1,0 +1,194 @@
+"""Fault plans: the declarative, seed-reproducible chaos schedule.
+
+A :class:`FaultPlan` is an ordered tuple of :class:`FaultEvent` items.
+Each event names a *kind*, a simulated instant ``at_s``, a *target*
+(executor/node index, or a ``(src, dst)`` pair for channel-level
+faults), and kind-specific knobs (duration, degradation factor, count).
+Plans are plain data: they can be built explicitly, from the named
+presets the ``chaos`` harness command exposes, or drawn from a seeded
+:class:`~repro.common.rng.RngTree` stream — the same seed always yields
+the same schedule, which is what makes chaos runs regression-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.common.errors import FaultError
+from repro.common.rng import RngTree
+
+
+class FaultKind(str, Enum):
+    """The failure modes the injector knows how to apply."""
+
+    #: Kill one executor/node: its schedulers halt at the next task
+    #: switch, peers detect the death after a timeout, and epoch-based
+    #: recovery promotes a surviving helper.
+    NODE_CRASH = "node-crash"
+    #: Degrade one node's NIC TX/RX bandwidth to ``factor`` of nominal
+    #: for ``duration_s`` (a flapping link / congested uplink).
+    NIC_FLAP = "nic-flap"
+    #: Drop up to ``count`` RDMA WRITEs posted by the target node inside
+    #: the window — the sender detects the missing ACK and retransmits
+    #: with bounded exponential backoff.
+    DROP_CHUNK = "drop-chunk"
+    #: Re-send up to ``count`` epoch deltas shipped by the target
+    #: executor (a retransmission-induced duplicate); the leader's epoch
+    #: ledger must deduplicate them.
+    DUPLICATE_DELTA = "duplicate-delta"
+    #: Pause the target executor's worker schedulers for ``duration_s``
+    #: (a descheduled / GC-stalled helper).
+    STALL = "stall"
+    #: The target executor withholds credit returns on all its inbound
+    #: channels for ``duration_s``, starving its producers.
+    CREDIT_STARVATION = "credit-starvation"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    kind: FaultKind
+    at_s: float
+    target: int
+    duration_s: float = 0.0
+    factor: float = 1.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise FaultError(f"fault {self.kind.value} scheduled in the past: {self.at_s}")
+        if self.duration_s < 0:
+            raise FaultError(f"fault {self.kind.value}: negative duration {self.duration_s}")
+        if self.count <= 0:
+            raise FaultError(f"fault {self.kind.value}: count must be positive, got {self.count}")
+        if self.factor <= 0:
+            raise FaultError(f"fault {self.kind.value}: factor must be positive, got {self.factor}")
+
+
+#: Named single-fault presets understood by ``repro chaos --fault``.
+#: Each maps to a builder on :class:`FaultPlan`.
+PRESETS = (
+    "leader-crash",
+    "nic-flap",
+    "drop-chunk",
+    "duplicate-delta",
+    "stalled-helper",
+    "credit-starvation",
+    "mixed",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated schedule of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+    #: Seed the plan was derived from (0 for hand-built plans); recorded
+    #: so reports can name the exact chaos configuration.
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def validate(self, executors: int) -> None:
+        """Reject events that target executors outside the deployment."""
+        for event in self.events:
+            if not 0 <= event.target < executors:
+                raise FaultError(
+                    f"fault {event.kind.value} targets executor {event.target}, "
+                    f"but the deployment has {executors}"
+                )
+        crashes = [e for e in self.events if e.kind is FaultKind.NODE_CRASH]
+        if len({e.target for e in crashes}) < len(crashes):
+            raise FaultError("a node can only crash once per plan")
+        if crashes and len(crashes) >= executors:
+            raise FaultError(
+                f"plan crashes all {executors} executors; at least one must survive"
+            )
+
+    def crash_targets(self) -> list[int]:
+        """Executor ids the plan will crash, in schedule order."""
+        return [e.target for e in sorted(self.events, key=lambda e: e.at_s)
+                if e.kind is FaultKind.NODE_CRASH]
+
+    # -- builders ---------------------------------------------------------
+    @classmethod
+    def preset(
+        cls,
+        name: str,
+        seed: int,
+        executors: int,
+        horizon_s: float,
+    ) -> "FaultPlan":
+        """Build a named single-fault (or ``mixed``) plan.
+
+        ``horizon_s`` is the expected fail-free run length; fault times
+        are placed at seed-drawn fractions of it, so the same seed with
+        the same workload always produces the same schedule.
+        """
+        if executors < 2:
+            raise FaultError("chaos plans need at least 2 executors")
+        rng = RngTree(seed).generator("faults", name)
+        at = float(horizon_s) * (0.3 + 0.3 * float(rng.random()))
+        # The victim is a seed-drawn non-zero executor, so executor 0 —
+        # the deterministic promotion target (lowest id) — survives.
+        victim = 1 + int(rng.integers(0, executors - 1))
+        if name == "leader-crash":
+            events = (FaultEvent(FaultKind.NODE_CRASH, at, victim),)
+        elif name == "nic-flap":
+            events = (
+                FaultEvent(
+                    FaultKind.NIC_FLAP, at, victim,
+                    duration_s=horizon_s * 0.2, factor=0.05,
+                ),
+            )
+        elif name == "drop-chunk":
+            events = (
+                FaultEvent(
+                    FaultKind.DROP_CHUNK, at, victim,
+                    duration_s=horizon_s, count=3,
+                ),
+            )
+        elif name == "duplicate-delta":
+            events = (
+                FaultEvent(
+                    FaultKind.DUPLICATE_DELTA, at, victim,
+                    duration_s=horizon_s, count=3,
+                ),
+            )
+        elif name == "stalled-helper":
+            events = (
+                FaultEvent(
+                    FaultKind.STALL, at, victim, duration_s=horizon_s * 0.15,
+                ),
+            )
+        elif name == "credit-starvation":
+            events = (
+                FaultEvent(
+                    FaultKind.CREDIT_STARVATION, at, victim,
+                    duration_s=horizon_s * 0.1,
+                ),
+            )
+        elif name == "mixed":
+            flap_at = float(horizon_s) * (0.1 + 0.1 * float(rng.random()))
+            dup_victim = 1 + int(rng.integers(0, executors - 1))
+            events = (
+                FaultEvent(
+                    FaultKind.NIC_FLAP, flap_at, 0,
+                    duration_s=horizon_s * 0.1, factor=0.1,
+                ),
+                FaultEvent(
+                    FaultKind.DUPLICATE_DELTA, flap_at, dup_victim,
+                    duration_s=horizon_s, count=2,
+                ),
+                FaultEvent(FaultKind.NODE_CRASH, at, victim),
+            )
+        else:
+            raise FaultError(f"unknown fault preset {name!r}; known: {PRESETS}")
+        return cls(events=events, seed=seed)

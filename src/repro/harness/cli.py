@@ -6,10 +6,14 @@ Usage (after ``python setup.py develop``)::
     python -m repro run fig6a --nodes 2 4 --threads 4 --records 1500
     python -m repro run fig8d --out results/
     python -m repro run all --quick
+    python -m repro chaos --seed 7 --fault leader-crash
 
 ``run`` executes one experiment (or ``all``), prints the rendered report,
 and optionally writes it (plus a machine-readable JSON of the raw rows)
-into an output directory.
+into an output directory.  ``chaos`` injects a seeded fault plan into a
+Slash run and verifies the recovery invariants (see
+``docs/fault_tolerance.md``); it exits non-zero if any window result is
+lost or two same-seed runs diverge.
 """
 
 from __future__ import annotations
@@ -133,6 +137,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="small sizes for a fast smoke run")
     run.add_argument("--out", type=pathlib.Path, default=None,
                      help="directory to write <id>.txt and <id>.json into")
+
+    from repro.faults.plan import PRESETS
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection run: inject a fault preset, verify recovery",
+    )
+    chaos.add_argument("--fault", choices=PRESETS, default="leader-crash",
+                       help="named fault preset to inject")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="seed deriving fault time and victim")
+    chaos.add_argument("--nodes", type=int, default=3,
+                       help="cluster size")
+    chaos.add_argument("--threads", type=int, default=2,
+                       help="worker threads per node")
+    chaos.add_argument("--records", type=int, default=1500,
+                       help="records per thread")
+    chaos.add_argument("--workload", default="ysb",
+                       help="workload to run under fault injection")
+    chaos.add_argument("--no-determinism-check", action="store_true",
+                       help="skip the second same-seed faulted run")
+    chaos.add_argument("--out", type=pathlib.Path, default=None,
+                       help="directory to write chaos.txt and chaos.json into")
     return parser
 
 
@@ -166,6 +193,35 @@ def _jsonable(rows: list) -> list:
     return [convert(row) for row in rows]
 
 
+def _run_chaos(args) -> int:
+    from repro.common.errors import FaultError
+
+    started = time.time()
+    try:
+        report = exp.run_chaos(
+            fault=args.fault,
+            seed=args.seed,
+            nodes=args.nodes,
+            threads=args.threads,
+            workload_name=args.workload,
+            records_per_thread=args.records,
+            verify_determinism=not args.no_determinism_check,
+        )
+    except FaultError as exc:
+        print(f"CHAOS FAILED: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.time() - started
+    print(report.render())
+    print(f"\n[chaos {args.fault} seed {args.seed} — {elapsed:.1f}s wall]")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "chaos.txt").write_text(report.render() + "\n")
+        (args.out / "chaos.json").write_text(
+            json.dumps(_jsonable(report.rows), indent=2) + "\n"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -173,6 +229,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, (description, _factory) in EXPERIMENTS.items():
             print(f"{name:<{width}}  {description}")
         return 0
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.quick:
         args.nodes = list(QUICK["nodes"])
         args.threads = QUICK["threads"]

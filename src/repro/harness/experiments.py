@@ -622,3 +622,168 @@ def ablation_selective_signaling(
         )
     report.tables.append(table)
     return report
+
+
+# ---------------------------------------------------------------------------
+# Chaos: fault injection + epoch-based recovery
+# ---------------------------------------------------------------------------
+
+def _compare_aggregates(expected: dict, actual: dict) -> tuple[list, list, list]:
+    """``(missing, extra, mismatched)`` keys between two result sets.
+
+    Integer aggregates (YSB counts) must match exactly; float aggregates
+    tolerate ULP-level drift, because recovery replays merges in a
+    different order and float addition is not associative.
+    """
+    import math
+
+    missing = [key for key in expected if key not in actual]
+    extra = [key for key in actual if key not in expected]
+    mismatched = []
+    for key, want in expected.items():
+        if key not in actual:
+            continue
+        got = actual[key]
+        if isinstance(want, float) or isinstance(got, float):
+            ok = math.isclose(want, got, rel_tol=1e-9, abs_tol=1e-12)
+        else:
+            ok = want == got
+        if not ok:
+            mismatched.append(key)
+    return missing, extra, mismatched
+
+
+def run_chaos(
+    fault: str = "leader-crash",
+    seed: int = 7,
+    nodes: int = 3,
+    threads: int = 2,
+    workload_name: str = "ysb",
+    records_per_thread: int = 1500,
+    verify_determinism: bool = True,
+) -> Report:
+    """One chaos cell: fail-free baseline, faulted run, invariant checks.
+
+    The baseline run sets the simulated horizon the fault plan is placed
+    on and provides the ground-truth output.  The faulted run must (a)
+    finish, (b) produce *exactly* the baseline's window results — the
+    zero-lost-results invariant — and (c) when ``verify_determinism`` is
+    set, reproduce itself byte-identically from the same seed and plan.
+    A violation raises :class:`FaultError`, failing the CLI run.
+    """
+    from repro.common.errors import FaultError
+    from repro.faults.plan import FaultPlan
+    from repro.harness.runner import build_engine
+
+    report = Report(f"chaos: {fault} (seed {seed})")
+    workload = make_workload(workload_name, records_per_thread=records_per_thread)
+    query = workload.build_query()
+
+    baseline = build_engine("slash", nodes).run(query, workload.flows(nodes, threads))
+    horizon = baseline.sim_seconds
+    plan = FaultPlan.preset(fault, seed, nodes, horizon)
+    # Scale the fault-handling tunables to this workload's horizon, so
+    # detection/retransmission behave sensibly at simulation scale.
+    overrides = dict(
+        detect_s=horizon * 0.02,
+        watchdog_period_s=horizon * 0.01,
+        rto_s=max(5e-6, horizon * 0.001),
+        credit_timeout_s=max(2e-5, horizon * 0.005),
+    )
+
+    def faulted_run():
+        engine = build_engine(
+            "slash", nodes, fault_plan=plan, fault_overrides=overrides
+        )
+        return engine.run(query, workload.flows(nodes, threads))
+
+    faulted = faulted_run()
+    missing, extra, mismatched = _compare_aggregates(
+        baseline.aggregates, faulted.aggregates
+    )
+    zero_lost = not (missing or extra or mismatched)
+
+    deterministic = None
+    if verify_determinism:
+        repeat = faulted_run()
+        deterministic = (
+            repeat.aggregates == faulted.aggregates
+            and repeat.sim_seconds == faulted.sim_seconds
+            and repeat.emitted == faulted.emitted
+        )
+
+    faults_info = faulted.extra.get("faults", {})
+    events_table = TextTable(
+        f"injected faults (seed {seed}, horizon {fmt_time(horizon)})",
+        ["kind", "at", "target", "duration"],
+    )
+    for event in faults_info.get("events", []):
+        events_table.add_row(
+            event["kind"], fmt_time(event["at_s"]), event["target"],
+            fmt_time(event["duration_s"]) if event["duration_s"] else "-",
+        )
+    report.tables.append(events_table)
+
+    outcome = TextTable(
+        "recovery outcome",
+        ["metric", "value"],
+    )
+    outcome.add_row("baseline windows", len(baseline.aggregates))
+    outcome.add_row("faulted windows", len(faulted.aggregates))
+    outcome.add_row("lost / extra / mismatched",
+                    f"{len(missing)} / {len(extra)} / {len(mismatched)}")
+    outcome.add_row("zero-lost-results", "PASS" if zero_lost else "FAIL")
+    if deterministic is not None:
+        outcome.add_row("same-seed determinism", "PASS" if deterministic else "FAIL")
+    outcome.add_row("sim time (baseline)", fmt_time(baseline.sim_seconds))
+    outcome.add_row("sim time (faulted)", fmt_time(faulted.sim_seconds))
+    outcome.add_row("retransmits", faulted.counters.retransmits)
+    outcome.add_row("retransmitted bytes", format_si(
+        faulted.counters.retransmitted_bytes, "B"))
+    outcome.add_row("checkpoints taken/committed",
+                    f"{faults_info.get('checkpoints_taken', 0)}/"
+                    f"{faults_info.get('checkpoints_committed', 0)}")
+    for victim, info in sorted(faults_info.get("crashes", {}).items()):
+        outcome.add_row(f"exec {victim} recovery time",
+                        fmt_time(info.get("recovery_s", 0.0)))
+        outcome.add_row(f"exec {victim} promoted to", info.get("promoted", "-"))
+        outcome.add_row(f"exec {victim} replayed batches",
+                        info.get("replayed_batches", 0))
+    report.tables.append(outcome)
+
+    report.rows.append({
+        "figure": "chaos",
+        "fault": fault,
+        "seed": seed,
+        "nodes": nodes,
+        "threads": threads,
+        "workload": workload_name,
+        "zero_lost": zero_lost,
+        "deterministic": deterministic,
+        "missing": len(missing),
+        "extra": len(extra),
+        "mismatched": len(mismatched),
+        "baseline_sim_seconds": baseline.sim_seconds,
+        "faulted_sim_seconds": faulted.sim_seconds,
+        "retransmits": faulted.counters.retransmits,
+        "retransmitted_bytes": faulted.counters.retransmitted_bytes,
+        "faults": faults_info,
+    })
+    report.notes.append(
+        "zero-lost-results compares every (window, key) aggregate of the "
+        "faulted run against the fail-free baseline (exact for ints, "
+        "1e-9 relative for floats)."
+    )
+
+    if not zero_lost:
+        raise FaultError(
+            f"chaos {fault!r} (seed {seed}) lost results: "
+            f"{len(missing)} missing, {len(extra)} extra, "
+            f"{len(mismatched)} mismatched\n" + report.render()
+        )
+    if deterministic is False:
+        raise FaultError(
+            f"chaos {fault!r} (seed {seed}) is not reproducible: two runs "
+            "with the same seed and plan diverged\n" + report.render()
+        )
+    return report

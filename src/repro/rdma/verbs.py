@@ -103,6 +103,8 @@ class QueuePair:
         remote_offset: int,
         rkey: Optional[int] = None,
         signaled: bool = True,
+        ack_signal: Optional[Signal] = None,
+        xfer_state: Optional[dict] = None,
     ) -> Generator[Any, Any, int]:
         """Post an RDMA WRITE; returns the work-request id immediately.
 
@@ -111,6 +113,12 @@ class QueuePair:
         atomically stores the payload into the remote region (footer
         semantics).  A signaled completion reaches :attr:`send_cq` after
         the hardware ACK returns.
+
+        Fault-mode extras (used by reliable channel transfers):
+        ``ack_signal`` fires once when the payload lands, after the ACK
+        propagates back; ``xfer_state`` is a shared first-delivery-wins
+        record, so a retransmission of a slow-but-delivered WRITE is
+        discarded instead of trampling the occupied ring slot.
         """
         if remote_region.node_index != self.remote.index:
             raise ProtocolError(
@@ -123,7 +131,10 @@ class QueuePair:
         self.outstanding += 1
         key = rkey if rkey is not None else remote_region.rkey
         self.local.sim.process(
-            self._write_proc(wr_id, payload, nbytes, remote_region, remote_offset, key, signaled),
+            self._write_proc(
+                wr_id, payload, nbytes, remote_region, remote_offset, key,
+                signaled, ack_signal, xfer_state,
+            ),
             name=f"{self.name}.write",
         )
         return wr_id
@@ -142,12 +153,35 @@ class QueuePair:
         remote_offset: int,
         rkey: int,
         signaled: bool,
+        ack_signal: Optional[Signal] = None,
+        xfer_state: Optional[dict] = None,
     ) -> Generator[Any, Any, None]:
         nic = self.local.config.nic
         pressure = 1.0 + max(0, self.outstanding - 1) / self.WQE_CACHE_DEPTH
         yield self.link.send(nbytes, overhead_s=nic.nic_processing_s * pressure)
+        faults = self.local.sim.faults
+        if faults is not None and (
+            faults.should_drop_write(self.local.index, nbytes)
+            or faults.is_crashed_node(self.remote.index)
+        ):
+            # The WRITE is lost on the wire (injected drop) or lands on a
+            # dead node; either way it never stores, and the poster's
+            # missing ACK triggers retransmission or peer-death handling.
+            self.outstanding -= 1
+            return
+        if xfer_state is not None and xfer_state.get("delivered"):
+            # A retransmission raced the original, which was slow but not
+            # lost: first delivery wins, the duplicate is discarded.
+            self.outstanding -= 1
+            return
         remote_region.remote_store(rkey, remote_offset, payload, nbytes)
+        if xfer_state is not None:
+            xfer_state["delivered"] = True
         self.outstanding -= 1
+        if ack_signal is not None and not ack_signal.fired:
+            yield Timeout(nic.propagation_latency_s)
+            if not ack_signal.fired:
+                ack_signal.fire(nbytes)
         if signaled:
             # The ACK crosses the fabric back to the sender NIC.
             yield Timeout(self.local.config.nic.propagation_latency_s)

@@ -36,9 +36,22 @@ class BandwidthPipe:
             raise ConfigError(f"pipe {name!r}: bandwidth must be positive")
         self.sim = sim
         self.bytes_per_s = bytes_per_s
+        self.nominal_bytes_per_s = bytes_per_s
         self.name = name
         self._free_at = 0.0
         self.total_bytes = 0.0
+
+    def degrade(self, factor: float) -> None:
+        """Scale the pipe's rate to ``factor`` of nominal (NIC flap / link
+        degradation fault).  Transfers already enqueued keep their old
+        completion times; only future transfers see the new rate."""
+        if factor <= 0:
+            raise ConfigError(f"pipe {self.name!r}: degrade factor must be positive")
+        self.bytes_per_s = self.nominal_bytes_per_s * factor
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade`: return to the nominal rate."""
+        self.bytes_per_s = self.nominal_bytes_per_s
 
     def transfer(self, nbytes: float, overhead_s: float = 0.0) -> Signal:
         """Enqueue a transfer; the returned signal fires when it completes."""

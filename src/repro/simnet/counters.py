@@ -51,6 +51,12 @@ class HwCounters:
     busy_seconds: float = 0.0
     # Spin-wait (pause) cycles; also included in cycles[CORE].
     wait_cycles: float = 0.0
+    # RNR-NAK-style retry accounting (fault-injected runs): transfers
+    # re-posted after a timeout, the bytes they re-sent (included in
+    # network_bytes), and receiver-not-ready NAK events observed.
+    retransmits: int = 0
+    retransmitted_bytes: float = 0.0
+    rnr_nacks: int = 0
 
     # -- accumulation -----------------------------------------------------
     def charge(self, cost: "OpCostLike", count: float = 1.0) -> None:
@@ -80,6 +86,13 @@ class HwCounters:
         """Record bytes this thread pushed onto (or pulled off) the NIC."""
         self.network_bytes += nbytes
 
+    def count_retransmit(self, nbytes: float) -> None:
+        """Record one RNR-NAK-style retry: a transfer re-posted after a
+        timeout, re-sending ``nbytes`` over the wire."""
+        self.retransmits += 1
+        self.retransmitted_bytes += nbytes
+        self.rnr_nacks += 1
+
     def merge(self, other: "HwCounters") -> None:
         """Fold another counter set into this one (for aggregation)."""
         self.instructions += other.instructions
@@ -93,6 +106,9 @@ class HwCounters:
         self.network_bytes += other.network_bytes
         self.busy_seconds += other.busy_seconds
         self.wait_cycles += other.wait_cycles
+        self.retransmits += other.retransmits
+        self.retransmitted_bytes += other.retransmitted_bytes
+        self.rnr_nacks += other.rnr_nacks
 
     def copy(self) -> "HwCounters":
         """Return an independent copy of this counter set."""

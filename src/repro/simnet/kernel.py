@@ -139,6 +139,41 @@ class AllOf(Waitable):
             child._subscribe(sim, make_child_callback(i))
 
 
+class FirstOf(Waitable):
+    """Fires when the *first* child waitable fires; later children are ignored.
+
+    The value is ``(index, value)`` of the winning child.  A child that
+    *fails* first propagates its exception instead.  This is the race
+    primitive behind every timeout-guarded wait (e.g. "completion ACK or
+    retransmission timer, whichever comes first"); children that lose the
+    race still fire into a no-op callback, so one-shot signals remain
+    usable by other waiters.
+    """
+
+    def __init__(self, children: Iterable[Waitable]):
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("FirstOf needs at least one child")
+
+    def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        done = {"fired": False}
+
+        def make_child_callback(index: int) -> Callable[[Any, Optional[BaseException]], None]:
+            def child_done(value: Any, exc: Optional[BaseException]) -> None:
+                if done["fired"]:
+                    return
+                done["fired"] = True
+                if exc is not None:
+                    callback(None, exc)
+                else:
+                    callback((index, value), None)
+
+            return child_done
+
+        for i, child in enumerate(self.children):
+            child._subscribe(sim, make_child_callback(i))
+
+
 class Process(Waitable):
     """A running simulation process wrapping a generator.
 
@@ -308,6 +343,10 @@ class Simulator:
         #: Optional repro.simnet.trace.Tracer; instrumented components
         #: emit events here when attached.
         self.tracer = None
+        #: Optional repro.faults.injector.FaultInjector; when attached,
+        #: the RDMA/channel/executor layers consult it for deterministic
+        #: fault decisions and switch to their fault-tolerant code paths.
+        self.faults = None
 
     @property
     def now(self) -> float:

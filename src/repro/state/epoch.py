@@ -90,27 +90,56 @@ class EpochManager:
 
 
 class EpochLedger:
-    """Leader-side validation that helper deltas arrive in dense order."""
+    """Leader-side validation that helper deltas arrive in dense order.
+
+    The ledger is also the system's exactly-once filter: a re-delivered
+    delta (retransmission after a fault, or a replay during recovery) is
+    *deduplicated*, not treated as corruption, so CRDT merges stay
+    exactly-once no matter how many times a delta crosses the wire.
+    """
 
     def __init__(self):
         self._last_seen: dict[tuple[str, int, int], int] = {}
 
-    def admit(self, delta: EpochDelta) -> None:
-        """Validate ordering for ``delta``; raises on skipped/replayed epochs."""
+    def admit(self, delta: EpochDelta) -> bool:
+        """Validate ordering for ``delta``; returns whether it is *fresh*.
+
+        ``True`` means the caller must merge the delta (it advances the
+        dense per-helper sequence).  ``False`` means the exact delta was
+        already admitted — a duplicate from retransmission or recovery
+        replay — and the caller must drop it without merging.  A *skip*
+        (an epoch arriving more than one ahead) still raises: updates
+        cannot overtake each other on a FIFO channel, so a gap is a bug
+        or data loss, never something to paper over.
+        """
         key = (delta.operator_id, delta.partition, delta.from_executor)
         last = self._last_seen.get(key)
         if last is not None and delta.epoch <= last:
-            raise StateError(
-                f"epoch replay from executor {delta.from_executor} on "
-                f"partition {delta.partition}: {delta.epoch} after {last}"
-            )
+            return False
         if last is not None and delta.epoch != last + 1:
             raise StateError(
                 f"epoch skip from executor {delta.from_executor} on "
                 f"partition {delta.partition}: {delta.epoch} after {last}"
             )
         self._last_seen[key] = delta.epoch
+        return True
 
     def last_epoch(self, operator_id: str, partition: int, helper: int) -> int:
         """Last admitted epoch for a (partition, helper) pair (-1 if none)."""
         return self._last_seen.get((operator_id, partition, helper), -1)
+
+    def seed(self, operator_id: str, partition: int, helper: int, epoch: int) -> None:
+        """Install a known admission point (checkpoint restore).
+
+        A promoted leader seeds its ledger from the crashed leader's
+        checkpoint so that replayed deltas at or below ``epoch`` dedupe
+        and the dense-sequence check resumes from the right place.
+        Seeding never moves an entry backwards.
+        """
+        key = (operator_id, partition, helper)
+        if epoch > self._last_seen.get(key, -1):
+            self._last_seen[key] = epoch
+
+    def snapshot(self) -> dict[tuple[str, int, int], int]:
+        """A copy of the admission frontier (checkpoint payload)."""
+        return dict(self._last_seen)

@@ -124,3 +124,20 @@ class PartitionDirectory:
     def is_leader(self, executor_id: int, partition: int) -> bool:
         """Whether ``executor_id`` leads ``partition``."""
         return self.leader_of_partition(partition) == executor_id
+
+    def reassign(self, partition: int, new_leader: int) -> int:
+        """Move leadership of ``partition`` to ``new_leader`` (failover).
+
+        The directory object is shared by every executor of a deployment,
+        so a reassignment is immediately visible to all shippers' leader
+        lookups — helpers start routing the partition's deltas to the
+        promoted executor on their next epoch boundary.  Returns the
+        previous leader.
+        """
+        if not 0 <= partition < self.executors:
+            raise StateError(f"partition {partition} out of range")
+        if not 0 <= new_leader < self.executors:
+            raise StateError(f"new leader {new_leader} out of range")
+        previous = self._leader_of[partition]
+        self._leader_of[partition] = new_leader
+        return previous

@@ -117,8 +117,14 @@ class OperatorStateHandle:
             )
         return deltas
 
-    def merge_delta(self, delta: EpochDelta) -> None:
-        """Leader side: validate and fold a shipped delta (step 4)."""
+    def merge_delta(self, delta: EpochDelta) -> bool:
+        """Leader side: validate and fold a shipped delta (step 4).
+
+        Returns whether the delta was *fresh*.  A re-delivered delta
+        (retransmission, recovery replay) is deduplicated by the epoch
+        ledger and dropped without touching the store or the clock, so
+        merges stay exactly-once.
+        """
         backend = self.backend
         if delta.operator_id != self.operator_id:
             raise StateError(
@@ -130,11 +136,13 @@ class OperatorStateHandle:
                 f"executor {backend.executor_id} is not the leader of "
                 f"partition {delta.partition}"
             )
-        backend.ledger.admit(delta)
+        if not backend.ledger.admit(delta):
+            return False
         store = self._stores[delta.partition]
         for key, partial in delta.pairs:
             store.absorb(key, partial)
         backend.clock.advance(delta.from_executor, delta.watermark)
+        return True
 
     # -- trigger-time reads ----------------------------------------------------------
     def extract_window(self, window_id: Hashable) -> dict[Hashable, Any]:

@@ -1,0 +1,99 @@
+"""Tests for fault plans: validation and seed-reproducibility."""
+
+import pytest
+
+from repro.common.errors import FaultError
+from repro.faults.plan import PRESETS, FaultEvent, FaultKind, FaultPlan
+
+
+class TestFaultEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(FaultError, match="past"):
+            FaultEvent(FaultKind.NODE_CRASH, -1.0, 0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(FaultError, match="duration"):
+            FaultEvent(FaultKind.STALL, 1.0, 0, duration_s=-0.5)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(FaultError, match="count"):
+            FaultEvent(FaultKind.DROP_CHUNK, 1.0, 0, count=0)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(FaultError, match="factor"):
+            FaultEvent(FaultKind.NIC_FLAP, 1.0, 0, factor=0.0)
+
+
+class TestFaultPlanValidation:
+    def test_target_out_of_range(self):
+        plan = FaultPlan(events=(FaultEvent(FaultKind.NODE_CRASH, 1.0, 5),))
+        with pytest.raises(FaultError, match="targets executor 5"):
+            plan.validate(executors=3)
+
+    def test_double_crash_of_same_node_rejected(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(FaultKind.NODE_CRASH, 1.0, 1),
+                FaultEvent(FaultKind.NODE_CRASH, 2.0, 1),
+            )
+        )
+        with pytest.raises(FaultError, match="once per plan"):
+            plan.validate(executors=3)
+
+    def test_crashing_every_executor_rejected(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(FaultKind.NODE_CRASH, 1.0, 0),
+                FaultEvent(FaultKind.NODE_CRASH, 2.0, 1),
+            )
+        )
+        with pytest.raises(FaultError, match="survive"):
+            plan.validate(executors=2)
+
+    def test_valid_plan_passes(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(FaultKind.NODE_CRASH, 1.0, 1),
+                FaultEvent(FaultKind.NIC_FLAP, 0.5, 0, duration_s=1.0, factor=0.1),
+            )
+        )
+        plan.validate(executors=3)
+        assert plan.crash_targets() == [1]
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_every_preset_builds_and_validates(self, name):
+        plan = FaultPlan.preset(name, seed=7, executors=3, horizon_s=1.0)
+        plan.validate(executors=3)
+        assert len(plan) >= 1
+        assert plan.seed == 7
+
+    @pytest.mark.parametrize("name", PRESETS)
+    def test_same_seed_same_schedule(self, name):
+        a = FaultPlan.preset(name, seed=42, executors=4, horizon_s=2.5)
+        b = FaultPlan.preset(name, seed=42, executors=4, horizon_s=2.5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        plans = {
+            FaultPlan.preset("leader-crash", seed=s, executors=8, horizon_s=1.0)
+            for s in range(20)
+        }
+        assert len(plans) > 1
+
+    def test_crash_presets_never_target_executor_zero(self):
+        # Executor 0 is the deterministic promotion target; presets must
+        # leave it alive.
+        for seed in range(50):
+            plan = FaultPlan.preset("leader-crash", seed, executors=3, horizon_s=1.0)
+            assert plan.crash_targets() == [plan.events[0].target]
+            assert plan.events[0].target != 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault preset"):
+            FaultPlan.preset("meteor-strike", seed=1, executors=2, horizon_s=1.0)
+
+    def test_needs_two_executors(self):
+        with pytest.raises(FaultError, match="at least 2"):
+            FaultPlan.preset("leader-crash", seed=1, executors=1, horizon_s=1.0)

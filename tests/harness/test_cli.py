@@ -49,3 +49,26 @@ def test_every_registered_experiment_has_description():
     for name, (description, factory) in EXPERIMENTS.items():
         assert description
         assert callable(factory)
+
+
+def test_chaos_command_writes_outputs(tmp_path, capsys):
+    code = main(
+        ["chaos", "--fault", "leader-crash", "--seed", "7",
+         "--records", "600", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recovery outcome" in out
+    assert "zero-lost-results" in out and "FAIL" not in out
+    assert (tmp_path / "chaos.txt").exists()
+    rows = json.loads((tmp_path / "chaos.json").read_text())
+    assert rows[0]["zero_lost"] is True
+    assert rows[0]["deterministic"] is True
+
+
+def test_chaos_parser_defaults():
+    args = build_parser().parse_args(["chaos"])
+    assert args.fault == "leader-crash"
+    assert args.seed == 7
+    assert args.nodes == 3
+    assert not args.no_determinism_check

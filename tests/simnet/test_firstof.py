@@ -1,0 +1,108 @@
+"""Unit tests for the FirstOf race primitive."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simnet.kernel import FirstOf, Signal, Simulator, Timeout
+
+
+def test_firstof_returns_index_and_value_of_winner():
+    sim = Simulator()
+
+    def body():
+        result = yield FirstOf([Timeout(2.0, "slow"), Timeout(0.5, "fast")])
+        return result
+
+    proc = sim.process(body())
+    assert sim.run_until_process(proc) == (1, "fast")
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_firstof_signal_beats_timeout():
+    sim = Simulator()
+    signal = Signal(sim)
+
+    def firer():
+        yield Timeout(0.1)
+        signal.fire("payload")
+
+    def waiter():
+        index, value = yield FirstOf([signal, Timeout(5.0)])
+        return index, value
+
+    sim.process(firer())
+    proc = sim.process(waiter())
+    assert sim.run_until_process(proc) == (0, "payload")
+
+
+def test_firstof_loser_does_not_retrigger_waiter():
+    sim = Simulator()
+    wakeups = []
+
+    def body():
+        result = yield FirstOf([Timeout(1.0, "a"), Timeout(1.5, "b")])
+        wakeups.append(result)
+        # Stay alive past the loser's fire time.
+        yield Timeout(10.0)
+
+    sim.process(body())
+    sim.run()
+    assert wakeups == [(0, "a")]
+
+
+def test_firstof_loser_signal_stays_usable_by_other_waiters():
+    sim = Simulator()
+    signal = Signal(sim)
+    seen = []
+
+    def racer():
+        # The timeout wins; the signal loses the race but must remain a
+        # perfectly good one-shot for the second waiter.
+        yield FirstOf([signal, Timeout(0.5)])
+
+    def late_firer():
+        yield Timeout(1.0)
+        signal.fire("late")
+
+    def second_waiter():
+        value = yield signal
+        seen.append(value)
+
+    sim.process(racer())
+    sim.process(late_firer())
+    sim.process(second_waiter())
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_firstof_propagates_child_failure():
+    sim = Simulator()
+    signal = Signal(sim)
+
+    def failer():
+        yield Timeout(0.1)
+        signal.fail(RuntimeError("boom"))
+
+    def waiter():
+        yield FirstOf([signal, Timeout(5.0)])
+
+    sim.process(failer())
+    proc = sim.process(waiter())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run_until_process(proc)
+
+
+def test_firstof_requires_children():
+    with pytest.raises(SimulationError):
+        FirstOf([])
+
+
+def test_firstof_simultaneous_children_first_listed_wins():
+    sim = Simulator()
+
+    def body():
+        result = yield FirstOf([Timeout(1.0, "a"), Timeout(1.0, "b")])
+        return result
+
+    proc = sim.process(body())
+    assert sim.run_until_process(proc) == (0, "a")

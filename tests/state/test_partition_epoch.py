@@ -121,11 +121,32 @@ class TestEpochLedger:
         with pytest.raises(StateError, match="skip"):
             ledger.admit(make_delta(2))
 
-    def test_replay_rejected(self):
+    def test_replay_deduped_not_merged(self):
         ledger = EpochLedger()
-        ledger.admit(make_delta(0))
-        with pytest.raises(StateError, match="replay"):
-            ledger.admit(make_delta(0))
+        assert ledger.admit(make_delta(0)) is True
+        # A re-delivered delta is a duplicate, not corruption: admit
+        # reports it stale so the caller skips the merge (exactly-once).
+        assert ledger.admit(make_delta(0)) is False
+        assert ledger.last_epoch("op", 1, 0) == 0
+        # The dense sequence resumes normally after a dedupe.
+        assert ledger.admit(make_delta(1)) is True
+
+    def test_out_of_order_redelivery_deduped(self):
+        ledger = EpochLedger()
+        for epoch in range(3):
+            ledger.admit(make_delta(epoch))
+        assert ledger.admit(make_delta(1)) is False
+        assert ledger.last_epoch("op", 1, 0) == 2
+
+    def test_seed_installs_admission_point(self):
+        ledger = EpochLedger()
+        ledger.seed("op", 1, 0, 4)
+        assert ledger.last_epoch("op", 1, 0) == 4
+        assert ledger.admit(make_delta(3)) is False
+        assert ledger.admit(make_delta(5)) is True
+        # Seeding never moves the frontier backwards.
+        ledger.seed("op", 1, 0, 2)
+        assert ledger.last_epoch("op", 1, 0) == 5
 
     def test_streams_tracked_independently(self):
         ledger = EpochLedger()
