@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness: the repo's tracked perf trajectory.
+
+Times every experiment of the CLI registry (plus a kernel event-loop
+microbench) and writes ``BENCH_wallclock.json``::
+
+    python benchmarks/bench_wallclock.py --quick --out BENCH_wallclock.json
+    python benchmarks/bench_wallclock.py --experiments fig8ab table1
+    python benchmarks/bench_wallclock.py --quick \
+        --check-against BENCH_wallclock.json   # CI regression gate
+
+Per experiment it records the wall seconds and a sha256 digest of the
+rendered report.  The digest is the determinism check: two same-seed
+runs must produce identical simulated-time results, so their digests
+must match (wall seconds, of course, vary).  ``--check-against`` fails
+(exit 1) if any tracked experiment is more than ``--threshold`` times
+slower than the committed baseline.
+
+Simulated results are wall-clock independent, so quick-mode timings are
+a faithful *relative* trajectory even though absolute numbers are small.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA = 1
+#: Events for the kernel event-loop microbench (half timed, half ready).
+KERNEL_EVENTS = 200_000
+
+
+def bench_kernel(events: int = KERNEL_EVENTS) -> dict:
+    """Events/sec through the simulation kernel's scheduling hot path.
+
+    Alternates timed and zero-delay waits so both the heap and the
+    ready-deque fast path are exercised.
+    """
+    from repro.simnet.kernel import Simulator, Timeout
+
+    sim = Simulator()
+
+    def body():
+        for _ in range(events // 2):
+            yield Timeout(1e-6)
+            yield Timeout(0.0)
+
+    sim.process(body(), name="kernel-bench")
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    return {
+        "events": sim.scheduled_events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(sim.scheduled_events / wall),
+        "sim_seconds": sim.now,
+    }
+
+
+def bench_experiment(name: str, quick: bool, jobs: int) -> dict:
+    """One experiment: wall seconds plus a digest of the rendered report."""
+    from repro.harness.cli import EXPERIMENTS, QUICK, build_parser
+
+    argv = ["run", name]
+    if quick:
+        argv.append("--quick")
+    args = build_parser().parse_args(argv)
+    if quick:
+        args.nodes = list(QUICK["nodes"])
+        args.threads = QUICK["threads"]
+        args.records = args.records or QUICK["records"]
+    args.nodes = tuple(args.nodes)
+    args.runner = None
+    pool = None
+    if jobs > 1:
+        from repro.harness.parallel import PoolRunner, make_pool
+
+        pool = make_pool(jobs)
+        args.runner = PoolRunner(pool, jobs)
+    try:
+        _description, factory = EXPERIMENTS[name]
+        started = time.perf_counter()
+        report = factory(args)
+        wall = time.perf_counter() - started
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    rendered = report.render()
+    return {
+        "wall_s": round(wall, 3),
+        "digest": hashlib.sha256(rendered.encode()).hexdigest(),
+        "quick": quick,
+        "jobs": jobs,
+    }
+
+
+def check_against(current: dict, baseline_path: pathlib.Path, threshold: float) -> int:
+    """Exit status for the CI gate: 1 if any experiment regressed."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, entry in current["experiments"].items():
+        base = baseline.get("experiments", {}).get(name)
+        if base is None:
+            print(f"[bench] {name}: no baseline entry, skipping gate")
+            continue
+        ratio = entry["wall_s"] / base["wall_s"] if base["wall_s"] else 1.0
+        status = "OK" if ratio <= threshold else "REGRESSED"
+        print(
+            f"[bench] {name}: {entry['wall_s']:.2f}s vs baseline "
+            f"{base['wall_s']:.2f}s ({ratio:.2f}x) {status}"
+        )
+        if ratio > threshold:
+            failures.append(name)
+    if failures:
+        print(f"[bench] FAIL: >{threshold}x regression in: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    from repro.harness.cli import EXPERIMENTS
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiments", nargs="+", default=None,
+                        help="experiment ids to bench (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="bench at --quick sizes")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes per experiment run")
+    parser.add_argument("--skip-kernel", action="store_true",
+                        help="skip the kernel events/sec microbench")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the JSON here (default: stdout only)")
+    parser.add_argument("--check-against", type=pathlib.Path, default=None,
+                        help="baseline BENCH_wallclock.json to gate against")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="max allowed wall_s ratio vs baseline")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+
+    result: dict = {"schema": SCHEMA, "experiments": {}}
+    if not args.skip_kernel:
+        result["kernel"] = bench_kernel()
+        print(f"[bench] kernel: {result['kernel']['events_per_s']:,} events/s")
+    for name in names:
+        entry = bench_experiment(name, quick=args.quick, jobs=args.jobs)
+        result["experiments"][name] = entry
+        print(f"[bench] {name}: {entry['wall_s']:.2f}s  digest {entry['digest'][:12]}")
+
+    payload = json.dumps(result, indent=2, sort_keys=True) + "\n"
+    if args.out is not None:
+        args.out.write_text(payload)
+        print(f"[bench] wrote {args.out}")
+    else:
+        print(payload)
+
+    if args.check_against is not None:
+        return check_against(result, args.check_against, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,17 +30,65 @@ def _segments(window_ids: np.ndarray, keys: np.ndarray):
     Returns ``(order, starts, group_windows, group_keys)`` where
     ``starts`` are the first sorted positions of each group.
     """
-    order = np.lexsort((keys, window_ids))
+    single_window = len(window_ids) > 0 and (window_ids == window_ids[0]).all()
+    if single_window:
+        # One window in the batch (RO's whole-stream window, or a batch
+        # that never straddles a boundary): the lexsort degenerates to a
+        # stable single-key sort, which is measurably cheaper.
+        order = np.argsort(keys, kind="stable")
+    else:
+        order = np.lexsort((keys, window_ids))
     sorted_windows = window_ids[order]
     sorted_keys = keys[order]
     change = np.empty(len(order), dtype=bool)
     if len(order):
         change[0] = True
-        change[1:] = (sorted_windows[1:] != sorted_windows[:-1]) | (
-            sorted_keys[1:] != sorted_keys[:-1]
-        )
+        if single_window:
+            change[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        else:
+            change[1:] = (sorted_windows[1:] != sorted_windows[:-1]) | (
+                sorted_keys[1:] != sorted_keys[:-1]
+            )
     starts = np.flatnonzero(change)
     return order, starts, sorted_windows[starts], sorted_keys[starts]
+
+
+def group_reduce(
+    crdt: Crdt,
+    window_ids: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Array form of :func:`partial_aggregate` for scalar-payload CRDTs.
+
+    Returns ``(group_windows, group_keys, partials)`` columns sorted by
+    ``(window, key)``, or ``None`` when the CRDT's payload is not a plain
+    scalar (avg's ``(sum, count)`` pairs, append logs) and the caller
+    must take the dict path.  Keeping the columns as arrays lets hot
+    consumers skip the per-group tuple/dict materialisation entirely.
+    """
+    if len(window_ids) != len(keys):
+        raise QueryError("window_ids and keys must align")
+    name = crdt.name
+    if name not in ("count", "sum", "min", "max"):
+        return None
+    if len(window_ids) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    order, starts, group_windows, group_keys = _segments(window_ids, keys)
+    if name == "count":
+        partials = np.diff(np.append(starts, len(order)))
+    else:
+        if values is None:
+            raise QueryError(f"{name} aggregation needs a value column")
+        sorted_values = np.asarray(values, dtype=np.float64)[order]
+        if name == "sum":
+            partials = np.add.reduceat(sorted_values, starts)
+        elif name == "min":
+            partials = np.minimum.reduceat(sorted_values, starts)
+        else:
+            partials = np.maximum.reduceat(sorted_values, starts)
+    return group_windows, group_keys, partials
 
 
 def partial_aggregate(
@@ -55,39 +103,33 @@ def partial_aggregate(
     ``absorb``-ed (merged) into a store.  ``values`` may be None for
     value-less aggregates (count).
     """
-    if len(window_ids) != len(keys):
-        raise QueryError("window_ids and keys must align")
     if len(window_ids) == 0:
+        if len(window_ids) != len(keys):
+            raise QueryError("window_ids and keys must align")
         return {}
+    reduced = group_reduce(crdt, window_ids, keys, values)
+    if reduced is not None:
+        group_windows, group_keys, partials = reduced
+        # .tolist() converts whole columns to plain Python ints/floats in
+        # C; building the group tuples and the result dict from those
+        # lists is several times faster than a per-element int()/float()
+        # comprehension.
+        return dict(
+            zip(
+                zip(group_windows.tolist(), group_keys.tolist()),
+                partials.tolist(),
+            )
+        )
+    if crdt.name != "avg":
+        raise QueryError(f"no vectorised kernel for CRDT {crdt.name!r}")
+    if values is None:
+        raise QueryError("avg aggregation needs a value column")
     order, starts, group_windows, group_keys = _segments(window_ids, keys)
     counts = np.diff(np.append(starts, len(order)))
-
-    name = crdt.name
-    if name == "count":
-        partials = counts
-    elif name in ("sum", "min", "max", "avg"):
-        if values is None:
-            raise QueryError(f"{name} aggregation needs a value column")
-        sorted_values = np.asarray(values, dtype=np.float64)[order]
-        if name == "sum":
-            partials = np.add.reduceat(sorted_values, starts)
-        elif name == "min":
-            partials = np.minimum.reduceat(sorted_values, starts)
-        elif name == "max":
-            partials = np.maximum.reduceat(sorted_values, starts)
-        else:  # avg: (sum, count) pairs
-            sums = np.add.reduceat(sorted_values, starts)
-            return {
-                (int(w), int(k)): (float(s), int(c))
-                for w, k, s, c in zip(group_windows, group_keys, sums, counts)
-            }
-    else:
-        raise QueryError(f"no vectorised kernel for CRDT {name!r}")
-
-    return {
-        (int(w), int(k)): _scalar(partials[i])
-        for i, (w, k) in enumerate(zip(group_windows, group_keys))
-    }
+    sorted_values = np.asarray(values, dtype=np.float64)[order]
+    sums = np.add.reduceat(sorted_values, starts)
+    groups = zip(group_windows.tolist(), group_keys.tolist())
+    return dict(zip(groups, zip(sums.tolist(), counts.tolist())))
 
 
 def _scalar(value: Any) -> Any:
@@ -111,9 +153,10 @@ def group_rows(
         return {}
     order, starts, group_windows, group_keys = _segments(window_ids, keys)
     ends = np.append(starts[1:], len(order))
+    groups = zip(group_windows.tolist(), group_keys.tolist())
     return {
-        (int(w), int(k)): order[start:end]
-        for w, k, start, end in zip(group_windows, group_keys, starts, ends)
+        group: order[start:end]
+        for group, start, end in zip(groups, starts.tolist(), ends.tolist())
     }
 
 

@@ -21,6 +21,7 @@ processing, as in the paper.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Generator, Iterable, Optional
 
@@ -301,8 +302,8 @@ class SlashExecutor:
                 yield from core.execute(update_cost, float(result.survivors))
                 core.counters.count_records(result.survivors)
                 now = self.sim.now
-                for state_key, partial in result.partials.items():
-                    self.handle.absorb(state_key, partial)
+                self.handle.absorb_batch(result.partials)
+                for state_key in result.partials:
                     if isinstance(state_key, tuple):
                         self._last_contribution[state_key[0]] = now
                 self._ws_bytes += result.state_bytes
@@ -358,8 +359,6 @@ class SlashExecutor:
         all but the final delta per leader travel with -inf (which the
         clock's monotone ``advance`` ignores).
         """
-        import dataclasses
-
         last_for_leader: dict[int, int] = {}
         for index, delta in enumerate(deltas):
             last_for_leader[self.directory.leader_of_partition(delta.partition)] = index

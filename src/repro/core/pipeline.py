@@ -20,7 +20,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.common.errors import QueryError
-from repro.core.aggregations import group_rows, partial_aggregate
+from repro.core.aggregations import group_reduce, group_rows, partial_aggregate
 from repro.core.query import (
     AggregateSpec,
     FilterOp,
@@ -69,14 +69,54 @@ class CompiledChain:
         return None
 
 
-@dataclass
 class BatchResult:
-    """What the stateful breaker produced for one input batch."""
+    """What the stateful breaker produced for one input batch.
 
-    partials: dict[Any, Any]
-    survivors: int
-    max_timestamp: float
-    state_bytes: int
+    Scalar-payload aggregations (count/sum/min/max) carry their groups as
+    the ``group_windows``/``group_keys``/``group_partials`` columns; the
+    ``partials`` dict is materialised lazily from them, so consumers that
+    reduce the columns directly never pay for per-group tuples.
+    """
+
+    __slots__ = (
+        "_partials",
+        "survivors",
+        "max_timestamp",
+        "state_bytes",
+        "group_windows",
+        "group_keys",
+        "group_partials",
+    )
+
+    def __init__(
+        self,
+        partials: Optional[dict[Any, Any]],
+        survivors: int,
+        max_timestamp: float,
+        state_bytes: int,
+        group_windows: Optional[np.ndarray] = None,
+        group_keys: Optional[np.ndarray] = None,
+        group_partials: Optional[np.ndarray] = None,
+    ):
+        self._partials = partials
+        self.survivors = survivors
+        self.max_timestamp = max_timestamp
+        self.state_bytes = state_bytes
+        self.group_windows = group_windows
+        self.group_keys = group_keys
+        self.group_partials = group_partials
+
+    @property
+    def partials(self) -> dict[Any, Any]:
+        partials = self._partials
+        if partials is None:
+            partials = self._partials = dict(
+                zip(
+                    zip(self.group_windows.tolist(), self.group_keys.tolist()),
+                    self.group_partials.tolist(),
+                )
+            )
+        return partials
 
 
 class AggregationPipeline:
@@ -100,10 +140,23 @@ class AggregationPipeline:
             return BatchResult({}, 0, batch.max_timestamp, 0)
         window_ids = self.spec.window.assign(filtered.timestamps)
         values = self.chain.value_column(filtered, self.spec.value_field)
-        partials = partial_aggregate(self.crdt, window_ids, filtered.keys, values)
         # Resident bytes per distinct group: hash-index bucket share plus
         # log entry header/key plus the payload (FASTER-style layout).
-        state_bytes = len(partials) * (64 + self.crdt.payload_bytes)
+        per_group_bytes = 64 + self.crdt.payload_bytes
+        reduced = group_reduce(self.crdt, window_ids, filtered.keys, values)
+        if reduced is not None:
+            group_windows, group_keys, group_partials = reduced
+            return BatchResult(
+                None,
+                len(filtered),
+                batch.max_timestamp,
+                len(group_keys) * per_group_bytes,
+                group_windows,
+                group_keys,
+                group_partials,
+            )
+        partials = partial_aggregate(self.crdt, window_ids, filtered.keys, values)
+        state_bytes = len(partials) * per_group_bytes
         return BatchResult(partials, len(filtered), batch.max_timestamp, state_bytes)
 
 

@@ -19,6 +19,7 @@ lost or two same-seed runs diverge.
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import pathlib
 import sys
@@ -33,80 +34,103 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
         "YSB/CM/NB7 windowed aggregations, weak scaling",
         lambda a: exp.fig6_aggregations(
             node_counts=a.nodes, threads=a.threads,
-            workload_overrides=_size(a),
+            workload_overrides=_size(a), runner=_runner(a),
         ),
     ),
     "fig6d-e": (
         "NB8/NB11 windowed joins, weak scaling",
         lambda a: exp.fig6_joins(
             node_counts=a.nodes, threads=a.threads,
-            workload_overrides=_size(a, default_records=1000),
+            workload_overrides=_size(a, default_records=1000), runner=_runner(a),
         ),
     ),
     "fig7": (
         "COST analysis vs LightSaber",
         lambda a: exp.fig7_cost(
             node_counts=a.nodes, threads=a.threads,
-            workload_overrides=_size(a),
+            workload_overrides=_size(a), runner=_runner(a),
         ),
     ),
     "fig8ab": (
         "RO throughput/latency vs channel buffer size",
         lambda a: exp.fig8_buffer_sweep(
             threads=min(a.threads, 10),
-            records_per_thread=a.records or 150_000,
+            records_per_thread=a.records or 150_000, runner=_runner(a),
         ),
     ),
     "fig8c": (
         "RO throughput vs thread count",
-        lambda a: exp.fig8_parallelism(records_per_thread=a.records or 120_000),
+        lambda a: exp.fig8_parallelism(
+            records_per_thread=a.records or 120_000, runner=_runner(a),
+        ),
     ),
     "fig8d": (
         "throughput vs Zipf key skew (RO + YSB)",
         lambda a: exp.fig8_skew(
             threads=min(a.threads, 10),
-            records_per_thread=a.records or 60_000,
+            records_per_thread=a.records or 60_000, runner=_runner(a),
         ),
     ),
     "fig9": (
         "top-down breakdown of RO (senders/receivers)",
-        lambda a: exp.fig9_breakdown_ro(records_per_thread=a.records or 120_000),
+        lambda a: exp.fig9_breakdown_ro(
+            records_per_thread=a.records or 120_000, runner=_runner(a),
+        ),
     ),
     "fig10": (
         "top-down breakdown of end-to-end YSB",
         lambda a: exp.fig10_breakdown_ysb(
-            threads=min(a.threads, 10), records_per_thread=a.records or 6_000
+            threads=min(a.threads, 10), records_per_thread=a.records or 6_000,
+            runner=_runner(a),
         ),
     ),
     "table1": (
         "resource utilisation counters, YSB on 2 nodes",
         lambda a: exp.table1_counters(
-            threads=min(a.threads, 10), records_per_thread=a.records or 6_000
+            threads=min(a.threads, 10), records_per_thread=a.records or 6_000,
+            runner=_runner(a),
         ),
     ),
     "abl-credits": (
         "ablation: channel credit count",
-        lambda a: exp.ablation_credits(records_per_thread=a.records or 120_000),
+        lambda a: exp.ablation_credits(
+            records_per_thread=a.records or 120_000, runner=_runner(a),
+        ),
     ),
     "abl-epoch": (
         "ablation: SSB epoch length",
-        lambda a: exp.ablation_epoch_bytes(),
+        lambda a: exp.ablation_epoch_bytes(runner=_runner(a)),
     ),
     "abl-exec": (
         "ablation: compiled vs interpreted execution",
-        lambda a: exp.ablation_execution_strategy(),
+        lambda a: exp.ablation_execution_strategy(runner=_runner(a)),
     ),
     "extra-latency": (
         "extra: window trigger lag per system",
         lambda a: exp.extra_trigger_latency(
-            threads=min(a.threads, 10), records_per_thread=a.records or 6_000
+            threads=min(a.threads, 10), records_per_thread=a.records or 6_000,
+            runner=_runner(a),
         ),
     ),
     "abl-signal": (
         "ablation: selective signaling",
-        lambda a: exp.ablation_selective_signaling(records_per_thread=a.records or 120_000),
+        lambda a: exp.ablation_selective_signaling(
+            records_per_thread=a.records or 120_000, runner=_runner(a),
+        ),
     ),
 }
+
+#: Per-panel figure ids (as DESIGN.md uses them) -> registry id.
+ALIASES: dict[str, str] = {
+    "fig6a": "fig6a-c", "fig6b": "fig6a-c", "fig6c": "fig6a-c",
+    "fig6d": "fig6d-e", "fig6e": "fig6d-e",
+    "fig8a": "fig8ab", "fig8b": "fig8ab",
+}
+
+
+def _runner(args):
+    """The CellRunner attached by ``main`` (None -> serial)."""
+    return getattr(args, "runner", None)
 
 #: Reduced knobs used by --quick (and by the CLI tests).
 QUICK = {"nodes": (2, 4), "threads": 4, "records": 1200}
@@ -135,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="records per thread (default: per-experiment)")
     run.add_argument("--quick", action="store_true",
                      help="small sizes for a fast smoke run")
+    run.add_argument("-j", "--jobs", type=int, default=1,
+                     help="fan independent sweep cells over N worker "
+                          "processes (output stays byte-identical to -j 1)")
+    run.add_argument("--profile", action="store_true",
+                     help="profile the run with cProfile and print the "
+                          "hottest functions (forces -j 1)")
     run.add_argument("--out", type=pathlib.Path, default=None,
                      help="directory to write <id>.txt and <id>.json into")
 
@@ -163,11 +193,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(name: str, args, out: Optional[pathlib.Path]) -> None:
+def _build_report(name: str, args):
+    """Run one experiment; returns ``(report, description, elapsed_s)``."""
     description, factory = EXPERIMENTS[name]
     started = time.time()
     report = factory(args)
-    elapsed = time.time() - started
+    return report, description, time.time() - started
+
+
+def _emit(name: str, report, description: str, elapsed: float,
+          out: Optional[pathlib.Path]) -> None:
     print(report.render())
     print(f"\n[{name}: {description} — {elapsed:.1f}s wall]")
     if out is not None:
@@ -176,6 +211,11 @@ def _run_one(name: str, args, out: Optional[pathlib.Path]) -> None:
         (out / f"{name}.json").write_text(
             json.dumps(_jsonable(report.rows), indent=2) + "\n"
         )
+
+
+def _run_one(name: str, args, out: Optional[pathlib.Path]) -> None:
+    report, description, elapsed = _build_report(name, args)
+    _emit(name, report, description, elapsed, out)
 
 
 def _jsonable(rows: list) -> list:
@@ -237,12 +277,74 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.records = args.records or QUICK["records"]
     args.nodes = tuple(args.nodes)
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    targets = [ALIASES.get(t, t) for t in targets]
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {unknown}; see 'repro list'", file=sys.stderr)
+        known = list(EXPERIMENTS) + list(ALIASES)
+        hints = []
+        for miss in unknown:
+            close = difflib.get_close_matches(miss, known, n=1, cutoff=0.4)
+            if close:
+                hints.append(f"did you mean {ALIASES.get(close[0], close[0])!r}?")
+        hint = (" " + " ".join(hints)) if hints else ""
+        print(
+            f"unknown experiment(s): {unknown}; see 'repro list'.{hint}",
+            file=sys.stderr,
+        )
         return 2
+    jobs = max(1, args.jobs)
+    if args.profile:
+        return _run_profiled(targets, args)
+    if jobs == 1:
+        args.runner = None
+        for name in targets:
+            _run_one(name, args, args.out)
+        return 0
+    return _run_parallel(targets, args, jobs)
+
+
+def _run_parallel(targets: list, args, jobs: int) -> int:
+    """Fan sweep cells (and, for several targets, whole experiments) out
+    over one shared process pool of ``jobs`` workers.
+
+    Each experiment gets its own driver thread so cells from different
+    experiments interleave in the pool; reports are still printed in
+    declaration order, so stdout is byte-identical to a serial run.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.harness.parallel import PoolRunner, make_pool
+
+    with make_pool(jobs) as pool:
+        args.runner = PoolRunner(pool, jobs)
+        if len(targets) == 1:
+            _run_one(targets[0], args, args.out)
+            return 0
+        with ThreadPoolExecutor(max_workers=len(targets)) as drivers:
+            futures = [
+                drivers.submit(_build_report, name, args) for name in targets
+            ]
+            for name, future in zip(targets, futures):
+                report, description, elapsed = future.result()
+                _emit(name, report, description, elapsed, args.out)
+    return 0
+
+
+def _run_profiled(targets: list, args) -> int:
+    """Serial run under cProfile; prints the hottest functions per target."""
+    import cProfile
+    import pstats
+
+    args.runner = None  # profiling a pool of workers profiles only the parent
     for name in targets:
-        _run_one(name, args, args.out)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report, description, elapsed = _build_report(name, args)
+        profiler.disable()
+        _emit(name, report, description, elapsed, args.out)
+        print(f"\n--- profile: {name} (top 25 by cumulative time) ---")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
     return 0
 
 

@@ -10,10 +10,16 @@ miniature versions of the exact same code paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.baselines.transfer import SlashTransferBench, TransferResult, UpParTransferBench
 from repro.common.units import fmt_rate, fmt_rate_records, fmt_time
+from repro.harness.parallel import (
+    SerialRunner,
+    end_to_end_cell,
+    engine_run_cell,
+    transfer_cell,
+)
 from repro.harness.runner import BENCH_EPOCH_BYTES, make_workload, run_end_to_end
 from repro.metrics.breakdown import breakdown_table, table1_row
 from repro.metrics.reporting import TextTable, format_si
@@ -38,6 +44,17 @@ class Report:
         return "\n\n".join(parts)
 
 
+def _map_cells(runner, cells: list) -> "Iterator":
+    """Run sweep cells and return their results as an in-order iterator.
+
+    Experiments build ``cells`` in declaration order and then consume one
+    result per ``next()`` inside the *same* loop structure — that is what
+    keeps a ``-j N`` run's rendered tables byte-identical to a serial
+    run's (the determinism contract of ``repro.harness.parallel``).
+    """
+    return iter((runner or SerialRunner()).map(cells))
+
+
 # ---------------------------------------------------------------------------
 # Fig. 6: end-to-end weak scaling
 # ---------------------------------------------------------------------------
@@ -49,8 +66,18 @@ def _fig6(
     threads: int,
     systems: Sequence[str],
     workload_overrides: Optional[dict] = None,
+    runner=None,
 ) -> Report:
     report = Report(name)
+    results = _map_cells(runner, [
+        end_to_end_cell(
+            system, workload_name, nodes, threads,
+            workload_overrides=workload_overrides,
+        )
+        for workload_name in workloads
+        for nodes in node_counts
+        for system in systems
+    ])
     for workload_name in workloads:
         table = TextTable(
             f"{name}: {workload_name} throughput (records/s), weak scaling",
@@ -59,10 +86,7 @@ def _fig6(
         for nodes in node_counts:
             throughputs = {}
             for system in systems:
-                row = run_end_to_end(
-                    system, workload_name, nodes, threads,
-                    workload_overrides=workload_overrides,
-                )
+                row = next(results)
                 throughputs[system] = row.throughput_records_per_s
                 report.rows.append(
                     {
@@ -94,11 +118,12 @@ def fig6_aggregations(
     threads: int = 10,
     systems: Sequence[str] = ("flink", "uppar", "slash"),
     workload_overrides: Optional[dict] = None,
+    runner=None,
 ) -> Report:
     """Figs. 6a-6c: YSB, CM, NB7 windowed aggregations."""
     return _fig6(
         "fig6a-c (aggregations)", ("ysb", "cm", "nb7"), node_counts, threads,
-        systems, workload_overrides,
+        systems, workload_overrides, runner,
     )
 
 
@@ -107,11 +132,12 @@ def fig6_joins(
     threads: int = 10,
     systems: Sequence[str] = ("flink", "uppar", "slash"),
     workload_overrides: Optional[dict] = None,
+    runner=None,
 ) -> Report:
     """Figs. 6d-6e: NB8 and NB11 windowed joins."""
     return _fig6(
         "fig6d-e (joins)", ("nb8", "nb11"), node_counts, threads,
-        systems, workload_overrides,
+        systems, workload_overrides, runner,
     )
 
 
@@ -124,28 +150,37 @@ def fig7_cost(
     threads: int = 10,
     workloads: Sequence[str] = ("ysb", "cm", "nb7"),
     workload_overrides: Optional[dict] = None,
+    runner=None,
 ) -> Report:
     """Fig. 7: LightSaber (one node) vs Slash on 2..16 nodes."""
     report = Report("fig7 (COST vs LightSaber)")
+    cells = []
+    for workload_name in workloads:
+        cells.append(end_to_end_cell(
+            "lightsaber", workload_name, 1, threads,
+            workload_overrides=workload_overrides,
+        ))
+        cells.extend(
+            end_to_end_cell(
+                "slash", workload_name, nodes, threads,
+                workload_overrides=workload_overrides,
+            )
+            for nodes in node_counts
+        )
+    results = _map_cells(runner, cells)
     for workload_name in workloads:
         table = TextTable(
             f"fig7: {workload_name} (L = LightSaber, 1 node)",
             ["config", "throughput", "vs L"],
         )
-        baseline = run_end_to_end(
-            "lightsaber", workload_name, 1, threads,
-            workload_overrides=workload_overrides,
-        )
+        baseline = next(results)
         table.add_row("L", format_si(baseline.throughput_records_per_s, "rec/s"), "1.0x")
         report.rows.append(
             {"figure": "fig7", "workload": workload_name, "system": "lightsaber",
              "nodes": 1, "throughput": baseline.throughput_records_per_s}
         )
         for nodes in node_counts:
-            row = run_end_to_end(
-                "slash", workload_name, nodes, threads,
-                workload_overrides=workload_overrides,
-            )
+            row = next(results)
             speedup = row.throughput_records_per_s / baseline.throughput_records_per_s
             table.add_row(
                 f"slash x{nodes}",
@@ -174,6 +209,7 @@ def fig8_buffer_sweep(
     buffer_sizes: Sequence[int] = (4096, 16384, 32768, 65536, 131072, 262144, 524288, 1048576),
     threads: int = 2,
     records_per_thread: int = 150_000,
+    runner=None,
 ) -> Report:
     """Figs. 8a-8b: RO throughput and latency vs channel buffer size."""
     report = Report("fig8a-b (buffer size)")
@@ -182,12 +218,18 @@ def fig8_buffer_sweep(
         f"(red line = {fmt_rate(LINK_BANDWIDTH)})",
         ["buffer", "system", "throughput", "% of link", "latency"],
     )
+    results = _map_cells(runner, [
+        transfer_cell(
+            system,
+            workload_overrides={"records_per_thread": records_per_thread},
+            threads=threads, buffer_bytes=buffer_bytes,
+        )
+        for buffer_bytes in buffer_sizes
+        for system in ("slash", "uppar")
+    ])
     for buffer_bytes in buffer_sizes:
         for system in ("slash", "uppar"):
-            workload = make_workload("ro", records_per_thread=records_per_thread)
-            result = _transfer(
-                system, workload, threads=threads, buffer_bytes=buffer_bytes
-            )
+            result = next(results)
             table.add_row(
                 format_si(buffer_bytes, "B", digits=0),
                 system,
@@ -208,6 +250,7 @@ def fig8_parallelism(
     thread_counts: Sequence[int] = (1, 2, 4, 6, 8, 10),
     buffer_bytes: int = 65536,
     records_per_thread: int = 120_000,
+    runner=None,
 ) -> Report:
     """Fig. 8c: RO throughput vs number of threads."""
     report = Report("fig8c (parallelism)")
@@ -215,12 +258,18 @@ def fig8_parallelism(
         f"fig8c: RO over 1 NIC, 64 KiB buffers (link = {fmt_rate(LINK_BANDWIDTH)})",
         ["threads", "system", "throughput", "% of link"],
     )
+    results = _map_cells(runner, [
+        transfer_cell(
+            system,
+            workload_overrides={"records_per_thread": records_per_thread},
+            threads=threads, buffer_bytes=buffer_bytes,
+        )
+        for threads in thread_counts
+        for system in ("slash", "uppar")
+    ])
     for threads in thread_counts:
         for system in ("slash", "uppar"):
-            workload = make_workload("ro", records_per_thread=records_per_thread)
-            result = _transfer(
-                system, workload, threads=threads, buffer_bytes=buffer_bytes
-            )
+            result = next(results)
             table.add_row(
                 threads,
                 system,
@@ -240,6 +289,7 @@ def fig8_skew(
     threads: int = 10,
     buffer_bytes: int = 65536,
     records_per_thread: int = 60_000,
+    runner=None,
 ) -> Report:
     """Fig. 8d: throughput vs Zipf skew of the partitioning key (RO, YSB)."""
     report = Report("fig8d (data skewness)")
@@ -248,24 +298,24 @@ def fig8_skew(
         "on 2 nodes in records/s)",
         ["workload", "z", "system", "throughput"],
     )
+    cells = []
     for workload_name in ("ro", "ysb"):
         for z in zipf_zs:
             for system in ("slash", "uppar"):
                 if workload_name == "ro":
-                    workload = make_workload(
-                        "ro", zipf_z=z, records_per_thread=records_per_thread
-                    )
-                    result = _transfer(
-                        system, workload, threads=threads, buffer_bytes=buffer_bytes
-                    )
-                    bytes_per_s = result.throughput_bytes_per_s
-                    records_per_s = result.throughput_records_per_s
-                    value = fmt_rate(bytes_per_s)
+                    cells.append(transfer_cell(
+                        system,
+                        workload_overrides={
+                            "zipf_z": z,
+                            "records_per_thread": records_per_thread,
+                        },
+                        threads=threads, buffer_bytes=buffer_bytes,
+                    ))
                 else:
                     # The stateful-query half of Fig. 8d: skew helps Slash
                     # (smaller state to keep hot and to merge) and starves
                     # the hash-partitioned shape (one hot consumer).
-                    row = run_end_to_end(
+                    cells.append(end_to_end_cell(
                         system, "ysb", 2, threads,
                         workload_overrides={
                             "zipf_z": z,
@@ -273,7 +323,18 @@ def fig8_skew(
                             "records_per_thread": max(4_000, records_per_thread // 10),
                             "batch_records": 800,
                         },
-                    )
+                    ))
+    results = _map_cells(runner, cells)
+    for workload_name in ("ro", "ysb"):
+        for z in zipf_zs:
+            for system in ("slash", "uppar"):
+                if workload_name == "ro":
+                    result = next(results)
+                    bytes_per_s = result.throughput_bytes_per_s
+                    records_per_s = result.throughput_records_per_s
+                    value = fmt_rate(bytes_per_s)
+                else:
+                    row = next(results)
                     bytes_per_s = row.throughput_records_per_s * 78
                     records_per_s = row.throughput_records_per_s
                     value = fmt_rate_records(records_per_s)
@@ -296,16 +357,23 @@ def fig9_breakdown_ro(
     thread_counts: Sequence[int] = (2, 10),
     buffer_bytes: int = 65536,
     records_per_thread: int = 120_000,
+    runner=None,
 ) -> Report:
     """Fig. 9: top-down execution breakdown of RO, senders and receivers."""
     report = Report("fig9 (execution breakdown, RO)")
+    results = _map_cells(runner, [
+        transfer_cell(
+            system,
+            workload_overrides={"records_per_thread": records_per_thread},
+            threads=threads, buffer_bytes=buffer_bytes,
+        )
+        for threads in thread_counts
+        for system in ("uppar", "slash")
+    ])
     for threads in thread_counts:
         rows = {}
         for system in ("uppar", "slash"):
-            workload = make_workload("ro", records_per_thread=records_per_thread)
-            result = _transfer(
-                system, workload, threads=threads, buffer_bytes=buffer_bytes
-            )
+            result = next(results)
             rows[f"{system} sender ({threads}T)"] = result.sender_counters
             rows[f"{system} receiver ({threads}T)"] = result.receiver_counters
             report.rows.append(
@@ -319,8 +387,8 @@ def fig9_breakdown_ro(
     return report
 
 
-def _ysb_end_to_end(system: str, threads: int, records_per_thread: int):
-    return run_end_to_end(
+def _ysb_cell(system: str, threads: int, records_per_thread: int):
+    return end_to_end_cell(
         system, "ysb", 2, threads,
         workload_overrides={
             "records_per_thread": records_per_thread,
@@ -332,6 +400,7 @@ def _ysb_end_to_end(system: str, threads: int, records_per_thread: int):
 def fig10_breakdown_ysb(
     threads: int = 10,
     records_per_thread: int = 6_000,
+    runner=None,
 ) -> Report:
     """Fig. 10: top-down breakdown of end-to-end YSB on two nodes.
 
@@ -344,8 +413,12 @@ def fig10_breakdown_ysb(
     report = Report("fig10 (execution breakdown, YSB)")
     busy_rows = {}
     full_rows = {}
+    results = _map_cells(runner, [
+        _ysb_cell(system, threads, records_per_thread)
+        for system in ("uppar", "slash")
+    ])
     for system in ("uppar", "slash"):
-        row = _ysb_end_to_end(system, threads, records_per_thread)
+        row = next(results)
         if system == "slash":
             counters = {"slash (whole)": row.result.counters}
         else:
@@ -387,6 +460,7 @@ def fig10_breakdown_ysb(
 def table1_counters(
     threads: int = 10,
     records_per_thread: int = 6_000,
+    runner=None,
 ) -> Report:
     """Table 1: resource utilisation, end-to-end YSB on two nodes.
 
@@ -421,8 +495,12 @@ def table1_counters(
         )
         report.rows.append({"figure": "table1", "who": label, **row})
 
+    results = _map_cells(runner, [
+        _ysb_cell(system, threads, records_per_thread)
+        for system in ("uppar", "slash")
+    ])
     for system in ("uppar", "slash"):
-        row = _ysb_end_to_end(system, threads, records_per_thread)
+        row = next(results)
         if system == "uppar":
             add("uppar sender", row.result.extra["sender_counters"], row.sim_seconds)
             add("uppar receiver", row.result.extra["receiver_counters"], row.sim_seconds)
@@ -441,6 +519,7 @@ def ablation_credits(
     threads: int = 2,
     buffer_bytes: int = 65536,
     records_per_thread: int = 120_000,
+    runner=None,
 ) -> Report:
     """Sec. 8.3.2 text: c=8 is best; c=64 regresses by up to ~10 %."""
     report = Report("ablation: channel credits")
@@ -448,13 +527,17 @@ def ablation_credits(
         "RO throughput vs credit count (Slash channels)",
         ["credits", "throughput", "vs c=8"],
     )
+    cell_results = _map_cells(runner, [
+        transfer_cell(
+            "slash",
+            workload_overrides={"records_per_thread": records_per_thread},
+            threads=threads, buffer_bytes=buffer_bytes, credits=credits,
+        )
+        for credits in credit_counts
+    ])
     results = {}
     for credits in credit_counts:
-        workload = make_workload("ro", records_per_thread=records_per_thread)
-        result = SlashTransferBench(
-            threads=threads, buffer_bytes=buffer_bytes, credits=credits
-        ).run(workload)
-        results[credits] = result.throughput_bytes_per_s
+        results[credits] = next(cell_results).throughput_bytes_per_s
     base = results.get(8) or max(results.values())
     for credits in credit_counts:
         table.add_row(
@@ -474,6 +557,7 @@ def ablation_epoch_bytes(
     epoch_sizes: Sequence[int] = (16 * 1024, 64 * 1024, BENCH_EPOCH_BYTES, 1024 * 1024),
     nodes: int = 4,
     threads: int = 4,
+    runner=None,
 ) -> Report:
     """Epoch-length sweep around the (scaled) 64 MB default of Sec. 8.1.1.
 
@@ -486,11 +570,15 @@ def ablation_epoch_bytes(
         "YSB throughput and trigger lag vs epoch length (Slash end-to-end)",
         ["epoch bytes", "throughput", "sim time", "mean trigger lag"],
     )
-    for epoch_bytes in epoch_sizes:
-        row = run_end_to_end(
+    results = _map_cells(runner, [
+        end_to_end_cell(
             "slash", "ysb", nodes, threads,
             engine_overrides={"epoch_bytes": epoch_bytes},
         )
+        for epoch_bytes in epoch_sizes
+    ])
+    for epoch_bytes in epoch_sizes:
+        row = next(results)
         lag = row.result.extra.get("trigger_lag_mean_s", 0.0)
         table.add_row(
             format_si(epoch_bytes, "B", digits=0),
@@ -511,6 +599,7 @@ def extra_trigger_latency(
     nodes: int = 2,
     threads: int = 10,
     records_per_thread: int = 6_000,
+    runner=None,
 ) -> Report:
     """Result latency comparison (paper Sec. 8.3.2 text).
 
@@ -524,13 +613,17 @@ def extra_trigger_latency(
         "mean / max trigger lag per system",
         ["system", "mean lag", "max lag", "throughput"],
     )
-    for system in ("slash", "uppar", "flink"):
-        row = run_end_to_end(
+    results = _map_cells(runner, [
+        end_to_end_cell(
             system, "ysb", nodes, threads,
             workload_overrides={
                 "records_per_thread": records_per_thread, "batch_records": 800,
             },
         )
+        for system in ("slash", "uppar", "flink")
+    ])
+    for system in ("slash", "uppar", "flink"):
+        row = next(results)
         mean_lag = row.result.extra.get("trigger_lag_mean_s", 0.0)
         max_lag = row.result.extra.get("trigger_lag_max_s", 0.0)
         table.add_row(
@@ -557,6 +650,7 @@ def ablation_execution_strategy(
     nodes: int = 4,
     threads: int = 4,
     records_per_thread: int = 2500,
+    runner=None,
 ) -> Report:
     """Sec. 5.3: Slash supports compiled and interpreted execution.
 
@@ -564,24 +658,22 @@ def ablation_execution_strategy(
     protocol costs are strategy-agnostic, so the slowdown stays well
     below the raw per-record factor.
     """
-    from repro.core.costs import DEFAULT_SLASH_COSTS, interpreted
-    from repro.harness.runner import build_engine, make_workload
-
     report = Report("ablation: execution strategy")
     table = TextTable(
         "YSB throughput, compiled vs interpreted pipelines (Slash)",
         ["strategy", "throughput", "vs compiled"],
     )
+    strategies = ("compiled", "interpreted")
+    cell_results = _map_cells(runner, [
+        engine_run_cell(
+            "slash", nodes, threads, "ysb", strategy=strategy,
+            workload_overrides={"records_per_thread": records_per_thread},
+        )
+        for strategy in strategies
+    ])
     results = {}
-    for strategy, costs in (
-        ("compiled", DEFAULT_SLASH_COSTS),
-        ("interpreted", interpreted()),
-    ):
-        engine = build_engine("slash", nodes, costs=costs)
-        workload = make_workload("ysb", records_per_thread=records_per_thread)
-        flows = workload.flows(nodes, threads)
-        result = engine.run(workload.build_query(), flows)
-        results[strategy] = result.throughput_records_per_s
+    for strategy in strategies:
+        results[strategy] = next(cell_results).throughput_records_per_s
     for strategy, throughput in results.items():
         table.add_row(
             strategy,
@@ -599,6 +691,7 @@ def ablation_selective_signaling(
     threads: int = 2,
     buffer_bytes: int = 16384,
     records_per_thread: int = 120_000,
+    runner=None,
 ) -> Report:
     """Sec. 3.2 / C2: selective signaling saves per-message CPU work."""
     report = Report("ablation: selective signaling")
@@ -606,11 +699,16 @@ def ablation_selective_signaling(
         "RO throughput, unsignaled vs signaled WRITEs (16 KiB buffers)",
         ["write completions", "throughput", "sender cyc/rec"],
     )
+    results = _map_cells(runner, [
+        transfer_cell(
+            "slash",
+            workload_overrides={"records_per_thread": records_per_thread},
+            threads=threads, buffer_bytes=buffer_bytes, signal_writes=signal_writes,
+        )
+        for signal_writes in (False, True)
+    ])
     for signal_writes in (False, True):
-        workload = make_workload("ro", records_per_thread=records_per_thread)
-        result = SlashTransferBench(
-            threads=threads, buffer_bytes=buffer_bytes, signal_writes=signal_writes
-        ).run(workload)
+        result = next(results)
         table.add_row(
             "signaled" if signal_writes else "selective (unsignaled)",
             fmt_rate(result.throughput_bytes_per_s),

@@ -122,6 +122,7 @@ class CacheModel:
 
     def __init__(self, cpu: CpuConfig):
         self.cpu = cpu
+        self._miss_memo: dict[float, tuple[float, float, float]] = {}
 
     def miss_rates(self, working_set_bytes: float) -> tuple[float, float, float]:
         """Per-access miss probability at L1, L2, LLC for a random access.
@@ -129,10 +130,14 @@ class CacheModel:
         A random access into a uniformly-hot working set of ``W`` bytes hits
         a cache of ``S`` bytes with probability ``min(1, S / W)``; the three
         returned values are the per-access *miss* probabilities, which are
-        non-increasing in cache size (inclusive hierarchy).
+        non-increasing in cache size (inclusive hierarchy).  Memoized: the
+        same working-set size recurs for every record of a batch.
         """
         if working_set_bytes <= 0:
             return 0.0, 0.0, 0.0
+        cached = self._miss_memo.get(working_set_bytes)
+        if cached is not None:
+            return cached
         cpu = self.cpu
         l1_miss = max(0.0, 1.0 - cpu.l1d_bytes / working_set_bytes)
         l2_miss = max(0.0, 1.0 - cpu.l2_bytes / working_set_bytes)
@@ -141,7 +146,10 @@ class CacheModel:
         # above it hits, so clamp to non-increasing.
         l2_miss = min(l2_miss, l1_miss)
         llc_miss = min(llc_miss, l2_miss)
-        return l1_miss, l2_miss, llc_miss
+        rates = (l1_miss, l2_miss, llc_miss)
+        if len(self._miss_memo) < 65536:
+            self._miss_memo[working_set_bytes] = rates
+        return rates
 
     def access_cost(
         self,
@@ -206,16 +214,26 @@ class CostModel:
         self.cpu = cpu
         self.cache = CacheModel(cpu)
         self._memo: dict[tuple, OpCost] = {}
+        self._compute_memo: dict[CostProfile, OpCost] = {}
 
     def compute_cost(self, profile: CostProfile) -> OpCost:
-        """Price only the compute portion of ``profile`` (no cache access)."""
-        return OpCost(
+        """Price only the compute portion of ``profile`` (no cache access).
+
+        Memoized on the (frozen) profile: engines price the same handful
+        of profiles for every record of a run.
+        """
+        cached = self._compute_memo.get(profile)
+        if cached is not None:
+            return cached
+        cost = OpCost(
             instructions=profile.instructions,
             retiring=profile.instructions / self.RETIRE_WIDTH,
             frontend=profile.frontend,
             bad_spec=profile.bad_spec,
             core=profile.core,
         )
+        self._compute_memo[profile] = cost
+        return cost
 
     def op(
         self,

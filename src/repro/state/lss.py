@@ -22,7 +22,7 @@ paper extends it for distributed execution:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Iterator, Optional
+from typing import Any, Callable, Hashable, Iterable, Iterator, Optional
 
 from repro.common.errors import StateError
 from repro.state.crdt import Crdt
@@ -93,6 +93,41 @@ class LogStructuredStore:
         partial) and for leader-side merging of shipped fragment deltas.
         """
         self._rmw(key, partial, self.crdt.merge)
+
+    def absorb_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> None:
+        """Merge a batch of ``(key, partial)`` pairs in one tight pass.
+
+        Equivalent to calling :meth:`absorb` per pair in order, but with
+        the index, log, and CRDT bound once per batch instead of once per
+        key — the group-by-once-per-batch half of the state fast path.
+        """
+        index = self.index
+        slots = index._slots
+        log = self._log
+        merge = self.crdt.merge
+        zero = self.crdt.zero
+        boundary = self._readonly_boundary
+        lookups = inserts = 0
+        for key, value in pairs:
+            lookups += 1
+            address = slots.get(key)
+            if address is None:
+                inserts += 1
+                slots[key] = len(log)
+                log.append(LogEntry(key, merge(zero(), value)))
+                continue
+            entry = log[address]
+            if address >= boundary:
+                entry.payload = merge(entry.payload, value)
+                continue
+            # Read-only region: copy-on-write to the mutable tail.
+            merged = merge(entry.payload, value)
+            entry.valid = False
+            self._invalid += 1
+            slots[key] = len(log)
+            log.append(LogEntry(key, merged))
+        index.lookups += lookups
+        index.inserts += inserts
 
     def _rmw(self, key: Hashable, value: Any, combine: Callable[[Any, Any], Any]) -> None:
         address = self.index.get(key)
@@ -193,15 +228,29 @@ class LogStructuredStore:
         is safe because the leader has merged the shipped partials
         (paper, Sec. 7.2.2 'Properties').
         """
-        pairs = self.delta_pairs()
-        nbytes = self.delta_bytes()
-        for address in range(self._readonly_boundary, len(self._log)):
-            entry = self._log[address]
+        boundary = self._readonly_boundary
+        log = self._log
+        slots = self.index._slots
+        value_bytes = self.crdt.value_bytes
+        per_entry = ENTRY_HEADER_BYTES + KEY_BYTES
+        pairs: list[tuple[Hashable, Any]] = []
+        nbytes = 0
+        truncated_invalid = 0
+        # One fused pass over the tail: extract the delta, price it, and
+        # drop the shipped index entries.  Every valid tail entry is the
+        # latest version of its key, so its index slot points back at it.
+        for entry in log[boundary:]:
             if entry.valid:
-                entry.valid = False
-                self._invalid += 1
-                self.index.remove(entry.key)
-        self._readonly_boundary = len(self._log)
+                pairs.append((entry.key, entry.payload))
+                nbytes += per_entry + value_bytes(entry.payload)
+                del slots[entry.key]
+            else:
+                truncated_invalid += 1
+        # The whole tail is dead after a ship; truncating it (instead of
+        # invalidating in place) keeps the log from accreting garbage and
+        # triggering a full compaction every few epochs.
+        del log[boundary:]
+        self._invalid -= truncated_invalid
         self._maybe_compact()
         return pairs, nbytes
 

@@ -74,6 +74,18 @@ class KeyPartitioner:
         """The partition owning ``group_key``."""
         return stable_hash(group_key) % self.partitions
 
+    def partition_array(self, group_keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`partition_of` over an int64 key column.
+
+        Bit-identical to the scalar path (``stable_hash_array`` matches
+        ``stable_hash`` for integers, and the modulus of a non-negative
+        64-bit hash is representation-independent), so batched routing and
+        scalar leader lookups always agree on ownership.
+        """
+        return (
+            stable_hash_array(group_keys) % np.uint64(self.partitions)
+        ).astype(np.int64)
+
     def __call__(self, group_key: Hashable) -> int:
         return self.partition_of(group_key)
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Iterator, Optional
 
+import numpy as np
+
 from repro.common.errors import StateError
 from repro.state.crdt import Crdt
 from repro.state.epoch import EpochDelta, EpochLedger
@@ -78,6 +80,41 @@ class OperatorStateHandle:
     def absorb(self, key: Hashable, partial: Any) -> None:
         """Merge a pre-aggregated partial payload into ``key``."""
         self._stores[self.partition_of(key)].absorb(key, partial)
+
+    def absorb_batch(self, partials: dict[Hashable, Any]) -> None:
+        """Absorb one batch's partials, routed per partition in bulk.
+
+        Equivalent to ``absorb`` per pair in iteration order (stores are
+        touched partition by partition, but within each partition the
+        relative key order is preserved and CRDT merges commute across
+        partitions).  Integer group keys are routed with the vectorised
+        hash; anything else falls back to the scalar path.
+        """
+        if not partials:
+            return
+        items = list(partials.items())
+        group_keys = [
+            key[1] if isinstance(key, tuple) else key for key, _ in items
+        ]
+        try:
+            column = np.fromiter(group_keys, dtype=np.int64, count=len(group_keys))
+        except (TypeError, ValueError, OverflowError):
+            # Non-integer group keys (strings, nested tuples): scalar route.
+            partition_of = self.partition_of
+            stores = self._stores
+            for key, partial in items:
+                stores[partition_of(key)].absorb(key, partial)
+            return
+        partition_ids = self.backend.directory.partitioner.partition_array(column)
+        routed: dict[int, list[tuple[Hashable, Any]]] = {}
+        for partition, pair in zip(partition_ids.tolist(), items):
+            bucket = routed.get(partition)
+            if bucket is None:
+                routed[partition] = [pair]
+            else:
+                bucket.append(pair)
+        for partition, pairs in routed.items():
+            self._stores[partition].absorb_many(pairs)
 
     def get_local(self, key: Hashable) -> Optional[Any]:
         """Read ``key``'s payload from this executor's local store only."""
@@ -138,9 +175,7 @@ class OperatorStateHandle:
             )
         if not backend.ledger.admit(delta):
             return False
-        store = self._stores[delta.partition]
-        for key, partial in delta.pairs:
-            store.absorb(key, partial)
+        self._stores[delta.partition].absorb_many(delta.pairs)
         backend.clock.advance(delta.from_executor, delta.watermark)
         return True
 

@@ -42,6 +42,7 @@ class Workload:
         self.batch_records = batch_records
         self.rng = RngTree(seed).child(self.name)
         self._span_ms = span_ms
+        self._flow_cache: dict[tuple[int, int], Flow] = {}
 
     # -- to implement -------------------------------------------------------
     def build_query(self) -> Query:
@@ -62,12 +63,27 @@ class Workload:
     def span_ms(self) -> int:
         return self._span_ms if self._span_ms is not None else self.default_span_ms
 
+    def flow_for(self, node: int, thread: int) -> Flow:
+        """One worker's flow, memoized per instance.
+
+        Flow generation is idempotent (every ``_flow`` call derives its
+        generators from the :class:`RngTree` by name), so caching only
+        skips redundant regeneration — e.g. a buffer-size sweep running
+        many cells over the same workload.  Callers must treat the
+        returned batches as immutable.
+        """
+        key = (node, thread)
+        flow = self._flow_cache.get(key)
+        if flow is None:
+            flow = self._flow_cache[key] = self._flow(node, thread)
+        return flow
+
     def flows(self, nodes: int, threads_per_node: int) -> dict[tuple[int, int], Flow]:
         """All workers' flows for an ``nodes x threads_per_node`` deployment."""
         if nodes <= 0 or threads_per_node <= 0:
             raise ConfigError("nodes and threads_per_node must be positive")
         return {
-            (node, thread): self._flow(node, thread)
+            (node, thread): self.flow_for(node, thread)
             for node in range(nodes)
             for thread in range(threads_per_node)
         }

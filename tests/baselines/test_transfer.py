@@ -83,3 +83,43 @@ class TestUpParTransfer:
     def test_rejects_zero_threads(self):
         with pytest.raises(ConfigError):
             UpParTransferBench(threads=0)
+
+
+class TestDeferredMerge:
+    def test_fold_matches_incremental_merge(self):
+        """The end-of-run fold equals merging every batch key by key."""
+        import numpy as np
+
+        from repro.baselines.transfer import _DeferredMerge
+        from repro.core.aggregations import group_reduce, partial_aggregate
+        from repro.state.crdt import crdt_by_name
+
+        crdt = crdt_by_name("count")
+        rng = np.random.default_rng(8)
+        deferred = _DeferredMerge()
+        reference: dict = {}
+        for _ in range(20):
+            n = int(rng.integers(1, 400))
+            wins = rng.integers(0, 3, size=n)
+            keys = rng.integers(0, 50, size=n)
+            group_windows, group_keys, partials = group_reduce(
+                crdt, wins, keys, None
+            )
+            deferred.add(
+                type("R", (), {
+                    "group_windows": group_windows,
+                    "group_keys": group_keys,
+                    "group_partials": partials,
+                })
+            )
+            crdt.merge_into(reference, partial_aggregate(crdt, wins, keys, None))
+        state: dict = {}
+        deferred.fold_into(state)
+        assert state == reference
+
+    def test_empty_fold_is_a_noop(self):
+        from repro.baselines.transfer import _DeferredMerge
+
+        state = {("w", 1): 2}
+        _DeferredMerge().fold_into(state)
+        assert state == {("w", 1): 2}

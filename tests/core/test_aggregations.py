@@ -10,6 +10,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import QueryError
 from repro.core.aggregations import (
+    group_reduce,
     group_rows,
     partial_aggregate,
     sequential_aggregate,
@@ -127,3 +128,38 @@ class TestGroupRows:
         assert all_rows == list(range(len(wins)))
         for (win, key), indices in groups.items():
             assert all(wins[i] == win and keys[i] == key for i in indices)
+
+
+class TestGroupReduce:
+    """The array form must carry exactly the dict kernel's groups."""
+
+    @pytest.mark.parametrize("agg", ["count", "sum", "min", "max"])
+    @settings(max_examples=40, deadline=None)
+    @given(data=batches)
+    def test_columns_match_partial_aggregate(self, agg, data):
+        wins, keys, values = arrays(data)
+        crdt = crdt_by_name(agg)
+        vals = None if agg == "count" else values
+        reduced = group_reduce(crdt, wins, keys, vals)
+        assert reduced is not None
+        group_windows, group_keys, partials = reduced
+        rebuilt = dict(
+            zip(
+                zip(group_windows.tolist(), group_keys.tolist()),
+                partials.tolist(),
+            )
+        )
+        assert rebuilt == partial_aggregate(crdt, wins, keys, vals)
+
+    def test_avg_and_append_take_the_dict_path(self):
+        wins = np.zeros(2, dtype=np.int64)
+        values = np.ones(2, dtype=np.float64)
+        assert group_reduce(crdt_by_name("avg"), wins, wins, values) is None
+        assert group_reduce(crdt_by_name("append"), wins, wins, None) is None
+
+    def test_empty_batch_yields_empty_columns(self):
+        empty = np.empty(0, dtype=np.int64)
+        group_windows, group_keys, partials = group_reduce(
+            crdt_by_name("count"), empty, empty, None
+        )
+        assert len(group_windows) == len(group_keys) == len(partials) == 0

@@ -1,0 +1,147 @@
+"""Regression tests for the kernel scheduling fast path.
+
+Covers the two behaviours the wall-clock PR must not change:
+
+* ``run_until_process`` surfaces *unobserved* failures of background
+  processes exactly like ``run`` does (the historical bug: it silently
+  swallowed them);
+* the zero-delay ready deque fires events in exactly the ``(when, seq)``
+  order a pure heap would have produced.
+"""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simnet.kernel import Simulator, Timeout
+
+
+class TestRunUntilProcessUnobserved:
+    def test_background_failure_is_raised(self):
+        """A process nobody waits on must not fail silently."""
+        sim = Simulator()
+
+        def background():
+            yield Timeout(1e-3)
+            raise RuntimeError("background boom")
+
+        def awaited():
+            yield Timeout(1.0)
+            return "done"
+
+        sim.process(background(), name="bg")
+        proc = sim.process(awaited(), name="main")
+        with pytest.raises(RuntimeError, match="background boom"):
+            sim.run_until_process(proc)
+
+    def test_awaited_process_failure_surfaces_through_value(self):
+        """The awaited process's own failure is observed, not 'unobserved'."""
+        sim = Simulator()
+
+        def failing():
+            yield Timeout(1e-3)
+            raise ValueError("awaited boom")
+
+        proc = sim.process(failing(), name="failing")
+        with pytest.raises(ValueError, match="awaited boom"):
+            sim.run_until_process(proc)
+
+    def test_run_and_run_until_process_agree(self):
+        """Both drivers raise the same background failure."""
+
+        def background():
+            yield Timeout(1e-3)
+            raise RuntimeError("boom either way")
+
+        def awaited():
+            yield Timeout(1.0)
+
+        sim = Simulator()
+        sim.process(background(), name="bg")
+        with pytest.raises(RuntimeError, match="boom either way"):
+            sim.run()
+
+        sim = Simulator()
+        sim.process(background(), name="bg")
+        proc = sim.process(awaited(), name="main")
+        with pytest.raises(RuntimeError, match="boom either way"):
+            sim.run_until_process(proc)
+
+    def test_successful_run_until_process_returns_value(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(0.5)
+            return 42
+
+        proc = sim.process(body(), name="ok")
+        assert sim.run_until_process(proc) == 42
+
+
+class TestReadyQueueOrdering:
+    def test_zero_delay_does_not_jump_same_time_heap_events(self):
+        """A zero-delay event scheduled at time t must still fire after
+        heap events at time t that carry smaller sequence numbers."""
+        sim = Simulator()
+        order = []
+
+        def first_at_one():
+            order.append("heap-seq1")
+            # Scheduled at t=1.0 with a later seq than the pending
+            # heap-seq2 entry: must fire after it.
+            sim.call_in(0.0, lambda: order.append("ready-seq3"))
+
+        sim.call_in(1.0, first_at_one)
+        sim.call_in(1.0, lambda: order.append("heap-seq2"))
+        sim.run()
+        assert order == ["heap-seq1", "heap-seq2", "ready-seq3"]
+
+    def test_zero_delay_events_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.call_in(0.0, order.append, i)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_zero_delay_fires_before_later_heap_events(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(1e-9, order.append, "delayed")
+        sim.call_in(0.0, order.append, "immediate")
+        sim.run()
+        assert order == ["immediate", "delayed"]
+
+    def test_until_respects_ready_queue(self):
+        """run(until) must stop before ready events scheduled past it."""
+        sim = Simulator()
+        fired = []
+
+        def late():
+            fired.append("late")
+            sim.call_in(0.0, fired.append, "later-still")
+
+        sim.call_in(2.0, late)
+        assert sim.run(until=1.0) == 1.0
+        assert fired == []
+        sim.run()
+        assert fired == ["late", "later-still"]
+
+    def test_scheduled_events_counts_both_queues(self):
+        sim = Simulator()
+        sim.call_in(0.0, lambda: None)
+        sim.call_in(1.0, lambda: None)
+        assert sim.scheduled_events == 2
+        sim.run()
+        assert sim.scheduled_events == 2
+
+
+class TestRunUntilProcessDeadlock:
+    def test_deadlock_detected_with_empty_queues(self):
+        sim = Simulator()
+
+        def waits_forever():
+            yield sim.signal("never")
+
+        proc = sim.process(waits_forever(), name="stuck")
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_process(proc)

@@ -1,0 +1,142 @@
+"""Property tests: the vectorized state hot path matches the scalar path.
+
+The PR's batched fast path (``stable_hash_array``/``partition_array``
+routing plus ``LogStructuredStore.absorb_many`` group-by) must be
+*observationally identical* to the per-key scalar path — same hashes,
+same partition ownership, same final store state — on both uniform and
+heavily skewed (Zipf) key batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.state.crdt import SumCrdt
+from repro.state.lss import LogStructuredStore
+from repro.state.partition import (
+    KeyPartitioner,
+    PartitionDirectory,
+    stable_hash,
+    stable_hash_array,
+)
+from repro.state.ssb import SlashStateBackend
+
+
+def _key_batches():
+    """Named (uniform, zipf, negative, adversarial) int64 key batches."""
+    rng = np.random.default_rng(20260806)
+    uniform = rng.integers(0, 100_000, size=4096, dtype=np.int64)
+    zipf = (rng.zipf(1.3, size=4096) % 100_000).astype(np.int64)
+    negative = rng.integers(-(2**62), 2**62, size=1024, dtype=np.int64)
+    edges = np.array(
+        [0, 1, -1, 2**63 - 1, -(2**63), 42, -42], dtype=np.int64
+    )
+    return {"uniform": uniform, "zipf": zipf, "negative": negative, "edges": edges}
+
+
+BATCHES = _key_batches()
+
+
+@pytest.mark.parametrize("batch_name", sorted(BATCHES))
+def test_stable_hash_array_matches_scalar(batch_name):
+    keys = BATCHES[batch_name]
+    vectorized = stable_hash_array(keys)
+    scalar = [stable_hash(int(k)) for k in keys.tolist()]
+    assert vectorized.tolist() == scalar
+
+
+@pytest.mark.parametrize("batch_name", sorted(BATCHES))
+@pytest.mark.parametrize("partitions", [1, 4, 7, 16])
+def test_partition_array_matches_scalar(batch_name, partitions):
+    keys = BATCHES[batch_name]
+    partitioner = KeyPartitioner(partitions)
+    vectorized = partitioner.partition_array(keys)
+    scalar = [partitioner.partition_of(int(k)) for k in keys.tolist()]
+    assert vectorized.tolist() == scalar
+    assert vectorized.min() >= 0 and vectorized.max() < partitions
+
+
+def _pairs_from(keys: np.ndarray, windows: int = 8):
+    """Zipf/uniform keys -> ((window, key), partial) state pairs."""
+    return [
+        ((int(k) % windows, int(k)), float(i % 13) + 1.0)
+        for i, k in enumerate(keys.tolist())
+    ]
+
+
+@pytest.mark.parametrize("batch_name", ["uniform", "zipf"])
+def test_absorb_many_matches_scalar_absorb(batch_name):
+    pairs = _pairs_from(BATCHES[batch_name])
+    split = len(pairs) // 2
+
+    batched = LogStructuredStore(SumCrdt(), name="batched")
+    reference = LogStructuredStore(SumCrdt(), name="reference")
+
+    # First half, then freeze the boundary so the second half exercises
+    # the copy-on-write path for recurring keys.
+    batched.absorb_many(pairs[:split])
+    for key, partial in pairs[:split]:
+        reference.absorb(key, partial)
+    batched.mark_readonly()
+    reference.mark_readonly()
+    batched.absorb_many(pairs[split:])
+    for key, partial in pairs[split:]:
+        reference.absorb(key, partial)
+
+    assert dict(batched.scan()) == dict(reference.scan())
+    assert len(batched) == len(reference)
+    assert batched.index.lookups == reference.index.lookups
+    assert batched.index.inserts == reference.index.inserts
+    assert sorted(batched.delta_pairs()) == sorted(reference.delta_pairs())
+
+
+@pytest.mark.parametrize("batch_name", ["uniform", "zipf"])
+def test_absorb_batch_matches_scalar_routing(batch_name):
+    pairs = _pairs_from(BATCHES[batch_name])
+    partials = {}
+    for key, partial in pairs:
+        partials[key] = partials.get(key, 0.0) + partial
+
+    directory = PartitionDirectory(4)
+    batched = SlashStateBackend(0, directory).handle("op", SumCrdt())
+    reference = SlashStateBackend(0, PartitionDirectory(4)).handle("op", SumCrdt())
+
+    batched.absorb_batch(partials)
+    for key, partial in partials.items():
+        reference.absorb(key, partial)
+
+    for partition in range(4):
+        assert dict(batched.store_for(partition).scan()) == dict(
+            reference.store_for(partition).scan()
+        ), f"partition {partition} diverged"
+
+
+def test_absorb_batch_string_keys_fall_back_to_scalar_path():
+    """Non-integer group keys must route through the scalar partitioner."""
+    partials = {f"user-{i}": float(i) for i in range(257)}
+    directory = PartitionDirectory(4)
+    batched = SlashStateBackend(0, directory).handle("op", SumCrdt())
+    reference = SlashStateBackend(0, PartitionDirectory(4)).handle("op", SumCrdt())
+
+    batched.absorb_batch(partials)
+    for key, partial in partials.items():
+        reference.absorb(key, partial)
+
+    for partition in range(4):
+        assert dict(batched.store_for(partition).scan()) == dict(
+            reference.store_for(partition).scan()
+        )
+
+
+def test_ship_delta_resets_fragment_like_before():
+    """The truncating ship keeps the documented post-ship semantics:
+    shipped keys are dropped and the next RMW restarts from zero."""
+    store = LogStructuredStore(SumCrdt())
+    store.absorb_many([(k, 1.0) for k in range(10)])
+    pairs, nbytes = store.ship_delta()
+    assert sorted(k for k, _v in pairs) == list(range(10))
+    assert nbytes > 0
+    assert len(store) == 0
+    assert store.delta_pairs() == []
+    # Post-ship RMW restarts from the CRDT zero.
+    store.absorb(3, 5.0)
+    assert store.get(3) == 5.0
