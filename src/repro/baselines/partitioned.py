@@ -383,6 +383,7 @@ class _Partitioner:
             return
         channel = ctx._channels[self.gid][c_gid]
         watermark = self.state.watermark
+        outgoing: list[tuple[str, RecordBatch]] = []
         for stream_name in ctx.streams:
             chunks = pending[stream_name]
             if not chunks:
@@ -393,13 +394,21 @@ class _Partitioner:
             schema = self.schema_by_stream[stream_name]
             for start in range(0, len(data), limit):
                 rows = data[start:start + limit]
-                batch = RecordBatch(schema, rows)
-                message = _Message(stream_name, batch, watermark)
-                nbytes = batch.wire_bytes + MESSAGE_HEADER_BYTES
-                yield from core.execute(
-                    self.node.cost_model.compute_cost(costs.per_buffer), 1.0
-                )
-                yield from channel.producer.send(core, message, nbytes)
+                outgoing.append((stream_name, RecordBatch(schema, rows)))
+        # Only the flush's last buffer carries the fresh watermark: the
+        # consumer applies a message's watermark on receipt, so stamping
+        # it on an earlier buffer would advance the frontier past rows
+        # of another stream still queued behind it on this channel.
+        for position, (stream_name, batch) in enumerate(outgoing):
+            last = position == len(outgoing) - 1
+            message = _Message(
+                stream_name, batch, watermark if last else float("-inf")
+            )
+            nbytes = batch.wire_bytes + MESSAGE_HEADER_BYTES
+            yield from core.execute(
+                self.node.cost_model.compute_cost(costs.per_buffer), 1.0
+            )
+            yield from channel.producer.send(core, message, nbytes)
         self.state.pending_rows[c_gid] = 0
 
 

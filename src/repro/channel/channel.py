@@ -224,6 +224,10 @@ class ProducerEndpoint:
         self.flow.spend()
         slot = self._next_slot
         self._next_slot += 1
+        san = self.sim.sanitize
+        if san is not None:
+            san.check_buffer_write(self.name, self.queue, slot)
+            san.note_send(id(self.stats), self.name, self.flow.initial)
         stamped = (self.sim.now, payload)
         yield from self.qp.post_write(
             core,
@@ -254,6 +258,13 @@ class ProducerEndpoint:
         self.flow.spend()
         slot = self._next_slot
         self._next_slot += 1
+        # Sanitize once per logical buffer, before the retry loop: a
+        # retransmission legitimately targets a possibly-delivered slot
+        # (the receiver's first-delivery-wins record discards it).
+        san = self.sim.sanitize
+        if san is not None:
+            san.check_buffer_write(self.name, self.queue, slot)
+            san.note_send(id(self.stats), self.name, self.flow.initial)
         stamped = (self.sim.now, payload)
         ack = Signal(name=f"{self.name}.ack.{slot}")
         xfer_state: dict[str, bool] = {"delivered": False}
@@ -335,6 +346,9 @@ class ProducerEndpoint:
         the consumer (it died in the torn-down ring), so the caller's
         normal close path delivers it exactly once on the fresh channel.
         """
+        san = self.sim.sanitize
+        if san is not None:
+            san.note_channel_reset(id(self.stats), self.name, self.flow.initial)
         self._next_slot = 0
         self._dead = False
         self._credit_ticket = None
@@ -359,6 +373,11 @@ class ProducerEndpoint:
         if not isinstance(credit_payload, int) or credit_payload <= 0:
             raise ProtocolError(
                 f"{self.name}: malformed credit message {credit_payload!r}"
+            )
+        san = self.sim.sanitize
+        if san is not None:
+            san.note_credit_apply(
+                id(self.stats), self.name, credit_payload, self.flow.initial
             )
         self.flow.refill(credit_payload)
 
@@ -472,12 +491,20 @@ class ConsumerEndpoint:
         if self.withhold_credits:
             self._withheld += 1
             return
+        san = self.sim.sanitize
+        if san is not None:
+            san.note_credit_return(id(self.stats), self.name, 1, self.queue.credits)
         yield from self.qp.post_send(core, 1, CREDIT_MSG_BYTES)
 
     def flush_withheld(self, core: Core) -> Generator[Any, Any, None]:
         """Return every credit held back during a starvation window."""
         count, self._withheld = self._withheld, 0
         if count:
+            san = self.sim.sanitize
+            if san is not None:
+                san.note_credit_return(
+                    id(self.stats), self.name, count, self.queue.credits
+                )
             yield from self.qp.post_send(core, count, CREDIT_MSG_BYTES)
 
     def force_reset(self) -> None:

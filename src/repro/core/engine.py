@@ -83,6 +83,7 @@ class SlashEngine:
         leaders: Optional[list[int]] = None,
         fault_plan: Optional[FaultPlan] = None,
         fault_overrides: Optional[dict] = None,
+        sanitize: bool = False,
     ):
         self.cluster_config = cluster_config or paper_cluster()
         self.credits = credits
@@ -99,6 +100,11 @@ class SlashEngine:
         # injector applies the plan's events at exact simulated instants.
         self.fault_plan = fault_plan
         self.fault_overrides = dict(fault_overrides or {})
+        # Runtime invariant checking (repro.sanitizer): attaches a
+        # Sanitizer at sim.sanitize plus a bounded Tracer so violations
+        # carry trace context.  Off by default — the hot loops then pay
+        # one attribute test per hook site.
+        self.sanitize = sanitize
 
     def run(self, query: Query, flows: dict[tuple[int, int], Flow]) -> RunResult:
         """Execute ``query`` over ``flows`` and return the results.
@@ -114,6 +120,13 @@ class SlashEngine:
                 f"{self.cluster_config.nodes}"
             )
         sim = Simulator()
+        if self.sanitize:
+            from repro.sanitizer.invariants import Sanitizer
+            from repro.simnet.trace import Tracer
+
+            if sim.tracer is None:
+                sim.tracer = Tracer(capacity=4096)
+            sim.sanitize = Sanitizer(sim)
         cluster = Cluster(sim, self.cluster_config.with_nodes(nodes))
         cm = ConnectionManager(cluster)
         directory = PartitionDirectory(nodes, leaders=self.leaders)
@@ -204,6 +217,8 @@ class SlashEngine:
         )
         if injector is not None:
             result.extra["faults"] = injector.report()
+        if sim.sanitize is not None:
+            result.extra["sanitizer_checks"] = sim.sanitize.check_counts()
         return result
 
     @staticmethod

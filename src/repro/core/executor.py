@@ -177,7 +177,9 @@ class SlashExecutor:
         self.buffer_bytes = buffer_bytes
         self.sim = cluster.sim
 
-        self.backend = SlashStateBackend(executor_id, directory)
+        self.backend = SlashStateBackend(
+            executor_id, directory, sanitizer=self.sim.sanitize
+        )
         self.handle = self.backend.handle(plan.operator_id, plan.crdt)
         self.epoch = EpochManager(epoch_bytes)
         self.trigger = (
@@ -396,6 +398,15 @@ class SlashExecutor:
                     # retained copy locally, nothing to ship.
                     continue
                 producer = self._out_channels[leader]
+                if producer.closed:
+                    # The partition's leadership moved to this peer after
+                    # the delta was enqueued (crash promotion) and the
+                    # shipper thread owning the channel already closed it.
+                    # The delta predates the reassignment instant, so the
+                    # recovery body's retained-backlog merge has already
+                    # folded it in; shipping it again could only produce
+                    # a ledger-deduped duplicate.
+                    continue
                 # Serialisation: the delta streams out of the LSS memory.
                 yield from core.execute(
                     cost_model.cache.streaming_cost(max(delta.nbytes, 64)), 1.0
@@ -640,6 +651,13 @@ class SlashExecutor:
                 yield from self._fire_agg_window(core, window_id)
 
     def _fire_agg_window(self, core: Core, window_id: int) -> Generator[Any, Any, None]:
+        san = self.sim.sanitize
+        if san is not None:
+            san.check_window_fire(
+                self.executor_id, window_id,
+                self.plan.window.window_end(window_id),
+                self.backend.clock.min_watermark(),
+            )
         assert self.plan.aggregation is not None
         crdt = self.plan.aggregation.crdt
         window = self.plan.window
@@ -682,6 +700,13 @@ class SlashExecutor:
         return pairs
 
     def _fire_join_window(self, core: Core, window_id: int) -> Generator[Any, Any, None]:
+        san = self.sim.sanitize
+        if san is not None:
+            san.check_window_fire(
+                self.executor_id, window_id,
+                self.plan.window.window_end(window_id),
+                self.backend.clock.min_watermark(),
+            )
         extracted = self.handle.extract_window(window_id)
         if not extracted:
             return

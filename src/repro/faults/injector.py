@@ -463,7 +463,7 @@ class FaultInjector:
         info["victim_deltas_redelivered"] = redelivered
 
         # --- replay the victim's input from the checkpoint cut -------------
-        yield from self._replay_input(victim, new_leader, checkpoint, info)
+        yield from self._replay_input(victim, new_leader, checkpoint, info, led)
 
         # --- finish: the victim will never contribute again -----------------
         for executor in self.executors:
@@ -485,7 +485,10 @@ class FaultInjector:
             yield from executor._check_triggers(executor.node.core(0))
             executor._maybe_finalize_soon()
 
-    def _replay_input(self, victim: int, new_leader: int, checkpoint: Checkpoint, info: dict):
+    def _replay_input(
+        self, victim: int, new_leader: int, checkpoint: Checkpoint, info: dict,
+        restored: list[int],
+    ):
         """Re-process the victim's flows from the checkpoint's positions.
 
         Segments between recorded cuts reproduce the victim's original
@@ -493,13 +496,21 @@ class FaultInjector:
         surviving leaders admit exactly the ones that never arrived.  The
         final segment (everything past the last recorded cut) continues
         the sequence, covering input the victim never got to process.
+
+        ``restored`` is the set of partitions the victim led (restored
+        here from its checkpoint): only for those may replayed partials
+        bypass the ledger and be absorbed directly — the checkpoint plus
+        the replay IS their state.  Partials for every other partition,
+        including the promoted leader's own, travel as epoch deltas under
+        the victim's identity so the target's ledger dedupes the epochs
+        the victim already shipped before crashing.
         """
         nl_exec = self.executors[new_leader]
         dead_exec = self.executors[victim]
         core = nl_exec.node.core(0)
         cost_model = nl_exec.node.cost_model
         crdt = nl_exec.handle.crdt
-        led_set = set(self.directory.partitions_led_by(new_leader))
+        led_set = set(restored)
         plan = dead_exec.plan
 
         flows = dead_exec.flows

@@ -190,6 +190,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the second same-seed faulted run")
     chaos.add_argument("--out", type=pathlib.Path, default=None,
                        help="directory to write chaos.txt and chaos.json into")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="differential oracle harness: random scenarios with runtime "
+             "invariant checkers on, compared against the sequential "
+             "reference and the partitioned baseline",
+    )
+    sanitize.add_argument("--scenarios", type=int, default=25,
+                          help="number of random scenarios to generate")
+    sanitize.add_argument("--seed", type=int, default=1,
+                          help="seed deriving every scenario")
+    sanitize.add_argument("--replay", default=None,
+                          help="re-run one exact scenario from its JSON "
+                               "description (as printed by a failure's "
+                               "repro command) instead of generating")
+    sanitize.add_argument("--no-shrink", action="store_true",
+                          help="skip minimizing failing scenarios")
+    sanitize.add_argument("--out", type=pathlib.Path, default=None,
+                          help="directory to write sanitize.txt and "
+                               "sanitize.json into")
     return parser
 
 
@@ -262,6 +282,32 @@ def _run_chaos(args) -> int:
     return 0
 
 
+def _run_sanitize(args) -> int:
+    from repro.sanitizer.harness import report_failed, run_sanitize
+
+    started = time.time()
+    report = run_sanitize(
+        scenarios=args.scenarios,
+        seed=args.seed,
+        replay=args.replay,
+        shrink_failures=not args.no_shrink,
+    )
+    elapsed = time.time() - started
+    print()
+    print(report.render())
+    print(f"\n[sanitize seed {args.seed} — {elapsed:.1f}s wall]")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "sanitize.txt").write_text(report.render() + "\n")
+        (args.out / "sanitize.json").write_text(
+            json.dumps(_jsonable(report.rows), indent=2) + "\n"
+        )
+    if report_failed(report):
+        print("SANITIZE FAILED: see repro commands above", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -271,6 +317,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "sanitize":
+        return _run_sanitize(args)
     if args.quick:
         args.nodes = list(QUICK["nodes"])
         args.threads = QUICK["threads"]

@@ -1,0 +1,334 @@
+"""Pluggable runtime invariant checkers (``sim.sanitize``).
+
+A :class:`Sanitizer` keeps *shadow* accounts — independent of the data
+structures it audits — and raises a structured
+:class:`InvariantViolation` the instant an invariant breaks, with the
+simulated time and the tail of the trace timeline attached.  Because
+the shadow state is maintained from hook calls at the call sites (not
+inside the audited methods), a bug *inside* e.g.
+:meth:`~repro.state.epoch.EpochLedger.admit` is still caught: the
+sanitizer re-derives what the correct answer would have been.
+
+Invariant catalog (see ``docs/testing.md``):
+
+``event-time``
+    Simulated time never moves backwards across kernel events (guards
+    the heap + ready-deque merge of the fast run loop).
+``credit-conservation``
+    Per channel: consumers return no more credits than buffers sent,
+    producers apply no more credits than consumers returned, and at
+    most ``credits`` buffers are ever outstanding.  Channel resets
+    write off in-flight buffers instead of resetting the cumulative
+    counters, so conservation holds *across* resets.
+``buffer-lifecycle``
+    A producer never posts a WRITE into a ring slot whose footer is
+    still set (reuse before the consumer released the buffer).
+``clock-monotonic`` / ``watermark-monotonic``
+    Vector-clock entries and local watermarks never regress.
+``ledger-exactly-once``
+    Each ``(operator, partition, helper, epoch)`` delta is admitted at
+    most once, admitted epochs are dense per helper, and a delta that
+    extends the dense sequence is never rejected as a duplicate.
+``window-fire``
+    A window fires only when the clock frontier has passed its end
+    (property P1: no executor can still contribute to it).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Optional
+
+from repro.common.errors import ReproError
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant check failed.
+
+    Carries enough structure for the harness to report and shrink:
+    which invariant, at what simulated time, with what context, and the
+    tail of the trace timeline if a tracer was attached.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        sim_time: float = 0.0,
+        context: Optional[dict] = None,
+        trace_tail: str = "",
+    ):
+        self.invariant = invariant
+        self.message = message
+        self.sim_time = sim_time
+        self.context = dict(context or {})
+        self.trace_tail = trace_tail
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        parts = [f"[{self.invariant}] {self.message} (sim t={self.sim_time:.9g}s)"]
+        if self.context:
+            parts.append(
+                "  context: "
+                + " ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+            )
+        if self.trace_tail:
+            parts.append(self.trace_tail)
+        return "\n".join(parts)
+
+
+class _ChannelAccount:
+    """Cumulative shadow counters for one channel's credit protocol.
+
+    Counters never reset: a channel reset *writes off* the buffers that
+    were in flight when the ring was torn down (``forgiven``), so a
+    credit that was already on the wire at reset time still satisfies
+    ``applied <= returned`` when it lands afterwards.
+    """
+
+    __slots__ = ("name", "credits", "sent", "returned", "applied", "forgiven", "resets")
+
+    def __init__(self, name: str, credits: int):
+        self.name = name
+        self.credits = credits
+        self.sent = 0       # buffers posted by the producer (incl. EOS)
+        self.returned = 0   # credit messages posted by the consumer
+        self.applied = 0    # credits folded into the producer's balance
+        self.forgiven = 0   # in-flight buffers written off by resets
+        self.resets = 0
+
+
+class Sanitizer:
+    """The invariant-checker bundle attached at ``sim.sanitize``.
+
+    Construction does not change any behaviour by itself; components
+    consult ``sim.sanitize`` at their hook points and call the ``note_``
+    / ``check_`` methods below.  Every successful check increments
+    :attr:`checks` so a run can prove the hooks actually fired.
+    """
+
+    def __init__(self, sim: Any, trace_limit: int = 25):
+        self.sim = sim
+        self.trace_limit = trace_limit
+        #: invariant name -> number of checks performed (not violations).
+        self.checks: Counter = Counter()
+        self._channels: dict[int, _ChannelAccount] = {}
+        self._clock_entries: dict[tuple[int, int], float] = {}
+        self._clock_names: dict[int, str] = {}
+        self._watermarks: dict[int, float] = {}
+        self._admitted: dict[int, set] = {}
+        self._ledger_last: dict[tuple, int] = {}
+        self._last_event_time = float("-inf")
+
+    # -- violation plumbing -------------------------------------------------
+    def fail(self, invariant: str, message: str, **context: Any) -> None:
+        """Raise an :class:`InvariantViolation` with trace context."""
+        tracer = getattr(self.sim, "tracer", None)
+        tail = (
+            tracer.render_timeline(limit=self.trace_limit)
+            if tracer is not None and len(tracer)
+            else ""
+        )
+        raise InvariantViolation(
+            invariant, message, sim_time=self.sim.now, context=context,
+            trace_tail=tail,
+        )
+
+    def check_counts(self) -> dict[str, int]:
+        """JSON-able snapshot of how many checks ran, per invariant."""
+        return dict(self.checks)
+
+    # -- kernel: event-time monotonicity ------------------------------------
+    def note_event(self, when: float, now: float) -> None:
+        """One kernel event about to fire at ``when`` (current time ``now``)."""
+        self.checks["event-time"] += 1
+        if when < now or when < self._last_event_time:
+            self.fail(
+                "event-time",
+                f"event scheduled at {when!r} fires after time reached "
+                f"{max(now, self._last_event_time)!r} (kernel ordering broken)",
+                when=when, now=now,
+            )
+        self._last_event_time = when
+
+    # -- channel: credit conservation + buffer lifecycle --------------------
+    def _account(self, key: int, name: str, credits: int) -> _ChannelAccount:
+        account = self._channels.get(key)
+        if account is None:
+            account = self._channels[key] = _ChannelAccount(name, credits)
+        return account
+
+    def note_send(self, key: int, name: str, credits: int) -> None:
+        """Producer posted one buffer (after spending a credit)."""
+        self.checks["credit-conservation"] += 1
+        account = self._account(key, name, credits)
+        account.sent += 1
+        outstanding = account.sent - account.applied - account.forgiven
+        if outstanding > account.credits:
+            self.fail(
+                "credit-conservation",
+                f"{name}: {outstanding} buffers outstanding exceeds the "
+                f"channel's {account.credits} credits (overspend)",
+                sent=account.sent, applied=account.applied,
+                forgiven=account.forgiven, credits=account.credits,
+            )
+
+    def note_credit_return(self, key: int, name: str, count: int, credits: int) -> None:
+        """Consumer posted ``count`` credits back to the producer."""
+        self.checks["credit-conservation"] += 1
+        account = self._account(key, name, credits)
+        account.returned += count
+        if account.returned > account.sent:
+            self.fail(
+                "credit-conservation",
+                f"{name}: consumer returned {account.returned} credits but "
+                f"only {account.sent} buffers were ever sent (phantom credit)",
+                returned=account.returned, sent=account.sent,
+            )
+
+    def note_credit_apply(self, key: int, name: str, count: int, credits: int) -> None:
+        """Producer folded ``count`` received credits into its balance."""
+        self.checks["credit-conservation"] += 1
+        account = self._account(key, name, credits)
+        account.applied += count
+        if account.applied > account.returned:
+            self.fail(
+                "credit-conservation",
+                f"{name}: producer applied {account.applied} credits but the "
+                f"consumer only returned {account.returned} (credit forged)",
+                applied=account.applied, returned=account.returned,
+            )
+
+    def note_channel_reset(self, key: int, name: str, credits: int) -> None:
+        """The channel was torn down; write off in-flight buffers."""
+        self.checks["credit-conservation"] += 1
+        account = self._account(key, name, credits)
+        in_flight = account.sent - account.applied - account.forgiven
+        if in_flight > 0:
+            account.forgiven += in_flight
+        account.resets += 1
+
+    def check_buffer_write(self, name: str, queue: Any, slot: int) -> None:
+        """Producer is about to post into ring slot ``slot``."""
+        self.checks["buffer-lifecycle"] += 1
+        if queue.poll_slot(slot):
+            self.fail(
+                "buffer-lifecycle",
+                f"{name}: posting into ring slot {slot % queue.credits} whose "
+                "footer is still set (buffer reused before the consumer "
+                "released it)",
+                slot=slot, ring_slot=slot % queue.credits,
+                credits=queue.credits,
+            )
+
+    # -- state: clock / watermark monotonicity ------------------------------
+    def note_clock_entry(self, key: int, name: str, executor_id: int, value: float) -> None:
+        """A vector-clock entry now reads ``value`` after an advance."""
+        self.checks["clock-monotonic"] += 1
+        self._clock_names[key] = name
+        shadow_key = (key, executor_id)
+        previous = self._clock_entries.get(shadow_key, float("-inf"))
+        if value < previous:
+            self.fail(
+                "clock-monotonic",
+                f"vector clock {name}: entry for executor {executor_id} "
+                f"regressed from {previous!r} to {value!r}",
+                executor=executor_id, previous=previous, value=value,
+            )
+        self._clock_entries[shadow_key] = value
+
+    def note_watermark(self, key: int, executor_id: int, value: float) -> None:
+        """An executor's local watermark now reads ``value``."""
+        self.checks["watermark-monotonic"] += 1
+        previous = self._watermarks.get(key, float("-inf"))
+        if value < previous:
+            self.fail(
+                "watermark-monotonic",
+                f"executor {executor_id}: watermark regressed from "
+                f"{previous!r} to {value!r}",
+                executor=executor_id, previous=previous, value=value,
+            )
+        self._watermarks[key] = value
+
+    # -- state: ledger exactly-once admission --------------------------------
+    def note_ledger_seed(
+        self, key: int, operator_id: str, partition: int, helper: int, epoch: int
+    ) -> None:
+        """The ledger installed an admission floor (checkpoint restore)."""
+        self.checks["ledger-exactly-once"] += 1
+        shadow_key = (key, operator_id, partition, helper)
+        if epoch > self._ledger_last.get(shadow_key, -1):
+            self._ledger_last[shadow_key] = epoch
+
+    def note_ledger_admit(self, key: int, delta: Any, fresh: bool) -> None:
+        """The ledger ruled on ``delta``; verify the ruling independently.
+
+        Called *outside* :meth:`~repro.state.epoch.EpochLedger.admit`
+        (from the merge path), so a broken ``admit`` cannot silently
+        skip its own audit.  Checks three things: a fresh delta was not
+        already admitted (exactly-once), fresh admissions stay dense per
+        helper, and a dense-sequence-extending delta is never dropped
+        as a duplicate (lost update).
+        """
+        self.checks["ledger-exactly-once"] += 1
+        identity = (delta.operator_id, delta.partition, delta.from_executor, delta.epoch)
+        shadow_key = (key, delta.operator_id, delta.partition, delta.from_executor)
+        last = self._ledger_last.get(shadow_key, -1)
+        admitted = self._admitted.setdefault(key, set())
+        if fresh:
+            if identity in admitted:
+                self.fail(
+                    "ledger-exactly-once",
+                    f"delta (op={delta.operator_id!r}, p{delta.partition}, "
+                    f"helper {delta.from_executor}, epoch {delta.epoch}) "
+                    "admitted twice — exactly-once merging is broken",
+                    partition=delta.partition, helper=delta.from_executor,
+                    epoch=delta.epoch,
+                )
+            if delta.epoch <= last:
+                self.fail(
+                    "ledger-exactly-once",
+                    f"duplicate delta re-admitted: epoch {delta.epoch} from "
+                    f"helper {delta.from_executor} on partition "
+                    f"{delta.partition} was already at or below the admission "
+                    f"frontier {last}",
+                    partition=delta.partition, helper=delta.from_executor,
+                    epoch=delta.epoch, frontier=last,
+                )
+            if last >= 0 and delta.epoch != last + 1:
+                self.fail(
+                    "ledger-exactly-once",
+                    f"epoch skip admitted: {delta.epoch} after {last} from "
+                    f"helper {delta.from_executor} on partition {delta.partition}",
+                    partition=delta.partition, helper=delta.from_executor,
+                    epoch=delta.epoch, frontier=last,
+                )
+            admitted.add(identity)
+            self._ledger_last[shadow_key] = max(last, delta.epoch)
+        elif delta.epoch > last:
+            self.fail(
+                "ledger-exactly-once",
+                f"fresh delta dropped as a duplicate: epoch {delta.epoch} "
+                f"from helper {delta.from_executor} on partition "
+                f"{delta.partition} extends the admission frontier {last} "
+                "but was rejected (lost update)",
+                partition=delta.partition, helper=delta.from_executor,
+                epoch=delta.epoch, frontier=last,
+            )
+
+    # -- core: watermark-safe window triggering ------------------------------
+    def check_window_fire(
+        self, executor_id: int, window_id: int, window_end: float, frontier: float
+    ) -> None:
+        """Executor ``executor_id`` is about to fire ``window_id``."""
+        self.checks["window-fire"] += 1
+        if window_end > frontier:
+            self.fail(
+                "window-fire",
+                f"executor {executor_id} fired window {window_id} ending at "
+                f"{window_end!r} while the clock frontier is only "
+                f"{frontier!r} — property P1 violated (a straggler could "
+                "still contribute)",
+                executor=executor_id, window=window_id,
+                window_end=window_end, frontier=frontier,
+            )

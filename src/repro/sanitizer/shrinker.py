@@ -1,0 +1,72 @@
+"""Greedy minimization of a failing scenario.
+
+Given a scenario that fails (an invariant violation or an oracle
+mismatch) and a predicate that re-checks a candidate, :func:`shrink`
+walks a fixed candidate order — halve the record count, drop the fault
+plan, remove nodes, remove threads, halve the batch size, halve the key
+space — keeping any candidate that still fails and restarting from the
+top, until no candidate fails or the attempt budget runs out.  Each
+accepted step strictly reduces the scenario, so the loop terminates.
+
+The result is the smallest repro the greedy walk can find; the harness
+prints its :meth:`~repro.sanitizer.scenarios.Scenario.repro_command`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.sanitizer.scenarios import Scenario, scenario_without_fault
+
+#: Floors below which shrinking a dimension stops.  Records must keep at
+#: least one batch per worker flowing; two nodes and two threads are the
+#: minimum at which the distributed protocol (and UpPar) still runs.
+MIN_RECORDS = 20
+MIN_NODES = 2
+MIN_THREADS = 2
+MIN_BATCH = 16
+MIN_KEYSPACE = 4
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Strictly-smaller variants, most-impactful reduction first."""
+    if scenario.records // 2 >= MIN_RECORDS:
+        yield replace(scenario, records=scenario.records // 2)
+    if scenario.fault is not None:
+        yield scenario_without_fault(scenario)
+    if scenario.nodes - 1 >= MIN_NODES:
+        yield replace(scenario, nodes=scenario.nodes - 1)
+    if scenario.threads - 1 >= MIN_THREADS:
+        yield replace(scenario, threads=scenario.threads - 1)
+    if scenario.batch // 2 >= MIN_BATCH:
+        yield replace(scenario, batch=scenario.batch // 2)
+    if scenario.keyspace // 2 >= MIN_KEYSPACE:
+        yield replace(scenario, keyspace=scenario.keyspace // 2)
+
+
+def shrink(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    max_attempts: int = 48,
+) -> tuple[Scenario, int]:
+    """Minimize ``scenario`` under the ``still_fails`` predicate.
+
+    Returns ``(smallest_failing_scenario, attempts_used)``.  The input
+    scenario must already fail; it is returned unchanged if no smaller
+    candidate reproduces the failure.
+    """
+    current = scenario
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current, attempts

@@ -371,6 +371,11 @@ class Simulator:
         #: the RDMA/channel/executor layers consult it for deterministic
         #: fault decisions and switch to their fault-tolerant code paths.
         self.faults = None
+        #: Optional repro.sanitizer.invariants.Sanitizer; when attached,
+        #: instrumented components report protocol events for runtime
+        #: invariant checking.  Off (None) by default: every hook site
+        #: pays a single attribute test.
+        self.sanitize = None
 
     @property
     def now(self) -> float:
@@ -424,6 +429,7 @@ class Simulator:
         heap = self._heap
         ready = self._ready
         heappop = heapq.heappop
+        san = self.sanitize
         while heap or ready:
             if ready and (not heap or ready[0] <= heap[0]):
                 when, _seq, callback, args = ready[0]
@@ -437,6 +443,8 @@ class Simulator:
                     self._now = until
                     break
                 heappop(heap)
+            if san is not None:
+                san.note_event(when, self._now)
             self._now = when
             callback(*args)
             if self._unobserved_failures:
@@ -456,6 +464,7 @@ class Simulator:
         heap = self._heap
         ready = self._ready
         heappop = heapq.heappop
+        san = self.sanitize
         while not proc.finished:
             if not heap and not ready:
                 raise SimulationError(
@@ -469,6 +478,8 @@ class Simulator:
                 raise SimulationError(
                     f"process {proc.name!r} exceeded time limit {limit}"
                 )
+            if san is not None:
+                san.note_event(when, self._now)
             self._now = when
             callback(*args)
             if self._unobserved_failures:

@@ -98,8 +98,12 @@ class EpochLedger:
     exactly-once no matter how many times a delta crosses the wire.
     """
 
-    def __init__(self):
+    def __init__(self, sanitizer: Any = None, name: str = ""):
         self._last_seen: dict[tuple[str, int, int], int] = {}
+        #: Optional repro.sanitizer Sanitizer: seed() reports admission
+        #: floors so the shadow exactly-once account survives restores.
+        self.sanitizer = sanitizer
+        self.name = name
 
     def admit(self, delta: EpochDelta) -> bool:
         """Validate ordering for ``delta``; returns whether it is *fresh*.
@@ -139,6 +143,8 @@ class EpochLedger:
         key = (operator_id, partition, helper)
         if epoch > self._last_seen.get(key, -1):
             self._last_seen[key] = epoch
+        if self.sanitizer is not None:
+            self.sanitizer.note_ledger_seed(id(self), operator_id, partition, helper, epoch)
 
     def snapshot(self) -> dict[tuple[str, int, int], int]:
         """A copy of the admission frontier (checkpoint payload)."""

@@ -173,7 +173,14 @@ class OperatorStateHandle:
                 f"executor {backend.executor_id} is not the leader of "
                 f"partition {delta.partition}"
             )
-        if not backend.ledger.admit(delta):
+        fresh = backend.ledger.admit(delta)
+        # The exactly-once audit sits *outside* admit(), re-deriving the
+        # correct ruling from its own shadow account — so a bug inside the
+        # ledger's dedupe logic is caught rather than trusted.
+        san = backend.sanitizer
+        if san is not None:
+            san.note_ledger_admit(id(backend.ledger), delta, fresh)
+        if not fresh:
             return False
         self._stores[delta.partition].absorb_many(delta.pairs)
         backend.clock.advance(delta.from_executor, delta.watermark)
@@ -229,7 +236,7 @@ class OperatorStateHandle:
 class SlashStateBackend:
     """All operator state of one executor, plus progress tracking."""
 
-    def __init__(self, executor_id: int, directory: PartitionDirectory):
+    def __init__(self, executor_id: int, directory: PartitionDirectory, sanitizer: Any = None):
         if not 0 <= executor_id < directory.executors:
             raise StateError(
                 f"executor id {executor_id} out of range for "
@@ -237,9 +244,12 @@ class SlashStateBackend:
             )
         self.executor_id = executor_id
         self.directory = directory
-        self.watermarks = WatermarkTracker(executor_id)
-        self.clock = VectorClock(range(directory.executors))
-        self.ledger = EpochLedger()
+        self.sanitizer = sanitizer
+        self.watermarks = WatermarkTracker(executor_id, sanitizer=sanitizer)
+        self.clock = VectorClock(
+            range(directory.executors), sanitizer=sanitizer, name=f"clock@e{executor_id}"
+        )
+        self.ledger = EpochLedger(sanitizer=sanitizer, name=f"ledger@e{executor_id}")
         self._handles: dict[str, OperatorStateHandle] = {}
 
     def handle(self, operator_id: str, crdt: Crdt) -> OperatorStateHandle:

@@ -13,7 +13,7 @@ inside the window (property *P1*).
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.common.errors import StateError
 
@@ -21,9 +21,10 @@ from repro.common.errors import StateError
 class WatermarkTracker:
     """One executor's local watermark: the max event time observed."""
 
-    def __init__(self, executor_id: int):
+    def __init__(self, executor_id: int, sanitizer: Any = None):
         self.executor_id = executor_id
         self._watermark = float("-inf")
+        self.sanitizer = sanitizer
 
     @property
     def watermark(self) -> float:
@@ -34,6 +35,8 @@ class WatermarkTracker:
         """Advance the watermark with one record's event time."""
         if timestamp > self._watermark:
             self._watermark = timestamp
+        if self.sanitizer is not None:
+            self.sanitizer.note_watermark(id(self), self.executor_id, self._watermark)
 
     def observe_batch_max(self, batch_max_timestamp: float) -> None:
         """Advance with the pre-computed max of a whole batch."""
@@ -43,13 +46,15 @@ class WatermarkTracker:
 class VectorClock:
     """The combined view of all executors' watermarks."""
 
-    def __init__(self, executor_ids: Iterable[int]):
+    def __init__(self, executor_ids: Iterable[int], sanitizer: Any = None, name: str = ""):
         ids = list(executor_ids)
         if not ids:
             raise StateError("vector clock needs at least one executor")
         if len(set(ids)) != len(ids):
             raise StateError(f"duplicate executor ids: {ids}")
         self._entries: dict[int, float] = {e: float("-inf") for e in ids}
+        self.sanitizer = sanitizer
+        self.name = name
 
     @property
     def executor_ids(self) -> list[int]:
@@ -69,6 +74,10 @@ class VectorClock:
             raise StateError(f"unknown executor {executor_id}")
         if watermark > self._entries[executor_id]:
             self._entries[executor_id] = watermark
+        if self.sanitizer is not None:
+            self.sanitizer.note_clock_entry(
+                id(self), self.name, executor_id, self._entries[executor_id]
+            )
 
     def merge(self, other: "VectorClock") -> None:
         """Element-wise max with another clock over the same executors."""

@@ -86,16 +86,13 @@ class TestUpParTransfer:
 
 
 class TestDeferredMerge:
-    def test_fold_matches_incremental_merge(self):
+    def test_fold_matches_incremental_merge(self, rng):
         """The end-of-run fold equals merging every batch key by key."""
-        import numpy as np
-
         from repro.baselines.transfer import _DeferredMerge
         from repro.core.aggregations import group_reduce, partial_aggregate
         from repro.state.crdt import crdt_by_name
 
         crdt = crdt_by_name("count")
-        rng = np.random.default_rng(8)
         deferred = _DeferredMerge()
         reference: dict = {}
         for _ in range(20):

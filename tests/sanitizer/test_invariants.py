@@ -1,0 +1,202 @@
+"""Unit tests for each runtime invariant checker in isolation.
+
+Every checker is driven directly through its ``note_`` / ``check_``
+hooks against a minimal fake simulator, proving both directions: legal
+sequences pass (and are counted), illegal ones raise a structured
+:class:`InvariantViolation` naming the right invariant.
+"""
+
+import pytest
+
+from repro.sanitizer.invariants import InvariantViolation, Sanitizer
+from repro.simnet.trace import Tracer
+from repro.state.epoch import EpochDelta
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+        self.tracer = None
+
+
+class FakeQueue:
+    def __init__(self, credits=4, set_slots=()):
+        self.credits = credits
+        self._set = set(set_slots)
+
+    def poll_slot(self, slot):
+        return slot in self._set
+
+
+def _delta(epoch, partition=0, helper=1):
+    return EpochDelta(
+        operator_id="op", partition=partition, from_executor=helper,
+        epoch=epoch, pairs=(("k", 1.0),), nbytes=32, watermark=0.0,
+    )
+
+
+@pytest.fixture
+def san():
+    return Sanitizer(FakeSim())
+
+
+class TestEventTime:
+    def test_monotone_events_pass(self, san):
+        san.note_event(1.0, 0.0)
+        san.note_event(1.0, 1.0)  # zero-delay events at the same instant
+        san.note_event(2.5, 1.0)
+        assert san.checks["event-time"] == 3
+
+    def test_regressing_event_fails(self, san):
+        san.note_event(5.0, 0.0)
+        with pytest.raises(InvariantViolation) as exc:
+            san.note_event(4.0, 5.0)
+        assert exc.value.invariant == "event-time"
+
+
+class TestCreditConservation:
+    def test_balanced_protocol_passes(self, san):
+        for _ in range(4):
+            san.note_send(1, "ch", credits=4)
+        for _ in range(4):
+            san.note_credit_return(1, "ch", 1, credits=4)
+        san.note_credit_apply(1, "ch", 4, credits=4)
+        san.note_send(1, "ch", credits=4)
+        assert san.checks["credit-conservation"] == 10
+
+    def test_overspend_fails(self, san):
+        for _ in range(2):
+            san.note_send(1, "ch", credits=2)
+        with pytest.raises(InvariantViolation) as exc:
+            san.note_send(1, "ch", credits=2)
+        assert exc.value.invariant == "credit-conservation"
+        assert "overspend" in str(exc.value)
+
+    def test_phantom_credit_return_fails(self, san):
+        san.note_send(1, "ch", credits=4)
+        san.note_credit_return(1, "ch", 1, credits=4)
+        with pytest.raises(InvariantViolation, match="phantom"):
+            san.note_credit_return(1, "ch", 1, credits=4)
+
+    def test_forged_credit_apply_fails(self, san):
+        san.note_send(1, "ch", credits=4)
+        with pytest.raises(InvariantViolation, match="forged"):
+            san.note_credit_apply(1, "ch", 1, credits=4)
+
+    def test_reset_writes_off_in_flight_buffers(self, san):
+        """After a reset, the producer may spend a full window again,
+        and a credit already on the wire still lands legally."""
+        for _ in range(4):
+            san.note_send(1, "ch", credits=4)
+        san.note_credit_return(1, "ch", 1, credits=4)
+        san.note_channel_reset(1, "ch", credits=4)
+        for _ in range(4):
+            san.note_send(1, "ch", credits=4)
+        san.note_credit_return(1, "ch", 1, credits=4)
+        san.note_credit_apply(1, "ch", 1, credits=4)
+
+    def test_channels_are_independent(self, san):
+        for _ in range(2):
+            san.note_send(1, "a", credits=2)
+        san.note_send(2, "b", credits=2)  # other channel unaffected
+
+
+class TestBufferLifecycle:
+    def test_clear_slot_passes(self, san):
+        san.check_buffer_write("ch", FakeQueue(set_slots=()), slot=3)
+        assert san.checks["buffer-lifecycle"] == 1
+
+    def test_reuse_of_unreleased_slot_fails(self, san):
+        with pytest.raises(InvariantViolation) as exc:
+            san.check_buffer_write("ch", FakeQueue(set_slots={3}), slot=3)
+        assert exc.value.invariant == "buffer-lifecycle"
+
+
+class TestClockAndWatermark:
+    def test_monotone_clock_passes(self, san):
+        san.note_clock_entry(1, "clk", 0, 1.0)
+        san.note_clock_entry(1, "clk", 0, 1.0)
+        san.note_clock_entry(1, "clk", 0, 2.0)
+        san.note_clock_entry(1, "clk", 1, 0.5)  # other executor independent
+
+    def test_regressing_clock_entry_fails(self, san):
+        san.note_clock_entry(1, "clk", 0, 2.0)
+        with pytest.raises(InvariantViolation) as exc:
+            san.note_clock_entry(1, "clk", 0, 1.0)
+        assert exc.value.invariant == "clock-monotonic"
+
+    def test_regressing_watermark_fails(self, san):
+        san.note_watermark(1, 0, 10.0)
+        san.note_watermark(1, 0, 10.0)
+        with pytest.raises(InvariantViolation) as exc:
+            san.note_watermark(1, 0, 9.0)
+        assert exc.value.invariant == "watermark-monotonic"
+
+
+class TestLedgerExactlyOnce:
+    def test_dense_fresh_sequence_passes(self, san):
+        san.note_ledger_admit(1, _delta(0), fresh=True)
+        san.note_ledger_admit(1, _delta(1), fresh=True)
+        san.note_ledger_admit(1, _delta(1), fresh=False)  # dedupe is legal
+        san.note_ledger_admit(1, _delta(2), fresh=True)
+
+    def test_double_admission_fails(self, san):
+        san.note_ledger_admit(1, _delta(0), fresh=True)
+        san.note_ledger_admit(1, _delta(1), fresh=True)
+        with pytest.raises(InvariantViolation, match="admitted twice|frontier"):
+            san.note_ledger_admit(1, _delta(1), fresh=True)
+
+    def test_skip_admission_fails(self, san):
+        san.note_ledger_admit(1, _delta(0), fresh=True)
+        with pytest.raises(InvariantViolation, match="skip"):
+            san.note_ledger_admit(1, _delta(2), fresh=True)
+
+    def test_fresh_delta_dropped_as_duplicate_fails(self, san):
+        """The lost-update direction: rejecting a sequence-extending
+        delta is as wrong as admitting a duplicate."""
+        san.note_ledger_admit(1, _delta(0), fresh=True)
+        with pytest.raises(InvariantViolation, match="lost update"):
+            san.note_ledger_admit(1, _delta(1), fresh=False)
+
+    def test_seed_installs_dedupe_floor(self, san):
+        san.note_ledger_seed(1, "op", 0, 1, epoch=3)
+        san.note_ledger_admit(1, _delta(3), fresh=False)  # replay dedupes
+        san.note_ledger_admit(1, _delta(4), fresh=True)   # frontier resumes
+
+    def test_ledgers_are_independent(self, san):
+        san.note_ledger_admit(1, _delta(0), fresh=True)
+        san.note_ledger_admit(2, _delta(0), fresh=True)  # other ledger
+
+
+class TestWindowFire:
+    def test_fire_at_or_behind_frontier_passes(self, san):
+        san.check_window_fire(0, window_id=3, window_end=10.0, frontier=10.0)
+        san.check_window_fire(0, window_id=4, window_end=10.0, frontier=12.0)
+
+    def test_premature_fire_fails(self, san):
+        with pytest.raises(InvariantViolation) as exc:
+            san.check_window_fire(0, window_id=3, window_end=10.0, frontier=9.0)
+        assert exc.value.invariant == "window-fire"
+        assert "P1" in str(exc.value)
+
+
+class TestViolationStructure:
+    def test_violation_carries_time_context_and_trace(self):
+        sim = FakeSim()
+        sim.now = 1.25
+        sim.tracer = Tracer(capacity=8)
+        sim.tracer.emit(1.0, "chan", "post", slot=3)
+        san = Sanitizer(sim)
+        with pytest.raises(InvariantViolation) as exc:
+            san.fail("event-time", "forced", detail=42)
+        violation = exc.value
+        assert violation.sim_time == 1.25
+        assert violation.context == {"detail": 42}
+        assert violation.trace_tail  # timeline tail attached
+        rendered = violation.render()
+        assert "[event-time]" in rendered and "detail=42" in rendered
+
+    def test_check_counts_snapshot(self, san):
+        san.note_event(1.0, 0.0)
+        san.note_watermark(1, 0, 1.0)
+        assert san.check_counts() == {"event-time": 1, "watermark-monotonic": 1}

@@ -21,9 +21,13 @@ from repro.state.partition import (
 from repro.state.ssb import SlashStateBackend
 
 
-def _key_batches():
+BATCH_NAMES = ("edges", "negative", "uniform", "zipf")
+
+
+@pytest.fixture(scope="session")
+def key_batches(rng_tree):
     """Named (uniform, zipf, negative, adversarial) int64 key batches."""
-    rng = np.random.default_rng(20260806)
+    rng = rng_tree.generator("state", "hotpath-keys")
     uniform = rng.integers(0, 100_000, size=4096, dtype=np.int64)
     zipf = (rng.zipf(1.3, size=4096) % 100_000).astype(np.int64)
     negative = rng.integers(-(2**62), 2**62, size=1024, dtype=np.int64)
@@ -33,21 +37,18 @@ def _key_batches():
     return {"uniform": uniform, "zipf": zipf, "negative": negative, "edges": edges}
 
 
-BATCHES = _key_batches()
-
-
-@pytest.mark.parametrize("batch_name", sorted(BATCHES))
-def test_stable_hash_array_matches_scalar(batch_name):
-    keys = BATCHES[batch_name]
+@pytest.mark.parametrize("batch_name", BATCH_NAMES)
+def test_stable_hash_array_matches_scalar(key_batches, batch_name):
+    keys = key_batches[batch_name]
     vectorized = stable_hash_array(keys)
     scalar = [stable_hash(int(k)) for k in keys.tolist()]
     assert vectorized.tolist() == scalar
 
 
-@pytest.mark.parametrize("batch_name", sorted(BATCHES))
+@pytest.mark.parametrize("batch_name", BATCH_NAMES)
 @pytest.mark.parametrize("partitions", [1, 4, 7, 16])
-def test_partition_array_matches_scalar(batch_name, partitions):
-    keys = BATCHES[batch_name]
+def test_partition_array_matches_scalar(key_batches, batch_name, partitions):
+    keys = key_batches[batch_name]
     partitioner = KeyPartitioner(partitions)
     vectorized = partitioner.partition_array(keys)
     scalar = [partitioner.partition_of(int(k)) for k in keys.tolist()]
@@ -64,8 +65,8 @@ def _pairs_from(keys: np.ndarray, windows: int = 8):
 
 
 @pytest.mark.parametrize("batch_name", ["uniform", "zipf"])
-def test_absorb_many_matches_scalar_absorb(batch_name):
-    pairs = _pairs_from(BATCHES[batch_name])
+def test_absorb_many_matches_scalar_absorb(key_batches, batch_name):
+    pairs = _pairs_from(key_batches[batch_name])
     split = len(pairs) // 2
 
     batched = LogStructuredStore(SumCrdt(), name="batched")
@@ -90,8 +91,8 @@ def test_absorb_many_matches_scalar_absorb(batch_name):
 
 
 @pytest.mark.parametrize("batch_name", ["uniform", "zipf"])
-def test_absorb_batch_matches_scalar_routing(batch_name):
-    pairs = _pairs_from(BATCHES[batch_name])
+def test_absorb_batch_matches_scalar_routing(key_batches, batch_name):
+    pairs = _pairs_from(key_batches[batch_name])
     partials = {}
     for key, partial in pairs:
         partials[key] = partials.get(key, 0.0) + partial
