@@ -294,6 +294,25 @@ class ProducerEndpoint:
                 self.mark_dead()
                 self._blackhole(nbytes)
                 return
+            if faults.link_blocked(self.qp.local.index, self.qp.remote.index):
+                # A partition, not a lost WRITE: the transport holds the
+                # transfer until the path heals.  Waiting out the cut
+                # must not consume retry budget — a long partition is
+                # survivable, a truly unreachable peer is not.
+                heal = faults.heal_wait(
+                    self.qp.local.index, self.qp.remote.index
+                )
+                trace(
+                    self.sim, "channel",
+                    f"{self.name} holding for partition heal",
+                    slot=slot % self.queue.credits,
+                )
+                if cooperative:
+                    yield Park(heal)
+                else:
+                    yield from core.spin_wait(heal)
+                rto = faults.rto_s
+                continue
             attempt += 1
             if attempt >= faults.max_retries:
                 raise FaultError(

@@ -533,6 +533,12 @@ class SlashExecutor:
                     # re-note windows, or count as progress.
                     fresh = self.handle.merge_delta(delta)
                     if fresh:
+                        if self.sim.faults is not None:
+                            # Feed the (partition, term) commit registry:
+                            # the machine-checked no-split-brain invariant.
+                            self.sim.faults.note_partition_commit(
+                                delta.partition, self.executor_id
+                            )
                         trace(
                             self.sim, "merge",
                             f"exec{self.executor_id} merged p{delta.partition}",
@@ -579,12 +585,14 @@ class SlashExecutor:
             consumer.force_reset()
 
     def _watchdog_body(self, core: Core) -> Generator[Any, Any, None]:
-        """Fault-mode-only coroutine: react to peer-death suspicion.
+        """Fault-mode-only coroutine: react to confirmed peer deaths.
 
-        Runs on scheduler 0 and wakes every watchdog period; when the
-        injector's suspicion timer for a crashed peer expires, the
-        channels to/from it are severed so parked senders and mergers
-        unblock instead of waiting on a dead node forever.
+        Runs on scheduler 0 and wakes every watchdog period.  It acts on
+        *this executor's own* membership view (``dead_peers_for``): a
+        peer's channels are severed only once the cluster fenced it by
+        quorum AND the death announcement reached this node — which a
+        partition can delay until heal.  Two executors' watchdogs may
+        therefore legitimately act at different times.
         """
         from repro.core.scheduler import Park
 
@@ -592,7 +600,7 @@ class SlashExecutor:
         handled: set[int] = set()
         while not self._finalized:
             yield Park(Timeout(faults.watchdog_period_s))
-            for peer_id in faults.suspected_peers():
+            for peer_id in faults.dead_peers_for(self.executor_id):
                 if peer_id == self.executor_id or peer_id in handled:
                     continue
                 handled.add(peer_id)

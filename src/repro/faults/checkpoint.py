@@ -61,6 +61,11 @@ class Checkpoint:
     emitted: int = 0
     #: Estimated wire size of the replication transfer.
     nbytes: int = 0
+    #: Simulated time the cut was taken (None for the implicit initial
+    #: checkpoint).  Recovery durability is decided against this: a
+    #: recovered victim's state only becomes durable once its new leader
+    #: commits a checkpoint *captured after* the recovery completed.
+    captured_at: Optional[float] = None
     #: Simulated time replication finished (None while in flight).
     committed_at: Optional[float] = None
 
@@ -145,6 +150,20 @@ class CheckpointStore:
         raise RecoveryError(
             f"executor {executor_id} has no committed checkpoint to restore"
         )
+
+    def initial_for(self, executor_id: int) -> Checkpoint:
+        """The implicit empty deployment checkpoint of ``executor_id``.
+
+        The restore of last resort: when an executor's buddy node (the
+        only holder of its replicated checkpoints) is itself dead,
+        recovery falls back to this and replays the full input.
+        """
+        history = self._by_executor.get(executor_id, [])
+        if not history or history[0].boundary != -1:
+            raise RecoveryError(
+                f"executor {executor_id} has no initial checkpoint installed"
+            )
+        return history[0]
 
     def counts(self) -> tuple[int, int]:
         """``(taken, committed)`` across all executors, excluding initials."""

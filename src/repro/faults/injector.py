@@ -12,12 +12,23 @@ flips every layer of the stack into its fault-tolerant code path:
   positions, retained deltas, and replicated checkpoints — the raw
   material of recovery.
 
-Recovery after a leader crash (paper Sec. 7.2.2 frames epochs as the
+Detection and promotion are **not** oracle-driven: a
+:class:`~repro.membership.MembershipService` runs one agent per executor
+over the simulated network.  Heartbeat datagrams feed per-node
+phi-accrual detectors (views can disagree across a partition); a
+suspicion becomes a takeover only after a *quorum* of the membership
+acks the fence and a confirmation grace elapses (so a healed partition
+aborts the fence).  The fence bumps the term of every partition that
+changes hands; the commit registry proves no two executors ever commit
+deltas for the same partition under the same term.
+
+Recovery after a fence commits (paper Sec. 7.2.2 frames epochs as the
 classic synchronisation point for exactly this):
 
-1. the crash halts the victim's schedulers; after ``detect_s`` the
-   survivors' watchdogs poison their channels to the victim and the
-   injector promotes the lowest-id surviving executor;
+1. the fence administratively halts the victim (it may still be alive —
+   an asymmetric partition makes the majority fence a healthy node);
+   survivors' watchdogs sever channels to the victim once the death
+   announcement reaches them, and the lowest-id survivor is promoted;
 2. the promoted leader atomically (same simulated instant) restores the
    victim's last *committed* checkpoint, seeds its epoch ledger from the
    checkpoint's admission frontier, takes over the victim's partitions in
@@ -37,6 +48,15 @@ classic synchronisation point for exactly this):
 
 Window triggers on the promoted leader are suppressed between steps 2 and
 5 so no window can fire from partially restored state.
+
+Cascades: if the promoted leader itself dies mid-recovery, the recovery
+aborts (the partially restored state died with it) and retries on the
+next survivor once the cluster has fenced the dead leader — every merge
+is ledger-deduplicated, so the retry is idempotent.  A *completed*
+recovery stays "undurable" until the new leader commits a checkpoint
+captured after it; a leader crash inside that window re-queues the
+victim's recovery.  If a victim's checkpoint buddy is dead, restore
+falls back to the empty deployment checkpoint (full input replay).
 """
 
 from __future__ import annotations
@@ -50,6 +70,7 @@ from repro.core.costs import quantize_working_set
 from repro.core.windows import SessionWindows, SlidingWindow
 from repro.faults.checkpoint import Checkpoint, CheckpointStore
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.membership import MembershipService, TermRegistry, quorum_size
 from repro.simnet.kernel import Simulator, Timeout
 from repro.simnet.trace import trace
 from repro.state.epoch import EpochDelta
@@ -62,6 +83,20 @@ DEFAULT_WATCHDOG_PERIOD_S = 5e-4
 DEFAULT_RTO_S = 2e-5
 DEFAULT_CREDIT_TIMEOUT_S = 5e-4
 DEFAULT_MAX_RETRIES = 8
+
+# Membership timing, derived from detect_s so one knob scales the whole
+# detection pipeline: with heartbeats every detect_s/8 and threshold 3.0,
+# phi crosses after ~3·ln(10)·(detect_s/8) ≈ 0.86·detect_s of silence;
+# quorum polling plus the confirm grace lands the fence near
+# ~1.4·detect_s after the fault.
+HEARTBEAT_DIVISOR = 8.0
+PHI_THRESHOLD = 3.0
+CONFIRM_FRACTION = 0.5
+ACK_TIMEOUT_FRACTION = 0.25
+
+
+class _RecoveryAborted(Exception):
+    """The promoted leader died mid-recovery; retry on the next survivor."""
 
 
 class FaultInjector:
@@ -107,8 +142,34 @@ class FaultInjector:
         self._crash_time: dict[int, float] = {}
         self._suspected_at: dict[int, float] = {}
         self._recovery_pending: set[int] = set()
-        self._suppressed: set[int] = set()
+        # Executor id -> number of in-flight recoveries it is the
+        # promoted leader of.  A refcount, not a set: concurrent
+        # recoveries (a cascade) can promote the same survivor, and one
+        # completing must not lift the window-fire suppression the other
+        # still depends on.
+        self._suppressed: dict[int, int] = {}
         self._recovery: dict[int, dict] = {}
+
+        # Membership, fencing, and multi-fault bookkeeping.
+        self.membership: MembershipService | None = None
+        self.terms = TermRegistry()
+        #: Victims whose fence committed (takeover executing or done).
+        self._takeover_started: set[int] = set()
+        #: First fault instant per victim (crash time or partition onset);
+        #: the zero point of the detection/promotion/MTTR columns.
+        self._fault_at: dict[int, float] = {}
+        #: partition -> victim whose in-flight recovery owns its restore.
+        self._recovering: dict[int, int] = {}
+        #: victim -> {leader, led, completed_at}: recoveries whose result
+        #: lives only in the new leader's memory (no checkpoint captured
+        #: after completion has committed yet).
+        self._undurable: dict[int, dict] = {}
+        #: victim -> checkpoint its completed recovery restored from (the
+        #: committed-output cut; later post-mortem checkpoint commits must
+        #: not move it, or replayed output would double-count).
+        self._restored_from: dict[int, Checkpoint] = {}
+        #: Applied partition events, for the report.
+        self._partitions: list[dict] = []
 
         # Drop/duplicate windows: target -> [start, end, remaining].
         self._drop_windows: dict[int, list[float]] = {}
@@ -130,7 +191,14 @@ class FaultInjector:
         self.executors = list(executors)
         self.plan.validate(len(executors))
         crashes = self.plan.crash_targets()
-        if crashes:
+        # Partitions can fence a live node (asymmetric cut) and therefore
+        # trigger the same crash-recovery path; apply the recovery
+        # restrictions to them too.
+        recovery_capable = bool(crashes) or any(
+            e.kind in (FaultKind.NET_PARTITION, FaultKind.ASYM_PARTITION)
+            for e in self.plan
+        )
+        if recovery_capable:
             plan0 = executors[0].plan
             # Crash recovery re-fires restored windows; that is only
             # exactly-once when a fire *extracts* all of a window's state
@@ -158,9 +226,18 @@ class FaultInjector:
             self.checkpoints.install_initial(
                 executor.executor_id, len(executor.flows)
             )
+        self.membership = MembershipService(
+            self,
+            heartbeat_period_s=self.detect_s / HEARTBEAT_DIVISOR,
+            phi_threshold=PHI_THRESHOLD,
+            confirm_s=self.detect_s * CONFIRM_FRACTION,
+            ack_timeout_s=self.detect_s * ACK_TIMEOUT_FRACTION,
+        )
 
     def arm(self) -> None:
-        """Launch one simulation process per scheduled fault event."""
+        """Launch the membership agents and one process per fault event."""
+        if self.membership is not None:
+            self.membership.start()
         for index, event in enumerate(self.plan):
             self.sim.process(
                 self._event_proc(event), name=f"fault.{event.kind.value}.{index}"
@@ -183,13 +260,110 @@ class FaultInjector:
         ]
 
     def suspected_peers(self) -> list[int]:
-        """Crashed executors whose detection timeout has elapsed."""
+        """Executors the cluster has fenced out (global view; legacy).
+
+        Kept for diagnostics and backward compatibility — the executors'
+        watchdogs now consult :meth:`dead_peers_for`, the per-node view
+        that a partition can delay.
+        """
         now = self.sim.now
-        return [v for v, t in self._suspected_at.items() if t <= now]
+        return sorted(v for v, t in self._suspected_at.items() if t <= now)
+
+    def dead_peers_for(self, executor_id: int) -> list[int]:
+        """Peers ``executor_id``'s own membership view confirmed dead.
+
+        Per-node, announcement-driven: across a partition the death
+        announcement only lands at heal, so two executors' views can
+        legitimately differ at any instant.
+        """
+        if self.membership is None:
+            return self.suspected_peers()
+        return self.membership.dead_peers_for(executor_id)
+
+    def deployment_finished(self) -> bool:
+        """Whether every non-crashed executor has finalized (agents exit)."""
+        if not self.executors:
+            return False
+        return all(
+            e.executor_id in self.crashed or e._finalized or e.finished.fired
+            for e in self.executors
+        )
+
+    def takeover_started(self, victim: int) -> bool:
+        """Whether a quorum-backed fence of ``victim`` already executed."""
+        return victim in self._takeover_started
+
+    def link_blocked(self, src_node: int, dst_node: int) -> bool:
+        """Whether a partition currently cuts ``src -> dst``."""
+        if self.cluster is None:
+            return False
+        return not self.cluster.can_reach(src_node, dst_node)
+
+    def heal_wait(self, src_node: int, dst_node: int):
+        """Waitable signal that fires when ``src -> dst`` heals."""
+        return self.cluster.heal_wait(src_node, dst_node)
+
+    def note_quorum(self, victim: int, proposer: int, votes: int, now: float) -> None:
+        """A fence proposal for ``victim`` reached quorum (timing metric)."""
+        info = self._recovery.setdefault(victim, {})
+        info.setdefault("quorum_at", now)
+        info.setdefault("quorum_votes", votes)
+        info.setdefault("quorum_proposer", proposer)
+
+    def check_quorum_feasible(self) -> None:
+        """Oracle fail-fast: raise rather than let a majority loss hang.
+
+        Called by the membership service after a rejected fence.  A fence
+        needs a majority of the membership minus *committed* fences; dead
+        members never ack, and the membership only shrinks when a fence
+        commits — so once fewer live members remain than that majority,
+        no proposal can ever succeed again.  That wedge is the correct
+        split-brain-safe outcome for a cluster that lost its majority,
+        but simulated forever it is an infinite heartbeat loop; the
+        omniscient injector turns it into a diagnosable failure.
+        """
+        if not self.crashed:
+            return  # rejections without real deaths (e.g. victim-side
+            # minority during an asymmetric cut) resolve on their own
+        fenced = self._takeover_started & self.crashed
+        members = [
+            e.executor_id for e in self.executors
+            if e.executor_id not in fenced
+        ]
+        needed = quorum_size(len(members))
+        live = [m for m in members if m not in self.crashed]
+        if len(live) < needed:
+            raise FaultError(
+                f"quorum permanently lost: {len(live)} of {len(members)} "
+                f"unfenced members alive but fencing needs {needed} "
+                f"(crashed={sorted(self.crashed)}, fenced={sorted(fenced)}); "
+                "the cluster is wedged split-brain-safe and cannot recover"
+            )
+
+    def note_partition_commit(self, partition: int, executor_id: int) -> None:
+        """Record a fresh delta merge in the (partition, term) registry.
+
+        A fenced executor's same-instant stragglers are ignored — its
+        schedulers halted at the fence, so anything arriving under its id
+        afterwards is a stale merge that lost the race, not a commit.
+        """
+        if executor_id in self.crashed:
+            return
+        self.terms.note_commit(partition, executor_id)
 
     def triggers_suppressed(self, executor_id: int) -> bool:
         """Whether ``executor_id`` must not fire windows (mid-recovery)."""
-        return executor_id in self._suppressed
+        return self._suppressed.get(executor_id, 0) > 0
+
+    def _suppress(self, executor_id: int) -> None:
+        self._suppressed[executor_id] = self._suppressed.get(executor_id, 0) + 1
+
+    def _unsuppress(self, executor_id: int) -> None:
+        count = self._suppressed.get(executor_id, 0)
+        if count <= 1:
+            self._suppressed.pop(executor_id, None)
+        else:
+            self._suppressed[executor_id] = count - 1
 
     def holds_finalize(self, executor_id: int) -> bool:
         """Whether finalisation is held open (a recovery is in flight).
@@ -253,6 +427,7 @@ class FaultInjector:
                 (executor_id, delta.partition), []
             ).append(delta)
         checkpoint = Checkpoint.capture(executor, boundary=len(cuts) - 1)
+        checkpoint.captured_at = self.sim.now
         self.checkpoints.add(checkpoint)
         self.sim.process(
             self._replicate_proc(checkpoint),
@@ -269,11 +444,44 @@ class FaultInjector:
             yield self.cluster.link(executor.node.index, buddy.node.index).send(
                 checkpoint.nbytes
             )
-        # The source may have died mid-replication; an uncommitted
-        # checkpoint must stay unusable, so commit only on full transfer.
+        # The source may have died (or been fenced) mid-replication, or
+        # the buddy holding the copy may be gone; an uncommitted
+        # checkpoint must stay unusable, so commit only on full transfer
+        # to a live buddy from a live source.
+        if (
+            checkpoint.executor_id in self.crashed
+            or buddy.executor_id in self.crashed
+        ):
+            return
         checkpoint.committed_at = self.sim.now
         self.stats["checkpoint_bytes_replicated"] += checkpoint.nbytes
+        self._release_undurable(checkpoint)
         yield Timeout(0.0)
+
+    def _release_undurable(self, checkpoint: Checkpoint) -> None:
+        """A committed checkpoint may make completed recoveries durable.
+
+        A victim's recovered state is only as durable as its new
+        leader's first checkpoint captured *after* the recovery
+        completed: once that commits, a later crash of the leader
+        restores the merged state from the leader's own checkpoint and
+        the victim's recovery never needs re-running.
+        """
+        if checkpoint.captured_at is None:
+            return
+        for victim in sorted(self._undurable):
+            rec = self._undurable[victim]
+            if (
+                rec["leader"] == checkpoint.executor_id
+                and checkpoint.captured_at >= rec["completed_at"]
+            ):
+                del self._undurable[victim]
+                trace(
+                    self.sim, "fault",
+                    f"recovery of exec {victim} now durable",
+                    leader=checkpoint.executor_id,
+                    boundary=checkpoint.boundary,
+                )
 
     # -- event application --------------------------------------------------
     def _event_proc(self, event: FaultEvent):
@@ -313,10 +521,54 @@ class FaultInjector:
             for _peer, consumer in sorted(executor._in_channels.items()):
                 consumer.withhold_credits = False
                 yield from consumer.flush_withheld(core)
+        elif event.kind is FaultKind.NET_PARTITION:
+            yield from self._partition_proc(event, symmetric=True)
+        elif event.kind is FaultKind.ASYM_PARTITION:
+            yield from self._partition_proc(event, symmetric=False)
         else:  # pragma: no cover - FaultKind is exhaustive
             raise FaultError(f"unhandled fault kind {event.kind!r}")
 
+    def _partition_proc(self, event: FaultEvent, *, symmetric: bool):
+        """Cut the target's links for the event's duration, then heal.
+
+        Symmetric: both directions between the target and every other
+        node.  Asymmetric: only the target's *outbound* direction — the
+        target keeps hearing everyone (so it suspects nobody), while the
+        rest of the cluster loses its heartbeats and may fence it.
+        """
+        target = event.target
+        target_node = self.executors[target].node.index
+        others = sorted(
+            e.node.index for e in self.executors if e.node.index != target_node
+        )
+        self._fault_at.setdefault(target, self.sim.now)
+        record = {
+            "kind": event.kind.value,
+            "target": target,
+            "start_s": self.sim.now,
+            "end_s": self.sim.now + event.duration_s,
+            "symmetric": symmetric,
+        }
+        self._partitions.append(record)
+        for other in others:
+            self.cluster.block(target_node, other)
+            if symmetric:
+                self.cluster.block(other, target_node)
+        yield Timeout(event.duration_s)
+        for other in others:
+            self.cluster.unblock(target_node, other)
+            if symmetric:
+                self.cluster.unblock(other, target_node)
+        record["healed_at"] = self.sim.now
+        trace(
+            self.sim, "fault", f"partition of exec {target} healed",
+            kind=event.kind.value,
+        )
+
     def _apply_crash(self, victim: int) -> None:
+        """Halt the victim.  Detection and promotion are NOT triggered
+        here — the membership agents must genuinely notice the silence,
+        reach quorum, and fence the victim before any takeover runs."""
         executor = self.executors[victim]
         if executor._finalized or executor.finished.fired:
             trace(self.sim, "fault", f"crash of exec {victim} no-op (finished)")
@@ -324,44 +576,159 @@ class FaultInjector:
         now = self.sim.now
         self.crashed.add(victim)
         self._crash_time[victim] = now
+        self._fault_at.setdefault(victim, now)
         self._recovery_pending.add(victim)
         for scheduler in executor.schedulers:
             scheduler.halt()
-        self._suspected_at[victim] = now + self.detect_s
-        self._recovery[victim] = {"crashed_at": now, "detected_at": now + self.detect_s}
-        self.sim.process(self._detection_proc(victim), name=f"detect.exec{victim}")
+        info = self._recovery.setdefault(victim, {})
+        info["crashed_at"] = now
+        info["fault_at"] = self._fault_at[victim]
 
-    def _detection_proc(self, victim: int):
-        yield Timeout(self.detect_s)
-        alive = self.alive()
-        if not alive:
-            raise RecoveryError("no surviving executor to promote")
-        new_leader = min(alive)
-        self._recovery[victim]["promoted"] = new_leader
+    # -- fencing and takeover -------------------------------------------------
+    def execute_takeover(self, victim: int, *, proposer: int, votes: int) -> None:
+        """A quorum-backed fence of ``victim`` committed: run the takeover.
+
+        Called by the membership service after quorum + confirmation
+        grace.  The victim may still be alive (asymmetric partition): it
+        is administratively halted here — with the term bump, that is
+        what makes fencing a healthy node safe.  Idempotent: concurrent
+        proposals for the same victim execute exactly one takeover.
+        """
+        if victim in self._takeover_started:
+            return
+        executor = self.executors[victim]
+        if executor._finalized or executor.finished.fired:
+            self._takeover_started.add(victim)
+            trace(self.sim, "fault", f"fence of exec {victim} no-op (finished)")
+            return
+        self._takeover_started.add(victim)
+        now = self.sim.now
+        if victim not in self.crashed:
+            self._apply_crash(victim)
+        self._suspected_at[victim] = now
+        info = self._recovery.setdefault(victim, {})
+        info["detected_at"] = now
+        info["promoted_at"] = now
+        info["fenced_by"] = proposer
+        info["votes"] = votes
+        info.setdefault("fault_at", self._fault_at.get(victim, now))
         trace(
-            self.sim, "fault", f"exec {victim} declared dead",
-            promoted=new_leader,
+            self.sim, "fault", f"exec {victim} fenced out",
+            proposer=proposer, votes=votes,
         )
-        yield from self._recovery_body(victim, new_leader)
+        # Completed-but-undurable recoveries whose state lived only in
+        # this victim's memory must be redone from their own checkpoints.
+        for undurable_victim in sorted(self._undurable):
+            rec = self._undurable[undurable_victim]
+            if rec["leader"] != victim:
+                continue
+            del self._undurable[undurable_victim]
+            self._recovery_pending.add(undurable_victim)
+            for partition in rec["led"]:
+                self._recovering[partition] = undurable_victim
+            trace(
+                self.sim, "fault",
+                f"re-queueing undurable recovery of exec {undurable_victim}",
+                dead_leader=victim,
+            )
+            self.sim.process(
+                self._takeover_proc(undurable_victim, rec["led"]),
+                name=f"takeover.exec{undurable_victim}.redo",
+            )
+        # Partitions mid-restore by another victim's in-flight recovery
+        # stay owned by it — its retry (also triggered by this fence, if
+        # this victim was its promoted leader) restores them.
+        led = [
+            p for p in self.directory.partitions_led_by(victim)
+            if self._recovering.get(p) in (None, victim)
+        ]
+        for partition in led:
+            self._recovering[partition] = victim
+        if self.membership is not None:
+            self.membership.announce_death(victim, proposer)
+        self.sim.process(
+            self._takeover_proc(victim, led), name=f"takeover.exec{victim}"
+        )
+
+    def _takeover_proc(self, victim: int, led: list[int]):
+        """Drive the victim's recovery to completion, surviving cascades.
+
+        ``led`` is the fence-time snapshot of the partitions this
+        takeover owns — ``partitions_led_by`` is *not* re-read on retry,
+        because an aborted attempt may already have reassigned them to a
+        now-dead leader.
+        """
+        info = self._recovery[victim]
+        while True:
+            alive = self.alive()
+            if not alive:
+                raise RecoveryError("no surviving executor to promote")
+            new_leader = min(alive)
+            info["promoted"] = new_leader
+            trace(
+                self.sim, "fault", f"recovering exec {victim}",
+                promoted=new_leader,
+            )
+            try:
+                yield from self._recovery_body(victim, new_leader, led)
+                return
+            except _RecoveryAborted:
+                info["aborted_recoveries"] = info.get("aborted_recoveries", 0) + 1
+                self._unsuppress(new_leader)
+                trace(
+                    self.sim, "fault",
+                    f"recovery of exec {victim} aborted (leader {new_leader} died)",
+                )
+                # Retry only once the cluster itself has fenced the dead
+                # leader — recovery must not outrun detection.
+                while not self.takeover_started(new_leader):
+                    yield Timeout(self.watchdog_period_s)
+
+    def _abort_if_dead(self, victim: int, new_leader: int) -> None:
+        if new_leader in self.crashed:
+            raise _RecoveryAborted(
+                f"leader {new_leader} died recovering {victim}"
+            )
+
+    def _restorable_checkpoint(self, victim: int) -> Checkpoint:
+        """The newest checkpoint of ``victim`` that is actually fetchable.
+
+        Committed checkpoints physically live on the buddy node; if the
+        buddy is dead they are unreachable and restore falls back to the
+        empty deployment checkpoint — boundary -1, full input replay.
+        """
+        buddy = (victim + 1) % len(self.executors)
+        if buddy != victim and buddy in self.crashed:
+            return self.checkpoints.initial_for(victim)
+        return self.checkpoints.latest_committed(victim)
 
     # -- the recovery protocol ----------------------------------------------
-    def _recovery_body(self, victim: int, new_leader: int):
+    def _recovery_body(self, victim: int, new_leader: int, led: list[int]):
+        """One recovery attempt; raises :class:`_RecoveryAborted` if the
+        promoted leader dies mid-flight (every merge below is
+        ledger-deduplicated, so the retry on the next survivor is
+        idempotent)."""
         info = self._recovery[victim]
         nl_exec = self.executors[new_leader]
         core = nl_exec.node.core(0)
-        self._suppressed.add(new_leader)
+        self._suppress(new_leader)
 
-        checkpoint = self.checkpoints.latest_committed(victim)
+        checkpoint = self._restorable_checkpoint(victim)
         info["checkpoint_boundary"] = checkpoint.boundary
-        led = list(self.directory.partitions_led_by(victim))
 
         # Charge the checkpoint's transfer from the buddy to the promoted
-        # leader (skipped when the promoted leader *is* the buddy).
+        # leader (skipped when the promoted leader *is* the buddy, or
+        # when restore fell back to the empty deployment checkpoint).
         buddy = self.executors[(victim + 1) % len(self.executors)]
-        if buddy.executor_id != new_leader and checkpoint.nbytes:
+        if (
+            buddy.executor_id != new_leader
+            and buddy.executor_id not in self.crashed
+            and checkpoint.nbytes
+        ):
             yield self.cluster.link(buddy.node.index, nl_exec.node.index).send(
                 checkpoint.nbytes
             )
+            self._abort_if_dead(victim, new_leader)
 
         # --- atomic install: restore + seed + reassign + retained merge ---
         # No simulated time may pass inside this block.  Reassignment and
@@ -385,6 +752,11 @@ class FaultInjector:
                 nl_exec._last_contribution[window] = ingested_at
         for partition in led:
             self.directory.reassign(partition, new_leader)
+            # The partition changes hands: bump its term.  The old
+            # leader's commits stay recorded under the old term, the new
+            # leader's land under the new one — the registry can then
+            # prove no same-term double commit ever happened.
+            self.terms.bump(partition, victim, self.sim.now)
         retained_bytes_by_src: dict[int, int] = {}
         retained_merged = 0
         for partition in led:
@@ -400,6 +772,7 @@ class FaultInjector:
                     )
                     if fresh:
                         retained_merged += 1
+                        self.note_partition_commit(partition, new_leader)
                         retained_bytes_by_src[source] = (
                             retained_bytes_by_src.get(source, 0) + delta.nbytes
                         )
@@ -424,6 +797,7 @@ class FaultInjector:
             yield self.cluster.link(src_node, nl_exec.node.index).send(
                 retained_bytes_by_src[source]
             )
+            self._abort_if_dead(victim, new_leader)
         if restore_pairs:
             merge_cost = nl_exec.node.cost_model.op(
                 nl_exec.costs.merge_pair,
@@ -431,6 +805,7 @@ class FaultInjector:
                 nl_exec.costs.merge_lines,
             )
             yield from core.execute(merge_cost, float(restore_pairs))
+            self._abort_if_dead(victim, new_leader)
 
         # --- re-deliver the victim's own retained deltas -------------------
         # The victim may have collected (and therefore retained) epochs it
@@ -451,10 +826,12 @@ class FaultInjector:
                     yield self.cluster.link(
                         nl_exec.node.index, target.node.index
                     ).send(total)
+                    self._abort_if_dead(victim, new_leader)
             for delta in deltas:
                 fresh = target.handle.merge_delta(delta)
                 if fresh:
                     redelivered += 1
+                    self.note_partition_commit(partition, leader)
                     if target.trigger is not None:
                         target.trigger.note_slices(
                             int(key[0]) for key, _p in delta.pairs
@@ -464,6 +841,7 @@ class FaultInjector:
 
         # --- replay the victim's input from the checkpoint cut -------------
         yield from self._replay_input(victim, new_leader, checkpoint, info, led)
+        self._abort_if_dead(victim, new_leader)
 
         # --- finish: the victim will never contribute again -----------------
         for executor in self.executors:
@@ -472,7 +850,19 @@ class FaultInjector:
             executor.backend.clock.advance(victim, float("inf"))
             executor._done_peers.add(victim)
         self._recovery_pending.discard(victim)
-        self._suppressed.discard(new_leader)
+        self._unsuppress(new_leader)
+        self._restored_from[victim] = checkpoint
+        for partition in led:
+            if self._recovering.get(partition) == victim:
+                del self._recovering[partition]
+        # The merged state exists only in the new leader's memory until
+        # its next checkpoint (captured from now on) commits; a leader
+        # crash inside that window re-runs this recovery.
+        self._undurable[victim] = {
+            "leader": new_leader,
+            "led": list(led),
+            "completed_at": self.sim.now,
+        }
         info["recovered_at"] = self.sim.now
         info["recovery_s"] = self.sim.now - info["crashed_at"]
         trace(
@@ -533,6 +923,7 @@ class FaultInjector:
                     pipeline = plan.pipeline_for(stream_name)
                     read_cost = cost_model.cache.streaming_cost(batch.wire_bytes)
                     yield from core.execute(read_cost, 1.0)
+                    self._abort_if_dead(victim, new_leader)
                     result = pipeline.process_batch(batch)
                     replayed_batches += 1
                     if not result.survivors:
@@ -543,6 +934,7 @@ class FaultInjector:
                         nl_exec.costs.update_lines,
                     )
                     yield from core.execute(update_cost, float(result.survivors))
+                    self._abort_if_dead(victim, new_leader)
                     now = self.sim.now
                     for state_key, partial in result.partials.items():
                         partition = nl_exec.handle.partition_of(state_key)
@@ -584,16 +976,32 @@ class FaultInjector:
                     watermark=float("-inf"),
                 )
                 leader = self.directory.leader_of_partition(partition)
+                # Retain the replayed delta like an original cut delta,
+                # whether or not it can ship right now: a merge into a
+                # live leader exists only in that leader's memory, and if
+                # the leader crashes before checkpointing it, *its*
+                # recovery re-merges this backlog.  The retained list
+                # stays dense per (victim, partition) — originals cover
+                # epochs 0..c, replays b+1..c+1 — so ledger admission
+                # dedupes every epoch that also landed live.
+                self._retained.setdefault(
+                    (victim, partition), []
+                ).append(delta)
                 if leader in self.crashed:
+                    # The partition is between leaders (a cascade is in
+                    # flight); whichever recovery ends up restoring it
+                    # merges the retained backlog.
                     continue
                 target = self.executors[leader]
                 if leader != new_leader:
                     yield self.cluster.link(
                         nl_exec.node.index, target.node.index
                     ).send(nbytes)
+                    self._abort_if_dead(victim, new_leader)
                 fresh = target.handle.merge_delta(delta)
                 if fresh:
                     reshipped += 1
+                    self.note_partition_commit(partition, leader)
                     if target.trigger is not None:
                         if leader == new_leader:
                             target.trigger.restore_pending(
@@ -612,10 +1020,42 @@ class FaultInjector:
 
     # -- results & reporting -------------------------------------------------
     def committed_results(self, executor_id: int) -> Checkpoint:
-        """The committed output of a crashed executor (checkpoint cut)."""
+        """The committed output of a crashed executor.
+
+        This is the exact checkpoint its recovery restored from — not
+        ``latest_committed``, because a replication that was in flight at
+        crash time may commit *after* recovery already replayed past its
+        cut, and counting that later checkpoint would double-count the
+        replayed output.
+        """
         if executor_id not in self.crashed:
             raise RecoveryError(f"executor {executor_id} did not crash")
+        restored = self._restored_from.get(executor_id)
+        if restored is not None:
+            return restored
         return self.checkpoints.latest_committed(executor_id)
+
+    def _crash_report(self) -> dict:
+        """Per-victim recovery info plus the derived latency columns."""
+        first_suspected = (
+            self.membership.first_suspected if self.membership is not None else {}
+        )
+        crashes: dict[str, dict] = {}
+        for victim, info in self._recovery.items():
+            entry = dict(info)
+            fault_at = entry.get("fault_at")
+            suspected_at = first_suspected.get(victim)
+            if suspected_at is not None:
+                entry["first_suspected_at"] = suspected_at
+            if fault_at is not None:
+                if suspected_at is not None:
+                    entry["detection_s"] = suspected_at - fault_at
+                if "promoted_at" in entry:
+                    entry["promotion_s"] = entry["promoted_at"] - fault_at
+                if "recovered_at" in entry:
+                    entry["mttr_s"] = entry["recovered_at"] - fault_at
+            crashes[str(victim)] = entry
+        return crashes
 
     def report(self) -> dict:
         """JSON-able summary of what the plan did and what recovery cost."""
@@ -631,9 +1071,12 @@ class FaultInjector:
                 }
                 for event in self.plan
             ],
-            "crashes": {
-                str(victim): dict(info) for victim, info in self._recovery.items()
-            },
+            "crashes": self._crash_report(),
+            "partitions": [dict(p) for p in self._partitions],
+            "membership": (
+                self.membership.report() if self.membership is not None else {}
+            ),
+            "terms": self.terms.summary(),
             "checkpoints_taken": taken,
             "checkpoints_committed": committed,
             **self.stats,

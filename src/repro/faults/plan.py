@@ -44,6 +44,16 @@ class FaultKind(str, Enum):
     #: The target executor withholds credit returns on all its inbound
     #: channels for ``duration_s``, starving its producers.
     CREDIT_STARVATION = "credit-starvation"
+    #: Symmetric partition: cut both link directions between the target
+    #: node and every other node for ``duration_s``.  Heartbeats are
+    #: lost (the detector sees the cut); data-plane transfers hold and
+    #: complete at heal (transport-level retransmission).
+    NET_PARTITION = "net-partition"
+    #: Asymmetric partition: cut only the target's *outbound* links for
+    #: ``duration_s`` — the target hears everyone, nobody hears the
+    #: target.  The majority suspects (and may fence out) a perfectly
+    #: healthy leader; the isolated side never reaches quorum.
+    ASYM_PARTITION = "asym-partition"
 
 
 @dataclass(frozen=True)
@@ -58,6 +68,16 @@ class FaultEvent:
     count: int = 1
 
     def __post_init__(self) -> None:
+        # Every kind currently takes a scalar executor/node index; a
+        # (src, dst) pair (or any other non-int) used to slip through
+        # here and fail later with an opaque TypeError inside the
+        # injector — reject it eagerly with a usable message.
+        if isinstance(self.target, bool) or not isinstance(self.target, int):
+            raise FaultError(
+                f"fault {self.kind.value}: target must be a single executor "
+                f"index, got {self.target!r} (pair targets are not a valid "
+                "scalar target)"
+            )
         if self.at_s < 0:
             raise FaultError(f"fault {self.kind.value} scheduled in the past: {self.at_s}")
         if self.duration_s < 0:
@@ -66,6 +86,12 @@ class FaultEvent:
             raise FaultError(f"fault {self.kind.value}: count must be positive, got {self.count}")
         if self.factor <= 0:
             raise FaultError(f"fault {self.kind.value}: factor must be positive, got {self.factor}")
+        if self.kind in (FaultKind.NET_PARTITION, FaultKind.ASYM_PARTITION):
+            if self.duration_s <= 0:
+                raise FaultError(
+                    f"fault {self.kind.value}: a partition needs a positive "
+                    "duration (permanent partitions would deadlock the run)"
+                )
 
 
 #: Named single-fault presets understood by ``repro chaos --fault``.
@@ -78,7 +104,26 @@ PRESETS = (
     "stalled-helper",
     "credit-starvation",
     "mixed",
+    "net-partition",
+    "asym-partition",
+    "cascade",
+    "buddy-crash",
 )
+
+#: Presets that schedule two NODE_CRASH events and therefore need a
+#: third executor to survive.
+MULTI_CRASH_PRESETS = ("cascade", "buddy-crash")
+
+#: Fixed part of the spacing between the two crashes of a multi-crash
+#: preset.  Fencing a victim costs roughly one heartbeat flight drain
+#: plus one poll round trip at the default NIC timings (~2.9 us) no
+#: matter how short the run is; a second crash inside that window kills
+#: a second *unconfirmed* member, and a 3-node cluster then permanently
+#: loses quorum (a correct dead end — the injector raises FaultError).
+#: The presets therefore land the second crash after the first fence has
+#: confirmed but while the far slower recovery (checkpoint restore +
+#: input replay) is still in flight.
+_SECOND_CRASH_GAP_S = 3.5e-6
 
 
 @dataclass(frozen=True)
@@ -96,8 +141,17 @@ class FaultPlan:
     def __iter__(self):
         return iter(self.events)
 
-    def validate(self, executors: int) -> None:
-        """Reject events that target executors outside the deployment."""
+    def validate(self, executors: int, horizon_s: Optional[float] = None) -> None:
+        """Reject malformed plans before the injector arms them.
+
+        Checks: every target is inside the deployment; no node crashes
+        twice; no event targets a node at/after the instant an earlier
+        event crashed it (it would silently no-op); at least one
+        executor survives; and, when ``horizon_s`` is given (the chaos
+        CLI passes the fail-free run length), every event fires inside
+        the horizon — an event scheduled past the end of the run would
+        never fire, which is almost always a mis-scaled plan.
+        """
         for event in self.events:
             if not 0 <= event.target < executors:
                 raise FaultError(
@@ -111,6 +165,25 @@ class FaultPlan:
             raise FaultError(
                 f"plan crashes all {executors} executors; at least one must survive"
             )
+        crash_time = {e.target: e.at_s for e in crashes}
+        for event in self.events:
+            if event.kind is FaultKind.NODE_CRASH:
+                continue
+            crashed_at = crash_time.get(event.target)
+            if crashed_at is not None and event.at_s >= crashed_at:
+                raise FaultError(
+                    f"fault {event.kind.value} targets executor {event.target} "
+                    f"at t={event.at_s}, but the plan crashes it at "
+                    f"t={crashed_at}; events against a dead node never fire"
+                )
+        if horizon_s is not None:
+            for event in self.events:
+                if event.at_s >= horizon_s:
+                    raise FaultError(
+                        f"fault {event.kind.value} scheduled at t={event.at_s} "
+                        f"but the run's horizon is {horizon_s}; it would "
+                        "never fire"
+                    )
 
     def crash_targets(self) -> list[int]:
         """Executor ids the plan will crash, in schedule order."""
@@ -188,6 +261,60 @@ class FaultPlan:
                     duration_s=horizon_s, count=2,
                 ),
                 FaultEvent(FaultKind.NODE_CRASH, at, victim),
+            )
+        elif name == "net-partition":
+            # Short symmetric cut: heals before the confirmation grace
+            # expires, so the fence aborts and the cluster rides it out
+            # with zero takeovers (the data plane holds-and-delivers).
+            events = (
+                FaultEvent(
+                    FaultKind.NET_PARTITION, at, victim,
+                    duration_s=horizon_s * 0.02,
+                ),
+            )
+        elif name == "asym-partition":
+            # Long one-way cut of the victim's outbound links: the
+            # majority suspects a perfectly healthy node, reaches quorum,
+            # and fences it out; the victim itself never reaches quorum.
+            events = (
+                FaultEvent(
+                    FaultKind.ASYM_PARTITION, at, victim,
+                    duration_s=horizon_s * 0.2,
+                ),
+            )
+        elif name == "cascade":
+            # Second crash lands while the first victim's recovery is in
+            # flight; executor 0 is the first promotion target, so losing
+            # it forces a takeover-of-the-takeover.
+            if executors < 3:
+                raise FaultError(
+                    f"preset {name!r} crashes two executors and needs at "
+                    f"least 3; the deployment has {executors}"
+                )
+            gap = _SECOND_CRASH_GAP_S + horizon_s * 0.1
+            events = (
+                FaultEvent(FaultKind.NODE_CRASH, at, victim),
+                FaultEvent(FaultKind.NODE_CRASH, at + gap, 0),
+            )
+        elif name == "buddy-crash":
+            # The victim's checkpoint buddy dies first, so when the
+            # victim follows there is no committed checkpoint to restore
+            # from and recovery falls back to full input replay.
+            if executors < 3:
+                raise FaultError(
+                    f"preset {name!r} crashes two executors and needs at "
+                    f"least 3; the deployment has {executors}"
+                )
+            buddy = (victim + 1) % executors
+            if buddy == 0:
+                # Keep executor 0 (the deterministic promotion target)
+                # alive: shift the victim so its buddy is non-zero.
+                victim = 1
+                buddy = 2
+            gap = _SECOND_CRASH_GAP_S + horizon_s * 0.1
+            events = (
+                FaultEvent(FaultKind.NODE_CRASH, at, buddy),
+                FaultEvent(FaultKind.NODE_CRASH, at + gap, victim),
             )
         else:
             raise FaultError(f"unknown fault preset {name!r}; known: {PRESETS}")

@@ -174,8 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="fault-injection run: inject a fault preset, verify recovery",
     )
-    chaos.add_argument("--fault", choices=PRESETS, default="leader-crash",
-                       help="named fault preset to inject")
+    chaos.add_argument("--fault", default="leader-crash", metavar="PRESET",
+                       help="named fault preset to inject (one of: "
+                            + ", ".join(PRESETS) + ")")
     chaos.add_argument("--seed", type=int, default=7,
                        help="seed deriving fault time and victim")
     chaos.add_argument("--nodes", type=int, default=3,
@@ -255,6 +256,16 @@ def _jsonable(rows: list) -> list:
 
 def _run_chaos(args) -> int:
     from repro.common.errors import FaultError
+    from repro.faults.plan import PRESETS
+
+    if args.fault not in PRESETS:
+        message = f"unknown fault preset {args.fault!r}"
+        close = difflib.get_close_matches(args.fault, PRESETS, n=1, cutoff=0.4)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        message += " (known: " + ", ".join(PRESETS) + ")"
+        print(f"CHAOS FAILED: {message}", file=sys.stderr)
+        return 1
 
     started = time.time()
     try:

@@ -22,7 +22,7 @@ from repro.harness.parallel import (
 )
 from repro.harness.runner import BENCH_EPOCH_BYTES, make_workload, run_end_to_end
 from repro.metrics.breakdown import breakdown_table, table1_row
-from repro.metrics.reporting import TextTable, format_si
+from repro.metrics.reporting import TextTable, fault_timeline_table, format_si
 
 # The measured link ceiling the paper draws as the red line in Fig. 8.
 LINK_BANDWIDTH = 11.8e9
@@ -780,6 +780,7 @@ def run_chaos(
     baseline = build_engine("slash", nodes).run(query, workload.flows(nodes, threads))
     horizon = baseline.sim_seconds
     plan = FaultPlan.preset(fault, seed, nodes, horizon)
+    plan.validate(nodes, horizon_s=horizon)
     # Scale the fault-handling tunables to this workload's horizon, so
     # detection/retransmission behave sensibly at simulation scale.
     overrides = dict(
@@ -841,6 +842,24 @@ def run_chaos(
     outcome.add_row("checkpoints taken/committed",
                     f"{faults_info.get('checkpoints_taken', 0)}/"
                     f"{faults_info.get('checkpoints_committed', 0)}")
+    membership = faults_info.get("membership", {})
+    if membership:
+        outcome.add_row(
+            "heartbeats sent/delivered/lost",
+            f"{membership.get('heartbeats_sent', 0)}/"
+            f"{membership.get('heartbeats_delivered', 0)}/"
+            f"{membership.get('heartbeats_lost', 0)}",
+        )
+        outcome.add_row(
+            "fence proposals (rejected/aborted)",
+            f"{membership.get('fence_proposals', 0)} "
+            f"({membership.get('fences_rejected', 0)}/"
+            f"{membership.get('fences_aborted', 0)})",
+        )
+    split_brain = faults_info.get("terms", {}).get("split_brain", [])
+    outcome.add_row(
+        "split-brain commits", "NONE" if not split_brain else f"{split_brain!r}"
+    )
     for victim, info in sorted(faults_info.get("crashes", {}).items()):
         outcome.add_row(f"exec {victim} recovery time",
                         fmt_time(info.get("recovery_s", 0.0)))
@@ -848,6 +867,8 @@ def run_chaos(
         outcome.add_row(f"exec {victim} replayed batches",
                         info.get("replayed_batches", 0))
     report.tables.append(outcome)
+    if faults_info.get("crashes"):
+        report.tables.append(fault_timeline_table(faults_info))
 
     report.rows.append({
         "figure": "chaos",
@@ -883,5 +904,10 @@ def run_chaos(
         raise FaultError(
             f"chaos {fault!r} (seed {seed}) is not reproducible: two runs "
             "with the same seed and plan diverged\n" + report.render()
+        )
+    if split_brain:
+        raise FaultError(
+            f"chaos {fault!r} (seed {seed}) committed deltas for the same "
+            f"partition under the same term: {split_brain!r}\n" + report.render()
         )
     return report

@@ -1,0 +1,35 @@
+"""Cluster membership: failure detection, quorum fencing, and terms.
+
+This package upgrades recovery from "one crash, oracle detection" to
+arbitrary fault sequences:
+
+* :mod:`repro.membership.detector` — a phi-accrual failure detector fed
+  by per-node heartbeat arrival streams, so every executor holds its own
+  suspicion view and two views can legitimately disagree (e.g. across an
+  asymmetric partition);
+* :mod:`repro.membership.quorum` — per-partition term numbers, the
+  quorum rule that gates leader promotion, and the commit registry the
+  tests use to prove no two executors ever commit deltas for the same
+  partition under the same term;
+* :mod:`repro.membership.service` — the per-executor membership agents:
+  heartbeat coroutines over the simnet, fence proposals/acks, and the
+  death announcements that drive each executor's channel-severing
+  watchdog.
+"""
+
+from repro.membership.detector import PhiAccrualDetector
+from repro.membership.quorum import TermRegistry, quorum_size
+from repro.membership.service import (
+    CONTROL_MSG_BYTES,
+    HEARTBEAT_BYTES,
+    MembershipService,
+)
+
+__all__ = [
+    "PhiAccrualDetector",
+    "TermRegistry",
+    "quorum_size",
+    "MembershipService",
+    "HEARTBEAT_BYTES",
+    "CONTROL_MSG_BYTES",
+]

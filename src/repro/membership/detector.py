@@ -1,0 +1,118 @@
+"""Phi-accrual failure detection (Hayashibara et al., SRDS 2004).
+
+Each executor runs one detector fed by the heartbeats *it* receives.
+Instead of a binary alive/dead timeout, the detector outputs a suspicion
+level phi that grows continuously with the silence since the last
+heartbeat, scaled by the observed inter-arrival distribution:
+
+    phi(now) = (now - last_arrival) / (mean_interval * ln 10)
+
+which is the classic exponential-distribution approximation of
+``-log10 P(heartbeat still in flight)``.  A peer is *suspected* once phi
+crosses the configured threshold.  Because every node estimates the
+distribution from its own arrival stream, two nodes' views of the same
+peer can legitimately disagree — the property the quorum fence is built
+on top of.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.common.errors import ConfigError
+
+#: Sliding window of inter-arrival samples kept per peer.
+DEFAULT_WINDOW = 16
+
+#: Suspicion threshold: phi >= threshold means "suspect".  With regular
+#: heartbeats of period P, phi crosses 3.0 after ~3·ln(10)·P ≈ 6.9·P of
+#: silence.
+DEFAULT_PHI_THRESHOLD = 3.0
+
+_LN10 = math.log(10.0)
+
+
+class PhiAccrualDetector:
+    """One executor's suspicion view over its peers.
+
+    ``expected_interval_s`` bootstraps the mean before any heartbeat
+    arrives and floors/caps the estimate afterwards: an arrival gap is
+    clamped to ``4x`` the expected period so one long partition does not
+    blind the detector to the next fault, and the mean never drops below
+    half a period so jittery arrivals do not make it hair-triggered.
+    """
+
+    def __init__(
+        self,
+        owner: int,
+        peers: list[int],
+        expected_interval_s: float,
+        *,
+        threshold: float = DEFAULT_PHI_THRESHOLD,
+        window: int = DEFAULT_WINDOW,
+    ):
+        if expected_interval_s <= 0:
+            raise ConfigError("heartbeat interval must be positive")
+        if threshold <= 0:
+            raise ConfigError("phi threshold must be positive")
+        if window < 1:
+            raise ConfigError("sample window must hold at least one sample")
+        self.owner = owner
+        self.threshold = threshold
+        self.expected_interval_s = expected_interval_s
+        # A peer enters _last only once its first heartbeat arrives: a
+        # node we have never heard from cannot be *suspected* (there is
+        # no arrival distribution to fall out of), which keeps the
+        # first-heartbeat flight time from reading as silence at boot.
+        self._members: set[int] = set(peers)
+        self._last: dict[int, float] = {}
+        self._intervals: dict[int, deque] = {
+            peer: deque(maxlen=window) for peer in peers
+        }
+        self.heartbeats_seen = 0
+
+    @property
+    def peers(self) -> list[int]:
+        return sorted(self._members)
+
+    def heartbeat(self, peer: int, now: float) -> None:
+        """Record a heartbeat arrival from ``peer`` at simulated ``now``."""
+        if peer not in self._members:
+            return  # not a configured member; ignore
+        last = self._last.get(peer)
+        if last is not None:
+            interval = now - last
+            if interval > 0:
+                self._intervals[peer].append(
+                    min(interval, 4.0 * self.expected_interval_s)
+                )
+        self._last[peer] = now
+        self.heartbeats_seen += 1
+
+    def mean_interval(self, peer: int) -> float:
+        samples = self._intervals.get(peer)
+        if not samples:
+            return self.expected_interval_s
+        mean = sum(samples) / len(samples)
+        return max(mean, 0.5 * self.expected_interval_s)
+
+    def phi(self, peer: int, now: float) -> float:
+        """Suspicion level for ``peer`` at time ``now`` (0 = just heard).
+
+        A peer that has never been heard from reports phi 0: silence
+        only starts accruing once an arrival stream exists.
+        """
+        last = self._last.get(peer)
+        if last is None:
+            return 0.0
+        silence = max(0.0, now - last)
+        return silence / (self.mean_interval(peer) * _LN10)
+
+    def is_suspect(self, peer: int, now: float) -> bool:
+        """Whether this view currently suspects ``peer``."""
+        return self.phi(peer, now) >= self.threshold
+
+    def suspects(self, now: float) -> list[int]:
+        """All peers this view suspects at ``now``, ascending."""
+        return [peer for peer in sorted(self._members) if self.is_suspect(peer, now)]

@@ -57,6 +57,39 @@ class TextTable:
         return self.render()
 
 
+def fault_timeline_table(faults_info: dict) -> TextTable:
+    """Per-victim detection/promotion/MTTR latency columns for chaos runs.
+
+    Every latency is measured in *simulated* seconds from the fault's
+    onset (crash instant or partition start, as recorded by the
+    injector): ``detection`` is the first time any survivor's phi-accrual
+    view crossed the suspicion threshold, ``promotion`` is when the
+    quorum-backed fence executed, and ``mttr`` is when recovery finished
+    merging and replaying the victim's state.
+    """
+    from repro.common.units import fmt_time
+
+    table = TextTable(
+        "fault timeline (per victim, from fault onset)",
+        ["victim", "detection", "promotion", "mttr", "leader", "votes"],
+    )
+
+    def cell(info: dict, key: str) -> str:
+        value = info.get(key)
+        return fmt_time(value) if value is not None else "-"
+
+    for victim, info in sorted(faults_info.get("crashes", {}).items()):
+        table.add_row(
+            victim,
+            cell(info, "detection_s"),
+            cell(info, "promotion_s"),
+            cell(info, "mttr_s"),
+            info.get("promoted", "-"),
+            info.get("votes", "-"),
+        )
+    return table
+
+
 def series_block(title: str, x_label: str, series: dict[str, Iterable[tuple[Any, Any]]]) -> str:
     """Render named (x, y) series, one line per point, grouped by name.
 

@@ -163,10 +163,14 @@ class QueuePair:
         if faults is not None and (
             faults.should_drop_write(self.local.index, nbytes)
             or faults.is_crashed_node(self.remote.index)
+            or faults.is_crashed_node(self.local.index)
         ):
-            # The WRITE is lost on the wire (injected drop) or lands on a
-            # dead node; either way it never stores, and the poster's
-            # missing ACK triggers retransmission or peer-death handling.
+            # The WRITE is lost on the wire (injected drop), lands on a
+            # dead node, or was held across a partition by a sender that
+            # got fenced in the meantime (its NIC is admin-down; the
+            # retained copy of the delta is what recovery re-delivers).
+            # Either way it never stores, and the poster's missing ACK
+            # triggers retransmission or peer-death handling.
             self.outstanding -= 1
             return
         if xfer_state is not None and xfer_state.get("delivered"):

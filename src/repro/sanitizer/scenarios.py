@@ -116,9 +116,16 @@ def generate_scenario(seed: int, index: int) -> Scenario:
     fault: Optional[str] = None
     fault_seed = 0
     if workload in AGG_WORKLOADS and rng.random() < 0.5:
-        from repro.faults.plan import PRESETS
+        from repro.faults.plan import MULTI_CRASH_PRESETS, PRESETS
 
-        fault = str(rng.choice(list(PRESETS)))
+        # Multi-crash presets (cascade, buddy-crash) need a third
+        # executor to survive; keep them out of 2-node scenarios so the
+        # shrinker never has to learn that constraint.
+        candidates = [
+            p for p in PRESETS
+            if nodes >= 3 or p not in MULTI_CRASH_PRESETS
+        ]
+        fault = str(rng.choice(candidates))
         fault_seed = int(rng.integers(0, 2**31))
     return Scenario(
         workload=workload, records=records, batch=batch, keyspace=keyspace,
@@ -217,9 +224,18 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
         from repro.faults.plan import FaultPlan
 
         horizon = slash.sim_seconds
-        plan = FaultPlan.preset(
-            scenario.fault, scenario.fault_seed, scenario.nodes, horizon
-        )
+        try:
+            plan = FaultPlan.preset(
+                scenario.fault, scenario.fault_seed, scenario.nodes, horizon
+            )
+        except ReproError as exc:
+            # A preset that cannot be built at this shape (e.g. a
+            # multi-crash preset after the shrinker removed a node) is a
+            # finding about the scenario, not a harness crash.
+            outcome.failures.append(
+                f"fault preset {scenario.fault!r} invalid at this shape: {exc}"
+            )
+            return outcome
         # Same horizon-proportional tunables the chaos harness uses, so
         # detection and retransmission operate at simulation scale.
         overrides = dict(

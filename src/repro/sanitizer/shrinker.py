@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Iterator
 
+from repro.faults.plan import MULTI_CRASH_PRESETS
 from repro.sanitizer.scenarios import Scenario, scenario_without_fault
 
 #: Floors below which shrinking a dimension stops.  Records must keep at
@@ -29,13 +30,25 @@ MIN_BATCH = 16
 MIN_KEYSPACE = 4
 
 
+def _min_nodes(scenario: Scenario) -> int:
+    """The node floor for this scenario's shape.
+
+    Multi-crash fault presets kill two executors and need a third to
+    survive; shrinking below that would make the preset itself invalid
+    (an artificial failure the shrinker would then chase).
+    """
+    if scenario.fault in MULTI_CRASH_PRESETS:
+        return max(MIN_NODES, 3)
+    return MIN_NODES
+
+
 def _candidates(scenario: Scenario) -> Iterator[Scenario]:
     """Strictly-smaller variants, most-impactful reduction first."""
     if scenario.records // 2 >= MIN_RECORDS:
         yield replace(scenario, records=scenario.records // 2)
     if scenario.fault is not None:
         yield scenario_without_fault(scenario)
-    if scenario.nodes - 1 >= MIN_NODES:
+    if scenario.nodes - 1 >= _min_nodes(scenario):
         yield replace(scenario, nodes=scenario.nodes - 1)
     if scenario.threads - 1 >= MIN_THREADS:
         yield replace(scenario, threads=scenario.threads - 1)

@@ -133,20 +133,57 @@ class Link:
         """Move ``nbytes`` from src to dst; the process ends on delivery.
 
         ``overhead_s`` overrides the per-message NIC processing time
-        (callers model WQE-cache pressure by inflating it).
+        (callers model WQE-cache pressure by inflating it).  Reliable
+        semantics across partitions: while the path is cut the transfer
+        holds *before* occupying the TX pipe (modelling transport-level
+        retransmission) and proceeds once the partition heals, so no
+        committed byte is ever lost to a cut.
         """
         return self.cluster.sim.process(
             self._send_proc(nbytes, overhead_s),
             name=f"xfer:{self.src.index}->{self.dst.index}",
         )
 
+    def send_datagram(self, nbytes: float) -> Process:
+        """Lossy best-effort control send (heartbeats, fence votes).
+
+        Unlike :meth:`send`, a datagram posted into a cut path is simply
+        dropped — the process returns ``False`` and nothing is delivered.
+        This is what lets the failure detector *see* a partition while
+        the data plane rides it out.
+
+        Datagrams model the management sidecar of a real deployment:
+        they share the physical path (and therefore die with it), but at
+        tens of bytes they are charged propagation + switch latency
+        only, not data-pipe occupancy — heartbeat cadences are orders of
+        magnitude below the per-message processing budget of the
+        bandwidth pipes, and letting them queue there would let the
+        control plane starve the data plane it is supposed to monitor.
+        """
+        return self.cluster.sim.process(
+            self._datagram_proc(nbytes),
+            name=f"dgram:{self.src.index}->{self.dst.index}",
+        )
+
     def _send_proc(self, nbytes: float, overhead_s: Optional[float]) -> Generator[Any, Any, float]:
+        cluster = self.cluster
+        while not cluster.can_reach(self.src.index, self.dst.index):
+            yield cluster.heal_wait(self.src.index, self.dst.index)
         nic = self.src.config.nic
         overhead = nic.nic_processing_s if overhead_s is None else overhead_s
         yield self.src.nic_tx.transfer(nbytes, overhead_s=overhead)
         yield Timeout(nic.propagation_latency_s + self.cluster.config.switch_latency_s)
         yield self.dst.nic_rx.transfer(nbytes)
         return nbytes
+
+    def _datagram_proc(self, nbytes: float) -> Generator[Any, Any, bool]:
+        if not self.cluster.can_reach(self.src.index, self.dst.index):
+            return False  # posted straight into the cut
+        nic = self.src.config.nic
+        yield Timeout(nic.propagation_latency_s + self.cluster.config.switch_latency_s)
+        if not self.cluster.can_reach(self.src.index, self.dst.index):
+            return False  # the cut landed while the datagram was in flight
+        return True
 
 
 class Node:
@@ -191,6 +228,47 @@ class Cluster:
         self.sim = sim
         self.config = config or ClusterConfig()
         self.nodes = [Node(self, i, self.config.node) for i in range(self.config.nodes)]
+        # Partition state: ordered (src, dst) node pairs whose path is
+        # currently cut.  Symmetric partitions cut both directions,
+        # asymmetric ones a single direction.
+        self._blocked: set[tuple[int, int]] = set()
+        self._heal_signals: dict[tuple[int, int], Signal] = {}
+
+    # -- partition state ---------------------------------------------------
+    def can_reach(self, src: int, dst: int) -> bool:
+        """Whether the (src → dst) path is currently uncut."""
+        return (src, dst) not in self._blocked
+
+    def block(self, src: int, dst: int) -> None:
+        """Cut the (src → dst) path (network partition fault)."""
+        if src == dst:
+            raise ConfigError(f"cannot cut a node's path to itself: {src}")
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: int, dst: int) -> None:
+        """Heal the (src → dst) path and wake every held transfer."""
+        self._blocked.discard((src, dst))
+        signal = self._heal_signals.pop((src, dst), None)
+        if signal is not None:
+            signal.fire(True)
+
+    def heal_wait(self, src: int, dst: int) -> Signal:
+        """The signal that fires when the (src → dst) path next heals.
+
+        Callers must fetch it in the same simulation step as their
+        ``can_reach`` check — :meth:`unblock` pops and fires the
+        registered signal, so a signal fetched while blocked is always
+        the one the heal fires.
+        """
+        pair = (src, dst)
+        signal = self._heal_signals.get(pair)
+        if signal is None:
+            signal = Signal(name=f"heal:{src}->{dst}")
+            if pair not in self._blocked:
+                signal.fire(True)  # already reachable: resume immediately
+            else:
+                self._heal_signals[pair] = signal
+        return signal
 
     def __len__(self) -> int:
         return len(self.nodes)

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.common.errors import FaultError
-from repro.faults.plan import PRESETS, FaultEvent, FaultKind, FaultPlan
+from repro.faults.plan import (
+    _SECOND_CRASH_GAP_S,
+    MULTI_CRASH_PRESETS,
+    PRESETS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+)
 
 
 class TestFaultEvent:
@@ -22,6 +29,20 @@ class TestFaultEvent:
     def test_rejects_nonpositive_factor(self):
         with pytest.raises(FaultError, match="factor"):
             FaultEvent(FaultKind.NIC_FLAP, 1.0, 0, factor=0.0)
+
+    def test_rejects_pair_target_where_scalar_required(self):
+        with pytest.raises(FaultError, match="pair targets"):
+            FaultEvent(FaultKind.NODE_CRASH, 1.0, (0, 1))
+
+    def test_rejects_bool_target(self):
+        with pytest.raises(FaultError, match="single executor"):
+            FaultEvent(FaultKind.NODE_CRASH, 1.0, True)
+
+    def test_rejects_zero_duration_partition(self):
+        with pytest.raises(FaultError, match="positive.*duration"):
+            FaultEvent(FaultKind.NET_PARTITION, 1.0, 1, duration_s=0.0)
+        with pytest.raises(FaultError, match="positive.*duration"):
+            FaultEvent(FaultKind.ASYM_PARTITION, 1.0, 1, duration_s=0.0)
 
 
 class TestFaultPlanValidation:
@@ -49,6 +70,24 @@ class TestFaultPlanValidation:
         )
         with pytest.raises(FaultError, match="survive"):
             plan.validate(executors=2)
+
+    def test_event_against_dead_node_rejected(self):
+        # A stall scheduled after its target's crash can never fire;
+        # accepting it would silently weaken the plan.
+        plan = FaultPlan(
+            events=(
+                FaultEvent(FaultKind.NODE_CRASH, 1.0, 1),
+                FaultEvent(FaultKind.STALL, 2.0, 1, duration_s=0.5),
+            )
+        )
+        with pytest.raises(FaultError, match="never fire"):
+            plan.validate(executors=3)
+
+    def test_event_beyond_horizon_rejected(self):
+        plan = FaultPlan(events=(FaultEvent(FaultKind.NODE_CRASH, 5.0, 1),))
+        plan.validate(executors=3)  # fine without a horizon
+        with pytest.raises(FaultError, match="horizon"):
+            plan.validate(executors=3, horizon_s=2.0)
 
     def test_valid_plan_passes(self):
         plan = FaultPlan(
@@ -97,3 +136,30 @@ class TestPresets:
     def test_needs_two_executors(self):
         with pytest.raises(FaultError, match="at least 2"):
             FaultPlan.preset("leader-crash", seed=1, executors=1, horizon_s=1.0)
+
+    @pytest.mark.parametrize("name", MULTI_CRASH_PRESETS)
+    def test_multi_crash_presets_need_three_executors(self, name):
+        with pytest.raises(FaultError, match="at least 3"):
+            FaultPlan.preset(name, seed=1, executors=2, horizon_s=1.0)
+
+    @pytest.mark.parametrize("name", MULTI_CRASH_PRESETS)
+    def test_second_crash_lands_after_the_fence_window(self, name):
+        # The second crash must come at least the fixed fence cost after
+        # the first: two deaths inside one fence window destroy the
+        # majority and permanently wedge the cluster (split-brain-safe,
+        # but unrecoverable — see TestQuorumLoss in test_cascades.py).
+        for seed in range(20):
+            plan = FaultPlan.preset(name, seed, executors=3, horizon_s=1.0)
+            first, second = plan.events
+            assert second.at_s - first.at_s >= _SECOND_CRASH_GAP_S
+
+    def test_cascade_second_crash_hits_promotion_target(self):
+        # Executor 0 is the deterministic promotion target; killing it
+        # second is what makes the cascade a takeover-of-the-takeover.
+        plan = FaultPlan.preset("cascade", seed=9, executors=3, horizon_s=1.0)
+        assert plan.crash_targets()[1] == 0
+
+    def test_buddy_crash_kills_buddy_before_victim(self):
+        plan = FaultPlan.preset("buddy-crash", seed=9, executors=3, horizon_s=1.0)
+        buddy, victim = (e.target for e in plan.events)
+        assert buddy == (victim + 1) % 3

@@ -66,6 +66,35 @@ def test_chaos_command_writes_outputs(tmp_path, capsys):
     assert rows[0]["deterministic"] is True
 
 
+def test_chaos_unknown_preset_suggests_closest(capsys):
+    assert main(["chaos", "--fault", "leader-crsh"]) == 1
+    err = capsys.readouterr().err
+    assert "unknown fault preset" in err
+    assert "did you mean 'leader-crash'?" in err
+
+
+def test_chaos_unknown_preset_lists_known(capsys):
+    assert main(["chaos", "--fault", "xyzzy"]) == 1
+    err = capsys.readouterr().err
+    assert "known:" in err
+    assert "net-partition" in err and "cascade" in err
+
+
+def test_chaos_cascade_preset_reports_mttr_columns(tmp_path, capsys):
+    code = main(
+        ["chaos", "--fault", "cascade", "--seed", "7",
+         "--records", "600", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "zero-lost-results" in out and "FAIL" not in out
+    for column in ("detection", "promotion", "mttr"):
+        assert column in out
+    rows = json.loads((tmp_path / "chaos.json").read_text())
+    assert rows[0]["zero_lost"] is True
+    assert rows[0]["deterministic"] is True
+
+
 def test_chaos_parser_defaults():
     args = build_parser().parse_args(["chaos"])
     assert args.fault == "leader-crash"

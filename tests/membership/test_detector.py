@@ -1,0 +1,94 @@
+"""Unit tests for the phi-accrual failure detector."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.membership.detector import PhiAccrualDetector
+
+
+def _fed_detector(period=1.0, beats=10, **kwargs):
+    """A detector that heard ``beats`` regular heartbeats from peer 1."""
+    det = PhiAccrualDetector(0, [1, 2], period, **kwargs)
+    for i in range(beats):
+        det.heartbeat(1, i * period)
+    return det
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(0, [1], 0.0)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(0, [1], 1.0, threshold=0.0)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ConfigError):
+            PhiAccrualDetector(0, [1], 1.0, window=0)
+
+    def test_peers_sorted(self):
+        det = PhiAccrualDetector(0, [3, 1, 2], 1.0)
+        assert det.peers == [1, 2, 3]
+
+
+class TestBootstrap:
+    def test_never_heard_peer_is_not_suspect(self):
+        # A peer we have never heard from has no arrival distribution to
+        # fall out of: first-heartbeat flight time must not read as
+        # silence at boot.
+        det = PhiAccrualDetector(0, [1], 1.0)
+        assert det.phi(1, now=100.0) == 0.0
+        assert not det.is_suspect(1, now=100.0)
+        assert det.suspects(100.0) == []
+
+    def test_mean_bootstraps_to_expected_interval(self):
+        det = PhiAccrualDetector(0, [1], 2.0)
+        assert det.mean_interval(1) == 2.0
+
+    def test_unknown_peer_heartbeat_ignored(self):
+        det = PhiAccrualDetector(0, [1], 1.0)
+        det.heartbeat(99, 1.0)
+        assert det.heartbeats_seen == 0
+
+
+class TestPhi:
+    def test_phi_zero_right_after_heartbeat(self):
+        det = _fed_detector()
+        assert det.phi(1, now=9.0) == 0.0
+
+    def test_phi_grows_linearly_with_silence(self):
+        det = _fed_detector(period=1.0)
+        half = det.phi(1, now=9.0 + 3.0)
+        full = det.phi(1, now=9.0 + 6.0)
+        assert full == pytest.approx(2 * half)
+
+    def test_threshold_crossing_near_6_9_periods(self):
+        # phi = silence / (mean * ln 10); threshold 3.0 crosses at
+        # 3 * ln(10) ~= 6.9 periods of silence.
+        det = _fed_detector(period=1.0, threshold=3.0)
+        assert not det.is_suspect(1, now=9.0 + 6.8)
+        assert det.is_suspect(1, now=9.0 + 7.0)
+
+    def test_interval_samples_clamped(self):
+        # One long gap (a partition) must not blind the detector: the
+        # recorded sample is capped at 4x the expected period.
+        det = PhiAccrualDetector(0, [1], 1.0)
+        det.heartbeat(1, 0.0)
+        det.heartbeat(1, 100.0)  # 100 s gap, clamped to 4 s
+        assert det.mean_interval(1) <= 4.0
+
+    def test_mean_floored_at_half_period(self):
+        # Bursty arrivals must not make the detector hair-triggered.
+        det = PhiAccrualDetector(0, [1], 1.0)
+        for i in range(10):
+            det.heartbeat(1, i * 0.01)
+        assert det.mean_interval(1) == pytest.approx(0.5)
+
+    def test_suspects_lists_only_silent_peers(self):
+        det = PhiAccrualDetector(0, [1, 2], 1.0)
+        for i in range(10):
+            det.heartbeat(1, float(i))
+            det.heartbeat(2, float(i))
+        det.heartbeat(2, 20.0)  # peer 2 alive, peer 1 silent since t=9
+        assert det.suspects(20.0) == [1]
