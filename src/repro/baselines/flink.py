@@ -24,6 +24,12 @@ from repro.baselines.costs import FLINK_COSTS, ExchangeCosts
 from repro.baselines.ipoib import IpoibChannel, IpoibFabric
 from repro.baselines.partitioned import PartitionedEngine, _RunContext
 from repro.common.config import ClusterConfig, DEFAULT_BUFFER_BYTES
+from repro.core.system import (
+    CAP_JOINS,
+    CAP_SANITIZE,
+    CAP_SCALE_OUT,
+    CAP_SESSION_WINDOWS,
+)
 from repro.simnet.cluster import Node
 
 # TCP gives a deeper in-flight window than an RDMA ring of 8 buffers.
@@ -34,6 +40,11 @@ class FlinkEngine(PartitionedEngine):
     """Queue-based partitioning on a managed runtime over IPoIB."""
 
     name = "flink"
+    # No fault injection: IPoIB socket channels do not consult the
+    # injector's data-plane hooks (no RDMA WRITEs, no credit messages).
+    capabilities = frozenset(
+        {CAP_SCALE_OUT, CAP_JOINS, CAP_SESSION_WINDOWS, CAP_SANITIZE}
+    )
 
     def __init__(
         self,

@@ -26,16 +26,20 @@ from repro.core.engine import RunResult
 from repro.core.pipeline import compile_query
 from repro.core.progress import WindowTriggerState
 from repro.core.query import Query
+from repro.core.system import CAP_SANITIZE, SystemHooks, install_sanitizer
 from repro.core.windows import SessionWindows, SlidingWindow
 from repro.simnet.cluster import Cluster
 from repro.simnet.kernel import AllOf, Simulator
 from repro.workloads.base import Flow
 
 
-class LightSaberEngine:
+class LightSaberEngine(SystemHooks):
     """Scale-up, single-node, late-merge window aggregation engine."""
 
     name = "lightsaber"
+    # Single node, no network, no joins/sessions, no recovery plane —
+    # the capability-gating poster child (fault injection fails fast).
+    capabilities = frozenset({CAP_SANITIZE})
 
     def __init__(
         self,
@@ -57,6 +61,8 @@ class LightSaberEngine:
         threads = max(thread for _node, thread in flows) + 1
         plan = compile_query(query)
         sim = Simulator()
+        if self.sanitize:
+            install_sanitizer(sim)
         cluster = Cluster(sim, self.cluster_config.with_nodes(1))
         node = cluster.node(0)
         if threads > len(node.cores):
@@ -194,4 +200,6 @@ class LightSaberEngine:
         node_counters = node.counters()
         run_result.per_node_counters.append(node_counters)
         run_result.counters.merge(node_counters)
+        if sim.sanitize is not None:
+            run_result.extra["sanitizer_checks"] = sim.sanitize.check_counts()
         return run_result

@@ -37,6 +37,7 @@ from repro.common.config import (
 from repro.common.errors import ConfigError
 from repro.core.engine import RunResult
 from repro.core.executor import DoneToken
+from repro.core.system import SystemHooks, install_sanitizer
 from repro.core.join import probe_sessions, probe_window
 from repro.core.pipeline import PhysicalPlan, compile_query
 from repro.core.progress import WindowTriggerState
@@ -87,7 +88,7 @@ class _PartitionerState:
         )
 
 
-class PartitionedEngine:
+class PartitionedEngine(SystemHooks):
     """Base class; subclasses choose the data plane and the cost surface."""
 
     name = "partitioned"
@@ -133,13 +134,46 @@ class PartitionedEngine:
             raise ConfigError(f"flows span {nodes} nodes > cluster size")
 
         sim = Simulator()
+        if self.sanitize:
+            install_sanitizer(sim)
         cluster = Cluster(sim, self.cluster_config.with_nodes(nodes))
+
+        injector = None
+        if self.fault_plan is not None and len(self.fault_plan):
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(sim, self.fault_plan, **self.fault_overrides)
+            # Attaching before wiring flips the shared channel/RDMA layer
+            # onto its fault-tolerant code path (ACK-tracked transfers,
+            # credit timeouts), exactly as it does for Slash.
+            sim.faults = injector
+
         plan = compile_query(query)
         ctx = _RunContext(self, sim, cluster, plan, nodes, threads)
         ctx.wire(flows)
+        if injector is not None:
+            from repro.faults.injector import FaultTarget
+
+            injector.register_data_plane(
+                cluster,
+                [
+                    FaultTarget(
+                        node=cluster.node(node_index),
+                        in_channels=ctx.inbound_endpoints(node_index),
+                    )
+                    for node_index in range(nodes)
+                ],
+            )
         ctx.start()
+        if injector is not None:
+            injector.arm()
         sim.run()
-        return ctx.collect(query)
+        result = ctx.collect(query)
+        if injector is not None:
+            result.extra["faults"] = injector.report()
+        if sim.sanitize is not None:
+            result.extra["sanitizer_checks"] = sim.sanitize.check_counts()
+        return result
 
 
 class _RunContext:
@@ -189,6 +223,15 @@ class _RunContext:
     def consumer_core(self, gid: int) -> Core:
         node = self.cluster.node(self.consumer_node(gid))
         return node.core(self.partitioners_per_node + gid % self.consumers_per_node)
+
+    def inbound_endpoints(self, node_index: int) -> list:
+        """Consumer endpoints terminating on ``node_index`` (fault targets)."""
+        return [
+            endpoint
+            for consumer in self._consumers
+            if self.consumer_node(consumer.gid) == node_index
+            for endpoint in consumer.channels
+        ]
 
     def wire(self, flows: dict[tuple[int, int], Flow]) -> None:
         """Assign flows to partitioners and build the exchange channels."""

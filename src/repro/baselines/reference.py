@@ -12,17 +12,21 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.engine import RunResult
 from repro.core.join import probe_sessions, probe_window
 from repro.core.pipeline import PhysicalPlan, compile_query
 from repro.core.query import Query
+from repro.core.system import CAP_JOINS, CAP_SESSION_WINDOWS, SystemHooks
 from repro.core.windows import SessionWindows, SlidingWindow
 from repro.workloads.base import Flow
 
 
-class SequentialReference:
+class SequentialReference(SystemHooks):
     """Run a query single-threaded and return the canonical output."""
 
     name = "reference"
+    # No cluster, no simulated time: nothing to sanitize or fault.
+    capabilities = frozenset({CAP_JOINS, CAP_SESSION_WINDOWS})
 
     def run(self, query: Query, flows: dict[tuple[int, int], Flow]) -> "ReferenceOutput":
         plan = compile_query(query)
@@ -39,7 +43,14 @@ class SequentialReference:
                         state[key] = crdt.merge(state[key], partial)
                     else:
                         state[key] = partial
-        output = ReferenceOutput(records=records)
+        nodes = {node for node, _thread in flows}
+        threads = {thread for _node, thread in flows}
+        output = ReferenceOutput(
+            records=records,
+            query_name=query.name,
+            nodes=len(nodes),
+            threads_per_node=len(threads),
+        )
         if plan.aggregation is not None:
             self._finish_aggregation(plan, state, output)
         else:
@@ -84,13 +95,31 @@ class SequentialReference:
         output.join_pairs.sort()
 
 
-class ReferenceOutput:
-    """The canonical result set of one query over one input."""
+class ReferenceOutput(RunResult):
+    """The canonical result set of one query over one input.
 
-    def __init__(self, records: int = 0):
-        self.records = records
-        self.aggregates: dict[Any, Any] = {}
-        self.join_pairs: list[Any] = []
+    A :class:`~repro.core.engine.RunResult` like every other engine's,
+    so the runtime oracle can diff it directly; ``sim_seconds`` is zero
+    (the reference computes outside simulated time) and ``records``
+    aliases ``input_records`` for the established call sites.
+    """
 
-    def sorted_join_pairs(self) -> list[Any]:
-        return sorted(self.join_pairs)
+    def __init__(
+        self,
+        records: int = 0,
+        query_name: str = "",
+        nodes: int = 0,
+        threads_per_node: int = 0,
+    ):
+        super().__init__(
+            system="reference",
+            query_name=query_name,
+            nodes=nodes,
+            threads_per_node=threads_per_node,
+            input_records=records,
+            sim_seconds=0.0,
+        )
+
+    @property
+    def records(self) -> int:
+        return self.input_records

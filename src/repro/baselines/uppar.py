@@ -23,6 +23,14 @@ from repro.common.config import (
     DEFAULT_BUFFER_BYTES,
     DEFAULT_CREDITS,
 )
+from repro.core.system import (
+    CAP_FAULT_INJECTION,
+    CAP_JOINS,
+    CAP_SANITIZE,
+    CAP_SCALE_OUT,
+    CAP_SESSION_WINDOWS,
+    CAP_TRANSFER_BENCH,
+)
 from repro.rdma.connection import ConnectionManager
 from repro.simnet.cluster import Node
 
@@ -31,6 +39,22 @@ class UpParEngine(PartitionedEngine):
     """Scale-out SPE over RDMA channels with hash re-partitioning."""
 
     name = "uppar"
+    capabilities = frozenset(
+        {
+            CAP_SCALE_OUT,
+            CAP_JOINS,
+            CAP_SESSION_WINDOWS,
+            CAP_SANITIZE,
+            CAP_FAULT_INJECTION,
+            CAP_TRANSFER_BENCH,
+        }
+    )
+    # Data-plane kinds only: UpPar rides Slash's RDMA channels, so NIC,
+    # WRITE-drop, and credit faults apply, but it has no checkpoints,
+    # membership, or promotion — crash/partition plans are rejected.
+    supported_fault_kinds = frozenset(
+        {"nic-flap", "drop-chunk", "credit-starvation"}
+    )
 
     def __init__(
         self,

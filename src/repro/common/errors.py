@@ -45,6 +45,16 @@ class QueryError(ReproError):
     """An invalid streaming query (bad DAG, unsupported operator combo)."""
 
 
+class CapabilityError(ConfigError):
+    """A scenario asked an engine for a feature it does not implement.
+
+    Raised *before* a run starts — e.g. requesting fault injection on
+    LightSaber, or a scale-out topology on a single-node engine — so a
+    mis-configured sweep fails fast with the engine's capability set in
+    the message instead of crashing mid-simulation.
+    """
+
+
 class FaultError(ReproError):
     """An injected fault exhausted the system's tolerance budget.
 

@@ -1,0 +1,31 @@
+"""Did-you-mean helpers shared by the CLI, registry, and workload lookup.
+
+One formatting convention for every "unknown name" error in the repo:
+the offending name, the closest known name (if any is close enough),
+and the full list of known names.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Optional, Sequence
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> Optional[str]:
+    """Return the closest candidate to ``name``, or ``None``.
+
+    The cutoff (0.4) is deliberately loose: a CLI typo like ``slsh``
+    should still land on ``slash``.
+    """
+    close = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.4)
+    return close[0] if close else None
+
+
+def unknown_name_message(kind: str, name: str, candidates: Sequence[str]) -> str:
+    """Format the canonical unknown-``kind`` message with a suggestion."""
+    message = f"unknown {kind} {name!r}"
+    close = did_you_mean(name, candidates)
+    if close:
+        message += f" — did you mean {close!r}?"
+    message += " (known: " + ", ".join(candidates) + ")"
+    return message

@@ -12,7 +12,7 @@ and the full hardware-counter picture.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, TYPE_CHECKING
 
 from repro.common.config import (
     ClusterConfig,
@@ -25,13 +25,19 @@ from repro.core.costs import DEFAULT_SLASH_COSTS, SlashCosts
 from repro.core.executor import Flow, SlashExecutor
 from repro.core.pipeline import compile_query
 from repro.core.query import Query
-from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.core.system import (
+    ALL_CAPABILITIES,
+    SystemHooks,
+    install_sanitizer,
+)
 from repro.rdma.connection import ConnectionManager
 from repro.simnet.cluster import Cluster
 from repro.simnet.counters import HwCounters
 from repro.simnet.kernel import Simulator
 from repro.state.partition import PartitionDirectory
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
 
 # Library default epoch length for simulation-scale inputs.  The paper
 # uses 64 MB per 1 GB/thread; we keep the same ~1/16-of-input proportion
@@ -67,11 +73,42 @@ class RunResult:
         """Join output in a canonical order for P2 comparisons."""
         return sorted(self.join_pairs)
 
+    def counter_roles(self) -> dict[str, HwCounters]:
+        """Hardware counters keyed by pipeline role.
 
-class SlashEngine:
+        Split-pipeline engines (UpPar/Flink) report ``sender`` and
+        ``receiver`` counters; single-pipeline engines report one
+        ``whole`` entry.  Breakdown figures iterate this instead of
+        branching per system.
+        """
+        extra = self.extra
+        if "sender_counters" in extra and "receiver_counters" in extra:
+            return {
+                "sender": extra["sender_counters"],
+                "receiver": extra["receiver_counters"],
+            }
+        return {"whole": self.counters}
+
+
+class SlashEngine(SystemHooks):
     """The native RDMA-accelerated engine (the paper's Slash)."""
 
     name = "slash"
+    capabilities = ALL_CAPABILITIES
+    # Slash's channel, scheduler, and recovery layers absorb every
+    # modelled fault kind (values of repro.faults.plan.FaultKind).
+    supported_fault_kinds = frozenset(
+        {
+            "node-crash",
+            "nic-flap",
+            "drop-chunk",
+            "duplicate-delta",
+            "stall",
+            "credit-starvation",
+            "net-partition",
+            "asym-partition",
+        }
+    )
 
     def __init__(
         self,
@@ -81,7 +118,7 @@ class SlashEngine:
         epoch_bytes: int = SIM_EPOCH_BYTES,
         costs: SlashCosts = DEFAULT_SLASH_COSTS,
         leaders: Optional[list[int]] = None,
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: Optional["FaultPlan"] = None,
         fault_overrides: Optional[dict] = None,
         sanitize: bool = False,
     ):
@@ -121,19 +158,16 @@ class SlashEngine:
             )
         sim = Simulator()
         if self.sanitize:
-            from repro.sanitizer.invariants import Sanitizer
-            from repro.simnet.trace import Tracer
-
-            if sim.tracer is None:
-                sim.tracer = Tracer(capacity=4096)
-            sim.sanitize = Sanitizer(sim)
+            install_sanitizer(sim)
         cluster = Cluster(sim, self.cluster_config.with_nodes(nodes))
         cm = ConnectionManager(cluster)
         directory = PartitionDirectory(nodes, leaders=self.leaders)
         plan = compile_query(query)
 
-        injector: Optional[FaultInjector] = None
+        injector = None
         if self.fault_plan is not None and len(self.fault_plan):
+            from repro.faults.injector import FaultInjector
+
             injector = FaultInjector(sim, self.fault_plan, **self.fault_overrides)
             # Attaching the injector before executor construction flips
             # every layer onto its fault-tolerant code path.

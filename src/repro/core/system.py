@@ -1,0 +1,112 @@
+"""The StreamSystem contract: capabilities and generic attach hooks.
+
+Every engine under test (Slash, the UpPar/Flink baselines, LightSaber,
+the sequential reference) advertises a set of *capability* flags and
+accepts the same optional attachments — a sanitizer and a fault plan —
+through the :class:`SystemHooks` mixin.  The runtime registry
+(:mod:`repro.runtime`) gates scenarios on these flags so that asking an
+engine for a feature it lacks fails fast with a
+:class:`~repro.common.errors.CapabilityError` instead of crashing
+mid-simulation.
+
+This module lives in ``core`` (below ``baselines`` and ``runtime`` in
+the import layering) so every engine can inherit from it without an
+upward import.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import CapabilityError
+
+# Capability flags.  An engine's ``capabilities`` frozenset holds the
+# subset it implements; the registry exposes them for sweep planning.
+CAP_SCALE_OUT = "scale_out"  # >1 node topologies
+CAP_JOINS = "joins"  # two-input (join) query plans
+CAP_SESSION_WINDOWS = "session_windows"  # data-dependent window close
+CAP_SANITIZE = "sanitize"  # runtime invariant checking hooks
+CAP_FAULT_INJECTION = "fault_injectable"  # accepts a FaultPlan
+CAP_CRASH_RECOVERY = "crash_recovery"  # checkpoints + leader promotion
+CAP_TRANSFER_BENCH = "transfer_bench"  # has a raw-transfer micro-bench
+
+ALL_CAPABILITIES = frozenset(
+    {
+        CAP_SCALE_OUT,
+        CAP_JOINS,
+        CAP_SESSION_WINDOWS,
+        CAP_SANITIZE,
+        CAP_FAULT_INJECTION,
+        CAP_CRASH_RECOVERY,
+        CAP_TRANSFER_BENCH,
+    }
+)
+
+
+class SystemHooks:
+    """Mixin giving an engine the generic StreamSystem attach points.
+
+    Engines declare ``capabilities`` (and, when fault-injectable, the
+    ``supported_fault_kinds`` — :class:`~repro.faults.plan.FaultKind`
+    *values* as plain strings, so declaring support needs no import from
+    the faults layer).  Callers use :meth:`attach_sanitizer` and
+    :meth:`attach_faults` instead of engine-specific constructor wiring;
+    both validate capabilities up front and return ``self`` so they
+    chain.
+    """
+
+    #: Capability flags this engine implements.
+    capabilities: frozenset = frozenset()
+    #: FaultKind values (strings) the engine can absorb; only consulted
+    #: when ``CAP_FAULT_INJECTION`` is present.
+    supported_fault_kinds: frozenset = frozenset()
+
+    # Attachment state consumed by each engine's run().  Class-level
+    # defaults keep engines that never touch the hooks working unchanged.
+    sanitize: bool = False
+    fault_plan = None
+    fault_overrides: dict = {}
+
+    def attach_sanitizer(self):
+        """Arm runtime invariant checking for the next run."""
+        self._require(CAP_SANITIZE, "runtime sanitizer")
+        self.sanitize = True
+        return self
+
+    def attach_faults(self, plan, overrides: Optional[dict] = None):
+        """Arm a chaos schedule (a FaultPlan) for the next run."""
+        self._require(CAP_FAULT_INJECTION, "fault injection")
+        asked = {str(event.kind.value) for event in plan}
+        unsupported = asked - self.supported_fault_kinds
+        if unsupported:
+            raise CapabilityError(
+                f"engine {getattr(self, 'name', type(self).__name__)!r} cannot "
+                f"absorb fault kind(s) {sorted(unsupported)}; supported: "
+                f"{sorted(self.supported_fault_kinds)}"
+            )
+        self.fault_plan = plan
+        self.fault_overrides = dict(overrides or {})
+        return self
+
+    def _require(self, capability: str, feature: str) -> None:
+        if capability not in self.capabilities:
+            name = getattr(self, "name", type(self).__name__)
+            raise CapabilityError(
+                f"engine {name!r} does not support {feature} "
+                f"(missing capability {capability!r}; has: "
+                f"{sorted(self.capabilities)})"
+            )
+
+
+def install_sanitizer(sim) -> None:
+    """Attach the invariant sanitizer (plus a bounded tracer) to ``sim``.
+
+    Shared by every engine's run() so sanitize runs use identical wiring
+    regardless of the system under test.
+    """
+    from repro.sanitizer.invariants import Sanitizer
+    from repro.simnet.trace import Tracer
+
+    if sim.tracer is None:
+        sim.tracer = Tracer(capacity=4096)
+    sim.sanitize = Sanitizer(sim)

@@ -94,6 +94,27 @@ PHI_THRESHOLD = 3.0
 CONFIRM_FRACTION = 0.5
 ACK_TIMEOUT_FRACTION = 0.25
 
+#: Fault kinds that act purely on the data plane (NIC rates, posted
+#: WRITEs, credit machinery).  They need no checkpoints, membership, or
+#: promotion, so any engine whose channels consult ``sim.faults`` can
+#: absorb them via :meth:`FaultInjector.register_data_plane`.
+DATA_PLANE_KINDS = frozenset(
+    {FaultKind.NIC_FLAP, FaultKind.DROP_CHUNK, FaultKind.CREDIT_STARVATION}
+)
+
+
+@dataclasses.dataclass
+class FaultTarget:
+    """One injectable unit of a non-Slash deployment.
+
+    The generic StreamSystem path: engines without Slash's executor
+    objects describe each node's data plane as the node itself plus its
+    inbound consumer endpoints, and the injector aims events at these.
+    """
+
+    node: Any
+    in_channels: list
+
 
 class _RecoveryAborted(Exception):
     """The promoted leader died mid-recovery; retry on the next survivor."""
@@ -233,6 +254,28 @@ class FaultInjector:
             confirm_s=self.detect_s * CONFIRM_FRACTION,
             ack_timeout_s=self.detect_s * ACK_TIMEOUT_FRACTION,
         )
+
+    def register_data_plane(self, cluster: Any, targets: list[Any]) -> None:
+        """Bind the injector to a deployment without a recovery plane.
+
+        The generic StreamSystem path (e.g. UpPar): ``targets`` is one
+        :class:`FaultTarget` per node.  Only :data:`DATA_PLANE_KINDS`
+        are allowed — there are no checkpoints, membership agents, or
+        promotion here, so crash/partition/stall events are rejected up
+        front rather than silently doing nothing.
+        """
+        unsupported = {e.kind for e in self.plan} - DATA_PLANE_KINDS
+        if unsupported:
+            raise FaultError(
+                "data-plane fault injection supports "
+                f"{sorted(k.value for k in DATA_PLANE_KINDS)}; plan contains "
+                f"{sorted(k.value for k in unsupported)}"
+            )
+        self.plan.validate(len(targets))
+        self.cluster = cluster
+        self.executors = list(targets)
+        for index, target in enumerate(targets):
+            self._node_to_exec[target.node.index] = index
 
     def arm(self) -> None:
         """Launch the membership agents and one process per fault event."""
@@ -514,11 +557,12 @@ class FaultInjector:
                 scheduler.pause_until(until)
         elif event.kind is FaultKind.CREDIT_STARVATION:
             executor = self.executors[event.target]
-            for consumer in executor._in_channels.values():
+            endpoints = self._inbound_endpoints(executor)
+            for consumer in endpoints:
                 consumer.withhold_credits = True
             yield Timeout(event.duration_s)
             core = executor.node.core(0)
-            for _peer, consumer in sorted(executor._in_channels.items()):
+            for consumer in endpoints:
                 consumer.withhold_credits = False
                 yield from consumer.flush_withheld(core)
         elif event.kind is FaultKind.NET_PARTITION:
@@ -527,6 +571,23 @@ class FaultInjector:
             yield from self._partition_proc(event, symmetric=False)
         else:  # pragma: no cover - FaultKind is exhaustive
             raise FaultError(f"unhandled fault kind {event.kind!r}")
+
+    @staticmethod
+    def _inbound_endpoints(target: Any) -> list:
+        """Credit-bearing inbound consumer endpoints of one target.
+
+        Slash executors expose a peer-keyed ``_in_channels`` dict (flush
+        order = sorted peer id, as before); generic
+        :class:`FaultTarget`\\ s list their endpoints directly.  Local
+        (same-node memcpy) channels have no credit messages to withhold
+        and are skipped.
+        """
+        channels = getattr(target, "_in_channels", None)
+        if channels is not None:
+            endpoints = [consumer for _peer, consumer in sorted(channels.items())]
+        else:
+            endpoints = list(target.in_channels)
+        return [c for c in endpoints if hasattr(c, "flush_withheld")]
 
     def _partition_proc(self, event: FaultEvent, *, symmetric: bool):
         """Cut the target's links for the event's duration, then heal.

@@ -19,13 +19,13 @@ lost or two same-seed runs diverge.
 from __future__ import annotations
 
 import argparse
-import difflib
 import json
 import pathlib
 import sys
 import time
 from typing import Callable, Optional, Sequence
 
+from repro.common.suggest import did_you_mean, unknown_name_message
 from repro.harness import experiments as exp
 
 #: Experiment registry: id -> (description, factory(args) -> Report).
@@ -177,6 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--fault", default="leader-crash", metavar="PRESET",
                        help="named fault preset to inject (one of: "
                             + ", ".join(PRESETS) + ")")
+    chaos.add_argument("--system", default="slash",
+                       help="fault-injectable engine to run under chaos "
+                            "(registry name; default: slash)")
     chaos.add_argument("--seed", type=int, default=7,
                        help="seed deriving fault time and victim")
     chaos.add_argument("--nodes", type=int, default=3,
@@ -255,15 +258,11 @@ def _jsonable(rows: list) -> list:
 
 
 def _run_chaos(args) -> int:
-    from repro.common.errors import FaultError
+    from repro.common.errors import ConfigError, FaultError
     from repro.faults.plan import PRESETS
 
     if args.fault not in PRESETS:
-        message = f"unknown fault preset {args.fault!r}"
-        close = difflib.get_close_matches(args.fault, PRESETS, n=1, cutoff=0.4)
-        if close:
-            message += f" — did you mean {close[0]!r}?"
-        message += " (known: " + ", ".join(PRESETS) + ")"
+        message = unknown_name_message("fault preset", args.fault, PRESETS)
         print(f"CHAOS FAILED: {message}", file=sys.stderr)
         return 1
 
@@ -277,8 +276,12 @@ def _run_chaos(args) -> int:
             workload_name=args.workload,
             records_per_thread=args.records,
             verify_determinism=not args.no_determinism_check,
+            system=args.system,
         )
-    except FaultError as exc:
+    except (ConfigError, FaultError) as exc:
+        # ConfigError covers unknown engine names (with a did-you-mean
+        # suggestion from the registry) and capability errors — an engine
+        # that cannot absorb the requested fault kinds fails here, fast.
         print(f"CHAOS FAILED: {exc}", file=sys.stderr)
         return 1
     elapsed = time.time() - started
@@ -342,9 +345,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         known = list(EXPERIMENTS) + list(ALIASES)
         hints = []
         for miss in unknown:
-            close = difflib.get_close_matches(miss, known, n=1, cutoff=0.4)
+            close = did_you_mean(miss, known)
             if close:
-                hints.append(f"did you mean {ALIASES.get(close[0], close[0])!r}?")
+                hints.append(f"did you mean {ALIASES.get(close, close)!r}?")
         hint = (" " + " ".join(hints)) if hints else ""
         print(
             f"unknown experiment(s): {unknown}; see 'repro list'.{hint}",

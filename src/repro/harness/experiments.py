@@ -9,10 +9,8 @@ miniature versions of the exact same code paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.baselines.transfer import SlashTransferBench, TransferResult, UpParTransferBench
 from repro.common.units import fmt_rate, fmt_rate_records, fmt_time
 from repro.harness.parallel import (
     SerialRunner,
@@ -22,26 +20,16 @@ from repro.harness.parallel import (
 )
 from repro.harness.runner import BENCH_EPOCH_BYTES, make_workload, run_end_to_end
 from repro.metrics.breakdown import breakdown_table, table1_row
-from repro.metrics.reporting import TextTable, fault_timeline_table, format_si
+from repro.metrics.reporting import (
+    Report,
+    TextTable,
+    fault_timeline_table,
+    format_si,
+)
+from repro.runtime.oracle import diff_aggregates as _compare_aggregates
 
 # The measured link ceiling the paper draws as the red line in Fig. 8.
 LINK_BANDWIDTH = 11.8e9
-
-
-@dataclass
-class Report:
-    """A rendered experiment: tables plus machine-readable rows."""
-
-    name: str
-    tables: list[TextTable] = field(default_factory=list)
-    rows: list[dict] = field(default_factory=list)
-    notes: list[str] = field(default_factory=list)
-
-    def render(self) -> str:
-        parts = [f"#### Experiment {self.name} ####"]
-        parts.extend(table.render() for table in self.tables)
-        parts.extend(f"note: {note}" for note in self.notes)
-        return "\n\n".join(parts)
 
 
 def _map_cells(runner, cells: list) -> "Iterator":
@@ -199,11 +187,6 @@ def fig7_cost(
 # ---------------------------------------------------------------------------
 # Fig. 8: drill-down on the data plane
 # ---------------------------------------------------------------------------
-
-def _transfer(system: str, workload, **bench_kwargs) -> TransferResult:
-    bench_cls = SlashTransferBench if system == "slash" else UpParTransferBench
-    return bench_cls(**bench_kwargs).run(workload)
-
 
 def fig8_buffer_sweep(
     buffer_sizes: Sequence[int] = (4096, 16384, 32768, 65536, 131072, 262144, 524288, 1048576),
@@ -419,13 +402,10 @@ def fig10_breakdown_ysb(
     ])
     for system in ("uppar", "slash"):
         row = next(results)
-        if system == "slash":
-            counters = {"slash (whole)": row.result.counters}
-        else:
-            counters = {
-                "uppar sender": row.result.extra["sender_counters"],
-                "uppar receiver": row.result.extra["receiver_counters"],
-            }
+        counters = {
+            f"{system} ({role})" if role == "whole" else f"{system} {role}": c
+            for role, c in row.result.counter_roles().items()
+        }
         for label, c in counters.items():
             busy_rows[label] = c
             full_rows[label] = c
@@ -501,11 +481,9 @@ def table1_counters(
     ])
     for system in ("uppar", "slash"):
         row = next(results)
-        if system == "uppar":
-            add("uppar sender", row.result.extra["sender_counters"], row.sim_seconds)
-            add("uppar receiver", row.result.extra["receiver_counters"], row.sim_seconds)
-        else:
-            add("slash", row.result.counters, row.sim_seconds)
+        for role, counters in row.result.counter_roles().items():
+            label = system if role == "whole" else f"{system} {role}"
+            add(label, counters, row.sim_seconds)
     report.tables.append(table)
     return report
 
@@ -726,31 +704,6 @@ def ablation_selective_signaling(
 # Chaos: fault injection + epoch-based recovery
 # ---------------------------------------------------------------------------
 
-def _compare_aggregates(expected: dict, actual: dict) -> tuple[list, list, list]:
-    """``(missing, extra, mismatched)`` keys between two result sets.
-
-    Integer aggregates (YSB counts) must match exactly; float aggregates
-    tolerate ULP-level drift, because recovery replays merges in a
-    different order and float addition is not associative.
-    """
-    import math
-
-    missing = [key for key in expected if key not in actual]
-    extra = [key for key in actual if key not in expected]
-    mismatched = []
-    for key, want in expected.items():
-        if key not in actual:
-            continue
-        got = actual[key]
-        if isinstance(want, float) or isinstance(got, float):
-            ok = math.isclose(want, got, rel_tol=1e-9, abs_tol=1e-12)
-        else:
-            ok = want == got
-        if not ok:
-            mismatched.append(key)
-    return missing, extra, mismatched
-
-
 def run_chaos(
     fault: str = "leader-crash",
     seed: int = 7,
@@ -759,6 +712,7 @@ def run_chaos(
     workload_name: str = "ysb",
     records_per_thread: int = 1500,
     verify_determinism: bool = True,
+    system: str = "slash",
 ) -> Report:
     """One chaos cell: fail-free baseline, faulted run, invariant checks.
 
@@ -771,13 +725,31 @@ def run_chaos(
     """
     from repro.common.errors import FaultError
     from repro.faults.plan import FaultPlan
-    from repro.harness.runner import build_engine
+    from repro.runtime import (
+        CAP_FAULT_INJECTION,
+        REGISTRY,
+        Scenario,
+        run_scenario,
+    )
 
+    # Fail fast on engines with no fault-injection plane (capability
+    # error before any simulation runs, not a mid-run crash).
+    REGISTRY.require(system, CAP_FAULT_INJECTION)
     report = Report(f"chaos: {fault} (seed {seed})")
-    workload = make_workload(workload_name, records_per_thread=records_per_thread)
-    query = workload.build_query()
+    workload_overrides = {"records_per_thread": records_per_thread}
 
-    baseline = build_engine("slash", nodes).run(query, workload.flows(nodes, threads))
+    def scenario(plan=None, overrides=None) -> Scenario:
+        return Scenario(
+            engine=system,
+            workload=workload_name,
+            nodes=nodes,
+            threads=threads,
+            workload_overrides=workload_overrides,
+            fault_plan=plan,
+            fault_overrides=dict(overrides or {}),
+        )
+
+    baseline = run_scenario(scenario())
     horizon = baseline.sim_seconds
     plan = FaultPlan.preset(fault, seed, nodes, horizon)
     plan.validate(nodes, horizon_s=horizon)
@@ -791,10 +763,7 @@ def run_chaos(
     )
 
     def faulted_run():
-        engine = build_engine(
-            "slash", nodes, fault_plan=plan, fault_overrides=overrides
-        )
-        return engine.run(query, workload.flows(nodes, threads))
+        return run_scenario(scenario(plan, overrides))
 
     faulted = faulted_run()
     missing, extra, mismatched = _compare_aggregates(
@@ -873,6 +842,7 @@ def run_chaos(
     report.rows.append({
         "figure": "chaos",
         "fault": fault,
+        "system": system,
         "seed": seed,
         "nodes": nodes,
         "threads": threads,

@@ -14,12 +14,16 @@ That is the determinism contract (see ``docs/performance.md``):
 * the runner returns results positionally, never by completion order;
 * all formatting happens in the parent process.
 
-Three cell kinds cover every experiment:
+Four cell kinds cover every experiment:
 
-* ``end_to_end``  — one :func:`repro.harness.runner.run_end_to_end` call;
-* ``transfer``    — one RO transfer benchmark (Slash or UpPar channels);
+* ``scenario``    — one :func:`repro.runtime.run_scenario` call from a
+  declarative :class:`~repro.runtime.Scenario` spec (the general form);
+* ``end_to_end``  — one :func:`repro.harness.runner.run_end_to_end` call
+  (a scenario plus the figure-friendly ``EndToEndRow`` wrapper);
+* ``transfer``    — one RO transfer benchmark, resolved through the
+  engine registry's ``transfer_bench`` capability;
 * ``engine_run``  — one raw engine run with a named cost strategy
-  (the compiled-vs-interpreted ablation).
+  (the compiled-vs-interpreted ablation), a scenario under the hood.
 """
 
 from __future__ import annotations
@@ -53,6 +57,11 @@ def _transfer_workload(name: str, overrides: Optional[dict]):
 
 
 # -- cell constructors -------------------------------------------------------
+
+def scenario_cell(spec: Any) -> Cell:
+    """One declarative run: a :class:`repro.runtime.Scenario` as a cell."""
+    return ("scenario", spec.params())
+
 
 def end_to_end_cell(
     system: str,
@@ -129,6 +138,10 @@ def run_cell(cell: Cell) -> Any:
     actually touches.
     """
     kind, params = cell
+    if kind == "scenario":
+        from repro.runtime import Scenario, run_scenario
+
+        return run_scenario(Scenario(**params))
     if kind == "end_to_end":
         from repro.harness.runner import run_end_to_end
 
@@ -141,32 +154,26 @@ def run_cell(cell: Cell) -> Any:
             engine_overrides=params["engine_overrides"],
         )
     if kind == "transfer":
-        from repro.baselines.transfer import SlashTransferBench, UpParTransferBench
+        from repro.runtime import REGISTRY
 
         workload = _transfer_workload(
             params["workload_name"], params["workload_overrides"]
         )
-        bench_cls = (
-            SlashTransferBench if params["system"] == "slash" else UpParTransferBench
-        )
-        return bench_cls(**params["bench_kwargs"]).run(workload)
+        bench = REGISTRY.transfer_bench(params["system"], **params["bench_kwargs"])
+        return bench.run(workload)
     if kind == "engine_run":
-        from repro.core.costs import DEFAULT_SLASH_COSTS, interpreted
-        from repro.harness.runner import build_engine, make_workload
+        from repro.runtime import Scenario, run_scenario
 
-        strategy = params["strategy"]
-        if strategy == "compiled":
-            costs = DEFAULT_SLASH_COSTS
-        elif strategy == "interpreted":
-            costs = interpreted()
-        else:
-            raise ConfigError(f"unknown cost strategy {strategy!r}")
-        engine = build_engine(params["system"], params["nodes"], costs=costs)
-        workload = make_workload(
-            params["workload_name"], **(params["workload_overrides"] or {})
+        return run_scenario(
+            Scenario(
+                engine=params["system"],
+                workload=params["workload_name"],
+                nodes=params["nodes"],
+                threads=params["threads"],
+                workload_overrides=dict(params["workload_overrides"] or {}),
+                strategy=params["strategy"],
+            )
         )
-        flows = workload.flows(params["nodes"], params["threads"])
-        return engine.run(workload.build_query(), flows)
     raise ConfigError(f"unknown cell kind {kind!r}")
 
 

@@ -1,92 +1,47 @@
-"""System and workload construction for the experiment harness.
+"""Back-compat construction helpers for the experiment harness.
 
-Centralises three things:
-
-* the **system registry** (Slash, RDMA UpPar, Flink, LightSaber) with
-  engine construction per system;
-* the **workload registry** with simulation-scale default parameters
-  (the paper streams 1 GB per thread; we scale volumes down and note in
-  EXPERIMENTS.md that simulated rates are volume-independent once the
-  run reaches steady state);
-* the generic weak-scaling **end-to-end run** used by every Fig. 6/7
-  experiment.
+Everything here is now a thin veneer over :mod:`repro.runtime` — the
+engine registry owns system construction (including capability flags and
+did-you-mean suggestions), and the scenario module owns the workload
+presets.  This module keeps the established harness names (``SYSTEMS``,
+``build_engine``, ``make_workload``, ``run_end_to_end``) stable for the
+CLI, tests, and notebooks while the registry is the single source of
+truth underneath.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
-from repro.baselines.flink import FlinkEngine
-from repro.baselines.lightsaber import LightSaberEngine
-from repro.baselines.uppar import UpParEngine
-from repro.common.config import paper_cluster
-from repro.common.errors import ConfigError
-from repro.core.engine import RunResult, SlashEngine
-from repro.workloads.base import Workload
-from repro.workloads.cluster_monitoring import ClusterMonitoringWorkload
-from repro.workloads.nexmark import (
-    Nexmark7Workload,
-    Nexmark8Workload,
-    Nexmark11Workload,
+from repro.core.engine import RunResult
+from repro.runtime import (
+    BENCH_EPOCH_BYTES,
+    REGISTRY,
+    Scenario,
+    WORKLOADS,
+    make_workload,
+    run_scenario,
 )
-from repro.workloads.readonly import ReadOnlyWorkload
-from repro.workloads.ysb import YsbWorkload
 
+#: The four systems under test in the paper's figures ("reference" is
+#: registered too but is an oracle, not a measured system).
 SYSTEMS = ("flink", "uppar", "slash", "lightsaber")
 
-# Epoch length for simulation-scale end-to-end runs; keeps the paper's
-# roughly 1/16-of-per-thread-input proportion at scaled volumes.
-BENCH_EPOCH_BYTES = 128 * 1024
-
-#: Simulation-scale workload parameter presets (see EXPERIMENTS.md).
-WORKLOADS: dict[str, Callable[..., Workload]] = {
-    "ysb": lambda **kw: YsbWorkload(
-        **{"records_per_thread": 2500, "key_range": 100_000, "batch_records": 500, **kw}
-    ),
-    "cm": lambda **kw: ClusterMonitoringWorkload(
-        **{"records_per_thread": 2500, "jobs": 50_000, "batch_records": 500, **kw}
-    ),
-    "nb7": lambda **kw: Nexmark7Workload(
-        **{"records_per_thread": 2500, "key_range": 100_000, "batch_records": 500, **kw}
-    ),
-    "nb8": lambda **kw: Nexmark8Workload(
-        **{"records_per_thread": 1000, "sellers": 20_000, "batch_records": 250, **kw}
-    ),
-    "nb11": lambda **kw: Nexmark11Workload(
-        **{"records_per_thread": 1000, "sellers": 10_000, "batch_records": 250, **kw}
-    ),
-    "ro": lambda **kw: ReadOnlyWorkload(
-        **{"records_per_thread": 60_000, "key_range": 100_000, "batch_records": 4000, **kw}
-    ),
-}
-
-
-def make_workload(name: str, **overrides: Any) -> Workload:
-    """Build a registered workload at bench scale, with overrides."""
-    try:
-        factory = WORKLOADS[name]
-    except KeyError:
-        raise ConfigError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
-    return factory(**overrides)
+__all__ = [
+    "BENCH_EPOCH_BYTES",
+    "EndToEndRow",
+    "SYSTEMS",
+    "WORKLOADS",
+    "build_engine",
+    "make_workload",
+    "run_end_to_end",
+]
 
 
 def build_engine(system: str, nodes: int, **overrides: Any):
     """Construct one system under test for an ``nodes``-node deployment."""
-    config = paper_cluster(max(nodes, 1))
-    if system == "slash":
-        return SlashEngine(
-            cluster_config=config,
-            epoch_bytes=overrides.pop("epoch_bytes", BENCH_EPOCH_BYTES),
-            **overrides,
-        )
-    if system == "uppar":
-        return UpParEngine(cluster_config=config, **overrides)
-    if system == "flink":
-        return FlinkEngine(cluster_config=config, **overrides)
-    if system == "lightsaber":
-        return LightSaberEngine(cluster_config=paper_cluster(1), **overrides)
-    raise ConfigError(f"unknown system {system!r}; known: {SYSTEMS}")
+    return REGISTRY.create(system, nodes=nodes, **overrides)
 
 
 @dataclass
@@ -116,10 +71,16 @@ def run_end_to_end(
     engine_overrides: Optional[dict] = None,
 ) -> EndToEndRow:
     """Run one (system, workload, scale) cell of a Fig. 6/7 experiment."""
-    workload = make_workload(workload_name, **(workload_overrides or {}))
-    engine = build_engine(system, nodes, **(engine_overrides or {}))
-    flows = workload.flows(nodes, threads_per_node)
-    result = engine.run(workload.build_query(), flows)
+    result = run_scenario(
+        Scenario(
+            engine=system,
+            workload=workload_name,
+            nodes=nodes,
+            threads=threads_per_node,
+            workload_overrides=dict(workload_overrides or {}),
+            engine_overrides=dict(engine_overrides or {}),
+        )
+    )
     return EndToEndRow(
         system=system,
         workload=workload_name,

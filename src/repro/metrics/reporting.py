@@ -7,6 +7,7 @@ renders with a title line, a header, and `|`-separated columns).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 
@@ -55,6 +56,27 @@ class TextTable:
 
     def __str__(self) -> str:
         return self.render()
+
+
+@dataclass
+class Report:
+    """A rendered experiment: tables plus machine-readable rows.
+
+    The shared output envelope of every harness entry point (figures,
+    chaos, sanitize): ``tables`` render for humans, ``rows`` carry the
+    same data as plain dicts for JSON output.
+    """
+
+    name: str
+    tables: list[TextTable] = field(default_factory=list)
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"#### Experiment {self.name} ####"]
+        parts.extend(table.render() for table in self.tables)
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n\n".join(parts)
 
 
 def fault_timeline_table(faults_info: dict) -> TextTable:

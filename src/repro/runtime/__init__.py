@@ -1,0 +1,68 @@
+"""The unified StreamSystem runtime.
+
+One layer between the engines and the harness:
+
+* :mod:`repro.runtime.registry` — name → engine factory with capability
+  flags (:data:`REGISTRY` holds Slash, UpPar, Flink, LightSaber, and the
+  sequential reference oracle);
+* :mod:`repro.runtime.scenario` — the declarative :class:`Scenario` spec
+  and the single :func:`run_scenario` entry point;
+* :mod:`repro.runtime.oracle` — the one result differ shared by the
+  experiment figures, the sanitizer, and the chaos harness;
+* :mod:`repro.runtime.system` — the :class:`StreamSystem` protocol and
+  the capability vocabulary.
+"""
+
+from repro.runtime.oracle import ResultDiff, diff_aggregates, diff_results
+from repro.runtime.registry import (
+    BENCH_EPOCH_BYTES,
+    EngineRegistry,
+    EngineSpec,
+    REGISTRY,
+)
+from repro.runtime.scenario import (
+    Scenario,
+    STRATEGIES,
+    WORKLOADS,
+    make_workload,
+    resolve_strategy,
+    run_scenario,
+)
+from repro.runtime.system import (
+    ALL_CAPABILITIES,
+    CAP_CRASH_RECOVERY,
+    CAP_FAULT_INJECTION,
+    CAP_JOINS,
+    CAP_SANITIZE,
+    CAP_SCALE_OUT,
+    CAP_SESSION_WINDOWS,
+    CAP_TRANSFER_BENCH,
+    StreamSystem,
+    SystemHooks,
+)
+
+__all__ = [
+    "ALL_CAPABILITIES",
+    "BENCH_EPOCH_BYTES",
+    "CAP_CRASH_RECOVERY",
+    "CAP_FAULT_INJECTION",
+    "CAP_JOINS",
+    "CAP_SANITIZE",
+    "CAP_SCALE_OUT",
+    "CAP_SESSION_WINDOWS",
+    "CAP_TRANSFER_BENCH",
+    "EngineRegistry",
+    "EngineSpec",
+    "REGISTRY",
+    "ResultDiff",
+    "Scenario",
+    "STRATEGIES",
+    "StreamSystem",
+    "SystemHooks",
+    "WORKLOADS",
+    "diff_aggregates",
+    "diff_results",
+    "make_workload",
+    "resolve_strategy",
+    "run_scenario",
+]

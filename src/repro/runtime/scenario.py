@@ -1,0 +1,139 @@
+"""Declarative scenarios: one spec, one entry point, every engine.
+
+A :class:`Scenario` fully describes a run — engine name, workload name,
+topology, engine knobs, cost strategy, seed, and the optional sanitizer
+/ fault attachments — as plain picklable data.  :func:`run_scenario`
+resolves it against the :data:`~repro.runtime.registry.REGISTRY` and
+returns the shared :class:`~repro.core.engine.RunResult` envelope, so
+experiment figures, the parallel sweep runner, the sanitizer, and the
+chaos harness all execute runs the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.suggest import unknown_name_message
+from repro.core.engine import RunResult
+from repro.runtime.registry import REGISTRY
+from repro.workloads.base import Workload
+from repro.workloads.cluster_monitoring import ClusterMonitoringWorkload
+from repro.workloads.nexmark import (
+    Nexmark7Workload,
+    Nexmark8Workload,
+    Nexmark11Workload,
+)
+from repro.workloads.readonly import ReadOnlyWorkload
+from repro.workloads.ysb import YsbWorkload
+
+#: Simulation-scale workload parameter presets (see EXPERIMENTS.md).
+#: The paper streams 1 GB per thread; we scale volumes down — simulated
+#: rates are volume-independent once the run reaches steady state.
+WORKLOADS: dict[str, Callable[..., Workload]] = {
+    "ysb": lambda **kw: YsbWorkload(
+        **{"records_per_thread": 2500, "key_range": 100_000, "batch_records": 500, **kw}
+    ),
+    "cm": lambda **kw: ClusterMonitoringWorkload(
+        **{"records_per_thread": 2500, "jobs": 50_000, "batch_records": 500, **kw}
+    ),
+    "nb7": lambda **kw: Nexmark7Workload(
+        **{"records_per_thread": 2500, "key_range": 100_000, "batch_records": 500, **kw}
+    ),
+    "nb8": lambda **kw: Nexmark8Workload(
+        **{"records_per_thread": 1000, "sellers": 20_000, "batch_records": 250, **kw}
+    ),
+    "nb11": lambda **kw: Nexmark11Workload(
+        **{"records_per_thread": 1000, "sellers": 10_000, "batch_records": 250, **kw}
+    ),
+    "ro": lambda **kw: ReadOnlyWorkload(
+        **{"records_per_thread": 60_000, "key_range": 100_000, "batch_records": 4000, **kw}
+    ),
+}
+
+#: Named cost strategies for the compiled-vs-interpreted ablation.
+STRATEGIES = ("compiled", "interpreted")
+
+
+def make_workload(name: str, **overrides: Any) -> Workload:
+    """Build a registered workload at bench scale, with overrides."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            unknown_name_message("workload", name, sorted(WORKLOADS))
+        ) from None
+    return factory(**overrides)
+
+
+def resolve_strategy(name: str):
+    """Map a strategy name to a cost table."""
+    from repro.core.costs import DEFAULT_SLASH_COSTS, interpreted
+
+    if name == "compiled":
+        return DEFAULT_SLASH_COSTS
+    if name == "interpreted":
+        return interpreted()
+    raise ConfigError(f"unknown cost strategy {name!r}")
+
+
+@dataclass
+class Scenario:
+    """One declarative run: engine + workload + topology + knobs + seed.
+
+    Everything is plain data (strings, ints, dicts, and — for chaos
+    scenarios — a picklable FaultPlan), so a Scenario can cross a
+    process-pool boundary and be reconstructed from its ``params()``.
+    """
+
+    engine: str
+    workload: str
+    nodes: int = 1
+    threads: int = 2
+    workload_overrides: dict = field(default_factory=dict)
+    engine_overrides: dict = field(default_factory=dict)
+    #: Named cost strategy ("compiled"/"interpreted"); ``None`` keeps the
+    #: engine's default cost table.
+    strategy: Optional[str] = None
+    #: Workload generator seed; ``None`` keeps each generator's default.
+    seed: Optional[int] = None
+    sanitize: bool = False
+    fault_plan: Any = None
+    fault_overrides: dict = field(default_factory=dict)
+
+    def params(self) -> dict:
+        """The picklable dict form used by parallel sweep cells."""
+        return {
+            "engine": self.engine,
+            "workload": self.workload,
+            "nodes": self.nodes,
+            "threads": self.threads,
+            "workload_overrides": dict(self.workload_overrides),
+            "engine_overrides": dict(self.engine_overrides),
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "sanitize": self.sanitize,
+            "fault_plan": self.fault_plan,
+            "fault_overrides": dict(self.fault_overrides),
+        }
+
+
+def run_scenario(spec: Scenario) -> RunResult:
+    """Execute one scenario through the registry and generic hooks."""
+    workload_overrides = dict(spec.workload_overrides)
+    if spec.seed is not None:
+        workload_overrides.setdefault("seed", spec.seed)
+    workload = make_workload(spec.workload, **workload_overrides)
+
+    engine_overrides = dict(spec.engine_overrides)
+    if spec.strategy is not None:
+        engine_overrides["costs"] = resolve_strategy(spec.strategy)
+    engine = REGISTRY.create(spec.engine, spec.nodes, **engine_overrides)
+    if spec.sanitize:
+        engine.attach_sanitizer()
+    if spec.fault_plan is not None:
+        engine.attach_faults(spec.fault_plan, spec.fault_overrides)
+
+    flows = workload.flows(spec.nodes, spec.threads)
+    return engine.run(workload.build_query(), flows)

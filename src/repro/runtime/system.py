@@ -1,0 +1,42 @@
+"""The ``StreamSystem`` protocol — the contract every engine satisfies.
+
+An engine is anything the registry can construct that runs a query over
+a set of flows and returns a :class:`~repro.core.engine.RunResult`.  The
+attach hooks come from :class:`~repro.core.system.SystemHooks`; this
+module re-exports the capability vocabulary so runtime callers never
+need to import from ``core`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.system import (  # noqa: F401  (re-exported vocabulary)
+    ALL_CAPABILITIES,
+    CAP_CRASH_RECOVERY,
+    CAP_FAULT_INJECTION,
+    CAP_JOINS,
+    CAP_SANITIZE,
+    CAP_SCALE_OUT,
+    CAP_SESSION_WINDOWS,
+    CAP_TRANSFER_BENCH,
+    SystemHooks,
+)
+
+
+@runtime_checkable
+class StreamSystem(Protocol):
+    """What every registered engine exposes to the runtime."""
+
+    name: str
+    capabilities: frozenset
+    supported_fault_kinds: frozenset
+
+    def run(self, query, flows):
+        """Execute ``query`` over ``flows``; return a RunResult."""
+
+    def attach_sanitizer(self):
+        """Arm runtime invariant checking; raises CapabilityError."""
+
+    def attach_faults(self, plan, overrides=None):
+        """Arm a chaos schedule; raises CapabilityError."""

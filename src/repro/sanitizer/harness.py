@@ -13,8 +13,7 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Callable, Optional
 
-from repro.harness.experiments import Report
-from repro.metrics.reporting import TextTable
+from repro.metrics.reporting import Report, TextTable
 from repro.sanitizer.scenarios import (
     Scenario,
     ScenarioOutcome,

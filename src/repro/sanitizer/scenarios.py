@@ -8,7 +8,10 @@ deterministically from ``(seed, index)`` via :class:`~repro.common.rng.RngTree`,
 so ``python -m repro sanitize --scenarios N --seed S`` always replays the
 same N scenarios; :func:`run_scenario` executes one with sanitizers on
 and differentially compares Slash against the sequential reference
-oracle and the partitioned UpPar baseline.
+oracle and the partitioned UpPar baseline.  Engines come from the
+:mod:`repro.runtime` registry and are armed through the generic
+``attach_sanitizer``/``attach_faults`` hooks, so UpPar runs under the
+same invariant checkers as Slash.
 """
 
 from __future__ import annotations
@@ -153,26 +156,11 @@ class ScenarioOutcome:
 
 def _compare(kind: str, failures: list, expected, actual) -> None:
     """Append a failure line if two result sets differ."""
-    from repro.harness.experiments import _compare_aggregates
+    from repro.runtime.oracle import diff_results
 
-    if expected.aggregates:
-        missing, extra, mismatched = _compare_aggregates(
-            expected.aggregates, actual.aggregates
-        )
-        if missing or extra or mismatched:
-            failures.append(
-                f"{kind}: aggregates differ — {len(missing)} missing, "
-                f"{len(extra)} extra, {len(mismatched)} mismatched "
-                f"(e.g. {(missing + extra + mismatched)[:3]})"
-            )
-    else:
-        want = expected.sorted_join_pairs()
-        got = actual.sorted_join_pairs()
-        if want != got:
-            failures.append(
-                f"{kind}: join outputs differ — expected {len(want)} pairs, "
-                f"got {len(got)}"
-            )
+    diff = diff_results(expected, actual)
+    if not diff.ok:
+        failures.append(f"{kind}: {diff.describe()}")
 
 
 def run_scenario(scenario: Scenario) -> ScenarioOutcome:
@@ -183,8 +171,7 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
     can count, report, and shrink them.  (Programming errors in the
     harness itself still propagate.)
     """
-    from repro.baselines.reference import SequentialReference
-    from repro.harness.runner import build_engine, make_workload
+    from repro.runtime import REGISTRY, make_workload
     from repro.sanitizer.invariants import InvariantViolation
 
     outcome = ScenarioOutcome(scenario)
@@ -192,14 +179,18 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
     query = workload.build_query()
     flows = workload.flows(scenario.nodes, scenario.threads)
 
-    oracle = SequentialReference().run(query, flows)
+    oracle = REGISTRY.create("reference").run(query, flows)
 
     # Sanitized fail-free Slash run: every invariant checker armed.
     try:
-        slash = build_engine(
-            "slash", scenario.nodes, sanitize=True,
-            credits=scenario.credits, epoch_bytes=scenario.epoch_bytes,
-        ).run(query, flows)
+        slash = (
+            REGISTRY.create(
+                "slash", scenario.nodes,
+                credits=scenario.credits, epoch_bytes=scenario.epoch_bytes,
+            )
+            .attach_sanitizer()
+            .run(query, flows)
+        )
     except InvariantViolation as violation:
         outcome.failures.append(f"invariant: {violation}")
         return outcome
@@ -212,9 +203,17 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
 
     # Partitioned baseline: UpPar re-partitions instead of sharing state,
     # so agreement here rules out bugs the two architectures share with
-    # neither the oracle nor each other.
+    # neither the oracle nor each other.  Sanitized through the same
+    # generic hook as Slash — its channels feed the same checkers.
     try:
-        uppar = build_engine("uppar", scenario.nodes).run(query, flows)
+        uppar = (
+            REGISTRY.create("uppar", scenario.nodes)
+            .attach_sanitizer()
+            .run(query, flows)
+        )
+    except InvariantViolation as violation:
+        outcome.failures.append(f"invariant (uppar): {violation}")
+        return outcome
     except ReproError as exc:
         outcome.failures.append(f"uppar run failed: {type(exc).__name__}: {exc}")
         return outcome
@@ -245,11 +244,15 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
             credit_timeout_s=max(2e-5, horizon * 0.005),
         )
         try:
-            faulted = build_engine(
-                "slash", scenario.nodes, sanitize=True,
-                credits=scenario.credits, epoch_bytes=scenario.epoch_bytes,
-                fault_plan=plan, fault_overrides=overrides,
-            ).run(query, flows)
+            faulted = (
+                REGISTRY.create(
+                    "slash", scenario.nodes,
+                    credits=scenario.credits, epoch_bytes=scenario.epoch_bytes,
+                )
+                .attach_sanitizer()
+                .attach_faults(plan, overrides)
+                .run(query, flows)
+            )
         except InvariantViolation as violation:
             outcome.failures.append(f"invariant (under {scenario.fault}): {violation}")
             return outcome

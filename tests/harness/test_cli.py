@@ -100,4 +100,46 @@ def test_chaos_parser_defaults():
     assert args.fault == "leader-crash"
     assert args.seed == 7
     assert args.nodes == 3
+    assert args.system == "slash"
     assert not args.no_determinism_check
+
+
+def test_chaos_unknown_system_suggests_closest(capsys):
+    assert main(["chaos", "--system", "slsh"]) == 1
+    err = capsys.readouterr().err
+    assert "CHAOS FAILED" in err
+    assert "unknown system 'slsh'" in err
+    assert "did you mean 'slash'?" in err
+
+
+def test_chaos_system_without_fault_plane_fails_fast(capsys):
+    assert main(["chaos", "--system", "lightsaber"]) == 1
+    err = capsys.readouterr().err
+    assert "CHAOS FAILED" in err
+    assert "lacks required capability" in err
+    assert "fault_injectable" in err
+
+
+def test_chaos_unsupported_kind_names_supported_ones(capsys):
+    """UpPar has a fault plane but no crash recovery: leader-crash is a
+    capability error naming the kinds it *can* absorb."""
+    assert main(["chaos", "--system", "uppar", "--fault", "leader-crash",
+                 "--records", "400"]) == 1
+    err = capsys.readouterr().err
+    assert "CHAOS FAILED" in err
+    assert "node-crash" in err
+    assert "drop-chunk" in err
+
+
+def test_chaos_on_uppar_through_generic_hooks(tmp_path, capsys):
+    code = main(
+        ["chaos", "--system", "uppar", "--fault", "nic-flap", "--seed", "7",
+         "--nodes", "2", "--records", "600", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "zero-lost-results" in out and "FAIL" not in out
+    rows = json.loads((tmp_path / "chaos.json").read_text())
+    assert rows[0]["system"] == "uppar"
+    assert rows[0]["zero_lost"] is True
+    assert rows[0]["deterministic"] is True

@@ -1,0 +1,29 @@
+"""Byte-identity of figure renders against committed goldens.
+
+The runtime refactor (registry + scenarios + shared differ) must not
+move a single simulated cycle: these goldens were rendered from the
+pre-refactor cell-builder code paths at pinned sizes, and every future
+change to the construction path has to reproduce them byte-for-byte.
+"""
+
+import pathlib
+
+from repro.harness import experiments as exp
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def test_fig6a_render_matches_golden():
+    report = exp.fig6_aggregations(
+        node_counts=(2,),
+        threads=2,
+        workload_overrides={"records_per_thread": 600, "batch_records": 150},
+    )
+    assert report.render() + "\n" == (GOLDEN / "fig6a_smoke.txt").read_text()
+
+
+def test_fig8a_render_matches_golden():
+    report = exp.fig8_buffer_sweep(
+        buffer_sizes=(4096, 65536), threads=2, records_per_thread=8000
+    )
+    assert report.render() + "\n" == (GOLDEN / "fig8a_smoke.txt").read_text()

@@ -1,0 +1,54 @@
+"""The unified result differ shared by experiments, sanitizer, and chaos."""
+
+from repro.runtime import REGISTRY, Scenario, diff_aggregates, diff_results, run_scenario
+
+
+def test_diff_aggregates_exact_for_ints():
+    missing, extra, mismatched = diff_aggregates(
+        {("w", 1): 10, ("w", 2): 5}, {("w", 1): 10, ("w", 2): 6}
+    )
+    assert (missing, extra) == ([], [])
+    assert mismatched == [("w", 2)]
+
+
+def test_diff_aggregates_tolerates_float_ulp_drift():
+    want = 0.1 + 0.2
+    got = 0.2 + 0.1 + 1e-15
+    _missing, _extra, mismatched = diff_aggregates({("w", 1): want}, {("w", 1): got})
+    assert mismatched == []
+
+
+def test_diff_aggregates_missing_and_extra():
+    missing, extra, _ = diff_aggregates({("a",): 1}, {("b",): 1})
+    assert missing == [("a",)]
+    assert extra == [("b",)]
+
+
+def test_diff_results_aggregate_describe():
+    class Fake:
+        aggregates = {("w", 1): 1}
+        def sorted_join_pairs(self):
+            return []
+
+    class Empty:
+        aggregates = {}
+        def sorted_join_pairs(self):
+            return []
+
+    diff = diff_results(Fake(), Empty())
+    assert not diff.ok
+    assert "1 missing, 0 extra, 0 mismatched" in diff.describe()
+
+
+def test_diff_results_engine_vs_reference_oracle():
+    overrides = {"records_per_thread": 300, "batch_records": 100}
+    spec = Scenario(engine="slash", workload="nb8", nodes=2, threads=2,
+                    workload_overrides=dict(overrides))
+    result = run_scenario(spec)
+    workload_spec = Scenario(engine="reference", workload="nb8", nodes=2,
+                             threads=2, workload_overrides=dict(overrides))
+    oracle = run_scenario(workload_spec)
+    diff = diff_results(oracle, result)
+    assert diff.kind == "join_pairs"
+    assert diff.ok
+    assert diff.describe() == ""
