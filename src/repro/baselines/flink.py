@@ -25,6 +25,7 @@ from repro.baselines.ipoib import IpoibChannel, IpoibFabric
 from repro.baselines.partitioned import PartitionedEngine, _RunContext
 from repro.common.config import ClusterConfig, DEFAULT_BUFFER_BYTES
 from repro.core.system import (
+    CAP_FAULT_INJECTION,
     CAP_JOINS,
     CAP_SANITIZE,
     CAP_SCALE_OUT,
@@ -40,10 +41,22 @@ class FlinkEngine(PartitionedEngine):
     """Queue-based partitioning on a managed runtime over IPoIB."""
 
     name = "flink"
-    # No fault injection: IPoIB socket channels do not consult the
-    # injector's data-plane hooks (no RDMA WRITEs, no credit messages).
+    # Data-plane faults only: the IPoIB channel retransmits dropped
+    # segments with exponential RTO backoff, its per-node fabric pipes
+    # degrade under a NIC flap, and a zero-window fault withholds its
+    # acks — but there are no checkpoints or membership, so crash and
+    # partition plans stay rejected.
     capabilities = frozenset(
-        {CAP_SCALE_OUT, CAP_JOINS, CAP_SESSION_WINDOWS, CAP_SANITIZE}
+        {
+            CAP_SCALE_OUT,
+            CAP_JOINS,
+            CAP_SESSION_WINDOWS,
+            CAP_SANITIZE,
+            CAP_FAULT_INJECTION,
+        }
+    )
+    supported_fault_kinds = frozenset(
+        {"nic-flap", "drop-chunk", "credit-starvation"}
     )
 
     def __init__(
@@ -67,3 +80,11 @@ class FlinkEngine(PartitionedEngine):
         # Every exchanged record is serialized (sender) or deserialized
         # (receiver); callers invoke this once per side.
         return float(n)
+
+    def _fault_pipes(self, ctx: _RunContext, node_index: int) -> list:
+        # A NIC flap throttles the IPoIB fabric the same way it throttles
+        # the RDMA pipes (it is the same physical port).
+        if self._fabric is None:
+            return []
+        node = ctx.cluster.node(node_index)
+        return [self._fabric.tx(node), self._fabric.rx(node)]

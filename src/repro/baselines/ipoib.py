@@ -94,6 +94,10 @@ class IpoibChannel:
         self.notify_store: Optional[Store] = None
         self.producer = self
         self.consumer = self
+        #: Credit-starvation fault surface (same names as the RDMA
+        #: consumer endpoint so the injector drives both uniformly).
+        self.withhold_credits = False
+        self._withheld = 0
 
     # -- producer side ------------------------------------------------------
     @property
@@ -128,6 +132,23 @@ class IpoibChannel:
         wire_bytes = max(nbytes, 64)
         if self.src.index != self.dst.index:
             yield self.fabric.tx(self.src).transfer(wire_bytes)
+            # TCP over a lossy path: the injector may eat the segment;
+            # the sender's stack retransmits after an RTO that backs off
+            # exponentially, up to its retry budget.
+            faults = self.sim.faults
+            if faults is not None:
+                rto = faults.rto_s
+                attempts = 0
+                while faults.should_drop_write(self.src.index, wire_bytes):
+                    attempts += 1
+                    if attempts > faults.max_retries:
+                        raise ProtocolError(
+                            f"{self.name}: {attempts - 1} retransmissions "
+                            "exhausted (path black-holed?)"
+                        )
+                    yield Timeout(rto)
+                    rto *= 2.0
+                    yield self.fabric.tx(self.src).transfer(wire_bytes)
             yield Timeout(self.src.config.nic.ipoib_latency_s)
             yield self.fabric.rx(self.dst).transfer(wire_bytes)
         else:
@@ -178,4 +199,16 @@ class IpoibChannel:
     def release(self, core: Core) -> Generator[Any, Any, None]:
         """Recv-side syscall; frees one window slot for the sender."""
         yield from core.execute(_syscall_cost(self.dst), 1.0)
+        if self.withhold_credits:
+            # Zero-window fault: the ack stays in the receiver's stack
+            # until the injector lifts the starvation.
+            self._withheld += 1
+            return
         self._acks.put(1)
+
+    def flush_withheld(self, core: Core) -> Generator[Any, Any, None]:
+        """Release every ack the starvation window swallowed."""
+        while self._withheld > 0:
+            self._withheld -= 1
+            yield from core.execute(_syscall_cost(self.dst), 1.0)
+            self._acks.put(1)

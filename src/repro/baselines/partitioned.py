@@ -17,6 +17,17 @@ scripted: partitioning burns most of the sender's cycles (front-end
 bound), consumers spin on empty queues (core bound), skewed keys
 overload one consumer and stall every partitioner on its credits, and
 the fan-out buffers blow the sender's cache.
+
+Fault tolerance (docs/fault_tolerance.md §8): workers are grouped into
+a :class:`_Generation`.  Under a crash-capable fault plan the run
+context hands a ``PartitionedChaosController`` (``faults/snapshots.py``)
+the levers it needs — aligned snapshot rounds (partitioners flush,
+record absolute input cursors, and send in-band markers; consumers
+spill post-marker buffers until every input channel markered), and the
+Flink-style **global restart**: on a quorum-backed fence the current
+generation halts, a new generation over the survivors restores the last
+complete snapshot (state re-bucketed to the new consumer count) and
+replays every flow from its captured cursor.
 """
 
 from __future__ import annotations
@@ -36,8 +47,8 @@ from repro.common.config import (
 )
 from repro.common.errors import ConfigError
 from repro.core.engine import RunResult
-from repro.core.executor import DoneToken
-from repro.core.system import SystemHooks, install_sanitizer
+from repro.core.executor import DoneToken, SnapshotMarker
+from repro.core.system import STRATEGY_ASYNC_SNAPSHOT, SystemHooks, install_sanitizer
 from repro.core.join import probe_sessions, probe_window
 from repro.core.pipeline import PhysicalPlan, compile_query
 from repro.core.progress import WindowTriggerState
@@ -60,6 +71,20 @@ class _Message:
     stream: str
     batch: RecordBatch
     watermark: float
+
+
+@dataclass
+class _FlowEntry:
+    """One input flow as a generation's partitioner sees it.
+
+    ``start`` is the absolute batch cursor to begin at: 0 in the first
+    generation, the snapshot's captured cursor after a restart (the
+    replay prefix ``0..start`` is covered by the restored state).
+    """
+
+    flow_id: int
+    flow: Flow
+    start: int = 0
 
 
 class _PartitionerState:
@@ -120,6 +145,11 @@ class PartitionedEngine(SystemHooks):
         """How many per-record serde charges one exchange hop costs."""
         return 0.0
 
+    def _fault_pipes(self, ctx: "_RunContext", node_index: int) -> list:
+        """Extra bandwidth pipes a NIC flap on ``node_index`` must degrade
+        (beyond the node's RDMA NIC pipes) — e.g. the IPoIB fabric's."""
+        return []
+
     # -- the run --------------------------------------------------------------
     def run(self, query: Query, flows: dict[tuple[int, int], Flow]) -> RunResult:
         query.validate()
@@ -139,10 +169,21 @@ class PartitionedEngine(SystemHooks):
         cluster = Cluster(sim, self.cluster_config.with_nodes(nodes))
 
         injector = None
+        recovery_plan = False
         if self.fault_plan is not None and len(self.fault_plan):
-            from repro.faults.injector import FaultInjector
+            from repro.faults.injector import DATA_PLANE_KINDS, FaultInjector
 
-            injector = FaultInjector(sim, self.fault_plan, **self.fault_overrides)
+            recovery_plan = any(
+                e.kind not in DATA_PLANE_KINDS for e in self.fault_plan
+            )
+            kwargs = dict(self.fault_overrides)
+            if recovery_plan:
+                # Partitioned engines recover via aligned snapshots +
+                # global restart; epoch-buddy has no meaning here.
+                kwargs.setdefault(
+                    "strategy", self.recovery_strategy or STRATEGY_ASYNC_SNAPSHOT
+                )
+            injector = FaultInjector(sim, self.fault_plan, **kwargs)
             # Attaching before wiring flips the shared channel/RDMA layer
             # onto its fault-tolerant code path (ACK-tracked transfers,
             # credit timeouts), exactly as it does for Slash.
@@ -152,18 +193,26 @@ class PartitionedEngine(SystemHooks):
         ctx = _RunContext(self, sim, cluster, plan, nodes, threads)
         ctx.wire(flows)
         if injector is not None:
-            from repro.faults.injector import FaultTarget
+            if recovery_plan:
+                from repro.faults.snapshots import PartitionedChaosController
 
-            injector.register_data_plane(
-                cluster,
-                [
-                    FaultTarget(
-                        node=cluster.node(node_index),
-                        in_channels=ctx.inbound_endpoints(node_index),
-                    )
-                    for node_index in range(nodes)
-                ],
-            )
+                controller = PartitionedChaosController(ctx)
+                ctx.chaos = controller
+                injector.register_partitioned(cluster, controller)
+            else:
+                from repro.faults.injector import FaultTarget
+
+                injector.register_data_plane(
+                    cluster,
+                    [
+                        FaultTarget(
+                            node=cluster.node(node_index),
+                            in_channels=ctx.inbound_endpoints(node_index),
+                            extra_pipes=self._fault_pipes(ctx, node_index),
+                        )
+                        for node_index in range(nodes)
+                    ],
+                )
         ctx.start()
         if injector is not None:
             injector.arm()
@@ -174,6 +223,113 @@ class PartitionedEngine(SystemHooks):
         if sim.sanitize is not None:
             result.extra["sanitizer_checks"] = sim.sanitize.check_counts()
         return result
+
+
+class _Generation:
+    """One deployment attempt: a worker set over a (sub)set of the nodes.
+
+    The first generation spans every node; each global restart builds a
+    successor over the survivors.  Halting a generation is cooperative —
+    the kernel has no process kill — so ``halt`` raises flags the worker
+    bodies poll, marks every exchange producer dead (sends blackhole,
+    parked credit waits wake), and pokes parked consumers awake.
+    """
+
+    def __init__(self, ctx: "_RunContext", number: int, node_indexes: list[int]):
+        self.ctx = ctx
+        self.number = number
+        self.nodes = list(node_indexes)
+        self.partitioners_per_node = ctx.partitioners_per_node
+        self.consumers_per_node = ctx.consumers_per_node
+        self.partitioner_count = len(self.nodes) * self.partitioners_per_node
+        self.consumer_count = len(self.nodes) * self.consumers_per_node
+        self.partitioners: list[_Partitioner] = []
+        self.consumers: list[_Consumer] = []
+        self.channels: list[list[Any]] = []  # [partitioner_gid][consumer_gid]
+        self.halted = False
+
+    # -- topology (gids are generation-local) --------------------------------
+    def partitioner_node(self, gid: int) -> int:
+        return self.nodes[gid // self.partitioners_per_node]
+
+    def partitioner_core(self, gid: int) -> Core:
+        node = self.ctx.cluster.node(self.partitioner_node(gid))
+        return node.core(gid % self.partitioners_per_node)
+
+    def consumer_node(self, gid: int) -> int:
+        return self.nodes[gid // self.consumers_per_node]
+
+    def consumer_core(self, gid: int) -> Core:
+        node = self.ctx.cluster.node(self.consumer_node(gid))
+        return node.core(
+            self.partitioners_per_node + gid % self.consumers_per_node
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def build(self, assignments: dict[int, list[_FlowEntry]]) -> None:
+        ctx = self.ctx
+        tag = "" if self.number == 0 else f"{self.number}"
+        self.consumers = [
+            _Consumer(ctx, self, gid, self.consumer_core(gid))
+            for gid in range(self.consumer_count)
+        ]
+        for p_gid in range(self.partitioner_count):
+            row = []
+            src = ctx.cluster.node(self.partitioner_node(p_gid))
+            for c_gid in range(self.consumer_count):
+                dst = ctx.cluster.node(self.consumer_node(c_gid))
+                channel = ctx.engine._make_channel(
+                    ctx, src, dst, name=f"x{tag}:{p_gid}->{c_gid}"
+                )
+                row.append(channel)
+                self.consumers[c_gid].attach(channel.consumer)
+            self.channels.append(row)
+        self.partitioners = [
+            _Partitioner(ctx, self, gid, assignments.get(gid, []))
+            for gid in range(self.partitioner_count)
+        ]
+
+    def start(self) -> None:
+        prefix = "" if self.number == 0 else f"g{self.number}."
+        for partitioner in self.partitioners:
+            self.ctx.sim.process(
+                partitioner.body(), name=f"{prefix}part{partitioner.gid}"
+            )
+        for consumer in self.consumers:
+            self.ctx.sim.process(
+                consumer.body(), name=f"{prefix}cons{consumer.gid}"
+            )
+
+    def halt(self) -> None:
+        """Cooperatively stop every worker (the generation is discarded)."""
+        self.halted = True
+        for partitioner in self.partitioners:
+            partitioner.halted = True
+        self._mark_channels_dead(self.channels)
+        for consumer in self.consumers:
+            consumer.halted = True
+            consumer.wake.put(None)
+
+    def halt_node(self, node_index: int) -> None:
+        """Stop the workers of one crashed node in place (pre-fence)."""
+        for partitioner in self.partitioners:
+            if partitioner.node.index == node_index:
+                partitioner.halted = True
+                self._mark_channels_dead(
+                    [self.channels[partitioner.gid]]
+                )
+        for consumer in self.consumers:
+            if consumer.node.index == node_index:
+                consumer.halted = True
+                consumer.wake.put(None)
+
+    @staticmethod
+    def _mark_channels_dead(rows: list[list[Any]]) -> None:
+        for row in rows:
+            for channel in row:
+                mark_dead = getattr(channel.producer, "mark_dead", None)
+                if mark_dead is not None:
+                    mark_dead()
 
 
 class _RunContext:
@@ -196,79 +352,123 @@ class _RunContext:
         self.threads = threads
         self.partitioners_per_node = threads // 2
         self.consumers_per_node = threads - self.partitioners_per_node
-        self.consumer_count = nodes * self.consumers_per_node
-        self.partitioner_count = nodes * self.partitioners_per_node
         self.streams = tuple(s.name for s in plan.query.streams)
         self.records_in = 0
-        self.results_aggregates: dict = {}
-        self.results_joins: list = []
-        self.emitted = 0
-        self._consumers: list[_Consumer] = []
-        self._channels: list[list[Any]] = []  # [partitioner_gid][consumer_gid]
-        self._partitioner_flows: dict[int, list[Flow]] = {}
+        #: Every input flow in global order; the source of truth a
+        #: restarted generation re-assigns work from.
+        self._all_flows: list[tuple[int, Flow]] = []
+        self.gen: _Generation = None  # set by wire()
+        #: The PartitionedChaosController when the plan can crash nodes.
+        self.chaos: Any = None
         self.sender_counters = HwCounters()
         self.receiver_counters = HwCounters()
 
-    # -- topology ---------------------------------------------------------------
-    def partitioner_node(self, gid: int) -> int:
-        return gid // self.partitioners_per_node
+    # -- current-generation views --------------------------------------------
+    @property
+    def consumer_count(self) -> int:
+        return self.gen.consumer_count
 
-    def partitioner_core(self, gid: int) -> Core:
-        node = self.cluster.node(self.partitioner_node(gid))
-        return node.core(gid % self.partitioners_per_node)
-
-    def consumer_node(self, gid: int) -> int:
-        return gid // self.consumers_per_node
-
-    def consumer_core(self, gid: int) -> Core:
-        node = self.cluster.node(self.consumer_node(gid))
-        return node.core(self.partitioners_per_node + gid % self.consumers_per_node)
+    @property
+    def partitioner_count(self) -> int:
+        return self.gen.partitioner_count
 
     def inbound_endpoints(self, node_index: int) -> list:
         """Consumer endpoints terminating on ``node_index`` (fault targets)."""
         return [
             endpoint
-            for consumer in self._consumers
-            if self.consumer_node(consumer.gid) == node_index
+            for consumer in self.gen.consumers
+            if consumer.node.index == node_index
             for endpoint in consumer.channels
         ]
 
     def wire(self, flows: dict[tuple[int, int], Flow]) -> None:
         """Assign flows to partitioners and build the exchange channels."""
-        for (node, thread), flow in sorted(flows.items()):
+        assignments: dict[int, list[_FlowEntry]] = {}
+        for flow_id, ((node, thread), flow) in enumerate(sorted(flows.items())):
             gid = node * self.partitioners_per_node + thread % self.partitioners_per_node
-            self._partitioner_flows.setdefault(gid, []).append(flow)
+            entry = _FlowEntry(flow_id, flow, 0)
+            assignments.setdefault(gid, []).append(entry)
+            self._all_flows.append((flow_id, flow))
             self.records_in += sum(len(batch) for _s, batch in flow)
-        self._consumers = [
-            _Consumer(self, gid, self.consumer_core(gid))
-            for gid in range(self.consumer_count)
-        ]
-        for p_gid in range(self.partitioner_count):
-            row = []
-            src = self.cluster.node(self.partitioner_node(p_gid))
-            for c_gid in range(self.consumer_count):
-                dst = self.cluster.node(self.consumer_node(c_gid))
-                channel = self.engine._make_channel(
-                    self, src, dst, name=f"x:{p_gid}->{c_gid}"
-                )
-                row.append(channel)
-                self._consumers[c_gid].attach(channel.consumer)
-            self._channels.append(row)
+        self.gen = _Generation(self, 0, list(range(self.nodes)))
+        self.gen.build(assignments)
 
     def start(self) -> None:
-        for p_gid in range(self.partitioner_count):
-            self.sim.process(
-                _Partitioner(self, p_gid).body(), name=f"part{p_gid}"
+        self.gen.start()
+
+    # -- global restart (driven by the chaos controller) ----------------------
+    def halt_node(self, node_index: int) -> None:
+        self.gen.halt_node(node_index)
+
+    def halt_generation(self) -> None:
+        self.gen.halt()
+
+    def restart_generation(self, survivors: list[int], restore: dict) -> dict:
+        """Build, restore, and start the next generation over ``survivors``.
+
+        ``restore`` is the chaos controller's bundle: per-flow absolute
+        cursors and the merged consumer state of the last complete
+        aligned snapshot round (empty cursors/state mean full replay
+        from scratch).  Returns the replay volume for the report.
+        """
+        gen = _Generation(self, self.gen.number + 1, survivors)
+        cursors = restore.get("cursors", {})
+        assignments: dict[int, list[_FlowEntry]] = {}
+        replayed_batches = 0
+        replayed_records = 0
+        for flow_id, flow in self._all_flows:
+            gid = flow_id % gen.partitioner_count
+            start = min(int(cursors.get(flow_id, 0)), len(flow))
+            assignments.setdefault(gid, []).append(
+                _FlowEntry(flow_id, flow, start)
             )
-        for consumer in self._consumers:
-            self.sim.process(consumer.body(), name=f"cons{consumer.gid}")
+            replayed_batches += len(flow) - start
+            replayed_records += sum(
+                len(batch) for _s, batch in flow[start:]
+            )
+        gen.build(assignments)
+        crdt = self.plan.crdt
+        now = self.sim.now
+        for key, payload in restore.get("state", {}).items():
+            group_key = key[1] if isinstance(key, tuple) else key
+            bucket = int(
+                (
+                    stable_hash_array(
+                        np.asarray([int(group_key)], dtype=np.int64)
+                    )
+                    % np.uint64(gen.consumer_count)
+                )[0]
+            )
+            consumer = gen.consumers[bucket]
+            consumer.state[key] = payload
+            consumer.state_bytes += 16 + crdt.payload_bytes
+            if isinstance(key, tuple):
+                consumer._last_contribution[key[0]] = now
+                if consumer.trigger is not None:
+                    consumer.trigger.note_slices([key[0]])
+        self.gen = gen
+        gen.start()
+        return {
+            "replayed_batches": replayed_batches,
+            "replayed_records": replayed_records,
+        }
 
     def collect(self, query: Query) -> RunResult:
-        for consumer in self._consumers:
+        for consumer in self.gen.consumers:
             if not consumer.done:
                 raise ConfigError(
                     f"consumer {consumer.gid} never finished — exchange deadlock?"
                 )
+        if self.chaos is not None:
+            aggregates, joins, emitted = self.chaos.committed_base()
+            aggregates = dict(aggregates)
+            joins = list(joins)
+        else:
+            aggregates, joins, emitted = {}, [], 0
+        for consumer in self.gen.consumers:
+            aggregates.update(consumer.results_aggregates)
+            joins.extend(consumer.results_joins)
+            emitted += consumer.emitted
         result = RunResult(
             system=self.engine.name,
             query_name=query.name,
@@ -276,41 +476,49 @@ class _RunContext:
             threads_per_node=self.threads,
             input_records=self.records_in,
             sim_seconds=self.sim.now,
-            aggregates=self.results_aggregates,
-            join_pairs=self.results_joins,
-            emitted=self.emitted,
+            aggregates=aggregates,
+            join_pairs=joins,
+            emitted=emitted,
         )
-        for p_gid in range(self.partitioner_count):
-            self.sender_counters.merge(self.partitioner_core(p_gid).counters)
-        for c_gid in range(self.consumer_count):
-            self.receiver_counters.merge(self.consumer_core(c_gid).counters)
         for node_index in range(self.nodes):
-            node_counters = self.cluster.node(node_index).counters()
+            node = self.cluster.node(node_index)
+            for slot in range(self.partitioners_per_node):
+                self.sender_counters.merge(node.core(slot).counters)
+            for slot in range(self.partitioners_per_node, self.threads):
+                self.receiver_counters.merge(node.core(slot).counters)
+            node_counters = node.counters()
             result.per_node_counters.append(node_counters)
             result.counters.merge(node_counters)
-        lags = [lag for c in self._consumers for lag in c.trigger_lag_s]
+        lags = [lag for c in self.gen.consumers for lag in c.trigger_lag_s]
         result.extra["trigger_lag_mean_s"] = sum(lags) / len(lags) if lags else 0.0
         result.extra["trigger_lag_max_s"] = max(lags) if lags else 0.0
         result.extra["sender_counters"] = self.sender_counters
         result.extra["receiver_counters"] = self.receiver_counters
+        if self.chaos is not None:
+            result.extra["generations"] = self.chaos.generations_started
         return result
 
 
 class _Partitioner:
     """One sender thread: filter, hash-partition, fan out."""
 
-    def __init__(self, ctx: _RunContext, gid: int):
+    def __init__(
+        self, ctx: _RunContext, gen: _Generation, gid: int,
+        entries: list[_FlowEntry],
+    ):
         self.ctx = ctx
+        self.gen = gen
         self.gid = gid
-        self.core = ctx.partitioner_core(gid)
+        self.core = gen.partitioner_core(gid)
         self.node = self.core.node
-        self.flows = ctx._partitioner_flows.get(gid, [])
+        self.entries = entries
+        self.cursors = [entry.start for entry in entries]
         self.state = _PartitionerState(
-            ctx.consumer_count,
+            gen.consumer_count,
             ctx.streams,
             disorder_ms={s.name: s.disorder_ms for s in ctx.plan.query.streams},
         )
-        self.fanout_working_set = ctx.consumer_count * ctx.engine.buffer_bytes
+        self.fanout_working_set = gen.consumer_count * ctx.engine.buffer_bytes
         self.records_per_send = {
             s.name: max(
                 1,
@@ -320,30 +528,45 @@ class _Partitioner:
             for s in ctx.plan.query.streams
         }
         self.schema_by_stream = {s.name: s.schema for s in ctx.plan.query.streams}
+        self.halted = False
+        self.finished_body = False
+        #: Round id the chaos controller wants a barrier for (aligned
+        #: snapshot); consumed at the top of the batch loop.
+        self.snapshot_request: Optional[int] = None
+
+    def abs_cursors(self) -> dict[int, int]:
+        """Absolute per-flow batch cursors (flow_id -> consumed batches)."""
+        return {
+            entry.flow_id: self.cursors[index]
+            for index, entry in enumerate(self.entries)
+        }
 
     def body(self) -> Generator[Any, Any, None]:
         ctx = self.ctx
         core = self.core
-        cost_model = self.node.cost_model
-        costs = ctx.engine.costs
         # Round-robin over this partitioner's flows keeps watermarks moving.
-        cursors = [0] * len(self.flows)
         per_flow_streams = [
-            {stream: float("-inf") for stream in ctx.streams} for _ in self.flows
+            {stream: float("-inf") for stream in ctx.streams} for _ in self.entries
         ]
-        active = set(range(len(self.flows)))
+        active = set(range(len(self.entries)))
         batches_done = 0
         while active:
+            if self.halted:
+                return
+            if self.snapshot_request is not None:
+                yield from self._snapshot_barrier()
             for flow_index in sorted(active):
-                flow = self.flows[flow_index]
-                if cursors[flow_index] >= len(flow):
+                if self.halted:
+                    return
+                flow = self.entries[flow_index].flow
+                if self.cursors[flow_index] >= len(flow):
                     active.discard(flow_index)
                     for stream in ctx.streams:
                         per_flow_streams[flow_index][stream] = float("inf")
                     self._refresh_watermark(per_flow_streams)
                     continue
-                stream_name, batch = flow[cursors[flow_index]]
-                cursors[flow_index] += 1
+                stream_name, batch = flow[self.cursors[flow_index]]
+                self.cursors[flow_index] += 1
                 yield from self._process_batch(
                     stream_name, batch, per_flow_streams[flow_index]
                 )
@@ -352,19 +575,52 @@ class _Partitioner:
                 if batches_done % ctx.engine.linger_batches == 0:
                     # Buffer timeout: push out partial buffers so consumers
                     # and their watermarks keep moving.
-                    for c_gid in range(ctx.consumer_count):
+                    for c_gid in range(self.gen.consumer_count):
                         if self.state.pending_rows[c_gid]:
                             yield from self._flush(c_gid)
+        if self.halted:
+            return
         # Flush leftovers, then signal completion everywhere.
-        for c_gid in range(ctx.consumer_count):
+        for c_gid in range(self.gen.consumer_count):
             yield from self._flush(c_gid, force=True)
-        for c_gid, channel in enumerate(ctx._channels[self.gid]):
+        for c_gid, channel in enumerate(self.gen.channels[self.gid]):
             yield from channel.producer.send(
                 core, DoneToken(self.gid), MESSAGE_HEADER_BYTES
             )
             yield from channel.producer.close(core)
+        self.finished_body = True
+        if ctx.chaos is not None and not self.halted:
+            # EOS is this partitioner's barrier for any outstanding round.
+            ctx.chaos.note_partitioner_finished(self)
+
+    def _snapshot_barrier(self) -> Generator[Any, Any, None]:
+        """Aligned-snapshot barrier: flush, record cursors, marker out.
+
+        The flush pushes every pre-barrier row onto the wire before the
+        marker, so per-channel FIFO puts the marker exactly at the cut;
+        the cursors are captured before any post-barrier batch is read,
+        making (cursors, markers) one consistent frontier.
+        """
+        round_id = self.snapshot_request
+        self.snapshot_request = None
+        chaos = self.ctx.chaos
+        if chaos is None or round_id is None:
+            return
+        for c_gid in range(self.gen.consumer_count):
+            if self.state.pending_rows[c_gid]:
+                yield from self._flush(c_gid)
+        chaos.note_partitioner_capture(round_id, self, self.abs_cursors())
+        marker = SnapshotMarker(
+            round_id=round_id, from_executor=self.gid, boundary=0
+        )
+        for channel in self.gen.channels[self.gid]:
+            yield from channel.producer.send(
+                self.core, marker, MESSAGE_HEADER_BYTES
+            )
 
     def _refresh_watermark(self, per_flow_streams: list[dict[str, float]]) -> None:
+        if not per_flow_streams:
+            return
         for stream in self.ctx.streams:
             self.state.stream_maxes[stream] = min(
                 flow_maxes[stream] for flow_maxes in per_flow_streams
@@ -402,7 +658,7 @@ class _Partitioner:
             core.counters.count_records(len(filtered))
             consumer_ids = (
                 stable_hash_array(np.asarray(filtered.keys, dtype=np.int64))
-                % np.uint64(ctx.consumer_count)
+                % np.uint64(self.gen.consumer_count)
             ).astype(np.int64)
             order = np.argsort(consumer_ids, kind="stable")
             sorted_ids = consumer_ids[order]
@@ -424,7 +680,7 @@ class _Partitioner:
         pending = self.state.pending[c_gid]
         if self.state.pending_rows[c_gid] == 0 and not force:
             return
-        channel = ctx._channels[self.gid][c_gid]
+        channel = self.gen.channels[self.gid][c_gid]
         watermark = self.state.watermark
         outgoing: list[tuple[str, RecordBatch]] = []
         for stream_name in ctx.streams:
@@ -458,12 +714,13 @@ class _Partitioner:
 class _Consumer:
     """One receiver thread: poll queues, update local state, trigger."""
 
-    def __init__(self, ctx: _RunContext, gid: int, core: Core):
+    def __init__(self, ctx: _RunContext, gen: _Generation, gid: int, core: Core):
         self.ctx = ctx
+        self.gen = gen
         self.gid = gid
         self.core = core
         self.node = core.node
-        self.wake = ctx.sim.store(name=f"cons{gid}.wake")
+        self.wake = ctx.sim.store(name=f"g{gen.number}.cons{gid}.wake")
         self.channels: list[Any] = []
         self.channel_wm: list[float] = []
         self.channel_done: list[bool] = []
@@ -471,10 +728,16 @@ class _Consumer:
         self.state_bytes = 0.0
         self._last_contribution: dict = {}
         self.trigger_lag_s: list[float] = []
+        # Per-consumer result sinks: a discarded generation's output dies
+        # with it, the surviving generation's merges at collect().
+        self.results_aggregates: dict = {}
+        self.results_joins: list = []
+        self.emitted = 0
         window = ctx.plan.window
         self.trigger = (
             None if isinstance(window, SessionWindows) else WindowTriggerState(window)
         )
+        self.halted = False
         self.done = False
 
     def attach(self, consumer_endpoint: Any) -> None:
@@ -485,23 +748,48 @@ class _Consumer:
 
     def body(self) -> Generator[Any, Any, None]:
         core = self.core
+        chaos = self.ctx.chaos
         index_of = {id(channel): i for i, channel in enumerate(self.channels)}
         while not all(self.channel_done):
+            if self.halted:
+                return
             ok, channel = self.wake.try_get()
             if not ok:
                 # All queues empty: spin (pause) until any channel signals.
                 channel = yield from core.spin_wait(self.wake.get())
-            index = index_of[id(channel)]
+            if self.halted:
+                return
+            index = index_of.get(id(channel))
+            if index is None:
+                continue  # a halt/restart poke, not a channel signal
             progressed = False
             while True:
+                if self.halted:
+                    return
                 ok, payload, _nbytes = channel.try_recv(core)
                 if not ok:
                     break
+                if chaos is not None:
+                    verdict = chaos.on_consumer_payload(
+                        self, index, channel, payload
+                    )
+                    if verdict == "marker":
+                        yield from channel.release(core)
+                        yield from chaos.maybe_capture(self)
+                        continue
+                    if verdict == "spill":
+                        # Alignment backpressure: hold the credit until
+                        # the capture replays this buffer.
+                        continue
                 progressed = True
                 yield from self._handle(index, channel, payload)
+                if chaos is not None:
+                    yield from chaos.maybe_capture(self)
             if progressed:
                 yield from self._check_triggers()
         yield from self._check_triggers()
+        if chaos is not None:
+            yield from chaos.maybe_capture(self)
         self._assert_drained()
         self.done = True
 
@@ -518,6 +806,13 @@ class _Consumer:
             self.channel_wm[index] = float("inf")
             yield from channel.release(core)
             return
+        if isinstance(payload, SnapshotMarker):
+            # A marker of an aborted round (the controller declined it):
+            # barrier of nothing, just drop it.
+            yield from channel.release(core)
+            return
+        if ctx.chaos is not None:
+            ctx.chaos.note_consumer_merge(self, index)
         message: _Message = payload
         batch = message.batch
         pipeline = ctx.plan.pipeline_for(message.stream)
@@ -596,8 +891,8 @@ class _Consumer:
         emit_cost = self.node.cost_model.compute_cost(ctx.engine.costs.emit)
         yield from self.core.execute(emit_cost, float(len(extracted)))
         for key, payload in extracted.items():
-            ctx.results_aggregates[(window_id, key)] = crdt.finish(payload)
-        ctx.emitted += len(extracted)
+            self.results_aggregates[(window_id, key)] = crdt.finish(payload)
+        self.emitted += len(extracted)
         self.state_bytes = max(
             0.0, self.state_bytes - len(extracted) * (16 + crdt.payload_bytes)
         )
@@ -614,12 +909,12 @@ class _Consumer:
         produced = 0
         for key, payload in extracted.items():
             for left_row, right_row in probe_window(payload):
-                ctx.results_joins.append((window_id, key, left_row, right_row))
+                self.results_joins.append((window_id, key, left_row, right_row))
                 produced += 1
         if produced:
             probe_cost = self.node.cost_model.compute_cost(ctx.engine.costs.probe_pair)
             yield from self.core.execute(probe_cost, float(produced))
-        ctx.emitted += produced
+        self.emitted += produced
 
     def _trigger_sessions(self, frontier: float) -> Generator[Any, Any, None]:
         ctx = self.ctx
@@ -634,7 +929,7 @@ class _Consumer:
                 continue
             produced += len(emitted)
             for left_row, right_row in emitted:
-                ctx.results_joins.append((key, left_row, right_row))
+                self.results_joins.append((key, left_row, right_row))
             if remaining:
                 self.state[key] = remaining
             else:
@@ -642,7 +937,7 @@ class _Consumer:
         if produced:
             probe_cost = self.node.cost_model.compute_cost(ctx.engine.costs.probe_pair)
             yield from self.core.execute(probe_cost, float(produced))
-        ctx.emitted += produced
+        self.emitted += produced
 
     def _assert_drained(self) -> None:
         if self.trigger is not None and self.trigger.pending:

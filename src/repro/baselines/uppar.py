@@ -24,12 +24,14 @@ from repro.common.config import (
     DEFAULT_CREDITS,
 )
 from repro.core.system import (
+    CAP_CRASH_RECOVERY,
     CAP_FAULT_INJECTION,
     CAP_JOINS,
     CAP_SANITIZE,
     CAP_SCALE_OUT,
     CAP_SESSION_WINDOWS,
     CAP_TRANSFER_BENCH,
+    STRATEGY_ASYNC_SNAPSHOT,
 )
 from repro.rdma.connection import ConnectionManager
 from repro.simnet.cluster import Node
@@ -46,15 +48,27 @@ class UpParEngine(PartitionedEngine):
             CAP_SESSION_WINDOWS,
             CAP_SANITIZE,
             CAP_FAULT_INJECTION,
+            CAP_CRASH_RECOVERY,
             CAP_TRANSFER_BENCH,
         }
     )
-    # Data-plane kinds only: UpPar rides Slash's RDMA channels, so NIC,
-    # WRITE-drop, and credit faults apply, but it has no checkpoints,
-    # membership, or promotion — crash/partition plans are rejected.
+    # Data-plane kinds ride Slash's RDMA channels directly; crash and
+    # partition plans go through the aligned-snapshot + global-restart
+    # plane (membership over per-node proxies, Flink-style recovery —
+    # see faults/snapshots.py).  Stall and duplicate-delta stay out:
+    # both act on Slash executor internals a partitioned worker lacks.
     supported_fault_kinds = frozenset(
-        {"nic-flap", "drop-chunk", "credit-starvation"}
+        {
+            "nic-flap",
+            "drop-chunk",
+            "credit-starvation",
+            "node-crash",
+            "net-partition",
+            "asym-partition",
+        }
     )
+    supported_recovery_strategies = frozenset({STRATEGY_ASYNC_SNAPSHOT})
+    default_recovery_strategy = STRATEGY_ASYNC_SNAPSHOT
 
     def __init__(
         self,

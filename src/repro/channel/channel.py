@@ -294,6 +294,12 @@ class ProducerEndpoint:
                 self.mark_dead()
                 self._blackhole(nbytes)
                 return
+            if faults.is_crashed_node(self.qp.local.index):
+                # The *sender's* host died mid-send (its worker is only
+                # cooperatively halted): a dead host does not retry.
+                self.mark_dead()
+                self._blackhole(nbytes)
+                return
             if faults.link_blocked(self.qp.local.index, self.qp.remote.index):
                 # A partition, not a lost WRITE: the transport holds the
                 # transfer until the path heals.  Waiting out the cut
@@ -618,6 +624,7 @@ class LocalChannel:
         self._credit_returns: Store = sim.store(name=f"{name}.credits")
         self._eos_seen = False
         self._closed = False
+        self._dead = False
         self.notify_store: Optional[Store] = None
         self.producer = self
         self.consumer = self
@@ -625,6 +632,19 @@ class LocalChannel:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    def mark_dead(self) -> None:
+        """Administratively kill the channel (its owner was fenced).
+
+        Future sends are silently dropped, and a fake credit wakes any
+        sender parked on the credit wait so its (halted) body can exit.
+        """
+        self._dead = True
+        self._credit_returns.put(1)
 
     @property
     def eos(self) -> bool:
@@ -636,6 +656,8 @@ class LocalChannel:
 
     def send(self, core: Core, payload: Any, nbytes: int) -> Generator[Any, Any, None]:
         """Copy one buffer to the consumer side, honouring credits."""
+        if self._dead:
+            return
         if self._closed:
             raise ProtocolError(f"{self.name}: send after EOS")
         if nbytes > self.buffer_bytes:
@@ -645,6 +667,8 @@ class LocalChannel:
         while not self._flow.can_send():
             stall_start = self.sim.now
             yield from core.spin_wait(self._credit_returns.get())
+            if self._dead:
+                return
             self._flow.refill(1)
             self.stats.record_stall(self.sim.now - stall_start)
         self._flow.spend()
@@ -657,6 +681,8 @@ class LocalChannel:
         self.stats.record_send(nbytes)
 
     def close(self, core: Core) -> Generator[Any, Any, None]:
+        if self._dead:
+            return
         yield from self.send(core, CHANNEL_EOS, 0)
         self._closed = True
 

@@ -27,6 +27,8 @@ from repro.core.pipeline import compile_query
 from repro.core.query import Query
 from repro.core.system import (
     ALL_CAPABILITIES,
+    STRATEGY_ASYNC_SNAPSHOT,
+    STRATEGY_EPOCH_BUDDY,
     SystemHooks,
     install_sanitizer,
 )
@@ -109,6 +111,12 @@ class SlashEngine(SystemHooks):
             "asym-partition",
         }
     )
+    # Epoch-buddy is the paper's native recovery path; the aligned
+    # Chandy–Lamport coordinator (faults/snapshots.py) is opt-in.
+    supported_recovery_strategies = frozenset(
+        {STRATEGY_EPOCH_BUDDY, STRATEGY_ASYNC_SNAPSHOT}
+    )
+    default_recovery_strategy = STRATEGY_EPOCH_BUDDY
 
     def __init__(
         self,
@@ -168,7 +176,11 @@ class SlashEngine(SystemHooks):
         if self.fault_plan is not None and len(self.fault_plan):
             from repro.faults.injector import FaultInjector
 
-            injector = FaultInjector(sim, self.fault_plan, **self.fault_overrides)
+            kwargs = dict(self.fault_overrides)
+            kwargs.setdefault(
+                "strategy", self.recovery_strategy or STRATEGY_EPOCH_BUDDY
+            )
+            injector = FaultInjector(sim, self.fault_plan, **kwargs)
             # Attaching the injector before executor construction flips
             # every layer onto its fault-tolerant code path.
             sim.faults = injector

@@ -81,6 +81,23 @@ class DoneToken:
     from_executor: int
 
 
+@dataclass(frozen=True)
+class SnapshotMarker:
+    """In-band Chandy-Lamport barrier (the async-snapshot strategy).
+
+    Travels through a channel like data, immediately after every delta
+    of the sender's capture boundary: the receiver treats deltas before
+    it as part of the consistent cut (in-flight channel state) and
+    deltas after it as post-snapshot, to be aligned/spilled if the
+    receiver has not captured yet.  ``boundary`` is the sender's capture
+    boundary (``epochs_shipped - 1`` at its capture instant).
+    """
+
+    round_id: int
+    from_executor: int
+    boundary: int
+
+
 class FlowWatermarks:
     """Low-watermark over a worker's flows and input streams.
 
@@ -335,10 +352,13 @@ class SlashExecutor:
             self.sim, "epoch", f"exec{self.executor_id} boundary",
             epoch=self.epoch.current_epoch, deltas=len(deltas), final=final,
         )
+        marker = None
         if self.sim.faults is not None:
             # Record the cut (flow positions + retained deltas) and take
-            # the epoch-boundary checkpoint, synchronously at this instant.
-            self.sim.faults.note_epoch_cut(self, deltas, final)
+            # the boundary checkpoint, synchronously at this instant.
+            # Under async-snapshot the injector returns a SnapshotMarker
+            # to emit in-band right after this cut's deltas.
+            marker = self.sim.faults.note_epoch_cut(self, deltas, final)
         # Re-anchor the working-set estimate: fragments were just drained,
         # so the hot set is what actually remains resident locally.
         self._ws_bytes = float(self.handle.fragment_bytes())
@@ -348,7 +368,7 @@ class SlashExecutor:
             leader = self.directory.leader_of_partition(delta.partition)
             by_thread[leader % thread_count].append(delta)
         for thread, subset in enumerate(by_thread):
-            self._ship_inboxes[thread].put((subset, final))
+            self._ship_inboxes[thread].put((subset, final, marker))
 
     def _defer_watermarks(self, deltas: list) -> list:
         """Keep the watermark only on the last delta per leader.
@@ -388,7 +408,7 @@ class SlashExecutor:
 
         cost_model = self.node.cost_model
         while True:
-            deltas, final = yield Park(self._ship_inboxes[thread].get())
+            deltas, final, marker = yield Park(self._ship_inboxes[thread].get())
             deltas = self._defer_watermarks(deltas)
             for delta in deltas:
                 leader = self.directory.leader_of_partition(delta.partition)
@@ -420,6 +440,16 @@ class SlashExecutor:
                     # out again; the leader's epoch ledger must dedupe it.
                     for chunk in self._chunk_delta(delta):
                         yield from producer.send_cooperative(core, chunk, chunk.nbytes)
+            if marker is not None:
+                # Barrier markers follow the boundary's deltas on every
+                # open channel this thread owns (one sender per channel,
+                # so FIFO order puts them after the cut everywhere).
+                for _peer_id, producer in self._owned_out_channels(thread):
+                    if producer.closed or producer.dead:
+                        continue
+                    yield from producer.send_cooperative(
+                        core, marker, CHUNK_HEADER_BYTES
+                    )
             if thread == 0:
                 # Even with nothing to ship, re-check the trigger: our own
                 # watermark may have advanced past a window end.
@@ -500,13 +530,22 @@ class SlashExecutor:
             while True:
                 payload, _nbytes = yield from consumer.recv_cooperative(core)
                 if payload is CHANNEL_EOS:
+                    if self.sim.faults is not None:
+                        self.sim.faults.note_channel_closed(self.executor_id, peer_id)
                     yield from consumer.release(core)
                     break
                 if isinstance(payload, DoneToken):
                     self._done_peers.add(payload.from_executor)
                     self.backend.clock.advance(payload.from_executor, float("inf"))
+                    if self.sim.faults is not None:
+                        self.sim.faults.note_channel_closed(self.executor_id, peer_id)
                     yield from consumer.release(core)
                     yield from self._check_triggers(core)
+                    continue
+                if isinstance(payload, SnapshotMarker):
+                    if self.sim.faults is not None:
+                        self.sim.faults.note_snapshot_marker(self, peer_id, payload)
+                    yield from consumer.release(core)
                     continue
                 chunk: DeltaChunk = payload
                 key = (chunk.operator_id, chunk.partition, chunk.from_executor, chunk.epoch)
@@ -528,6 +567,15 @@ class SlashExecutor:
                             self.costs.merge_pair, working_set, self.costs.merge_lines
                         )
                         yield from core.execute(merge_cost, float(len(pairs)))
+                    if self.sim.faults is not None and self.sim.faults.snapshot_intercept(
+                        self, peer_id, delta, chunk.ingest_times
+                    ):
+                        # Alignment: the sender already passed its barrier
+                        # for the outstanding round but this executor has
+                        # not captured yet — the delta is post-snapshot,
+                        # spilled until the local capture happens.
+                        yield from consumer.release(core)
+                        continue
                     # The ledger rejects duplicate epochs (retransmission or
                     # injected duplicate): a stale delta must not re-merge,
                     # re-note windows, or count as progress.
@@ -564,6 +612,8 @@ class SlashExecutor:
             # The peer was declared dead and the channel reset: drop its
             # half-assembled chunks — recovery re-creates that state from
             # the checkpoint and retained deltas.
+            if self.sim.faults is not None:
+                self.sim.faults.note_channel_closed(self.executor_id, peer_id)
             stale = [k for k in self._pending_parts if k[2] == peer_id]
             for k in stale:
                 del self._pending_parts[k]

@@ -42,6 +42,14 @@ ALL_CAPABILITIES = frozenset(
     }
 )
 
+# Recovery strategies.  An engine with CAP_CRASH_RECOVERY names the
+# subset it implements in ``supported_recovery_strategies``; the chaos
+# harness and Scenario thread the chosen one into the fault injector.
+STRATEGY_EPOCH_BUDDY = "epoch-buddy"  # synchronous per-cut checkpoint + buddy
+STRATEGY_ASYNC_SNAPSHOT = "async-snapshot"  # Chandy-Lamport marker rounds
+
+RECOVERY_STRATEGIES = (STRATEGY_EPOCH_BUDDY, STRATEGY_ASYNC_SNAPSHOT)
+
 
 class SystemHooks:
     """Mixin giving an engine the generic StreamSystem attach points.
@@ -60,12 +68,18 @@ class SystemHooks:
     #: FaultKind values (strings) the engine can absorb; only consulted
     #: when ``CAP_FAULT_INJECTION`` is present.
     supported_fault_kinds: frozenset = frozenset()
+    #: Recovery strategies the engine can drive (RECOVERY_STRATEGIES
+    #: values); empty means faults are data-plane only.
+    supported_recovery_strategies: frozenset = frozenset()
+    #: The strategy used when :meth:`attach_faults` gets none explicitly.
+    default_recovery_strategy: Optional[str] = None
 
     # Attachment state consumed by each engine's run().  Class-level
     # defaults keep engines that never touch the hooks working unchanged.
     sanitize: bool = False
     fault_plan = None
     fault_overrides: dict = {}
+    recovery_strategy: Optional[str] = None
 
     def attach_sanitizer(self):
         """Arm runtime invariant checking for the next run."""
@@ -73,19 +87,51 @@ class SystemHooks:
         self.sanitize = True
         return self
 
-    def attach_faults(self, plan, overrides: Optional[dict] = None):
-        """Arm a chaos schedule (a FaultPlan) for the next run."""
+    def attach_faults(
+        self,
+        plan,
+        overrides: Optional[dict] = None,
+        strategy: Optional[str] = None,
+    ):
+        """Arm a chaos schedule (a FaultPlan) for the next run.
+
+        ``strategy`` names the recovery strategy the run should use; it
+        is validated against ``supported_recovery_strategies`` exactly
+        like fault kinds against ``supported_fault_kinds``, so a plan
+        naming a strategy the engine lacks fails fast instead of
+        crashing mid-simulation.
+        """
         self._require(CAP_FAULT_INJECTION, "fault injection")
+        name = getattr(self, "name", type(self).__name__)
         asked = {str(event.kind.value) for event in plan}
         unsupported = asked - self.supported_fault_kinds
         if unsupported:
             raise CapabilityError(
-                f"engine {getattr(self, 'name', type(self).__name__)!r} cannot "
+                f"engine {name!r} cannot "
                 f"absorb fault kind(s) {sorted(unsupported)}; supported: "
                 f"{sorted(self.supported_fault_kinds)}"
             )
+        if strategy is not None:
+            if strategy not in RECOVERY_STRATEGIES:
+                raise CapabilityError(
+                    f"unknown recovery strategy {strategy!r}; known "
+                    f"strategies: {sorted(RECOVERY_STRATEGIES)}"
+                )
+            if strategy not in self.supported_recovery_strategies:
+                supported = (
+                    sorted(self.supported_recovery_strategies)
+                    if self.supported_recovery_strategies
+                    else "none (data-plane faults only)"
+                )
+                raise CapabilityError(
+                    f"engine {name!r} cannot recover via {strategy!r}; "
+                    f"supported strategies: {supported}"
+                )
         self.fault_plan = plan
         self.fault_overrides = dict(overrides or {})
+        self.recovery_strategy = (
+            strategy if strategy is not None else self.default_recovery_strategy
+        )
         return self
 
     def _require(self, capability: str, feature: str) -> None:

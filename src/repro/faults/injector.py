@@ -67,6 +67,11 @@ from typing import Any
 
 from repro.common.errors import FaultError, RecoveryError
 from repro.core.costs import quantize_working_set
+from repro.core.system import (
+    RECOVERY_STRATEGIES,
+    STRATEGY_ASYNC_SNAPSHOT,
+    STRATEGY_EPOCH_BUDDY,
+)
 from repro.core.windows import SessionWindows, SlidingWindow
 from repro.faults.checkpoint import Checkpoint, CheckpointStore
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
@@ -114,6 +119,10 @@ class FaultTarget:
 
     node: Any
     in_channels: list
+    #: Extra bandwidth pipes a NIC flap must also degrade (e.g. the
+    #: IPoIB fabric's per-node tx/rx pipes, which sit beside the node's
+    #: RDMA NIC pipes).
+    extra_pipes: list = dataclasses.field(default_factory=list)
 
 
 class _RecoveryAborted(Exception):
@@ -133,11 +142,20 @@ class FaultInjector:
         rto_s: float = DEFAULT_RTO_S,
         credit_timeout_s: float = DEFAULT_CREDIT_TIMEOUT_S,
         max_retries: int = DEFAULT_MAX_RETRIES,
+        strategy: str = STRATEGY_EPOCH_BUDDY,
+        snapshot_interval_s: float | None = None,
     ):
         if detect_s <= 0 or watchdog_period_s <= 0 or rto_s <= 0 or credit_timeout_s <= 0:
             raise FaultError("fault-handling timeouts must be positive")
         if max_retries < 1:
             raise FaultError(f"max_retries must be >= 1, got {max_retries}")
+        if strategy not in RECOVERY_STRATEGIES:
+            raise FaultError(
+                f"unknown recovery strategy {strategy!r}; known: "
+                f"{sorted(RECOVERY_STRATEGIES)}"
+            )
+        if snapshot_interval_s is not None and snapshot_interval_s <= 0:
+            raise FaultError("snapshot_interval_s must be positive")
         self.sim = sim
         self.plan = plan
         self.detect_s = detect_s
@@ -145,6 +163,18 @@ class FaultInjector:
         self.rto_s = rto_s
         self.credit_timeout_s = credit_timeout_s
         self.max_retries = max_retries
+        self.strategy = strategy
+        #: Period of the marker rounds under async-snapshot; defaults to
+        #: twice the detection budget so a round usually completes
+        #: between fault and fence.
+        self.snapshot_interval_s = (
+            snapshot_interval_s if snapshot_interval_s is not None
+            else 2.0 * detect_s
+        )
+        #: Chandy-Lamport round driver (Slash under async-snapshot).
+        self.coordinator: Any = None
+        #: Aligned-snapshot/global-restart controller (partitioned engines).
+        self.partitioned: Any = None
 
         self.executors: list[Any] = []
         self.cluster: Any = None
@@ -202,6 +232,13 @@ class FaultInjector:
             "credit_timeouts": 0,
             "blackholed_sends": 0,
             "checkpoint_bytes_replicated": 0,
+            "snapshot_rounds_started": 0,
+            "snapshot_rounds_complete": 0,
+            "snapshot_rounds_failed": 0,
+            "snapshot_captures": 0,
+            "snapshot_markers_seen": 0,
+            "snapshot_deltas_spilled": 0,
+            "snapshot_channel_deltas": 0,
         }
 
     # -- wiring ------------------------------------------------------------
@@ -254,6 +291,68 @@ class FaultInjector:
             confirm_s=self.detect_s * CONFIRM_FRACTION,
             ack_timeout_s=self.detect_s * ACK_TIMEOUT_FRACTION,
         )
+        if self.strategy == STRATEGY_ASYNC_SNAPSHOT:
+            from repro.faults.snapshots import SnapshotCoordinator
+
+            self.coordinator = SnapshotCoordinator(self)
+
+    def register_partitioned(self, cluster: Any, controller: Any) -> None:
+        """Bind the injector to a partitioned deployment's recovery plane.
+
+        ``controller`` is a
+        :class:`~repro.faults.snapshots.PartitionedChaosController`; its
+        per-node proxies become the injector's (and the membership
+        service's) executors, so detection, quorum fencing, and the
+        report pipeline are byte-identical to the Slash path.  The only
+        strategy partitioned engines implement is async-snapshot —
+        aligned marker rounds plus global restart.
+        """
+        if self.strategy != STRATEGY_ASYNC_SNAPSHOT:
+            raise FaultError(
+                "partitioned engines recover via async-snapshot only; "
+                f"got strategy {self.strategy!r}"
+            )
+        self.cluster = cluster
+        self.partitioned = controller
+        controller.bind(self)
+        self.executors = list(controller.proxies)
+        self.plan.validate(len(self.executors))
+        recovery_capable = bool(self.plan.crash_targets()) or any(
+            e.kind in (FaultKind.NET_PARTITION, FaultKind.ASYM_PARTITION)
+            for e in self.plan
+        )
+        if recovery_capable:
+            # Same exactly-once restriction as register(): the global
+            # restart re-fires windows restored from the snapshot, which
+            # is only safe when a fire extracts all of a window's state.
+            plan0 = controller.ctx.plan
+            window = plan0.window
+            unsupported = (
+                plan0.is_join
+                or isinstance(window, SessionWindows)
+                or (
+                    isinstance(window, SlidingWindow)
+                    and window.slices_per_window > 1
+                )
+            )
+            if unsupported:
+                raise FaultError(
+                    "leader-crash recovery supports windowed aggregations "
+                    "with non-overlapping windows (tumbling, or sliding "
+                    "with slide == size); use a non-crash fault for this "
+                    "query"
+                )
+        for index, proxy in enumerate(self.executors):
+            self._node_to_exec[proxy.node.index] = index
+            self._cuts[index] = []
+            self.checkpoints.install_initial(index, 0)
+        self.membership = MembershipService(
+            self,
+            heartbeat_period_s=self.detect_s / HEARTBEAT_DIVISOR,
+            phi_threshold=PHI_THRESHOLD,
+            confirm_s=self.detect_s * CONFIRM_FRACTION,
+            ack_timeout_s=self.detect_s * ACK_TIMEOUT_FRACTION,
+        )
 
     def register_data_plane(self, cluster: Any, targets: list[Any]) -> None:
         """Bind the injector to a deployment without a recovery plane.
@@ -281,6 +380,14 @@ class FaultInjector:
         """Launch the membership agents and one process per fault event."""
         if self.membership is not None:
             self.membership.start()
+        if self.coordinator is not None:
+            self.sim.process(
+                self.coordinator.driver(), name="snapshot.coordinator"
+            )
+        if self.partitioned is not None:
+            self.sim.process(
+                self.partitioned.driver(), name="snapshot.controller"
+            )
         for index, event in enumerate(self.plan):
             self.sim.process(
                 self._event_proc(event), name=f"fault.{event.kind.value}.{index}"
@@ -453,22 +560,31 @@ class FaultInjector:
         self.stats["blackholed_sends"] += 1
 
     # -- epoch cuts (called by every executor at every boundary) ------------
-    def note_epoch_cut(self, executor: Any, deltas: list[EpochDelta], final: bool) -> None:
-        """Record a boundary: positions, retained deltas, and a checkpoint.
+    def note_epoch_cut(self, executor: Any, deltas: list[EpochDelta], final: bool):
+        """Record a boundary; checkpoint per the active recovery strategy.
 
         Called synchronously from ``_enqueue_epoch_ship`` — the positions,
-        the collected deltas, and the checkpoint snapshot all describe the
+        the collected deltas, and any checkpoint snapshot all describe the
         same simulated instant, which is what makes the cut consistent.
+
+        Under epoch-buddy, every cut captures a checkpoint (returns
+        None).  Under async-snapshot, the coordinator captures only at
+        the cut that meets an outstanding marker round, and the return
+        value is the :class:`~repro.core.executor.SnapshotMarker` the
+        shipper threads must emit right after this cut's deltas (or
+        None when no round is waiting).
         """
         executor_id = executor.executor_id
         if executor_id in self.crashed:
-            return
+            return None
         cuts = self._cuts[executor_id]
         cuts.append(list(executor._flow_pos))
         for delta in deltas:
             self._retained.setdefault(
                 (executor_id, delta.partition), []
             ).append(delta)
+        if self.coordinator is not None:
+            return self.coordinator.on_cut(executor, len(cuts) - 1, final)
         checkpoint = Checkpoint.capture(executor, boundary=len(cuts) - 1)
         checkpoint.captured_at = self.sim.now
         self.checkpoints.add(checkpoint)
@@ -476,6 +592,27 @@ class FaultInjector:
             self._replicate_proc(checkpoint),
             name=f"ckpt.exec{executor_id}.b{checkpoint.boundary}",
         )
+        return None
+
+    # -- snapshot hooks (called by the merge tasks) --------------------------
+    def note_snapshot_marker(self, executor: Any, peer_id: int, marker: Any) -> None:
+        """A barrier marker arrived in-band at ``executor``."""
+        if self.coordinator is not None:
+            self.coordinator.on_marker(executor, peer_id, marker)
+
+    def snapshot_intercept(
+        self, executor: Any, peer_id: int, delta: EpochDelta, ingest_times: Any
+    ) -> bool:
+        """True if the delta was spilled for snapshot alignment (the
+        merge task must skip it; it merges at the capture instant)."""
+        if self.coordinator is None:
+            return False
+        return self.coordinator.intercept(executor, peer_id, delta, ingest_times)
+
+    def note_channel_closed(self, dst_id: int, src_id: int) -> None:
+        """(dst, src) delivered EOS/DoneToken or reset: no marker is coming."""
+        if self.coordinator is not None:
+            self.coordinator.on_channel_closed(dst_id, src_id)
 
     def _replicate_proc(self, checkpoint: Checkpoint):
         """Asynchronously copy a checkpoint to its buddy node."""
@@ -536,12 +673,15 @@ class FaultInjector:
         if event.kind is FaultKind.NODE_CRASH:
             self._apply_crash(event.target)
         elif event.kind is FaultKind.NIC_FLAP:
-            node = self.executors[event.target].node
-            node.nic_tx.degrade(event.factor)
-            node.nic_rx.degrade(event.factor)
+            target = self.executors[event.target]
+            node = target.node
+            pipes = [node.nic_tx, node.nic_rx]
+            pipes.extend(getattr(target, "extra_pipes", ()))
+            for pipe in pipes:
+                pipe.degrade(event.factor)
             yield Timeout(event.duration_s)
-            node.nic_tx.restore()
-            node.nic_rx.restore()
+            for pipe in pipes:
+                pipe.restore()
         elif event.kind is FaultKind.DROP_CHUNK:
             self._drop_windows[event.target] = [
                 event.at_s, event.at_s + event.duration_s, float(event.count)
@@ -639,8 +779,13 @@ class FaultInjector:
         self._crash_time[victim] = now
         self._fault_at.setdefault(victim, now)
         self._recovery_pending.add(victim)
-        for scheduler in executor.schedulers:
-            scheduler.halt()
+        if self.partitioned is not None:
+            self.partitioned.on_crash(victim)
+        else:
+            for scheduler in executor.schedulers:
+                scheduler.halt()
+            if self.coordinator is not None:
+                self.coordinator.on_crash(victim)
         info = self._recovery.setdefault(victim, {})
         info["crashed_at"] = now
         info["fault_at"] = self._fault_at[victim]
@@ -677,6 +822,13 @@ class FaultInjector:
             self.sim, "fault", f"exec {victim} fenced out",
             proposer=proposer, votes=votes,
         )
+        if self.partitioned is not None:
+            # Partitioned recovery is a global restart, not a per-victim
+            # takeover: hand the fence to the controller and stop here.
+            if self.membership is not None:
+                self.membership.announce_death(victim, proposer)
+            self.partitioned.on_fence(victim)
+            return
         # Completed-but-undurable recoveries whose state lived only in
         # this victim's memory must be redone from their own checkpoints.
         for undurable_victim in sorted(self._undurable):
@@ -761,6 +913,14 @@ class FaultInjector:
         buddy = (victim + 1) % len(self.executors)
         if buddy != victim and buddy in self.crashed:
             return self.checkpoints.initial_for(victim)
+        if self.coordinator is not None:
+            # Async-snapshot: only captures from *complete* rounds are
+            # consistent cuts; an incomplete round's capture may have
+            # committed via replication but must never be restored.
+            checkpoint = self.coordinator.restorable_for(victim)
+            if checkpoint is None:
+                return self.checkpoints.initial_for(victim)
+            return checkpoint
         return self.checkpoints.latest_committed(victim)
 
     # -- the recovery protocol ----------------------------------------------
@@ -973,6 +1133,7 @@ class FaultInjector:
 
         positions = list(checkpoint.positions) or [0] * len(flows)
         replayed_batches = 0
+        replayed_records = 0
         reshipped = 0
         for end_positions, epoch in segments:
             staged: dict[int, dict[Any, Any]] = {}
@@ -987,6 +1148,7 @@ class FaultInjector:
                     self._abort_if_dead(victim, new_leader)
                     result = pipeline.process_batch(batch)
                     replayed_batches += 1
+                    replayed_records += len(batch)
                     if not result.survivors:
                         continue
                     update_cost = cost_model.op(
@@ -1076,6 +1238,7 @@ class FaultInjector:
                             )
             positions = list(end_positions)
         info["replayed_batches"] = replayed_batches
+        info["replayed_records"] = replayed_records
         info["reshipped_deltas"] = reshipped
         yield Timeout(0.0)
 
@@ -1123,6 +1286,7 @@ class FaultInjector:
         taken, committed = self.checkpoints.counts()
         return {
             "seed": self.plan.seed,
+            "strategy": self.strategy,
             "events": [
                 {
                     "kind": event.kind.value,

@@ -1,0 +1,786 @@
+"""Marker-based asynchronous consistent snapshots (the second strategy).
+
+Slash's native recovery (``injector.py``) checkpoints *synchronously at
+every epoch cut* and replicates to a buddy — cheap per cut, but the
+checkpoint frequency is welded to the epoch length.  This module adds
+the classic alternative: Chandy-Lamport barrier rounds in the style of
+Flink's asynchronous snapshots (Carbone et al., "Lightweight
+Asynchronous Snapshots for Distributed Dataflows"), selectable per run
+via ``recovery_strategy="async-snapshot"``.
+
+Two coordinators live here:
+
+* :class:`SnapshotCoordinator` drives rounds over Slash executors.  A
+  round starts on a timer; each participant captures its state at its
+  *next epoch cut* and emits a :class:`~repro.core.executor.SnapshotMarker`
+  in-band right after that cut's deltas on every outbound channel (one
+  sender per channel, so FIFO puts the marker exactly at the barrier).
+  Receivers align: a delta arriving *after* the sender's marker but
+  *before* the local capture is post-snapshot and spills until the local
+  capture; a delta arriving *before* the sender's marker but after the
+  local capture is in-flight channel state of the cut (recorded for the
+  ``snapshot-consistency`` invariant; the epoch ledger's admission
+  frontier already covers it on restore).  A round completes when every
+  participant captured and every channel delivered its marker (or
+  closed); the captures persist into the shared
+  :class:`~repro.faults.checkpoint.CheckpointStore` and replicate to the
+  buddy like any epoch-buddy checkpoint.  Crash recovery then restores
+  the victim's capture from the *newest complete round* instead of its
+  newest per-cut checkpoint.
+
+* :class:`PartitionedChaosController` gives the partitioned baselines
+  (UpPar) the whole recovery plane they lacked: membership wiring via
+  per-node proxies, aligned snapshot rounds (partitioners flush, record
+  their absolute input cursors, and send markers; consumers spill
+  post-marker buffers until every input channel markered, Flink's
+  aligned-checkpoint backpressure), and Flink-style **global restart**
+  on a fence — the generation halts, a new generation over the
+  survivors restores the merged snapshot state (re-bucketed to the new
+  consumer count) and replays every flow from its captured cursor.
+
+Layering: this module sits with ``faults`` (above ``core``, below
+``baselines``); the partitioned engine hands it duck-typed run-context
+objects, so nothing here imports from ``repro.baselines``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Optional
+
+from repro.channel.channel import CHANNEL_EOS
+from repro.core.executor import DoneToken, SnapshotMarker
+from repro.faults.checkpoint import CHECKPOINT_HEADER_BYTES, Checkpoint
+from repro.membership import MembershipService
+from repro.simnet.kernel import Timeout
+from repro.simnet.trace import trace
+from repro.state.epoch import EpochDelta
+
+#: Fraction of ``detect_s`` the controller waits between halting a dead
+#: generation and starting its replacement (cancel + redeploy latency).
+REDEPLOY_FRACTION = 0.5
+
+
+# ---------------------------------------------------------------------------
+# Slash: Chandy-Lamport rounds over the n^2 delta channels
+# ---------------------------------------------------------------------------
+class _SlashRound:
+    """Bookkeeping of one outstanding marker round over Slash executors."""
+
+    def __init__(self, round_id: int, started_at: float, participants: set[int]):
+        self.id = round_id
+        self.started_at = started_at
+        self.participants = set(participants)
+        #: src -> capture boundary (``epochs_shipped - 1`` at the cut).
+        self.boundaries: dict[int, int] = {}
+        #: executor -> its capture (a Checkpoint in the shared store).
+        self.captured: dict[int, Checkpoint] = {}
+        #: (dst, src) pairs whose marker arrived at dst.
+        self.marker_seen: set[tuple[int, int]] = set()
+        #: (dst, src) pairs still owing a marker (or a close).
+        self.pending_pairs: set[tuple[int, int]] = set()
+        #: dst -> [(src, delta, ingest_times)] aligned/spilled post-marker
+        #: deltas, merged at dst's capture instant.
+        self.spills: dict[int, list[tuple[int, EpochDelta, tuple]]] = {}
+        #: (dst, src) -> [(operator_id, partition, epoch)] in-flight
+        #: channel state (pre-marker arrivals after dst's capture).
+        self.channel_state: dict[tuple[int, int], list[tuple[str, int, int]]] = {}
+        self.completed_at: Optional[float] = None
+        self.failed = False
+
+
+class SnapshotCoordinator:
+    """Drives single-outstanding marker rounds over a Slash deployment."""
+
+    def __init__(self, injector: Any):
+        self.injector = injector
+        self.sim = injector.sim
+        self.interval_s = injector.snapshot_interval_s
+        self._next_round = 0
+        self.active: Optional[_SlashRound] = None
+        self.completed: list[_SlashRound] = []
+        #: Executors that already shipped their final cut: no further
+        #: cuts will happen, so no new round can complete.
+        self._final_cut: set[int] = set()
+
+    # -- the driver ----------------------------------------------------------
+    def driver(self):
+        """Start a round every ``interval_s`` while one can still finish."""
+        while True:
+            yield Timeout(self.interval_s)
+            if self.injector.deployment_finished():
+                return
+            if self.active is not None:
+                continue  # single outstanding round
+            if not self._start_round():
+                return
+
+    def _start_round(self) -> bool:
+        injector = self.injector
+        participants: set[int] = set()
+        for executor in injector.executors:
+            eid = executor.executor_id
+            if eid in injector.crashed:
+                continue
+            if eid in self._final_cut or executor._finalized:
+                # A participant that will never cut again can never
+                # capture: the protocol is out of barriers.
+                return False
+            participants.add(eid)
+        if not participants:
+            return False
+        rnd = _SlashRound(self._next_round, self.sim.now, participants)
+        rnd.pending_pairs = {
+            (dst, src)
+            for dst in participants
+            for src in participants
+            if dst != src
+        }
+        self._next_round += 1
+        self.active = rnd
+        self.injector.stats["snapshot_rounds_started"] += 1
+        trace(
+            self.sim, "snapshot", f"round {rnd.id} started",
+            participants=sorted(participants),
+        )
+        return True
+
+    # -- hooks from the injector / executors ---------------------------------
+    def on_cut(self, executor: Any, boundary: int, final: bool) -> Optional[SnapshotMarker]:
+        """An executor reached an epoch cut; capture if a round is pending.
+
+        Returns the marker the shipper threads must emit right after the
+        cut's deltas, or None when no round is waiting on this executor.
+        """
+        eid = executor.executor_id
+        if final:
+            self._final_cut.add(eid)
+        rnd = self.active
+        if rnd is None or eid not in rnd.participants or eid in rnd.captured:
+            return None
+        checkpoint = Checkpoint.capture(executor, boundary=boundary)
+        checkpoint.captured_at = self.sim.now
+        self.injector.checkpoints.add(checkpoint)
+        self.sim.process(
+            self.injector._replicate_proc(checkpoint),
+            name=f"snap.r{rnd.id}.exec{eid}",
+        )
+        rnd.captured[eid] = checkpoint
+        rnd.boundaries[eid] = boundary
+        self.injector.stats["snapshot_captures"] += 1
+        trace(
+            self.sim, "snapshot", f"exec {eid} captured",
+            round=rnd.id, boundary=boundary,
+        )
+        self._merge_spills(rnd, executor)
+        self._maybe_complete(rnd)
+        return SnapshotMarker(round_id=rnd.id, from_executor=eid, boundary=boundary)
+
+    def on_marker(self, executor: Any, peer_id: int, marker: SnapshotMarker) -> None:
+        """A barrier marker arrived at ``executor`` from ``peer_id``."""
+        self.injector.stats["snapshot_markers_seen"] += 1
+        rnd = self.active
+        if rnd is None or marker.round_id != rnd.id:
+            return  # marker of an aborted round: nothing to align against
+        dst = executor.executor_id
+        rnd.boundaries.setdefault(marker.from_executor, marker.boundary)
+        rnd.marker_seen.add((dst, peer_id))
+        rnd.pending_pairs.discard((dst, peer_id))
+        self._maybe_complete(rnd)
+
+    def intercept(self, executor: Any, peer_id: int, delta: EpochDelta, ingest_times: tuple) -> bool:
+        """Decide a delta's fate relative to the outstanding round.
+
+        True means the delta was spilled (post-marker, pre-local-capture)
+        and the merge task must NOT merge it now; the spill merges at the
+        local capture instant.  False means merge normally — recording it
+        as in-flight channel state when it is pre-marker, post-capture.
+        """
+        rnd = self.active
+        if rnd is None:
+            return False
+        dst = executor.executor_id
+        if dst not in rnd.participants or peer_id not in rnd.participants:
+            return False
+        if (dst, peer_id) in rnd.marker_seen:
+            if dst in rnd.captured:
+                return False  # both sides past the barrier: normal data
+            rnd.spills.setdefault(dst, []).append(
+                (peer_id, delta, tuple(ingest_times))
+            )
+            self.injector.stats["snapshot_deltas_spilled"] += 1
+            return True
+        if dst in rnd.captured:
+            # In-flight channel state of the cut.  The merge proceeds —
+            # dst's captured ledger frontier stops exactly before these
+            # epochs, so a restore replays them — and the record feeds
+            # the snapshot-consistency invariant.
+            rnd.channel_state.setdefault((dst, peer_id), []).append(
+                (delta.operator_id, delta.partition, delta.epoch)
+            )
+            self.injector.stats["snapshot_channel_deltas"] += 1
+        return False
+
+    def on_channel_closed(self, dst_id: int, src_id: int) -> None:
+        """EOS/DoneToken/reset on (dst, src): no marker will ever come."""
+        rnd = self.active
+        if rnd is None:
+            return
+        rnd.pending_pairs.discard((dst_id, src_id))
+        self._maybe_complete(rnd)
+
+    def on_crash(self, victim: int) -> None:
+        """A participant died: its capture is unreachable, abort the round."""
+        rnd = self.active
+        if rnd is not None and victim in rnd.participants:
+            self._fail(rnd, f"participant {victim} crashed")
+
+    # -- internals -----------------------------------------------------------
+    def _merge_spills(self, rnd: _SlashRound, executor: Any) -> None:
+        """Merge the deltas spilled for ``executor``, post-capture.
+
+        Mirrors the merge task's fresh-delta bookkeeping (commit
+        registry, ingest times, trigger slices) without the CPU charge —
+        the merge cost was already paid when the delta arrived and was
+        diverted to the spill.  Trigger *checks* are deferred to the next
+        natural check; firing late is always safe.
+        """
+        eid = executor.executor_id
+        for _src, delta, ingest_times in rnd.spills.pop(eid, []):
+            fresh = executor.handle.merge_delta(delta)
+            if not fresh:
+                continue
+            self.injector.note_partition_commit(delta.partition, eid)
+            for win, ingested_at in ingest_times:
+                current = executor._last_contribution.get(win, float("-inf"))
+                if ingested_at > current:
+                    executor._last_contribution[win] = ingested_at
+            if executor.trigger is not None:
+                executor.trigger.note_slices(
+                    key[0] for key, _p in delta.pairs if isinstance(key, tuple)
+                )
+
+    def _fail(self, rnd: _SlashRound, reason: str) -> None:
+        rnd.failed = True
+        self.active = None
+        self.injector.stats["snapshot_rounds_failed"] += 1
+        trace(self.sim, "snapshot", f"round {rnd.id} aborted", reason=reason)
+        # Spilled deltas are ordinary post-snapshot data once the round
+        # is gone: merge them into any still-live holders.
+        for dst in sorted(rnd.spills):
+            if dst in self.injector.crashed:
+                continue
+            self._merge_spills(rnd, self.injector.executors[dst])
+
+    def _maybe_complete(self, rnd: _SlashRound) -> None:
+        if rnd.failed or self.active is not rnd:
+            return
+        if set(rnd.captured) != rnd.participants or rnd.pending_pairs:
+            return
+        rnd.completed_at = self.sim.now
+        self.active = None
+        self.completed.append(rnd)
+        self.injector.stats["snapshot_rounds_complete"] += 1
+        trace(
+            self.sim, "snapshot", f"round {rnd.id} complete",
+            captures=len(rnd.captured),
+            duration_s=rnd.completed_at - rnd.started_at,
+        )
+        sanitizer = getattr(self.sim, "sanitize", None)
+        if sanitizer is not None:
+            sanitizer.note_snapshot_round(
+                round_id=rnd.id,
+                participants=sorted(rnd.participants),
+                boundaries=dict(rnd.boundaries),
+                frontiers={
+                    eid: dict(ckpt.ledger) for eid, ckpt in rnd.captured.items()
+                },
+                channel_state={
+                    pair: list(entries)
+                    for pair, entries in rnd.channel_state.items()
+                },
+            )
+
+    def restorable_for(self, victim: int) -> Optional[Checkpoint]:
+        """The victim's capture from the newest usable complete round.
+
+        Usable means the capture replicated (committed) — the buddy-dead
+        fallback is the injector's, which checks before calling here.
+        """
+        best: Optional[Checkpoint] = None
+        for rnd in self.completed:
+            checkpoint = rnd.captured.get(victim)
+            if checkpoint is None or checkpoint.committed_at is None:
+                continue
+            if best is None or checkpoint.boundary > best.boundary:
+                best = checkpoint
+        return best
+
+
+# ---------------------------------------------------------------------------
+# Partitioned baselines: aligned snapshots + global restart
+# ---------------------------------------------------------------------------
+class _ProxySignal:
+    """Mimics a Signal's ``fired`` for the injector's finished checks."""
+
+    def __init__(self, controller: "PartitionedChaosController"):
+        self._controller = controller
+
+    @property
+    def fired(self) -> bool:
+        return self._controller.finished
+
+
+class PartitionedNodeProxy:
+    """Stands in for a Slash executor in membership/injector bookkeeping.
+
+    One per node of a partitioned deployment.  The injector and the
+    membership service only touch ``executor_id``, ``node``, the
+    finished flags, and (for credit starvation) ``in_channels``.
+    """
+
+    def __init__(self, controller: "PartitionedChaosController", node: Any, executor_id: int):
+        self.controller = controller
+        self.node = node
+        self.executor_id = executor_id
+        self.flows: tuple = ()
+        self.finished = _ProxySignal(controller)
+
+    @property
+    def _finalized(self) -> bool:
+        return self.controller.finished
+
+    @property
+    def in_channels(self) -> list:
+        return self.controller.ctx.inbound_endpoints(self.node.index)
+
+
+class _PartitionedRound:
+    """One aligned snapshot round over a partitioned generation."""
+
+    def __init__(self, round_id: int, started_at: float, generation: int):
+        self.id = round_id
+        self.started_at = started_at
+        self.generation = generation
+        #: Committed output of *prior* generations, frozen at round
+        #: start (== at generation start; the base only changes on
+        #: restart).  Restoring from this round re-bases on these plus
+        #: the captures below.
+        self.base_aggregates: dict = {}
+        self.base_joins: list = []
+        self.base_emitted = 0
+        self.pending_partitioners: set[int] = set()
+        self.pending_consumers: set[int] = set()
+        #: flow_id -> absolute batch cursor at the partitioner's barrier.
+        self.cursors: dict[int, int] = {}
+        #: consumer gid -> frozen state/results at its aligned capture.
+        self.consumer_caps: dict[int, dict] = {}
+        #: consumer gid -> input-channel indexes whose marker arrived.
+        self.markered: dict[int, set[int]] = {}
+        #: consumer gid -> [(index, channel, message)] spilled post-marker.
+        self.spills: dict[int, list] = {}
+        #: Invariant counter: data merged on a markered channel before
+        #: the local capture (must stay 0 — alignment would be broken).
+        self.post_marker_merges = 0
+        self.checkpoints: list[Checkpoint] = []
+        self.completed_at: Optional[float] = None
+        self.failed = False
+
+
+class PartitionedChaosController:
+    """Recovery plane for the partitioned baselines (UpPar).
+
+    Owns the node proxies the injector/membership address, drives
+    aligned snapshot rounds over the current generation, and executes
+    the Flink-style global restart when the membership fences a node.
+    The run context (``repro.baselines.partitioned._RunContext``) is
+    duck-typed: it must expose ``sim``, ``cluster``, ``nodes``, ``gen``
+    (the current generation), ``inbound_endpoints``, ``halt_node``,
+    ``halt_generation`` and ``restart_generation``.
+    """
+
+    def __init__(self, ctx: Any):
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.proxies = [
+            PartitionedNodeProxy(self, ctx.cluster.node(index), index)
+            for index in range(ctx.nodes)
+        ]
+        self.injector: Any = None
+        self._next_round = 0
+        self.active: Optional[_PartitionedRound] = None
+        self.completed: list[_PartitionedRound] = []
+        # Committed output of completed generations (see collect()).
+        self.base_aggregates: dict = {}
+        self.base_joins: list = []
+        self.base_emitted = 0
+        self.restarting = False
+        self._pending_fences: list[int] = []
+        self._restart_proc_running = False
+        self.generations_started = 1
+
+    def bind(self, injector: Any) -> None:
+        self.injector = injector
+
+    @property
+    def finished(self) -> bool:
+        """Deployment-finished for the membership agents' exit check."""
+        if self.restarting or self._pending_fences:
+            return False
+        gen = self.ctx.gen
+        return all(consumer.done for consumer in gen.consumers)
+
+    # -- snapshot rounds ------------------------------------------------------
+    def driver(self):
+        interval = self.injector.snapshot_interval_s
+        while True:
+            yield Timeout(interval)
+            if self.finished:
+                return
+            if self.active is not None or self.restarting:
+                continue
+            self._start_round()
+
+    def _start_round(self) -> None:
+        gen = self.ctx.gen
+        rnd = _PartitionedRound(self._next_round, self.sim.now, gen.number)
+        self._next_round += 1
+        rnd.base_aggregates = dict(self.base_aggregates)
+        rnd.base_joins = list(self.base_joins)
+        rnd.base_emitted = self.base_emitted
+        self.active = rnd
+        self.injector.stats["snapshot_rounds_started"] += 1
+        for partitioner in gen.partitioners:
+            if partitioner.finished_body:
+                # Already done: its EOS was the barrier; cursors are full.
+                rnd.cursors.update(partitioner.abs_cursors())
+            else:
+                rnd.pending_partitioners.add(partitioner.gid)
+                partitioner.snapshot_request = rnd.id
+        for consumer in gen.consumers:
+            if consumer.done:
+                self._capture_consumer(rnd, consumer)
+            else:
+                rnd.pending_consumers.add(consumer.gid)
+                rnd.markered[consumer.gid] = set()
+        trace(
+            self.sim, "snapshot", f"aligned round {rnd.id} started",
+            generation=gen.number,
+            partitioners=len(rnd.pending_partitioners),
+            consumers=len(rnd.pending_consumers),
+        )
+        self._maybe_complete(rnd)
+
+    def note_partitioner_capture(self, round_id: int, partitioner: Any, cursors: dict[int, int]) -> None:
+        """A partitioner flushed, recorded its cursors, and will marker."""
+        rnd = self.active
+        if rnd is None or rnd.id != round_id:
+            return
+        if partitioner.gid not in rnd.pending_partitioners:
+            return
+        rnd.cursors.update(cursors)
+        rnd.pending_partitioners.discard(partitioner.gid)
+        self._maybe_complete(rnd)
+
+    def note_partitioner_finished(self, partitioner: Any) -> None:
+        """EOS acts as the barrier for a partitioner that finishes mid-round."""
+        rnd = self.active
+        if rnd is None or partitioner.gid not in rnd.pending_partitioners:
+            return
+        rnd.cursors.update(partitioner.abs_cursors())
+        rnd.pending_partitioners.discard(partitioner.gid)
+        self._maybe_complete(rnd)
+
+    def on_consumer_payload(self, consumer: Any, index: int, channel: Any, payload: Any) -> Optional[str]:
+        """Classify an inbound payload: ``"marker"``, ``"spill"``, or None.
+
+        Spilled messages keep their channel credit until the capture
+        replays them — the alignment backpressure of Flink's aligned
+        checkpoints.  Deadlock-free: a partitioner's marker always
+        precedes its own post-marker data, so the channels the consumer
+        still *needs* (un-markered ones) keep draining normally.
+        """
+        rnd = self.active
+        if isinstance(payload, SnapshotMarker):
+            if (
+                rnd is not None
+                and payload.round_id == rnd.id
+                and consumer.gid in rnd.pending_consumers
+            ):
+                rnd.markered[consumer.gid].add(index)
+            self.injector.stats["snapshot_markers_seen"] += 1
+            return "marker"
+        if rnd is None or consumer.gid not in rnd.pending_consumers:
+            return None
+        if payload is CHANNEL_EOS or isinstance(payload, DoneToken):
+            return None
+        if index in rnd.markered.get(consumer.gid, ()):
+            rnd.spills.setdefault(consumer.gid, []).append(
+                (index, channel, payload)
+            )
+            self.injector.stats["snapshot_deltas_spilled"] += 1
+            return "spill"
+        return None
+
+    def note_consumer_merge(self, consumer: Any, index: int) -> None:
+        """Invariant probe: a data buffer is about to merge at a consumer.
+
+        If its channel already markered and the consumer has not
+        captured, alignment is broken — counted here, asserted at round
+        completion by the sanitizer's snapshot-consistency check.
+        """
+        rnd = self.active
+        if rnd is None or consumer.gid not in rnd.pending_consumers:
+            return
+        if index in rnd.markered.get(consumer.gid, ()):
+            rnd.post_marker_merges += 1
+
+    def maybe_capture(self, consumer: Any):
+        """Capture the consumer once every input channel markered-or-done,
+        then replay its spilled buffers (a generator: replays run through
+        the consumer's own handler, paying their normal costs)."""
+        rnd = self.active
+        if rnd is None or consumer.gid not in rnd.pending_consumers:
+            return
+        markered = rnd.markered.get(consumer.gid, set())
+        for position in range(len(consumer.channels)):
+            if position not in markered and not consumer.channel_done[position]:
+                return
+        self._capture_consumer(rnd, consumer)
+        for index, channel, message in rnd.spills.pop(consumer.gid, []):
+            yield from consumer._handle(index, channel, message)
+        self._maybe_complete(rnd)
+
+    def _capture_consumer(self, rnd: _PartitionedRound, consumer: Any) -> None:
+        rnd.consumer_caps[consumer.gid] = {
+            "node": consumer.node.index,
+            "state": copy.deepcopy(consumer.state),
+            "aggregates": dict(consumer.results_aggregates),
+            "joins": list(consumer.results_joins),
+            "emitted": consumer.emitted,
+            "state_bytes": consumer.state_bytes,
+        }
+        rnd.pending_consumers.discard(consumer.gid)
+        self.injector.stats["snapshot_captures"] += 1
+
+    def _maybe_complete(self, rnd: _PartitionedRound) -> None:
+        if rnd.failed or self.active is not rnd:
+            return
+        if rnd.pending_partitioners or rnd.pending_consumers:
+            return
+        rnd.completed_at = self.sim.now
+        self.active = None
+        self.completed.append(rnd)
+        self.injector.stats["snapshot_rounds_complete"] += 1
+        # Persist one checkpoint per node (its consumers' captures) into
+        # the shared store and replicate to the buddy node.
+        by_node: dict[int, list[dict]] = {}
+        for caps in rnd.consumer_caps.values():
+            by_node.setdefault(caps["node"], []).append(caps)
+        for node_index in range(self.ctx.nodes):
+            caps_list = by_node.get(node_index, [])
+            nbytes = CHECKPOINT_HEADER_BYTES + sum(
+                int(caps["state_bytes"]) + 32 * len(caps["aggregates"])
+                for caps in caps_list
+            )
+            checkpoint = Checkpoint(
+                executor_id=node_index,
+                boundary=rnd.id,
+                positions=[],
+                partitions={},
+                ledger={},
+                pending=set(),
+                last_contribution={},
+                nbytes=nbytes,
+                captured_at=self.sim.now,
+            )
+            self.injector.checkpoints.add(checkpoint)
+            rnd.checkpoints.append(checkpoint)
+            self.sim.process(
+                self.injector._replicate_proc(checkpoint),
+                name=f"snap.part.r{rnd.id}.n{node_index}",
+            )
+        trace(
+            self.sim, "snapshot", f"aligned round {rnd.id} complete",
+            captures=len(rnd.consumer_caps),
+            duration_s=rnd.completed_at - rnd.started_at,
+        )
+        sanitizer = getattr(self.sim, "sanitize", None)
+        if sanitizer is not None:
+            sanitizer.note_aligned_round(
+                round_id=rnd.id,
+                captures=len(rnd.consumer_caps),
+                post_marker_merges=rnd.post_marker_merges,
+            )
+
+    def _fail_round(self, rnd: _PartitionedRound, reason: str) -> None:
+        if rnd.failed:
+            return
+        rnd.failed = True
+        if self.active is rnd:
+            self.active = None
+        self.injector.stats["snapshot_rounds_failed"] += 1
+        # Spills die with the generation (a restart always follows a
+        # round failure — only crashes/fences fail rounds).
+        trace(self.sim, "snapshot", f"aligned round {rnd.id} aborted", reason=reason)
+
+    # -- crash handling -------------------------------------------------------
+    def on_crash(self, victim: int) -> None:
+        """The plan killed node ``victim``: halt its workers in place."""
+        if self.active is not None:
+            self._fail_round(self.active, f"node {victim} crashed")
+        self.ctx.halt_node(victim)
+
+    def on_fence(self, victim: int) -> None:
+        """A quorum-backed fence committed: schedule the global restart."""
+        self._pending_fences.append(victim)
+        self.restarting = True
+        if self.active is not None:
+            self._fail_round(self.active, f"node {victim} fenced")
+        self.ctx.halt_generation()
+        if not self._restart_proc_running:
+            self._restart_proc_running = True
+            self.sim.process(
+                self._restart_proc(), name=f"part.restart.n{victim}"
+            )
+
+    def _restart_proc(self):
+        """Halt -> redeploy wait -> restore newest usable round -> replay.
+
+        Loops while fences keep arriving (a cascade batches into as few
+        restarts as the fence timing allows); each iteration rebuilds
+        one generation over the then-current survivors.
+        """
+        injector = self.injector
+        try:
+            while self._pending_fences:
+                yield Timeout(injector.detect_s * REDEPLOY_FRACTION)
+                victims = list(self._pending_fences)
+                del self._pending_fences[: len(victims)]
+                survivors = [
+                    index for index in range(self.ctx.nodes)
+                    if index not in injector.crashed
+                ]
+                if not survivors:
+                    raise RuntimeError("no surviving node to restart on")
+                rnd = self._restorable_round()
+                restore = self._build_restore(rnd)
+                # Charge the snapshot fetch: every crashed node's capture
+                # travels from its buddy to the restart coordinator.
+                if rnd is not None:
+                    fetch_node = self.proxies[survivors[0]].node.index
+                    for checkpoint in rnd.checkpoints:
+                        if checkpoint.executor_id not in injector.crashed:
+                            continue
+                        buddy = (checkpoint.executor_id + 1) % self.ctx.nodes
+                        if buddy != fetch_node and checkpoint.nbytes:
+                            yield self.ctx.cluster.link(
+                                self.proxies[buddy].node.index, fetch_node
+                            ).send(checkpoint.nbytes)
+                replay = self.ctx.restart_generation(survivors, restore)
+                self.generations_started += 1
+                now = self.sim.now
+                for victim in victims:
+                    info = injector._recovery.setdefault(victim, {})
+                    info["checkpoint_boundary"] = (
+                        rnd.id if rnd is not None else -1
+                    )
+                    info["restored_pairs"] = restore["restored_pairs"]
+                    info["replayed_batches"] = replay["replayed_batches"]
+                    info["replayed_records"] = replay["replayed_records"]
+                    info["recovered_at"] = now
+                    info["recovery_s"] = now - info.get("crashed_at", now)
+                    injector._recovery_pending.discard(victim)
+                trace(
+                    self.sim, "snapshot",
+                    f"generation restarted after fence of {sorted(victims)}",
+                    survivors=survivors,
+                    round=rnd.id if rnd is not None else -1,
+                    replayed_batches=replay["replayed_batches"],
+                )
+        finally:
+            self._restart_proc_running = False
+            self.restarting = False
+
+    def _restorable_round(self) -> Optional[_PartitionedRound]:
+        """Newest complete round whose captures are all still reachable.
+
+        A node's capture lives locally (node alive) or as the committed
+        replica on its buddy; a dead owner with a dead buddy — or with a
+        replication that never committed — makes the whole round
+        unusable, because a global restore needs every node's slice.
+        """
+        crashed = self.injector.crashed
+        best: Optional[_PartitionedRound] = None
+        for rnd in self.completed:
+            usable = True
+            for checkpoint in rnd.checkpoints:
+                owner = checkpoint.executor_id
+                if owner not in crashed:
+                    continue
+                buddy = (owner + 1) % self.ctx.nodes
+                if (
+                    buddy == owner
+                    or buddy in crashed
+                    or checkpoint.committed_at is None
+                ):
+                    usable = False
+                    break
+            if usable and (best is None or rnd.id > best.id):
+                best = rnd
+        return best
+
+    def _build_restore(self, rnd: Optional[_PartitionedRound]) -> dict:
+        """Merge a round's captures into one restore bundle and re-base.
+
+        The captured results become this run's committed base output:
+        the replacement generation re-derives everything after the cut
+        (restored state + replay), so post-capture output of the dead
+        generation is discarded, exactly like Slash discards a victim's
+        post-checkpoint emissions.
+        """
+        if rnd is None:
+            self.base_aggregates = {}
+            self.base_joins = []
+            self.base_emitted = 0
+            return {
+                "round_id": -1, "cursors": {}, "state": {},
+                "restored_pairs": 0,
+            }
+        state: dict = {}
+        aggregates = dict(rnd.base_aggregates)
+        joins = list(rnd.base_joins)
+        emitted = rnd.base_emitted
+        for gid in sorted(rnd.consumer_caps):
+            caps = rnd.consumer_caps[gid]
+            state.update(copy.deepcopy(caps["state"]))
+            aggregates.update(caps["aggregates"])
+            joins.extend(caps["joins"])
+            emitted += caps["emitted"]
+        self.base_aggregates = aggregates
+        self.base_joins = joins
+        self.base_emitted = emitted
+        return {
+            "round_id": rnd.id,
+            "cursors": dict(rnd.cursors),
+            "state": state,
+            "restored_pairs": len(state),
+        }
+
+    # -- results ---------------------------------------------------------------
+    def committed_base(self) -> tuple[dict, list, int]:
+        """(aggregates, joins, emitted) of all completed generations."""
+        return self.base_aggregates, self.base_joins, self.base_emitted
+
+
+def build_membership(injector: Any, *, heartbeat_period_s: float,
+                     phi_threshold: float, confirm_s: float,
+                     ack_timeout_s: float) -> MembershipService:
+    """Membership over proxies uses the exact same service as Slash."""
+    return MembershipService(
+        injector,
+        heartbeat_period_s=heartbeat_period_s,
+        phi_threshold=phi_threshold,
+        confirm_s=confirm_s,
+        ack_timeout_s=ack_timeout_s,
+    )

@@ -180,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--system", default="slash",
                        help="fault-injectable engine to run under chaos "
                             "(registry name; default: slash)")
+    from repro.core.system import RECOVERY_STRATEGIES
+
+    chaos.add_argument("--strategy", default="both", metavar="STRATEGY",
+                       help="recovery strategy for control-plane faults "
+                            "(one of: " + ", ".join(RECOVERY_STRATEGIES)
+                            + "; default: 'both' runs every strategy the "
+                              "engine supports and compares them)")
     chaos.add_argument("--seed", type=int, default=7,
                        help="seed deriving fault time and victim")
     chaos.add_argument("--nodes", type=int, default=3,
@@ -259,10 +266,17 @@ def _jsonable(rows: list) -> list:
 
 def _run_chaos(args) -> int:
     from repro.common.errors import ConfigError, FaultError
+    from repro.core.system import RECOVERY_STRATEGIES
     from repro.faults.plan import PRESETS
 
     if args.fault not in PRESETS:
         message = unknown_name_message("fault preset", args.fault, PRESETS)
+        print(f"CHAOS FAILED: {message}", file=sys.stderr)
+        return 1
+    if args.strategy != "both" and args.strategy not in RECOVERY_STRATEGIES:
+        message = unknown_name_message(
+            "recovery strategy", args.strategy, RECOVERY_STRATEGIES + ("both",)
+        )
         print(f"CHAOS FAILED: {message}", file=sys.stderr)
         return 1
 
@@ -277,6 +291,7 @@ def _run_chaos(args) -> int:
             records_per_thread=args.records,
             verify_determinism=not args.no_determinism_check,
             system=args.system,
+            strategy=args.strategy,
         )
     except (ConfigError, FaultError) as exc:
         # ConfigError covers unknown engine names (with a did-you-mean

@@ -713,21 +713,31 @@ def run_chaos(
     records_per_thread: int = 1500,
     verify_determinism: bool = True,
     system: str = "slash",
+    strategy: str = "both",
 ) -> Report:
-    """One chaos cell: fail-free baseline, faulted run, invariant checks.
+    """One chaos cell: fail-free baseline, faulted runs, invariant checks.
 
     The baseline run sets the simulated horizon the fault plan is placed
-    on and provides the ground-truth output.  The faulted run must (a)
+    on and provides the ground-truth output.  Each faulted run must (a)
     finish, (b) produce *exactly* the baseline's window results — the
     zero-lost-results invariant — and (c) when ``verify_determinism`` is
     set, reproduce itself byte-identically from the same seed and plan.
     A violation raises :class:`FaultError`, failing the CLI run.
+
+    ``strategy`` names the recovery strategy ("epoch-buddy" or
+    "async-snapshot") or "both" (the default): every strategy the engine
+    supports runs against the *same* plan and baseline, and the report
+    grows a side-by-side comparison of detection/MTTR latencies,
+    snapshot overhead, and recovered records.  An engine with no
+    recovery plane (Flink) runs its data-plane faults once, unstrategized.
     """
     from repro.common.errors import FaultError
     from repro.faults.plan import FaultPlan
     from repro.runtime import (
         CAP_FAULT_INJECTION,
+        RECOVERY_STRATEGIES,
         REGISTRY,
+        STRATEGY_ASYNC_SNAPSHOT,
         Scenario,
         run_scenario,
     )
@@ -735,10 +745,18 @@ def run_chaos(
     # Fail fast on engines with no fault-injection plane (capability
     # error before any simulation runs, not a mid-run crash).
     REGISTRY.require(system, CAP_FAULT_INJECTION)
+    supported = REGISTRY.create(system, nodes).supported_recovery_strategies
+    if strategy == "both":
+        strategies = [s for s in RECOVERY_STRATEGIES if s in supported] or [None]
+    else:
+        # An unknown or unsupported name flows into attach_faults, which
+        # raises the CapabilityError naming what the engine *can* do.
+        strategies = [strategy]
+
     report = Report(f"chaos: {fault} (seed {seed})")
     workload_overrides = {"records_per_thread": records_per_thread}
 
-    def scenario(plan=None, overrides=None) -> Scenario:
+    def scenario(plan=None, overrides=None, recovery=None) -> Scenario:
         return Scenario(
             engine=system,
             workload=workload_name,
@@ -747,6 +765,7 @@ def run_chaos(
             workload_overrides=workload_overrides,
             fault_plan=plan,
             fault_overrides=dict(overrides or {}),
+            recovery_strategy=recovery,
         )
 
     baseline = run_scenario(scenario())
@@ -755,129 +774,213 @@ def run_chaos(
     plan.validate(nodes, horizon_s=horizon)
     # Scale the fault-handling tunables to this workload's horizon, so
     # detection/retransmission behave sensibly at simulation scale.
-    overrides = dict(
+    base_overrides = dict(
         detect_s=horizon * 0.02,
         watchdog_period_s=horizon * 0.01,
         rto_s=max(5e-6, horizon * 0.001),
         credit_timeout_s=max(2e-5, horizon * 0.005),
     )
 
-    def faulted_run():
-        return run_scenario(scenario(plan, overrides))
-
-    faulted = faulted_run()
-    missing, extra, mismatched = _compare_aggregates(
-        baseline.aggregates, faulted.aggregates
-    )
-    zero_lost = not (missing or extra or mismatched)
-
-    deterministic = None
-    if verify_determinism:
-        repeat = faulted_run()
-        deterministic = (
-            repeat.aggregates == faulted.aggregates
-            and repeat.sim_seconds == faulted.sim_seconds
-            and repeat.emitted == faulted.emitted
-        )
-
-    faults_info = faulted.extra.get("faults", {})
     events_table = TextTable(
         f"injected faults (seed {seed}, horizon {fmt_time(horizon)})",
         ["kind", "at", "target", "duration"],
     )
-    for event in faults_info.get("events", []):
+    for event in plan:
         events_table.add_row(
-            event["kind"], fmt_time(event["at_s"]), event["target"],
-            fmt_time(event["duration_s"]) if event["duration_s"] else "-",
+            event.kind.value, fmt_time(event.at_s), event.target,
+            fmt_time(event.duration_s) if event.duration_s else "-",
         )
     report.tables.append(events_table)
 
-    outcome = TextTable(
-        "recovery outcome",
-        ["metric", "value"],
-    )
-    outcome.add_row("baseline windows", len(baseline.aggregates))
-    outcome.add_row("faulted windows", len(faulted.aggregates))
-    outcome.add_row("lost / extra / mismatched",
-                    f"{len(missing)} / {len(extra)} / {len(mismatched)}")
-    outcome.add_row("zero-lost-results", "PASS" if zero_lost else "FAIL")
-    if deterministic is not None:
-        outcome.add_row("same-seed determinism", "PASS" if deterministic else "FAIL")
-    outcome.add_row("sim time (baseline)", fmt_time(baseline.sim_seconds))
-    outcome.add_row("sim time (faulted)", fmt_time(faulted.sim_seconds))
-    outcome.add_row("retransmits", faulted.counters.retransmits)
-    outcome.add_row("retransmitted bytes", format_si(
-        faulted.counters.retransmitted_bytes, "B"))
-    outcome.add_row("checkpoints taken/committed",
-                    f"{faults_info.get('checkpoints_taken', 0)}/"
-                    f"{faults_info.get('checkpoints_committed', 0)}")
-    membership = faults_info.get("membership", {})
-    if membership:
-        outcome.add_row(
-            "heartbeats sent/delivered/lost",
-            f"{membership.get('heartbeats_sent', 0)}/"
-            f"{membership.get('heartbeats_delivered', 0)}/"
-            f"{membership.get('heartbeats_lost', 0)}",
-        )
-        outcome.add_row(
-            "fence proposals (rejected/aborted)",
-            f"{membership.get('fence_proposals', 0)} "
-            f"({membership.get('fences_rejected', 0)}/"
-            f"{membership.get('fences_aborted', 0)})",
-        )
-    split_brain = faults_info.get("terms", {}).get("split_brain", [])
-    outcome.add_row(
-        "split-brain commits", "NONE" if not split_brain else f"{split_brain!r}"
-    )
-    for victim, info in sorted(faults_info.get("crashes", {}).items()):
-        outcome.add_row(f"exec {victim} recovery time",
-                        fmt_time(info.get("recovery_s", 0.0)))
-        outcome.add_row(f"exec {victim} promoted to", info.get("promoted", "-"))
-        outcome.add_row(f"exec {victim} replayed batches",
-                        info.get("replayed_batches", 0))
-    report.tables.append(outcome)
-    if faults_info.get("crashes"):
-        report.tables.append(fault_timeline_table(faults_info))
+    per_strategy: list[dict] = []
+    for recovery in strategies:
+        overrides = dict(base_overrides)
+        if recovery == STRATEGY_ASYNC_SNAPSHOT:
+            # A handful of marker rounds across the horizon: enough to
+            # restore from, cheap enough to measure overhead against
+            # epoch-buddy's per-cut checkpoints.
+            overrides["snapshot_interval_s"] = horizon * 0.04
 
-    report.rows.append({
-        "figure": "chaos",
-        "fault": fault,
-        "system": system,
-        "seed": seed,
-        "nodes": nodes,
-        "threads": threads,
-        "workload": workload_name,
-        "zero_lost": zero_lost,
-        "deterministic": deterministic,
-        "missing": len(missing),
-        "extra": len(extra),
-        "mismatched": len(mismatched),
-        "baseline_sim_seconds": baseline.sim_seconds,
-        "faulted_sim_seconds": faulted.sim_seconds,
-        "retransmits": faulted.counters.retransmits,
-        "retransmitted_bytes": faulted.counters.retransmitted_bytes,
-        "faults": faults_info,
-    })
+        def faulted_run():
+            return run_scenario(scenario(plan, overrides, recovery))
+
+        faulted = faulted_run()
+        missing, extra, mismatched = _compare_aggregates(
+            baseline.aggregates, faulted.aggregates
+        )
+        zero_lost = not (missing or extra or mismatched)
+
+        deterministic = None
+        if verify_determinism:
+            repeat = faulted_run()
+            deterministic = (
+                repeat.aggregates == faulted.aggregates
+                and repeat.sim_seconds == faulted.sim_seconds
+                and repeat.emitted == faulted.emitted
+            )
+
+        faults_info = faulted.extra.get("faults", {})
+        label = recovery or "n/a (data-plane only)"
+        suffix = f" [{label}]" if len(strategies) > 1 or recovery else ""
+        outcome = TextTable(
+            f"recovery outcome{suffix}",
+            ["metric", "value"],
+        )
+        outcome.add_row("recovery strategy", label)
+        outcome.add_row("baseline windows", len(baseline.aggregates))
+        outcome.add_row("faulted windows", len(faulted.aggregates))
+        outcome.add_row("lost / extra / mismatched",
+                        f"{len(missing)} / {len(extra)} / {len(mismatched)}")
+        outcome.add_row("zero-lost-results", "PASS" if zero_lost else "FAIL")
+        if deterministic is not None:
+            outcome.add_row("same-seed determinism",
+                            "PASS" if deterministic else "FAIL")
+        outcome.add_row("sim time (baseline)", fmt_time(baseline.sim_seconds))
+        outcome.add_row("sim time (faulted)", fmt_time(faulted.sim_seconds))
+        outcome.add_row("retransmits", faulted.counters.retransmits)
+        outcome.add_row("retransmitted bytes", format_si(
+            faulted.counters.retransmitted_bytes, "B"))
+        outcome.add_row("checkpoints taken/committed",
+                        f"{faults_info.get('checkpoints_taken', 0)}/"
+                        f"{faults_info.get('checkpoints_committed', 0)}")
+        if faults_info.get("snapshot_rounds_started"):
+            outcome.add_row(
+                "snapshot rounds started/complete",
+                f"{faults_info.get('snapshot_rounds_started', 0)}/"
+                f"{faults_info.get('snapshot_rounds_complete', 0)}",
+            )
+        membership = faults_info.get("membership", {})
+        if membership:
+            outcome.add_row(
+                "heartbeats sent/delivered/lost",
+                f"{membership.get('heartbeats_sent', 0)}/"
+                f"{membership.get('heartbeats_delivered', 0)}/"
+                f"{membership.get('heartbeats_lost', 0)}",
+            )
+            outcome.add_row(
+                "fence proposals (rejected/aborted)",
+                f"{membership.get('fence_proposals', 0)} "
+                f"({membership.get('fences_rejected', 0)}/"
+                f"{membership.get('fences_aborted', 0)})",
+            )
+        split_brain = faults_info.get("terms", {}).get("split_brain", [])
+        outcome.add_row(
+            "split-brain commits",
+            "NONE" if not split_brain else f"{split_brain!r}",
+        )
+        for victim, info in sorted(faults_info.get("crashes", {}).items()):
+            outcome.add_row(f"exec {victim} recovery time",
+                            fmt_time(info.get("recovery_s", 0.0)))
+            outcome.add_row(f"exec {victim} promoted to",
+                            info.get("promoted", "-"))
+            outcome.add_row(f"exec {victim} replayed batches",
+                            info.get("replayed_batches", 0))
+        report.tables.append(outcome)
+        if faults_info.get("crashes"):
+            report.tables.append(fault_timeline_table(faults_info))
+
+        crashes = faults_info.get("crashes", {})
+        recovered_records = sum(
+            info.get("replayed_records", 0) for info in crashes.values()
+        )
+        mttr = max(
+            (info["mttr_s"] for info in crashes.values() if "mttr_s" in info),
+            default=None,
+        )
+        detection = max(
+            (info["detection_s"] for info in crashes.values()
+             if "detection_s" in info),
+            default=None,
+        )
+        per_strategy.append({
+            "strategy": recovery,
+            "label": label,
+            "zero_lost": zero_lost,
+            "deterministic": deterministic,
+            "missing": missing,
+            "extra": extra,
+            "mismatched": mismatched,
+            "split_brain": split_brain,
+            "faulted": faulted,
+            "faults_info": faults_info,
+            "detection_s": detection,
+            "mttr_s": mttr,
+            "recovered_records": recovered_records,
+        })
+
+        report.rows.append({
+            "figure": "chaos",
+            "fault": fault,
+            "system": system,
+            "seed": seed,
+            "nodes": nodes,
+            "threads": threads,
+            "workload": workload_name,
+            "recovery_strategy": recovery,
+            "zero_lost": zero_lost,
+            "deterministic": deterministic,
+            "missing": len(missing),
+            "extra": len(extra),
+            "mismatched": len(mismatched),
+            "baseline_sim_seconds": baseline.sim_seconds,
+            "faulted_sim_seconds": faulted.sim_seconds,
+            "retransmits": faulted.counters.retransmits,
+            "retransmitted_bytes": faulted.counters.retransmitted_bytes,
+            "snapshot_overhead_bytes":
+                faults_info.get("checkpoint_bytes_replicated", 0),
+            "recovered_records": recovered_records,
+            "detection_s": detection,
+            "mttr_s": mttr,
+            "faults": faults_info,
+        })
+
+    if len(per_strategy) > 1:
+        comparison = TextTable(
+            "recovery strategy comparison (same plan, same seed)",
+            ["strategy", "detection", "mttr", "ckpts", "snapshot overhead",
+             "recovered records", "sim time"],
+        )
+        for entry in per_strategy:
+            info = entry["faults_info"]
+            comparison.add_row(
+                entry["label"],
+                fmt_time(entry["detection_s"]) if entry["detection_s"]
+                is not None else "-",
+                fmt_time(entry["mttr_s"]) if entry["mttr_s"] is not None
+                else "-",
+                f"{info.get('checkpoints_taken', 0)}/"
+                f"{info.get('checkpoints_committed', 0)}",
+                format_si(info.get("checkpoint_bytes_replicated", 0), "B"),
+                entry["recovered_records"],
+                fmt_time(entry["faulted"].sim_seconds),
+            )
+        report.tables.append(comparison)
+
     report.notes.append(
         "zero-lost-results compares every (window, key) aggregate of the "
         "faulted run against the fail-free baseline (exact for ints, "
         "1e-9 relative for floats)."
     )
 
-    if not zero_lost:
-        raise FaultError(
-            f"chaos {fault!r} (seed {seed}) lost results: "
-            f"{len(missing)} missing, {len(extra)} extra, "
-            f"{len(mismatched)} mismatched\n" + report.render()
-        )
-    if deterministic is False:
-        raise FaultError(
-            f"chaos {fault!r} (seed {seed}) is not reproducible: two runs "
-            "with the same seed and plan diverged\n" + report.render()
-        )
-    if split_brain:
-        raise FaultError(
-            f"chaos {fault!r} (seed {seed}) committed deltas for the same "
-            f"partition under the same term: {split_brain!r}\n" + report.render()
-        )
+    for entry in per_strategy:
+        tag = f" [{entry['label']}]" if entry["strategy"] else ""
+        if not entry["zero_lost"]:
+            raise FaultError(
+                f"chaos {fault!r} (seed {seed}){tag} lost results: "
+                f"{len(entry['missing'])} missing, {len(entry['extra'])} "
+                f"extra, {len(entry['mismatched'])} mismatched\n"
+                + report.render()
+            )
+        if entry["deterministic"] is False:
+            raise FaultError(
+                f"chaos {fault!r} (seed {seed}){tag} is not reproducible: "
+                "two runs with the same seed and plan diverged\n"
+                + report.render()
+            )
+        if entry["split_brain"]:
+            raise FaultError(
+                f"chaos {fault!r} (seed {seed}){tag} committed deltas for "
+                f"the same partition under the same term: "
+                f"{entry['split_brain']!r}\n" + report.render()
+            )
     return report

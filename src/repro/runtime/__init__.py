@@ -37,6 +37,9 @@ from repro.runtime.system import (
     CAP_SCALE_OUT,
     CAP_SESSION_WINDOWS,
     CAP_TRANSFER_BENCH,
+    RECOVERY_STRATEGIES,
+    STRATEGY_ASYNC_SNAPSHOT,
+    STRATEGY_EPOCH_BUDDY,
     StreamSystem,
     SystemHooks,
 )
@@ -53,10 +56,13 @@ __all__ = [
     "CAP_TRANSFER_BENCH",
     "EngineRegistry",
     "EngineSpec",
+    "RECOVERY_STRATEGIES",
     "REGISTRY",
     "ResultDiff",
     "Scenario",
     "STRATEGIES",
+    "STRATEGY_ASYNC_SNAPSHOT",
+    "STRATEGY_EPOCH_BUDDY",
     "StreamSystem",
     "SystemHooks",
     "WORKLOADS",

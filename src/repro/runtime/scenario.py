@@ -101,6 +101,9 @@ class Scenario:
     sanitize: bool = False
     fault_plan: Any = None
     fault_overrides: dict = field(default_factory=dict)
+    #: How the engine recovers from control-plane faults ("epoch-buddy"
+    #: or "async-snapshot"); ``None`` keeps the engine's default.
+    recovery_strategy: Optional[str] = None
 
     def params(self) -> dict:
         """The picklable dict form used by parallel sweep cells."""
@@ -116,6 +119,7 @@ class Scenario:
             "sanitize": self.sanitize,
             "fault_plan": self.fault_plan,
             "fault_overrides": dict(self.fault_overrides),
+            "recovery_strategy": self.recovery_strategy,
         }
 
 
@@ -133,7 +137,10 @@ def run_scenario(spec: Scenario) -> RunResult:
     if spec.sanitize:
         engine.attach_sanitizer()
     if spec.fault_plan is not None:
-        engine.attach_faults(spec.fault_plan, spec.fault_overrides)
+        engine.attach_faults(
+            spec.fault_plan, spec.fault_overrides,
+            strategy=spec.recovery_strategy,
+        )
 
     flows = workload.flows(spec.nodes, spec.threads)
     return engine.run(workload.build_query(), flows)

@@ -20,6 +20,9 @@ from repro.core.system import (  # noqa: F401  (re-exported vocabulary)
     CAP_SCALE_OUT,
     CAP_SESSION_WINDOWS,
     CAP_TRANSFER_BENCH,
+    RECOVERY_STRATEGIES,
+    STRATEGY_ASYNC_SNAPSHOT,
+    STRATEGY_EPOCH_BUDDY,
     SystemHooks,
 )
 

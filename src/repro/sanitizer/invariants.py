@@ -32,6 +32,14 @@ Invariant catalog (see ``docs/testing.md``):
 ``window-fire``
     A window fires only when the clock frontier has passed its end
     (property P1: no executor can still contribute to it).
+``snapshot-consistency``
+    A completed Chandy–Lamport round forms a consistent cut: no
+    post-marker record leaks into any capture (receiver frontiers never
+    pass the sender's marker boundary; aligned rounds report zero
+    post-marker merges), and every pre-marker record still in flight at
+    capture time is accounted for as channel state — the recorded
+    epochs per ``(operator, partition)`` stream fill ``(frontier,
+    boundary]`` exactly, with no gaps and nothing beyond the marker.
 """
 
 from __future__ import annotations
@@ -314,6 +322,108 @@ class Sanitizer:
                 "but was rejected (lost update)",
                 partition=delta.partition, helper=delta.from_executor,
                 epoch=delta.epoch, frontier=last,
+            )
+
+    # -- faults: consistent-cut audit for async snapshots ---------------------
+    def note_snapshot_round(
+        self,
+        round_id: int,
+        participants: list,
+        boundaries: dict,
+        frontiers: dict,
+        channel_state: dict,
+    ) -> None:
+        """A Chandy–Lamport round completed; audit the cut it froze.
+
+        ``boundaries`` maps sender -> epoch-cut boundary at which its
+        marker shipped; ``frontiers`` maps receiver -> the admission
+        ledger frozen inside its capture (keys ``(operator, partition,
+        sender)`` -> last admitted epoch); ``channel_state`` maps
+        ``(receiver, sender)`` -> recorded in-flight ``(operator,
+        partition, epoch)`` triples.  For every audited stream the
+        recorded epochs must bridge the receiver's frozen frontier to
+        the sender's marker boundary exactly — a record beyond the
+        boundary is a post-marker leak, a gap is a lost pre-marker
+        record.
+        """
+        self.checks["snapshot-consistency"] += 1
+        for dst in participants:
+            frontier = frontiers.get(dst)
+            if frontier is None:
+                continue
+            for src in participants:
+                if src == dst:
+                    continue
+                boundary = boundaries.get(src)
+                if boundary is None:
+                    # The channel closed before a marker arrived; the
+                    # sender contributed nothing in-flight to audit.
+                    continue
+                streams: dict[tuple, set] = {}
+                for op, partition, epoch in channel_state.get((dst, src), ()):
+                    streams.setdefault((op, partition), set()).add(epoch)
+                audited = set(streams)
+                audited.update(
+                    (op, partition)
+                    for (op, partition, helper) in frontier
+                    if helper == src
+                )
+                for op, partition in sorted(audited):
+                    frozen = frontier.get((op, partition, src), -1)
+                    if frozen > boundary:
+                        self.fail(
+                            "snapshot-consistency",
+                            f"round {round_id}: executor {dst}'s capture "
+                            f"admitted (op={op!r}, p{partition}) up to epoch "
+                            f"{frozen}, past executor {src}'s marker boundary "
+                            f"{boundary} — a post-marker record leaked into "
+                            "the cut",
+                            round=round_id, dst=dst, src=src,
+                            partition=partition, frontier=frozen,
+                            boundary=boundary,
+                        )
+                    recorded = {
+                        e for e in streams.get((op, partition), ()) if e > frozen
+                    }
+                    beyond = {e for e in recorded if e > boundary}
+                    if beyond:
+                        self.fail(
+                            "snapshot-consistency",
+                            f"round {round_id}: channel state {src}->{dst} "
+                            f"(op={op!r}, p{partition}) records epochs "
+                            f"{sorted(beyond)} beyond the marker boundary "
+                            f"{boundary} — post-marker records in the cut",
+                            round=round_id, dst=dst, src=src,
+                            partition=partition, boundary=boundary,
+                        )
+                    expected = set(range(frozen + 1, boundary + 1))
+                    if recorded != expected:
+                        missing = sorted(expected - recorded)
+                        self.fail(
+                            "snapshot-consistency",
+                            f"round {round_id}: channel state {src}->{dst} "
+                            f"(op={op!r}, p{partition}) is missing epochs "
+                            f"{missing} between the frozen frontier {frozen} "
+                            f"and the marker boundary {boundary} — a "
+                            "pre-marker record was lost from the cut",
+                            round=round_id, dst=dst, src=src,
+                            partition=partition, frontier=frozen,
+                            boundary=boundary,
+                        )
+
+    def note_aligned_round(
+        self, round_id: int, captures: int, post_marker_merges: int
+    ) -> None:
+        """An aligned (partitioned-engine) snapshot round completed."""
+        self.checks["snapshot-consistency"] += 1
+        if post_marker_merges:
+            self.fail(
+                "snapshot-consistency",
+                f"aligned round {round_id}: {post_marker_merges} post-marker "
+                f"payloads merged into consumer state before capture "
+                "(alignment spill bypassed — the cut is not consistent)",
+                round=round_id, captures=captures,
+                post_marker_merges=post_marker_merges,
             )
 
     # -- core: watermark-safe window triggering ------------------------------

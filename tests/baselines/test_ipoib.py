@@ -154,3 +154,114 @@ def test_fabric_pipes_are_shared_per_node(setup):
     assert fabric.tx(cluster.node(0)) is fabric.tx(cluster.node(0))
     assert fabric.tx(cluster.node(0)) is not fabric.tx(cluster.node(1))
     assert fabric.tx(cluster.node(0)) is not fabric.rx(cluster.node(0))
+
+
+# -- the injector's data-plane fault surface --------------------------------
+class _FakeFaults:
+    """Duck-typed stand-in for the injector's drop-WRITE surface."""
+
+    def __init__(self, drops: int, max_retries: int = 8, rto_s: float = 1e-6):
+        self.drops = drops
+        self.max_retries = max_retries
+        self.rto_s = rto_s
+        self.asked = 0
+
+    def should_drop_write(self, src_index: int, nbytes: int) -> bool:
+        self.asked += 1
+        if self.drops > 0:
+            self.drops -= 1
+            return True
+        return False
+
+
+def test_dropped_segment_is_retransmitted(setup):
+    """TCP semantics: the injector eats segments, the stack retries, the
+    payload still arrives exactly once."""
+    sim, cluster, channel = setup
+    faults = _FakeFaults(drops=2, rto_s=1e-6)
+    sim.faults = faults
+    core_a = cluster.node(0).core(0)
+    core_b = cluster.node(1).core(0)
+    received = []
+
+    def producer():
+        yield from channel.send(core_a, "x", 1024)
+
+    def consumer():
+        payload, _n = yield from channel.recv(core_b)
+        received.append(payload)
+
+    sim.process(producer())
+    proc = sim.process(consumer())
+    sim.run_until_process(proc)
+    assert received == ["x"]
+    assert faults.drops == 0
+    assert faults.asked >= 3  # two drops + the delivered attempt
+
+
+def test_retransmission_backs_off_exponentially(setup):
+    sim, cluster, channel = setup
+    rto = 2e-6
+    sim.faults = _FakeFaults(drops=3, rto_s=rto)
+    core_a = cluster.node(0).core(0)
+    core_b = cluster.node(1).core(0)
+
+    def producer():
+        yield from channel.send(core_a, "x", 1024)
+
+    def consumer():
+        yield from channel.recv(core_b)
+
+    sim.process(producer())
+    proc = sim.process(consumer())
+    sim.run_until_process(proc)
+    # Three RTO waits at doubling intervals: rto + 2*rto + 4*rto.
+    assert sim.now >= 7 * rto
+
+
+def test_blackholed_path_exhausts_retries(setup):
+    sim, cluster, channel = setup
+    sim.faults = _FakeFaults(drops=10 ** 6, max_retries=3)
+    core_a = cluster.node(0).core(0)
+
+    def producer():
+        yield from channel.send(core_a, "x", 1024)
+
+    sim.process(producer())
+    with pytest.raises(ProtocolError, match="retransmissions exhausted"):
+        sim.run()
+
+
+def test_withheld_acks_starve_the_window_until_flushed(setup):
+    """Zero-window fault: releases stop paying the sender until the
+    injector lifts the starvation and flush_withheld drains the acks."""
+    sim, cluster, channel = setup
+    core_a = cluster.node(0).core(0)
+    core_b = cluster.node(1).core(0)
+    channel.withhold_credits = True
+    sent_at = {}
+
+    def producer():
+        # credits=4: the fifth send must stall until acks flow again.
+        for i in range(5):
+            yield from channel.send(core_a, i, 256)
+            sent_at[i] = sim.now
+
+    def consumer():
+        got = 0
+        while got < 4:
+            _payload, _n = yield from channel.recv(core_b)
+            yield from channel.release(core_b)
+            got += 1
+        stalled_until = sim.now
+        channel.withhold_credits = False
+        yield from channel.flush_withheld(core_b)
+        _payload, _n = yield from channel.recv(core_b)
+        yield from channel.release(core_b)
+        return stalled_until
+
+    sim.process(producer())
+    proc = sim.process(consumer())
+    flushed_at = sim.run_until_process(proc)
+    assert channel._withheld == 0
+    assert sent_at[4] >= flushed_at  # fifth send waited for the flush

@@ -286,3 +286,45 @@ class TestLocalChannel:
         sim.process(producer())
         sim.run()
         assert core.counters.mem_bytes >= 2 * 4096
+
+    def test_mark_dead_drops_sends_silently(self):
+        sim, cluster, channel = self.make()
+        core = cluster.node(0).core(0)
+
+        def producer():
+            yield from channel.send(core, "a", 64)
+            channel.mark_dead()
+            yield from channel.send(core, "b", 64)
+            yield from channel.close(core)
+
+        sim.process(producer())
+        sim.run()
+        assert channel.dead
+        ok, payload, _n = channel.try_recv(cluster.node(0).core(1))
+        assert ok and payload == "a"
+        assert not channel.try_recv(cluster.node(0).core(1))[0]
+
+    def test_mark_dead_wakes_a_parked_sender(self):
+        """A producer blocked on credits must not hang forever when its
+        node dies: mark_dead injects a fake credit to unpark it."""
+        sim, cluster, channel = self.make(credits=1)
+        core = cluster.node(0).core(0)
+        done = []
+
+        def producer():
+            yield from channel.send(core, "a", 64)
+            # No consumer releases: this send parks on the credit store.
+            yield from channel.send(core, "b", 64)
+            done.append(True)
+
+        proc = sim.process(producer())
+        sim.process(self._kill_later(sim, channel))
+        sim.run_until_process(proc)
+        assert done == [True]
+
+    @staticmethod
+    def _kill_later(sim, channel):
+        from repro.simnet.kernel import Timeout
+
+        yield Timeout(1e-6)
+        channel.mark_dead()

@@ -121,14 +121,69 @@ def test_chaos_system_without_fault_plane_fails_fast(capsys):
 
 
 def test_chaos_unsupported_kind_names_supported_ones(capsys):
-    """UpPar has a fault plane but no crash recovery: leader-crash is a
+    """Flink has a fault plane but no crash recovery: leader-crash is a
     capability error naming the kinds it *can* absorb."""
-    assert main(["chaos", "--system", "uppar", "--fault", "leader-crash",
+    assert main(["chaos", "--system", "flink", "--fault", "leader-crash",
                  "--records", "400"]) == 1
     err = capsys.readouterr().err
     assert "CHAOS FAILED" in err
     assert "node-crash" in err
     assert "drop-chunk" in err
+
+
+def test_chaos_strategy_parser_default():
+    args = build_parser().parse_args(["chaos"])
+    assert args.strategy == "both"
+
+
+def test_chaos_unknown_strategy_suggests_closest(capsys):
+    assert main(["chaos", "--strategy", "asyn-snapshot"]) == 1
+    err = capsys.readouterr().err
+    assert "unknown recovery strategy" in err
+    assert "did you mean 'async-snapshot'?" in err
+
+
+def test_chaos_help_lists_strategies(capsys):
+    with pytest.raises(SystemExit):
+        main(["chaos", "--help"])
+    out = capsys.readouterr().out
+    assert "epoch-buddy" in out
+    assert "async-snapshot" in out
+
+
+def test_chaos_uppar_crash_recovers_via_async_snapshot(tmp_path, capsys):
+    """The headline: UpPar survives a leader crash with zero lost results
+    through aligned snapshots + global restart."""
+    code = main(
+        ["chaos", "--system", "uppar", "--fault", "leader-crash",
+         "--strategy", "async-snapshot", "--seed", "7",
+         "--records", "400", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "async-snapshot" in out
+    assert "zero-lost-results" in out and "FAIL" not in out
+    rows = json.loads((tmp_path / "chaos.json").read_text())
+    assert rows[0]["recovery_strategy"] == "async-snapshot"
+    assert rows[0]["zero_lost"] is True
+    assert rows[0]["recovered_records"] > 0
+
+
+def test_chaos_both_strategies_render_comparison(tmp_path, capsys):
+    code = main(
+        ["chaos", "--fault", "leader-crash", "--seed", "7",
+         "--records", "400", "--no-determinism-check",
+         "--out", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "recovery strategy comparison" in out
+    for column in ("snapshot overhead", "recovered records"):
+        assert column in out
+    rows = json.loads((tmp_path / "chaos.json").read_text())
+    strategies = [row["recovery_strategy"] for row in rows]
+    assert strategies == ["epoch-buddy", "async-snapshot"]
+    assert all(row["zero_lost"] for row in rows)
 
 
 def test_chaos_on_uppar_through_generic_hooks(tmp_path, capsys):

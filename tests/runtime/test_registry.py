@@ -41,7 +41,8 @@ def test_capability_flags_per_engine():
     assert CAP_SCALE_OUT in REGISTRY.spec("uppar").capabilities
     assert CAP_SCALE_OUT not in REGISTRY.spec("lightsaber").capabilities
     assert CAP_FAULT_INJECTION in REGISTRY.spec("slash").capabilities
-    assert CAP_FAULT_INJECTION not in REGISTRY.spec("flink").capabilities
+    assert CAP_FAULT_INJECTION in REGISTRY.spec("flink").capabilities
+    assert CAP_FAULT_INJECTION not in REGISTRY.spec("lightsaber").capabilities
 
 
 def test_require_missing_capability_fails_fast():
@@ -60,11 +61,11 @@ def test_attach_faults_rejected_without_capability():
 
 
 def test_attach_faults_rejects_unsupported_kinds():
-    """UpPar has a fault plane but no crash recovery: a node-crash plan
+    """Flink has a fault plane but no crash recovery: a node-crash plan
     must be refused at attach time with the supported kinds listed."""
     plan = FaultPlan.preset("leader-crash", seed=7, executors=3, horizon_s=1.0)
     with pytest.raises(CapabilityError, match="node-crash"):
-        REGISTRY.create("uppar", nodes=3).attach_faults(plan)
+        REGISTRY.create("flink", nodes=3).attach_faults(plan)
 
 
 def test_transfer_bench_gated_by_capability():

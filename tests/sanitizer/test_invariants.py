@@ -200,3 +200,71 @@ class TestViolationStructure:
         san.note_event(1.0, 0.0)
         san.note_watermark(1, 0, 1.0)
         assert san.check_counts() == {"event-time": 1, "watermark-monotonic": 1}
+
+
+class TestSnapshotConsistency:
+    """The consistent-cut audit for completed Chandy-Lamport rounds."""
+
+    @staticmethod
+    def _round(channel_state, frontier=None, boundary=2):
+        return dict(
+            round_id=1,
+            participants=[0, 1],
+            boundaries={1: boundary},
+            frontiers={0: frontier if frontier is not None else {}},
+            channel_state=channel_state,
+        )
+
+    def test_exactly_bridged_cut_passes(self, san):
+        # Receiver 0 froze its frontier at epoch 0; epochs 1..2 from
+        # sender 1 were in flight and recorded as channel state.
+        san.note_snapshot_round(**self._round(
+            {(0, 1): [("op", 0, 1), ("op", 0, 2)]},
+            frontier={("op", 0, 1): 0},
+        ))
+        assert san.checks["snapshot-consistency"] == 1
+
+    def test_no_inflight_records_passes(self, san):
+        # The frontier already reached the boundary: nothing in flight.
+        san.note_snapshot_round(**self._round(
+            {}, frontier={("op", 0, 1): 2},
+        ))
+        assert san.checks["snapshot-consistency"] == 1
+
+    def test_post_marker_record_in_cut_fails(self, san):
+        with pytest.raises(InvariantViolation, match="post-marker"):
+            san.note_snapshot_round(**self._round(
+                {(0, 1): [("op", 0, 1), ("op", 0, 2), ("op", 0, 3)]},
+                frontier={("op", 0, 1): 0},
+            ))
+
+    def test_frontier_past_boundary_fails(self, san):
+        with pytest.raises(InvariantViolation, match="leaked into"):
+            san.note_snapshot_round(**self._round(
+                {}, frontier={("op", 0, 1): 3},
+            ))
+
+    def test_lost_pre_marker_record_fails(self, san):
+        with pytest.raises(InvariantViolation, match="lost from the cut"):
+            san.note_snapshot_round(**self._round(
+                {(0, 1): [("op", 0, 2)]},  # epoch 1 vanished
+                frontier={("op", 0, 1): 0},
+            ))
+
+    def test_closed_channel_sender_is_skipped(self, san):
+        # Sender 1 never shipped a marker (channel closed): no boundary,
+        # nothing to audit, the round still counts as checked.
+        san.note_snapshot_round(
+            round_id=1, participants=[0, 1], boundaries={},
+            frontiers={0: {("op", 0, 1): 5}}, channel_state={},
+        )
+        assert san.checks["snapshot-consistency"] == 1
+
+    def test_aligned_round_with_no_leaks_passes(self, san):
+        san.note_aligned_round(round_id=3, captures=4, post_marker_merges=0)
+        assert san.checks["snapshot-consistency"] == 1
+
+    def test_aligned_round_with_post_marker_merge_fails(self, san):
+        with pytest.raises(InvariantViolation, match="alignment spill"):
+            san.note_aligned_round(round_id=3, captures=4,
+                                   post_marker_merges=2)

@@ -1,0 +1,73 @@
+"""The chaos-matrix generator: derived from the registry, not hand-kept."""
+
+import importlib.util
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "gen_chaos_matrix", REPO_ROOT / "tools" / "gen_chaos_matrix.py"
+)
+gen_chaos_matrix = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gen_chaos_matrix)
+
+
+def test_every_cell_is_runnable_shape():
+    cells = gen_chaos_matrix.build_matrix()
+    assert cells
+    for cell in cells:
+        assert set(cell) == {"system", "fault", "strategy"}
+        assert cell["system"]
+        assert cell["fault"]
+
+
+def test_matrix_covers_each_fault_injectable_engine():
+    from repro.runtime import CAP_FAULT_INJECTION, REGISTRY
+
+    cells = gen_chaos_matrix.build_matrix()
+    systems = {cell["system"] for cell in cells}
+    expected = {
+        name for name in REGISTRY.names()
+        if CAP_FAULT_INJECTION in REGISTRY.create(name, 3).capabilities
+    }
+    assert systems == expected
+    assert {"slash", "uppar", "flink"} <= systems
+
+
+def test_recovery_presets_cross_strategies():
+    cells = gen_chaos_matrix.build_matrix()
+    slash_crash = {
+        cell["strategy"] for cell in cells
+        if cell["system"] == "slash" and cell["fault"] == "leader-crash"
+    }
+    assert slash_crash == {"epoch-buddy", "async-snapshot"}
+    uppar_crash = {
+        cell["strategy"] for cell in cells
+        if cell["system"] == "uppar" and cell["fault"] == "leader-crash"
+    }
+    assert uppar_crash == {"async-snapshot"}
+
+
+def test_data_plane_presets_run_once_per_engine():
+    cells = gen_chaos_matrix.build_matrix()
+    for system in ("slash", "uppar", "flink"):
+        flaps = [c for c in cells
+                 if c["system"] == system and c["fault"] == "nic-flap"]
+        assert len(flaps) == 1
+    (flink_flap,) = [c for c in cells
+                     if c["system"] == "flink" and c["fault"] == "nic-flap"]
+    assert flink_flap["strategy"] == ""  # no recovery plane: no flag
+
+
+def test_flink_gets_no_crash_cells():
+    cells = gen_chaos_matrix.build_matrix()
+    flink_faults = {c["fault"] for c in cells if c["system"] == "flink"}
+    assert flink_faults == {"nic-flap", "drop-chunk", "credit-starvation"}
+
+
+def test_cli_emits_compact_json(capsys):
+    assert gen_chaos_matrix.main([]) == 0
+    out = capsys.readouterr().out
+    cells = json.loads(out)
+    assert cells == gen_chaos_matrix.build_matrix()
