@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Kernel queue microbench: plain binary heap vs. the calendar queue.
+
+Drives the same timer workload through two schedulers:
+
+* **heap** — a minimal ``heapq`` reference: one ``(when, seq, callback)``
+  tuple per timer, ``O(log n)`` push/pop, no same-timestamp awareness.
+  This is the data structure the kernel shipped with before the calendar
+  rewrite, reduced to its essentials.
+* **calendar** — the production :class:`repro.simnet.kernel.Simulator`
+  with its front-cached bucket queue and same-timestamp batch dispatch.
+
+Two timestamp mixes bracket the design space:
+
+* **tie-heavy** — a wide cohort of timers marching in lockstep, so every
+  instant is one bucket of hundreds of entries (the shape produced by
+  per-batch cost models: many workers charged identical delays).
+* **sparse** — every timer on its own timestamp, pure heap churn with no
+  ties to batch (the calendar queue's worst case; it should stay
+  roughly at parity with the heap here, not win).
+
+Standalone::
+
+    python benchmarks/bench_kernel_queue.py
+
+or imported by ``bench_wallclock.py``, which records the result under
+the ``kernel_queue`` key of ``BENCH_wallclock.json``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Concurrent timer chains; each chain re-arms itself ROUNDS times.
+WIDTH = 512
+ROUNDS = 200
+
+#: Tie-heavy mix: every chain draws the same per-round delay, so each
+#: instant is a single bucket of WIDTH entries.
+TIE_DELAYS = (2e-6, 5e-6, 2e-6, 1e-5)
+
+
+def _tie_delay(chain: int, round_index: int) -> float:
+    return TIE_DELAYS[round_index % len(TIE_DELAYS)]
+
+
+def _sparse_delay(chain: int, round_index: int) -> float:
+    # A distinct, co-prime-ish stride per chain: timestamps almost never
+    # collide, so every entry lands in its own bucket.
+    return 1e-9 * ((chain * 7919 + round_index * 104729) % 999983 + 1)
+
+
+class _HeapScheduler:
+    """The pre-calendar reference: one heap entry per timer.
+
+    The dispatch loop carries the same per-event obligations as the real
+    kernel (clock update, tracer/sanitizer hook tests, failure check) so
+    the comparison isolates the queue data structure, not the kernel's
+    bookkeeping.
+    """
+
+    __slots__ = ("_heap", "_seq", "_now", "tracer", "sanitize", "_failures")
+
+    def __init__(self):
+        self._heap: list = []
+        self._seq = 0
+        self._now = 0.0
+        self.tracer = None
+        self.sanitize = None
+        self._failures: list = []
+
+    def schedule(self, delay, callback):
+        seq = self._seq = self._seq + 1
+        heapq.heappush(
+            self._heap, (self._now + delay, seq, callback, (None, None))
+        )
+
+    def run(self):
+        heap = self._heap
+        pop = heapq.heappop
+        failures = self._failures
+        while heap:
+            when, _seq, callback, args = pop(heap)
+            self._now = when
+            if self.sanitize is not None:
+                self.sanitize.note_event(when, when)
+            callback(*args)
+            if failures:
+                raise failures[0]
+        return self._seq
+
+
+def _drive(schedule, delay_of, width=WIDTH, rounds=ROUNDS):
+    """Arm ``width`` self-re-arming timer chains of ``rounds`` fires."""
+    def make_callback(chain, round_index):
+        def callback(value, exc):
+            nxt = round_index + 1
+            if nxt < rounds:
+                schedule(delay_of(chain, nxt), make_callback(chain, nxt))
+        return callback
+
+    for chain in range(width):
+        schedule(delay_of(chain, 0), make_callback(chain, 0))
+
+
+def _bench_heap(delay_of) -> dict:
+    sched = _HeapScheduler()
+    _drive(sched.schedule, delay_of)
+    started = time.perf_counter()
+    events = sched.run()
+    wall = time.perf_counter() - started
+    return {"events": events, "wall_s": round(wall, 4),
+            "events_per_s": round(events / wall)}
+
+
+def _bench_calendar(delay_of) -> dict:
+    from repro.simnet.kernel import Simulator
+
+    sim = Simulator()
+
+    def schedule(delay, callback):
+        # call_in is the kernel's raw scheduling primitive — the direct
+        # analogue of _HeapScheduler.schedule (no Waitable allocation).
+        sim.call_in(delay, callback, None, None)
+
+    _drive(schedule, delay_of)
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    events = sim.scheduled_events
+    return {"events": events, "wall_s": round(wall, 4),
+            "events_per_s": round(events / wall)}
+
+
+def run_benchmarks(repeats: int = 3) -> dict:
+    """Best-of-``repeats`` for both schedulers on both mixes."""
+    out = {}
+    for mix, delay_of in (("tie_heavy", _tie_delay), ("sparse", _sparse_delay)):
+        best = {}
+        for kind, bench in (("heap", _bench_heap), ("calendar", _bench_calendar)):
+            runs = [bench(delay_of) for _ in range(repeats)]
+            best[kind] = max(runs, key=lambda r: r["events_per_s"])
+        best["calendar_vs_heap"] = round(
+            best["calendar"]["events_per_s"] / best["heap"]["events_per_s"], 3
+        )
+        out[mix] = best
+    return out
+
+
+def main() -> int:
+    result = run_benchmarks()
+    for mix, entry in result.items():
+        print(
+            f"[bench] {mix}: heap {entry['heap']['events_per_s']:,} ev/s, "
+            f"calendar {entry['calendar']['events_per_s']:,} ev/s "
+            f"({entry['calendar_vs_heap']}x)"
+        )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

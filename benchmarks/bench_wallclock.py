@@ -14,7 +14,12 @@ rendered report.  The digest is the determinism check: two same-seed
 runs must produce identical simulated-time results, so their digests
 must match (wall seconds, of course, vary).  ``--check-against`` fails
 (exit 1) if any tracked experiment is more than ``--threshold`` times
-slower than the committed baseline.
+slower than the committed baseline, or if the kernel microbench drops
+below ``--kernel-floor`` (default 35%) of the baseline's events/sec —
+a ratchet against the scheduling core quietly losing its calendar-queue
+and chain optimisations.  ``--profile [N]`` additionally re-runs each
+experiment under cProfile and records its top-N cumulative frames under
+the entry's ``hotspots`` key.
 
 Simulated results are wall-clock independent, so quick-mode timings are
 a faithful *relative* trajectory even though absolute numbers are small.
@@ -37,34 +42,66 @@ SCHEMA = 1
 KERNEL_EVENTS = 200_000
 
 
-def bench_kernel(events: int = KERNEL_EVENTS) -> dict:
+def bench_kernel(events: int = KERNEL_EVENTS, repeats: int = 3) -> dict:
     """Events/sec through the simulation kernel's scheduling hot path.
 
-    Alternates timed and zero-delay waits so both the heap and the
-    ready-deque fast path are exercised.
+    Alternates timed and zero-delay waits so both the calendar queue and
+    the ready-deque fast path are exercised.  Best-of-``repeats`` so the
+    committed number reflects the kernel, not a scheduler hiccup.
     """
     from repro.simnet.kernel import Simulator, Timeout
 
-    sim = Simulator()
+    best = None
+    for _ in range(repeats):
+        sim = Simulator()
 
-    def body():
-        for _ in range(events // 2):
-            yield Timeout(1e-6)
-            yield Timeout(0.0)
+        def body():
+            for _ in range(events // 2):
+                yield Timeout(1e-6)
+                yield Timeout(0.0)
 
-    sim.process(body(), name="kernel-bench")
-    started = time.perf_counter()
-    sim.run()
-    wall = time.perf_counter() - started
-    return {
-        "events": sim.scheduled_events,
-        "wall_s": round(wall, 4),
-        "events_per_s": round(sim.scheduled_events / wall),
-        "sim_seconds": sim.now,
-    }
+        sim.process(body(), name="kernel-bench")
+        started = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - started
+        run = {
+            "events": sim.scheduled_events,
+            "wall_s": round(wall, 4),
+            "events_per_s": round(sim.scheduled_events / wall),
+            "sim_seconds": sim.now,
+        }
+        if best is None or run["events_per_s"] > best["events_per_s"]:
+            best = run
+    return best
 
 
-def bench_experiment(name: str, quick: bool, jobs: int) -> dict:
+def profile_experiment(report_factory, args, top: int = 15) -> list[str]:
+    """Run one experiment under cProfile; return the top-``top`` frames
+    by cumulative time as pre-formatted report lines."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        report_factory(args)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    # Keep only the table body (skip the pstats banner noise).
+    lines = buffer.getvalue().splitlines()
+    start = next(
+        (i for i, line in enumerate(lines) if "ncalls" in line), 0
+    )
+    return [line.rstrip() for line in lines[start:] if line.strip()]
+
+
+def bench_experiment(
+    name: str, quick: bool, jobs: int, profile: int = 0
+) -> dict:
     """One experiment: wall seconds plus a digest of the rendered report."""
     from repro.harness.cli import EXPERIMENTS, QUICK, build_parser
 
@@ -89,22 +126,53 @@ def bench_experiment(name: str, quick: bool, jobs: int) -> dict:
         started = time.perf_counter()
         report = factory(args)
         wall = time.perf_counter() - started
+        hotspots = profile_experiment(factory, args, profile) if profile else None
     finally:
         if pool is not None:
             pool.shutdown()
     rendered = report.render()
-    return {
+    entry = {
         "wall_s": round(wall, 3),
         "digest": hashlib.sha256(rendered.encode()).hexdigest(),
         "quick": quick,
         "jobs": jobs,
     }
+    if hotspots is not None:
+        entry["hotspots"] = hotspots
+    return entry
 
 
-def check_against(current: dict, baseline_path: pathlib.Path, threshold: float) -> int:
-    """Exit status for the CI gate: 1 if any experiment regressed."""
+#: CI floor for kernel.events_per_s as a fraction of the committed
+#: baseline.  Deliberately loose: shared CI runners are routinely 2-3x
+#: slower than the machine that produced the baseline, so the ratchet
+#: only catches order-of-magnitude regressions (e.g. the calendar queue
+#: silently degenerating to per-event heap churn), not runner jitter.
+KERNEL_FLOOR_FRACTION = 0.35
+
+
+def check_against(
+    current: dict,
+    baseline_path: pathlib.Path,
+    threshold: float,
+    kernel_floor: float = KERNEL_FLOOR_FRACTION,
+) -> int:
+    """Exit status for the CI gate: 1 if any experiment regressed or the
+    kernel microbench fell below its ratcheted events/sec floor."""
     baseline = json.loads(baseline_path.read_text())
     failures = []
+    base_kernel = baseline.get("kernel")
+    cur_kernel = current.get("kernel")
+    if base_kernel and cur_kernel:
+        floor = base_kernel["events_per_s"] * kernel_floor
+        rate = cur_kernel["events_per_s"]
+        status = "OK" if rate >= floor else "REGRESSED"
+        print(
+            f"[bench] kernel: {rate:,} events/s vs baseline "
+            f"{base_kernel['events_per_s']:,} (floor {floor:,.0f}, "
+            f"{kernel_floor:.0%} of baseline) {status}"
+        )
+        if rate < floor:
+            failures.append("kernel.events_per_s")
     for name, entry in current["experiments"].items():
         base = baseline.get("experiments", {}).get(name)
         if base is None:
@@ -135,13 +203,21 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes per experiment run")
     parser.add_argument("--skip-kernel", action="store_true",
-                        help="skip the kernel events/sec microbench")
+                        help="skip the kernel events/sec and queue microbenches")
+    parser.add_argument("--profile", type=int, nargs="?", const=15, default=0,
+                        metavar="N",
+                        help="after timing, re-run each experiment under "
+                             "cProfile and record its top-N cumulative "
+                             "frames (default N=15)")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="write the JSON here (default: stdout only)")
     parser.add_argument("--check-against", type=pathlib.Path, default=None,
                         help="baseline BENCH_wallclock.json to gate against")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="max allowed wall_s ratio vs baseline")
+    parser.add_argument("--kernel-floor", type=float,
+                        default=KERNEL_FLOOR_FRACTION,
+                        help="min kernel events/s as a fraction of baseline")
     args = parser.parse_args(argv)
 
     names = args.experiments or list(EXPERIMENTS)
@@ -154,10 +230,25 @@ def main(argv=None) -> int:
     if not args.skip_kernel:
         result["kernel"] = bench_kernel()
         print(f"[bench] kernel: {result['kernel']['events_per_s']:,} events/s")
+        from bench_kernel_queue import run_benchmarks as run_queue_benchmarks
+
+        result["kernel_queue"] = run_queue_benchmarks()
+        for mix, entry in sorted(result["kernel_queue"].items()):
+            print(
+                f"[bench] kernel_queue/{mix}: heap "
+                f"{entry['heap']['events_per_s']:,} ev/s, calendar "
+                f"{entry['calendar']['events_per_s']:,} ev/s "
+                f"({entry['calendar_vs_heap']}x)"
+            )
     for name in names:
-        entry = bench_experiment(name, quick=args.quick, jobs=args.jobs)
+        entry = bench_experiment(
+            name, quick=args.quick, jobs=args.jobs, profile=args.profile
+        )
         result["experiments"][name] = entry
         print(f"[bench] {name}: {entry['wall_s']:.2f}s  digest {entry['digest'][:12]}")
+        if args.profile:
+            for line in entry["hotspots"][: 3 + args.profile]:
+                print(f"    {line}")
 
     payload = json.dumps(result, indent=2, sort_keys=True) + "\n"
     if args.out is not None:
@@ -167,7 +258,10 @@ def main(argv=None) -> int:
         print(payload)
 
     if args.check_against is not None:
-        return check_against(result, args.check_against, args.threshold)
+        return check_against(
+            result, args.check_against, args.threshold,
+            kernel_floor=args.kernel_floor,
+        )
     return 0
 
 

@@ -17,6 +17,7 @@ of fixed-size buffers:
   but memcpy-over-DRAM timing.
 """
 
+from repro.channel.chunk_pool import ChunkBufferPool
 from repro.channel.circular_queue import CircularQueue
 from repro.channel.protocol import FlowControl, ChannelStats
 from repro.channel.channel import (
@@ -28,6 +29,7 @@ from repro.channel.channel import (
 )
 
 __all__ = [
+    "ChunkBufferPool",
     "CircularQueue",
     "FlowControl",
     "ChannelStats",

@@ -1,0 +1,94 @@
+"""Free-list pool for delta-chunk pair buffers.
+
+Shipping one epoch delta allocates a fresh staging list per chunk on the
+producer side (``_chunk_delta``) and a fresh reassembly list per
+``(operator, partition, sender, epoch)`` on the consumer side — tens of
+thousands of short-lived lists per run, all the same shape, all handed
+straight to the garbage collector.  :class:`ChunkBufferPool` replaces
+construct/GC with acquire/release: buffers are cleared and parked on a
+free list, so steady-state chunking allocates nothing.
+
+Lifecycle contract (enforced, not advisory):
+
+* a buffer is **owned** by exactly one party between ``acquire`` and
+  ``release``; releasing it twice raises :class:`ProtocolError` — the
+  pool analogue of the ring's buffer-lifecycle sanitizer invariant
+  (a slot must not be rewritten before the consumer released it);
+* ``release`` clears the buffer *before* parking it, so pooled reuse can
+  never leak pairs between epochs.  Callers must therefore copy the
+  contents out (the executor freezes them into the immutable
+  ``DeltaChunk.pairs`` / ``EpochDelta.pairs`` tuples) before releasing;
+* the free list is bounded (``max_free``); beyond that, released
+  buffers are simply dropped to the GC so a burst cannot pin memory
+  forever.
+
+The pool is deterministic: it holds plain lists, performs no
+time-dependent decisions, and is invisible to simulated results.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+
+#: Free-list bound: enough for every in-flight chunk of a large fan-in
+#: (credits x peers) without letting a pathological burst pin memory.
+DEFAULT_MAX_FREE = 64
+
+
+class ChunkBufferPool:
+    """An arena of reusable list buffers with double-release detection."""
+
+    __slots__ = ("name", "max_free", "_free", "_free_ids",
+                 "acquired", "released", "reused")
+
+    def __init__(self, name: str = "chunk-pool", max_free: int = DEFAULT_MAX_FREE):
+        if max_free < 0:
+            raise ProtocolError(f"{name}: max_free must be non-negative")
+        self.name = name
+        self.max_free = max_free
+        self._free: list[list] = []
+        self._free_ids: set[int] = set()
+        #: Lifetime counters, exposed for benchmarks and tests.
+        self.acquired = 0
+        self.released = 0
+        self.reused = 0
+
+    def acquire(self) -> list:
+        """Take an empty buffer: reuse a parked one, else allocate."""
+        self.acquired += 1
+        if self._free:
+            buffer = self._free.pop()
+            self._free_ids.discard(id(buffer))
+            self.reused += 1
+            return buffer
+        return []
+
+    def release(self, buffer: list) -> None:
+        """Return a buffer to the pool.  The buffer is cleared here; the
+        caller must have copied its contents out already."""
+        if id(buffer) in self._free_ids:
+            raise ProtocolError(
+                f"{self.name}: double release of pooled buffer (lifecycle "
+                "violation: a buffer may be released exactly once per acquire)"
+            )
+        self.released += 1
+        buffer.clear()
+        if len(self._free) < self.max_free:
+            self._free.append(buffer)
+            self._free_ids.add(id(buffer))
+
+    @property
+    def outstanding(self) -> int:
+        """Buffers currently acquired and not yet released."""
+        return self.acquired - self.released
+
+    @property
+    def free(self) -> int:
+        """Buffers parked on the free list."""
+        return len(self._free)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkBufferPool({self.name!r}, free={self.free}, "
+            f"acquired={self.acquired}, reused={self.reused})"
+        )

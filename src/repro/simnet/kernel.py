@@ -15,6 +15,14 @@ queues with blocking ``get``.
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so a run is
 a pure function of the initial state.
+
+Scheduling is backed by a *calendar queue* rather than a single binary
+heap: events for the same timestamp live together in one bucket, buckets
+are ordered by a small heap of **distinct** timestamps, and the earliest
+bucket is cached front-and-centre so the common case — one or a handful of
+outstanding timers — never touches the heap or the bucket dict at all.
+See :class:`Simulator` for the full structure, and ``docs/performance.md``
+for the design rationale and measured numbers.
 """
 
 from __future__ import annotations
@@ -27,6 +35,18 @@ from repro.common.errors import SimulationError
 
 ProcessGen = Generator[Any, Any, Any]
 
+# A scheduled event is a 5-slot entry ``[when, seq, proc, value_or_cb,
+# exc_or_args]``:
+#
+# * process resumptions carry the Process in slot 2 (value in 3, pending
+#   exception in 4) and are dispatched by stepping the generator directly;
+# * plain callbacks carry None in slot 2, the callable in 3 and its args
+#   tuple in 4.
+#
+# Zero-delay events go on the ready deque as immutable tuples; timed
+# events go in calendar buckets as *lists* so a cancellation token can be
+# honoured by removing the entry from its bucket before it ever fires.
+
 
 class Waitable:
     """Anything a process can yield.  Subclasses implement ``_subscribe``."""
@@ -35,6 +55,102 @@ class Waitable:
 
     def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
         raise NotImplementedError
+
+    def _subscribe_cancellable(
+        self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]
+    ) -> Optional["_CancelHandle"]:
+        """Subscribe and return a cancellation handle, or None.
+
+        Racers (:class:`FirstOf`) use this so losing children can be
+        dropped from the queue instead of lingering until they fire into
+        a no-op.  The default is a plain subscription with no handle —
+        cancellation is an optimisation, never a semantic requirement.
+        """
+        self._subscribe(sim, callback)
+        return None
+
+
+class _CancelHandle:
+    """Base for cancellation tokens.  ``cancel()`` returns True iff the
+    subscription was still live and has now been dropped."""
+
+    __slots__ = ()
+
+    def cancel(self) -> bool:
+        raise NotImplementedError
+
+
+class _TimerHandle(_CancelHandle):
+    """Cancellation token for a timed calendar-queue entry.
+
+    Cancelling removes the entry from its bucket, so a dead timer (an RTO
+    that lost its race to the ACK) stops occupying the queue immediately
+    instead of surviving to its deadline as dead weight.  Cancelling an
+    entry that already fired — or that sits in a bucket currently being
+    dispatched — is a no-op returning False; the subscriber's own guard
+    (e.g. FirstOf's ``done`` flag) keeps such late fires harmless.
+    """
+
+    __slots__ = ("_sim", "_entry")
+
+    def __init__(self, sim: "Simulator", entry: list):
+        self._sim = sim
+        self._entry = entry
+
+    def cancel(self) -> bool:
+        entry = self._entry
+        if entry is None:
+            return False
+        self._entry = None
+        sim = self._sim
+        when = entry[0]
+        if when == sim._head_when:
+            bucket = sim._head
+            try:
+                bucket.remove(entry)
+            except ValueError:
+                return False
+            sim.cancelled_events += 1
+            if not bucket:
+                sim._refill_head()
+            return True
+        bucket = sim._buckets.get(when)
+        if bucket is None:
+            return False
+        try:
+            bucket.remove(entry)
+        except ValueError:
+            return False
+        sim.cancelled_events += 1
+        if not bucket:
+            # The timestamp stays in the time-heap as a stale key; the
+            # head refill skips timestamps whose bucket is gone.
+            del sim._buckets[when]
+        return True
+
+
+class _WaiterHandle(_CancelHandle):
+    """Cancellation token for a signal subscription: drops the callback
+    from the waiter list so a lost race stops holding a reference."""
+
+    __slots__ = ("_waiters", "_callback")
+
+    def __init__(self, waiters: list, callback: Callable):
+        self._waiters = waiters
+        self._callback = callback
+
+    def cancel(self) -> bool:
+        waiters = self._waiters
+        if waiters is None:
+            return False
+        self._waiters = None
+        callback = self._callback
+        self._callback = None
+        for i, cb in enumerate(waiters):
+            if cb is callback:
+                del waiters[i]
+                return True
+        return False
 
 
 class Timeout(Waitable):
@@ -49,7 +165,26 @@ class Timeout(Waitable):
         self.value = value
 
     def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
-        sim.call_in(self.delay, callback, self.value, None)
+        seq = sim._seq = sim._seq + 1
+        if self.delay == 0.0:
+            sim._ready.append((sim._now, seq, None, callback, (self.value, None)))
+        else:
+            when = sim._now + self.delay
+            sim._push_timed(when, [when, seq, None, callback, (self.value, None)])
+
+    def _subscribe_cancellable(
+        self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]
+    ) -> Optional[_CancelHandle]:
+        seq = sim._seq = sim._seq + 1
+        if self.delay == 0.0:
+            # Ready-deque entries are immutable tuples and fire within the
+            # current instant anyway; not worth a token.
+            sim._ready.append((sim._now, seq, None, callback, (self.value, None)))
+            return None
+        when = sim._now + self.delay
+        entry = [when, seq, None, callback, (self.value, None)]
+        sim._push_timed(when, entry)
+        return _TimerHandle(sim, entry)
 
     def __repr__(self) -> str:
         return f"Timeout({self.delay!r})"
@@ -103,6 +238,15 @@ class Signal(Waitable):
         else:
             self._waiters.append(callback)
 
+    def _subscribe_cancellable(
+        self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]
+    ) -> Optional[_CancelHandle]:
+        if self._fired:
+            sim.call_in(0.0, callback, self._value, self._exc)
+            return None
+        self._waiters.append(callback)
+        return _WaiterHandle(self._waiters, callback)
+
     def __repr__(self) -> str:
         state = "fired" if self._fired else "pending"
         return f"Signal({self.name!r}, {state})"
@@ -149,9 +293,12 @@ class FirstOf(Waitable):
     The value is ``(index, value)`` of the winning child.  A child that
     *fails* first propagates its exception instead.  This is the race
     primitive behind every timeout-guarded wait (e.g. "completion ACK or
-    retransmission timer, whichever comes first"); children that lose the
-    race still fire into a no-op callback, so one-shot signals remain
-    usable by other waiters.
+    retransmission timer, whichever comes first").  When the winner fires,
+    the losers' subscriptions are *cancelled*: a losing timer is removed
+    from the event queue instead of surviving to its deadline as dead
+    weight, and a losing signal subscription is dropped from the waiter
+    list — so one-shot signals remain usable by other waiters, and
+    RTO-heavy runs stop accumulating doomed timers.
     """
 
     __slots__ = ("children",)
@@ -163,12 +310,16 @@ class FirstOf(Waitable):
 
     def _subscribe(self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]) -> None:
         done = {"fired": False}
+        handles: list[Optional[_CancelHandle]] = [None] * len(self.children)
 
         def make_child_callback(index: int) -> Callable[[Any, Optional[BaseException]], None]:
             def child_done(value: Any, exc: Optional[BaseException]) -> None:
                 if done["fired"]:
                     return
                 done["fired"] = True
+                for i, handle in enumerate(handles):
+                    if handle is not None and i != index:
+                        handle.cancel()
                 if exc is not None:
                     callback(None, exc)
                 else:
@@ -177,7 +328,7 @@ class FirstOf(Waitable):
             return child_done
 
         for i, child in enumerate(self.children):
-            child._subscribe(sim, make_child_callback(i))
+            handles[i] = child._subscribe_cancellable(sim, make_child_callback(i))
 
 
 class Process(Waitable):
@@ -201,7 +352,8 @@ class Process(Waitable):
         self.name = name or getattr(gen, "__name__", "process")
         self._done = Signal(name=f"{self.name}.done")
         self._failure_observed = False
-        sim.call_in(0.0, self._step, None, None)
+        seq = sim._seq = sim._seq + 1
+        sim._ready.append((sim._now, seq, self, None, None))
 
     # -- public ----------------------------------------------------------
     @property
@@ -222,6 +374,12 @@ class Process(Waitable):
         self._failure_observed = True
         self._done._subscribe(sim, callback)
 
+    def _subscribe_cancellable(
+        self, sim: "Simulator", callback: Callable[[Any, Optional[BaseException]], None]
+    ) -> Optional[_CancelHandle]:
+        self._failure_observed = True
+        return self._done._subscribe_cancellable(sim, callback)
+
     # -- stepping ----------------------------------------------------------
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
@@ -235,6 +393,18 @@ class Process(Waitable):
         except BaseException as failure:  # noqa: BLE001 - deliberate capture
             self.sim._note_failure(self, failure)
             self._done.fail(failure)
+            return
+        if type(item) is Timeout:
+            # The overwhelmingly common yield: schedule the resumption as a
+            # process entry directly, skipping the generic subscribe path.
+            sim = self.sim
+            seq = sim._seq = sim._seq + 1
+            delay = item.delay
+            if delay == 0.0:
+                sim._ready.append((sim._now, seq, self, item.value, None))
+            else:
+                when = sim._now + delay
+                sim._push_timed(when, [when, seq, self, item.value, None])
             return
         if not isinstance(item, Waitable):
             self._step(None, SimulationError(
@@ -343,27 +513,48 @@ class Store:
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of callbacks.
+    """The event loop: a calendar queue of timestamp buckets plus a ready deque.
 
-    Two scheduling structures back the loop:
+    Three scheduling structures back the loop:
 
-    * a binary **heap** of ``(when, seq, callback, args)`` entries for
-      delayed events (no per-event closure allocation);
-    * a FIFO **ready deque** for zero-delay events.  Since simulated time
-      never goes backwards and sequence numbers grow monotonically, the
-      deque is always sorted by ``(when, seq)``, so the run loop merges
-      heap and deque by comparing their heads — zero-delay events (signal
-      wake-ups, process launches, store hand-offs) skip the ``O(log n)``
-      heap entirely while firing in exactly the order the plain heap
-      would have produced.
+    * a FIFO **ready deque** for zero-delay events (signal wake-ups,
+      process launches, store hand-offs).  Since simulated time never goes
+      backwards and sequence numbers grow monotonically, the deque is
+      always sorted by ``(when, seq)``;
+    * a **front cache** — ``_head`` is the bucket (list of entries, in seq
+      order) for the earliest pending timestamp ``_head_when``.  With one
+      or a few outstanding timers, scheduling and dispatch touch only this
+      list: no heap push/pop, no dict lookups;
+    * the **calendar overflow** — ``_buckets`` maps each further distinct
+      timestamp to its entry list and ``_times`` is a heap of those
+      timestamps.  Every overflow timestamp is strictly later than
+      ``_head_when``, and each distinct timestamp appears in ``_times`` at
+      most once per residency (cancellation can strand a stale key, which
+      the head refill skips).
+
+    The run loop merges the ready deque against the head bucket by
+    ``(when, seq)`` and dispatches whole same-timestamp buckets in one go,
+    amortising comparisons and sanitizer hooks across the batch.  When a
+    dispatched process yields a :class:`Timeout` and is provably the *sole
+    runnable* (both queues empty, no pending failures, no sanitizer, no
+    ``until``/``limit`` horizon), the loop resumes the generator directly
+    — the scheduled event is accounted for in ``scheduled_events`` but
+    never materialised, which is where the multi-million events/s
+    headline comes from.
     """
 
     def __init__(self):
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
-        self._ready: deque[tuple[float, int, Callable[..., None], tuple]] = deque()
         self._seq = 0
+        self._ready: deque = deque()
+        self._head_when: Optional[float] = None
+        self._head: list = []
+        self._buckets: dict[float, list] = {}
+        self._times: list[float] = []
         self._unobserved_failures: list[tuple[Process, BaseException]] = []
+        self._watch: Optional[Process] = None
+        #: Timers dropped early by cancellation (FirstOf losers).
+        self.cancelled_events = 0
         #: Optional repro.simnet.trace.Tracer; instrumented components
         #: emit events here when attached.
         self.tracer = None
@@ -374,7 +565,8 @@ class Simulator:
         #: Optional repro.sanitizer.invariants.Sanitizer; when attached,
         #: instrumented components report protocol events for runtime
         #: invariant checking.  Off (None) by default: every hook site
-        #: pays a single attribute test.
+        #: pays a single attribute test.  Attaching it also disables the
+        #: sole-runnable fast path so every event passes the hooks.
         self.sanitize = None
 
     @property
@@ -387,16 +579,72 @@ class Simulator:
         """Total events scheduled so far (the wall-clock benches' event count)."""
         return self._seq
 
+    @property
+    def pending_timers(self) -> int:
+        """Live timed entries currently resident in the calendar queue."""
+        count = len(self._head)
+        for bucket in self._buckets.values():
+            count += len(bucket)
+        return count
+
     # -- scheduling --------------------------------------------------------
     def call_in(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        self._seq += 1
+        seq = self._seq = self._seq + 1
         if delay == 0.0:
-            self._ready.append((self._now, self._seq, callback, args))
+            self._ready.append((self._now, seq, None, callback, args))
         else:
-            heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
+            when = self._now + delay
+            self._push_timed(when, [when, seq, None, callback, args])
+
+    def _push_timed(self, when: float, entry: list) -> None:
+        head_when = self._head_when
+        if when == head_when:
+            self._head.append(entry)
+        elif head_when is None:
+            self._head_when = when
+            self._head.append(entry)
+        else:
+            self._push_overflow(when, entry)
+
+    def _push_overflow(self, when: float, entry: list) -> None:
+        """Slow path of :meth:`_push_timed`: ``when`` differs from the head."""
+        head_when = self._head_when
+        if when < head_when:
+            # Demote the current head bucket into the calendar and make
+            # the new, earlier timestamp the front.
+            bucket = self._buckets.get(head_when)
+            if bucket is None:
+                self._buckets[head_when] = self._head
+                heapq.heappush(self._times, head_when)
+            else:
+                bucket.extend(self._head)
+            self._head_when = when
+            self._head = [entry]
+            return
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [entry]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(entry)
+
+    def _refill_head(self) -> None:
+        """Promote the earliest calendar bucket into the front cache,
+        skipping timestamps stranded by cancellation."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            when = heapq.heappop(times)
+            bucket = buckets.pop(when, None)
+            if bucket:
+                self._head_when = when
+                self._head = bucket
+                return
+        self._head_when = None
+        self._head = []
 
     def process(self, gen: ProcessGen, name: str = "") -> Process:
         """Launch a generator as a simulation process."""
@@ -418,6 +666,128 @@ class Simulator:
         """Create a FIFO store bound to this simulator."""
         return Store(self, name=name)
 
+    # -- dispatch ----------------------------------------------------------
+    def _fire(self, entry, chain: bool) -> None:
+        """Dispatch one popped entry.
+
+        Process entries step the generator inline.  While ``chain`` is
+        true and the process is the sole runnable — it yielded a Timeout,
+        both queues are empty, nothing failed, no sanitizer — the loop
+        keeps driving the same generator without ever materialising the
+        event, advancing ``_now``/``_seq`` exactly as the queue would
+        have.  The chain breaks out to a normal subscription the moment
+        any condition stops holding, so ordering is untouched.
+        """
+        proc = entry[2]
+        if proc is not None:
+            value = entry[3]
+            exc = entry[4]
+            gen = proc.gen
+            send = gen.send
+            ready = self._ready
+            failures = self._unobserved_failures
+            watch = self._watch
+            while True:
+                try:
+                    if exc is None:
+                        item = send(value)
+                    else:
+                        item = gen.throw(exc)
+                except StopIteration as stop:
+                    proc._done.fire(stop.value)
+                    return
+                except BaseException as failure:  # noqa: BLE001 - deliberate capture
+                    self._note_failure(proc, failure)
+                    proc._done.fail(failure)
+                    return
+                is_timeout = type(item) is Timeout
+                if (
+                    is_timeout
+                    and chain
+                    and not ready
+                    and self._head_when is None
+                    and not failures
+                    and self.sanitize is None
+                    and (watch is None or not watch._done._fired)
+                ):
+                    self._seq += 1
+                    delay = item.delay
+                    if delay != 0.0:
+                        self._now += delay
+                    value = item.value
+                    exc = None
+                    continue
+                # Something else is pending (or chaining is off): fall back
+                # to an ordinary subscription and return to the merge loop.
+                if is_timeout:
+                    seq = self._seq = self._seq + 1
+                    delay = item.delay
+                    if delay == 0.0:
+                        ready.append((self._now, seq, proc, item.value, None))
+                    else:
+                        when = self._now + delay
+                        self._push_timed(when, [when, seq, proc, item.value, None])
+                elif isinstance(item, Waitable):
+                    item._subscribe(self, proc._step)
+                else:
+                    proc._step(None, SimulationError(
+                        f"process {proc.name!r} yielded {item!r}, expected a Waitable"
+                    ))
+                return
+        callback = entry[3]
+        if callback is not None:
+            callback(*entry[4])
+
+    def _dispatch_bucket(self, bucket: list, when: float, watch: Optional[Process]) -> None:
+        """Fire a whole same-timestamp bucket, interleaving any ready-deque
+        entries that belong between its members by sequence number.
+
+        Entries appended to the ready deque *during* the batch always carry
+        larger sequence numbers than every bucket member (the bucket was
+        scheduled earlier), so they sort after the bucket and the common
+        case is a straight sweep.  If a fire raises (or the watched process
+        finishes mid-bucket), the unfired tail is pushed back into the
+        calendar so the queue is left exactly as a one-at-a-time loop
+        would have left it.
+        """
+        ready = self._ready
+        fire = self._fire
+        failures = self._unobserved_failures
+        done = watch._done if watch is not None else None
+        i = 0
+        n = len(bucket)
+        try:
+            while i < n:
+                if ready:
+                    first = ready[0]
+                    if first[0] < when or (first[0] == when and first[1] < bucket[i][1]):
+                        ready.popleft()
+                        fire(first, False)
+                        if failures:
+                            self._raise_unobserved()
+                        if done is not None and done._fired:
+                            break
+                        continue
+                entry = bucket[i]
+                i += 1
+                if entry[2] is None:
+                    # Inline the pure-callback dispatch: bucket sweeps are
+                    # dominated by timer callbacks and the _fire indirection
+                    # costs as much as the dispatch itself.
+                    callback = entry[3]
+                    if callback is not None:
+                        callback(*entry[4])
+                else:
+                    fire(entry, False)
+                if failures:
+                    self._raise_unobserved()
+                if done is not None and done._fired:
+                    break
+        finally:
+            if i < n:
+                for entry in bucket[i:]:
+                    self._push_timed(when, entry)
+
     # -- running -----------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the queues drain or simulated time passes ``until``.
@@ -426,30 +796,68 @@ class Simulator:
         any process that failed without being waited on, so errors never
         pass silently.
         """
-        heap = self._heap
         ready = self._ready
         heappop = heapq.heappop
+        fire = self._fire
         san = self.sanitize
-        while heap or ready:
-            if ready and (not heap or ready[0] <= heap[0]):
-                when, _seq, callback, args = ready[0]
-                if until is not None and when > until:
-                    self._now = until
-                    break
-                ready.popleft()
+        failures = self._unobserved_failures
+        chain = until is None
+        while True:
+            head_when = self._head_when
+            if ready:
+                entry = ready[0]
+                if (
+                    head_when is None
+                    or entry[0] < head_when
+                    or (entry[0] == head_when and entry[1] < self._head[0][1])
+                ):
+                    when = entry[0]
+                    if until is not None and when > until:
+                        self._now = until
+                        break
+                    ready.popleft()
+                    if san is not None:
+                        san.note_event(when, self._now)
+                    self._now = when
+                    fire(entry, chain)
+                    if failures:
+                        self._raise_unobserved()
+                    continue
+            elif head_when is None:
+                break
+            if until is not None and head_when > until:
+                self._now = until
+                break
+            bucket = self._head
+            times = self._times
+            if times:
+                next_when = heappop(times)
+                next_bucket = self._buckets.pop(next_when, None)
+                if next_bucket:
+                    self._head_when = next_when
+                    self._head = next_bucket
+                else:
+                    self._refill_head()
             else:
-                when, _seq, callback, args = heap[0]
-                if until is not None and when > until:
-                    self._now = until
-                    break
-                heappop(heap)
+                self._head_when = None
+                self._head = []
             if san is not None:
-                san.note_event(when, self._now)
-            self._now = when
-            callback(*args)
-            if self._unobserved_failures:
-                self._raise_unobserved()
-        if self._unobserved_failures:
+                san.note_event(head_when, self._now)
+            self._now = head_when
+            if len(bucket) == 1:
+                entry = bucket[0]
+                if entry[2] is None:
+                    # Inline pure-callback dispatch (see _dispatch_bucket).
+                    callback = entry[3]
+                    if callback is not None:
+                        callback(*entry[4])
+                else:
+                    fire(entry, chain)
+                if failures:
+                    self._raise_unobserved()
+            else:
+                self._dispatch_bucket(bucket, head_when, None)
+        if failures:
             self._raise_unobserved()
         return self._now
 
@@ -461,39 +869,83 @@ class Simulator:
         itself is observed here (its failure surfaces through ``value``).
         """
         proc._failure_observed = True
-        heap = self._heap
         ready = self._ready
         heappop = heapq.heappop
+        fire = self._fire
         san = self.sanitize
-        while not proc.finished:
-            if not heap and not ready:
-                raise SimulationError(
-                    f"deadlock: no pending events but process {proc.name!r} unfinished"
-                )
-            if ready and (not heap or ready[0] <= heap[0]):
-                when, _seq, callback, args = ready.popleft()
-            else:
-                when, _seq, callback, args = heappop(heap)
-            if limit is not None and when > limit:
-                raise SimulationError(
-                    f"process {proc.name!r} exceeded time limit {limit}"
-                )
-            if san is not None:
-                san.note_event(when, self._now)
-            self._now = when
-            callback(*args)
-            if self._unobserved_failures:
-                self._raise_unobserved()
-        return proc.value
+        failures = self._unobserved_failures
+        done = proc._done
+        chain = limit is None
+        prev_watch = self._watch
+        self._watch = proc
+        try:
+            while not done._fired:
+                head_when = self._head_when
+                if ready:
+                    entry = ready[0]
+                    if (
+                        head_when is None
+                        or entry[0] < head_when
+                        or (entry[0] == head_when and entry[1] < self._head[0][1])
+                    ):
+                        when = entry[0]
+                        if limit is not None and when > limit:
+                            raise SimulationError(
+                                f"process {proc.name!r} exceeded time limit {limit}"
+                            )
+                        ready.popleft()
+                        if san is not None:
+                            san.note_event(when, self._now)
+                        self._now = when
+                        fire(entry, chain)
+                        if failures:
+                            self._raise_unobserved()
+                        continue
+                elif head_when is None:
+                    raise SimulationError(
+                        f"deadlock: no pending events but process {proc.name!r} unfinished"
+                    )
+                if limit is not None and head_when > limit:
+                    raise SimulationError(
+                        f"process {proc.name!r} exceeded time limit {limit}"
+                    )
+                bucket = self._head
+                times = self._times
+                if times:
+                    next_when = heappop(times)
+                    next_bucket = self._buckets.pop(next_when, None)
+                    if next_bucket:
+                        self._head_when = next_when
+                        self._head = next_bucket
+                    else:
+                        self._refill_head()
+                else:
+                    self._head_when = None
+                    self._head = []
+                if san is not None:
+                    san.note_event(head_when, self._now)
+                self._now = head_when
+                if len(bucket) == 1:
+                    fire(bucket[0], chain)
+                    if failures:
+                        self._raise_unobserved()
+                else:
+                    self._dispatch_bucket(bucket, head_when, proc)
+            return proc.value
+        finally:
+            self._watch = prev_watch
 
     def _note_failure(self, proc: Process, exc: BaseException) -> None:
         if not proc._failure_observed:
             self._unobserved_failures.append((proc, exc))
 
     def _raise_unobserved(self) -> None:
-        for proc, exc in self._unobserved_failures:
+        # Cleared in place: the run loops (and the sole-runnable chain)
+        # hold a direct reference to this list.
+        failures = self._unobserved_failures
+        for proc, exc in failures:
             if proc._failure_observed:
                 continue
-            self._unobserved_failures = []
+            del failures[:]
             raise exc
-        self._unobserved_failures = []
+        del failures[:]

@@ -57,6 +57,11 @@ class OperatorStateHandle:
             for p in range(directory.executors)
         ]
         self._epochs_shipped = [0] * directory.executors
+        # Group-key -> partition memo: the key->partition mapping is fixed
+        # for the handle's lifetime (failover reassigns *leaders*, never
+        # the hash mapping), and stream keys repeat heavily, so per-record
+        # updates hit a dict instead of re-running the SplitMix64 hash.
+        self._partition_cache: dict[Hashable, int] = {}
 
     # -- hot path ----------------------------------------------------------
     def store_for(self, partition: int) -> LogStructuredStore:
@@ -68,10 +73,15 @@ class OperatorStateHandle:
 
         State keys are either bare group keys or ``(window_id, group_key)``
         tuples; only the group component is hashed so that all windows of
-        one group share a leader.
+        one group share a leader.  Routing is memoized per group key.
         """
         group_key = key[1] if isinstance(key, tuple) else key
-        return self.backend.directory.partitioner(group_key)
+        cache = self._partition_cache
+        partition = cache.get(group_key)
+        if partition is None:
+            partition = self.backend.directory.partitioner(group_key)
+            cache[group_key] = partition
+        return partition
 
     def update(self, key: Hashable, value: Any) -> None:
         """RMW one stream value into ``key``'s payload."""
@@ -92,6 +102,12 @@ class OperatorStateHandle:
         """
         if not partials:
             return
+        stores = self._stores
+        if len(stores) == 1:
+            # Single-executor deployment: everything is led locally, so
+            # routing (and hashing) is pure overhead.
+            stores[0].absorb_many(list(partials.items()))
+            return
         items = list(partials.items())
         group_keys = [
             key[1] if isinstance(key, tuple) else key for key, _ in items
@@ -101,20 +117,31 @@ class OperatorStateHandle:
         except (TypeError, ValueError, OverflowError):
             # Non-integer group keys (strings, nested tuples): scalar route.
             partition_of = self.partition_of
-            stores = self._stores
             for key, partial in items:
                 stores[partition_of(key)].absorb(key, partial)
             return
         partition_ids = self.backend.directory.partitioner.partition_array(column)
-        routed: dict[int, list[tuple[Hashable, Any]]] = {}
-        for partition, pair in zip(partition_ids.tolist(), items):
-            bucket = routed.get(partition)
-            if bucket is None:
-                routed[partition] = [pair]
-            else:
-                bucket.append(pair)
-        for partition, pairs in routed.items():
-            self._stores[partition].absorb_many(pairs)
+        first = int(partition_ids[0])
+        if (partition_ids == first).all():
+            # One partition for the whole batch (skewed or few-key loads).
+            stores[first].absorb_many(items)
+            return
+        # Segment the batch by partition with one stable argsort instead
+        # of a per-pair dict route: within each partition the original key
+        # order is preserved, and partitions touch disjoint stores, so the
+        # result is identical to the scalar walk.
+        order = np.argsort(partition_ids, kind="stable")
+        sorted_parts = partition_ids[order]
+        change = np.empty(len(order), dtype=bool)
+        change[0] = True
+        change[1:] = sorted_parts[1:] != sorted_parts[:-1]
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], len(order))
+        order_list = order.tolist()
+        for partition, start, end in zip(
+            sorted_parts[starts].tolist(), starts.tolist(), ends.tolist()
+        ):
+            stores[partition].absorb_many([items[i] for i in order_list[start:end]])
 
     def get_local(self, key: Hashable) -> Optional[Any]:
         """Read ``key``'s payload from this executor's local store only."""

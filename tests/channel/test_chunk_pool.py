@@ -1,0 +1,67 @@
+"""ChunkBufferPool: reuse, lifecycle enforcement, and bounded parking."""
+
+import pytest
+
+from repro.channel import ChunkBufferPool
+from repro.common.errors import ProtocolError
+
+
+def test_acquire_release_reuses_buffer():
+    pool = ChunkBufferPool(name="t")
+    buf = pool.acquire()
+    buf.extend([1, 2, 3])
+    pool.release(buf)
+    again = pool.acquire()
+    assert again is buf
+    assert again == []  # release cleared it
+    assert pool.acquired == 2
+    assert pool.released == 1
+    assert pool.reused == 1
+
+
+def test_double_release_raises_protocol_error():
+    pool = ChunkBufferPool(name="exec0.chunk-pool")
+    buf = pool.acquire()
+    pool.release(buf)
+    with pytest.raises(ProtocolError, match="double release"):
+        pool.release(buf)
+
+
+def test_release_after_reacquire_is_legal():
+    # acquire → release → acquire (same object) → release must NOT trip
+    # the double-release check: ownership transferred back to the caller.
+    pool = ChunkBufferPool(name="t")
+    buf = pool.acquire()
+    pool.release(buf)
+    assert pool.acquire() is buf
+    pool.release(buf)
+    assert pool.free == 1
+
+
+def test_free_list_is_bounded():
+    pool = ChunkBufferPool(name="t", max_free=2)
+    bufs = [pool.acquire() for _ in range(5)]
+    for buf in bufs:
+        pool.release(buf)
+    assert pool.free == 2
+    assert pool.outstanding == 0
+
+
+def test_outstanding_tracks_live_buffers():
+    pool = ChunkBufferPool(name="t")
+    a = pool.acquire()
+    b = pool.acquire()
+    assert pool.outstanding == 2
+    pool.release(a)
+    assert pool.outstanding == 1
+    pool.release(b)
+    assert pool.outstanding == 0
+    assert pool.free == 2
+
+
+def test_repr_mentions_name_and_counts():
+    pool = ChunkBufferPool(name="mypool")
+    pool.release(pool.acquire())
+    text = repr(pool)
+    assert "mypool" in text
+    assert "acquired=1" in text
