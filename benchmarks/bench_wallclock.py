@@ -142,6 +142,47 @@ def bench_experiment(
     return entry
 
 
+#: Scale for the migration spike bench: large enough that the fluid
+#: strategy's per-range sub-moves genuinely beat the all-at-once bulk
+#: stall (tiny states hit the per-round scheduling floor instead).
+MIGRATION_RECORDS = 20_000
+
+
+def bench_migration() -> dict:
+    """Migration-window p99 spike, fluid vs all-at-once, plus the gate.
+
+    Runs the elastic differential experiment (static baseline + one
+    migrated run per strategy, oracle-checked) at a state size where
+    the Megaphone-style fluid strategy must win: committing this entry
+    ratchets the *simulated* spike ratio, which is wall-clock
+    independent and therefore exact across machines.  ``fluid_wins``
+    doubles as a correctness gate — fluid p99 regressing above the
+    all-at-once p99 means the sub-move interleaving stopped amortising
+    the stall.
+    """
+    from repro.harness.experiments import run_elastic
+
+    started = time.perf_counter()
+    report = run_elastic(
+        strategy="both", records_per_thread=MIGRATION_RECORDS
+    )
+    wall = time.perf_counter() - started
+    by_strategy = {row["strategy"]: row for row in report.rows}
+    fluid = by_strategy["fluid"]
+    bulk = by_strategy["all-at-once"]
+    return {
+        "wall_s": round(wall, 3),
+        "digest": hashlib.sha256(report.render().encode()).hexdigest(),
+        "records_per_thread": MIGRATION_RECORDS,
+        "all_at_once_p99_s": bulk["window_p99_s"],
+        "fluid_p99_s": fluid["window_p99_s"],
+        "all_at_once_spike": round(bulk["p99_spike"], 3),
+        "fluid_spike": round(fluid["p99_spike"], 3),
+        "fluid_wins": fluid["window_p99_s"] < bulk["window_p99_s"],
+        "oracle_ok": bool(fluid["oracle_ok"] and bulk["oracle_ok"]),
+    }
+
+
 #: CI floor for kernel.events_per_s as a fraction of the committed
 #: baseline.  Deliberately loose: shared CI runners are routinely 2-3x
 #: slower than the machine that produced the baseline, so the ratchet
@@ -173,6 +214,22 @@ def check_against(
         )
         if rate < floor:
             failures.append("kernel.events_per_s")
+    migration = current.get("migration")
+    if migration is not None:
+        # The spike ordering is simulated time — machine-independent, so
+        # it gates absolutely rather than against the baseline entry.
+        fl, bulk = migration["fluid_p99_s"], migration["all_at_once_p99_s"]
+        status = "OK" if migration["fluid_wins"] else "REGRESSED"
+        print(
+            f"[bench] migration: fluid p99 {fl * 1e6:.1f}us vs all-at-once "
+            f"{bulk * 1e6:.1f}us (spikes {migration['fluid_spike']}x / "
+            f"{migration['all_at_once_spike']}x) {status}"
+        )
+        if not migration["fluid_wins"]:
+            failures.append("migration.fluid_wins")
+        if not migration["oracle_ok"]:
+            print("[bench] migration: oracle FAILED")
+            failures.append("migration.oracle_ok")
     for name, entry in current["experiments"].items():
         base = baseline.get("experiments", {}).get(name)
         if base is None:
@@ -204,6 +261,8 @@ def main(argv=None) -> int:
                         help="worker processes per experiment run")
     parser.add_argument("--skip-kernel", action="store_true",
                         help="skip the kernel events/sec and queue microbenches")
+    parser.add_argument("--skip-migration", action="store_true",
+                        help="skip the live-migration spike bench")
     parser.add_argument("--profile", type=int, nargs="?", const=15, default=0,
                         metavar="N",
                         help="after timing, re-run each experiment under "
@@ -240,6 +299,14 @@ def main(argv=None) -> int:
                 f"{entry['calendar']['events_per_s']:,} ev/s "
                 f"({entry['calendar_vs_heap']}x)"
             )
+    if not args.skip_migration:
+        result["migration"] = bench_migration()
+        print(
+            f"[bench] migration: fluid spike "
+            f"{result['migration']['fluid_spike']}x vs all-at-once "
+            f"{result['migration']['all_at_once_spike']}x "
+            f"({result['migration']['wall_s']:.2f}s)"
+        )
     for name in names:
         entry = bench_experiment(
             name, quick=args.quick, jobs=args.jobs, profile=args.profile

@@ -57,7 +57,7 @@ from repro.core.records import RecordBatch
 from repro.core.windows import SessionWindows, SlidingWindow
 from repro.simnet.cluster import Cluster, Core, Node
 from repro.simnet.counters import HwCounters
-from repro.simnet.kernel import Simulator
+from repro.simnet.kernel import Simulator, Timeout
 from repro.state.partition import stable_hash_array
 from repro.workloads.base import Flow
 
@@ -162,11 +162,16 @@ class PartitionedEngine(SystemHooks):
             )
         if nodes > self.cluster_config.nodes:
             raise ConfigError(f"flows span {nodes} nodes > cluster size")
+        # A join rescale provisions spare nodes up front: their
+        # partitioners have no flows and their consumers own no route
+        # buckets until the coordinator moves some over.
+        spares = self.elastic_plan.spare_nodes if self.elastic_plan else 0
+        total_nodes = nodes + spares
 
         sim = Simulator()
         if self.sanitize:
             install_sanitizer(sim)
-        cluster = Cluster(sim, self.cluster_config.with_nodes(nodes))
+        cluster = Cluster(sim, self.cluster_config.with_nodes(total_nodes))
 
         injector = None
         recovery_plan = False
@@ -176,6 +181,13 @@ class PartitionedEngine(SystemHooks):
             recovery_plan = any(
                 e.kind not in DATA_PLANE_KINDS for e in self.fault_plan
             )
+            if recovery_plan and self.elastic_plan is not None:
+                raise ConfigError(
+                    f"{self.name} cannot combine a live rescale with "
+                    "crash recovery: a global restart would rebuild the "
+                    "generation under the route table (data-plane fault "
+                    "plans are fine)"
+                )
             kwargs = dict(self.fault_overrides)
             if recovery_plan:
                 # Partitioned engines recover via aligned snapshots +
@@ -190,8 +202,17 @@ class PartitionedEngine(SystemHooks):
             sim.faults = injector
 
         plan = compile_query(query)
-        ctx = _RunContext(self, sim, cluster, plan, nodes, threads)
+        ctx = _RunContext(self, sim, cluster, plan, total_nodes, threads)
         ctx.wire(flows)
+        elastic = None
+        if self.elastic_plan is not None:
+            from repro.elastic.exchange import ElasticExchangeCoordinator
+
+            elastic = ElasticExchangeCoordinator(
+                ctx, self.elastic_plan, base_nodes=nodes
+            )
+            ctx.elastic = elastic
+            elastic.install()
         if injector is not None:
             if recovery_plan:
                 from repro.faults.snapshots import PartitionedChaosController
@@ -210,16 +231,22 @@ class PartitionedEngine(SystemHooks):
                             in_channels=ctx.inbound_endpoints(node_index),
                             extra_pipes=self._fault_pipes(ctx, node_index),
                         )
-                        for node_index in range(nodes)
+                        for node_index in range(total_nodes)
                     ],
                 )
         ctx.start()
         if injector is not None:
             injector.arm()
+        if elastic is not None:
+            elastic.arm()
         sim.run()
+        if elastic is not None:
+            elastic.check_complete()
         result = ctx.collect(query)
         if injector is not None:
             result.extra["faults"] = injector.report()
+        if elastic is not None:
+            result.extra["elastic"] = elastic.report()
         if sim.sanitize is not None:
             result.extra["sanitizer_checks"] = sim.sanitize.check_counts()
         return result
@@ -360,6 +387,10 @@ class _RunContext:
         self.gen: _Generation = None  # set by wire()
         #: The PartitionedChaosController when the plan can crash nodes.
         self.chaos: Any = None
+        #: The ElasticExchangeCoordinator when an ElasticPlan is
+        #: attached (duck-typed here so this module never imports the
+        #: elastic layer); ``None`` keeps the static hash routing.
+        self.elastic: Any = None
         self.sender_counters = HwCounters()
         self.receiver_counters = HwCounters()
 
@@ -492,6 +523,9 @@ class _RunContext:
         lags = [lag for c in self.gen.consumers for lag in c.trigger_lag_s]
         result.extra["trigger_lag_mean_s"] = sum(lags) / len(lags) if lags else 0.0
         result.extra["trigger_lag_max_s"] = max(lags) if lags else 0.0
+        result.extra["trigger_events"] = sorted(
+            event for c in self.gen.consumers for event in c.trigger_events
+        )
         result.extra["sender_counters"] = self.sender_counters
         result.extra["receiver_counters"] = self.receiver_counters
         if self.chaos is not None:
@@ -533,6 +567,9 @@ class _Partitioner:
         #: Round id the chaos controller wants a barrier for (aligned
         #: snapshot); consumed at the top of the batch loop.
         self.snapshot_request: Optional[int] = None
+        #: Round id the elastic coordinator wants flushed + markered
+        #: after a route flip; consumed at the top of the batch loop.
+        self.reroute_request: Optional[int] = None
 
     def abs_cursors(self) -> dict[int, int]:
         """Absolute per-flow batch cursors (flow_id -> consumed batches)."""
@@ -555,6 +592,8 @@ class _Partitioner:
                 return
             if self.snapshot_request is not None:
                 yield from self._snapshot_barrier()
+            if self.reroute_request is not None:
+                yield from self._reroute_flush()
             for flow_index in sorted(active):
                 if self.halted:
                     return
@@ -618,6 +657,28 @@ class _Partitioner:
                 self.core, marker, MESSAGE_HEADER_BYTES
             )
 
+    def _reroute_flush(self) -> Generator[Any, Any, None]:
+        """Rescale cut: flush the fan-out buffers, marker every channel.
+
+        Mirrors the snapshot barrier — the flush pushes every row routed
+        before the coordinator's table flip onto the wire, then the
+        marker rides behind them, so per-channel FIFO guarantees the old
+        owner has merged all pre-flip records once its marker arrives.
+        """
+        round_id = self.reroute_request
+        self.reroute_request = None
+        elastic = self.ctx.elastic
+        if elastic is None or round_id is None:
+            return
+        for c_gid in range(self.gen.consumer_count):
+            if self.state.pending_rows[c_gid]:
+                yield from self._flush(c_gid)
+        marker = elastic.marker_for(round_id, self.gid)
+        for channel in self.gen.channels[self.gid]:
+            yield from channel.producer.send(
+                self.core, marker, MESSAGE_HEADER_BYTES
+            )
+
     def _refresh_watermark(self, per_flow_streams: list[dict[str, float]]) -> None:
         if not per_flow_streams:
             return
@@ -656,10 +717,17 @@ class _Partitioner:
             if serde_n:
                 yield from core.execute(cost_model.compute_cost(costs.serde), serde_n)
             core.counters.count_records(len(filtered))
-            consumer_ids = (
-                stable_hash_array(np.asarray(filtered.keys, dtype=np.int64))
-                % np.uint64(self.gen.consumer_count)
-            ).astype(np.int64)
+            hashes = stable_hash_array(np.asarray(filtered.keys, dtype=np.int64))
+            elastic = ctx.elastic
+            if elastic is not None:
+                # Elastic runs route through the coordinator's bucket
+                # table (initialised hash-identical to the static path).
+                buckets = (hashes % np.uint64(elastic.buckets)).astype(np.int64)
+                consumer_ids = elastic.route[buckets]
+            else:
+                consumer_ids = (
+                    hashes % np.uint64(self.gen.consumer_count)
+                ).astype(np.int64)
             order = np.argsort(consumer_ids, kind="stable")
             sorted_ids = consumer_ids[order]
             boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
@@ -728,6 +796,8 @@ class _Consumer:
         self.state_bytes = 0.0
         self._last_contribution: dict = {}
         self.trigger_lag_s: list[float] = []
+        #: (fire_time_s, lag_s) per fired window, for latency timelines.
+        self.trigger_events: list[tuple[float, float]] = []
         # Per-consumer result sinks: a discarded generation's output dies
         # with it, the surviving generation's merges at collect().
         self.results_aggregates: dict = {}
@@ -769,6 +839,12 @@ class _Consumer:
                 ok, payload, _nbytes = channel.try_recv(core)
                 if not ok:
                     break
+                if self.ctx.elastic is not None and self.ctx.elastic.on_consumer_payload(
+                    self, index, payload
+                ):
+                    yield from channel.release(core)
+                    progressed = True
+                    continue
                 if chaos is not None:
                     verdict = chaos.on_consumer_payload(
                         self, index, channel, payload
@@ -787,6 +863,13 @@ class _Consumer:
                     yield from chaos.maybe_capture(self)
             if progressed:
                 yield from self._check_triggers()
+        # A live rescale may have this consumer's bucket state split
+        # mid-flight; wait for the round to re-unite it before the final
+        # sweep, or the drain assertion below would fire spuriously.
+        while self.ctx.elastic is not None and self.ctx.elastic.holds_finish(
+            self.gid
+        ):
+            yield Timeout(1e-4)
         yield from self._check_triggers()
         if chaos is not None:
             yield from chaos.maybe_capture(self)
@@ -853,6 +936,10 @@ class _Consumer:
 
     def _check_triggers(self) -> Generator[Any, Any, None]:
         ctx = self.ctx
+        if ctx.elastic is not None and ctx.elastic.triggers_suppressed(self.gid):
+            # A rescale round holds this consumer's bucket state split
+            # across two owners; firing now would emit partial windows.
+            return
         frontier = self._frontier()
         if isinstance(ctx.plan.window, SessionWindows):
             yield from self._trigger_sessions(frontier)
@@ -888,6 +975,7 @@ class _Consumer:
             return
         last = self._last_contribution.pop(window_id, ctx.sim.now)
         self.trigger_lag_s.append(ctx.sim.now - last)
+        self.trigger_events.append((ctx.sim.now, ctx.sim.now - last))
         emit_cost = self.node.cost_model.compute_cost(ctx.engine.costs.emit)
         yield from self.core.execute(emit_cost, float(len(extracted)))
         for key, payload in extracted.items():
@@ -906,6 +994,7 @@ class _Consumer:
         if extracted:
             last = self._last_contribution.pop(window_id, ctx.sim.now)
             self.trigger_lag_s.append(ctx.sim.now - last)
+            self.trigger_events.append((ctx.sim.now, ctx.sim.now - last))
         produced = 0
         for key, payload in extracted.items():
             for left_row, right_row in probe_window(payload):

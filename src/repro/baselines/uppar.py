@@ -25,12 +25,14 @@ from repro.common.config import (
 )
 from repro.core.system import (
     CAP_CRASH_RECOVERY,
+    CAP_ELASTIC,
     CAP_FAULT_INJECTION,
     CAP_JOINS,
     CAP_SANITIZE,
     CAP_SCALE_OUT,
     CAP_SESSION_WINDOWS,
     CAP_TRANSFER_BENCH,
+    MIGRATION_STRATEGIES,
     STRATEGY_ASYNC_SNAPSHOT,
 )
 from repro.rdma.connection import ConnectionManager
@@ -50,8 +52,13 @@ class UpParEngine(PartitionedEngine):
             CAP_FAULT_INJECTION,
             CAP_CRASH_RECOVERY,
             CAP_TRANSFER_BENCH,
+            CAP_ELASTIC,
         }
     )
+    # Live rescale rides the route-table exchange coordinator
+    # (elastic/exchange.py); Flink stays static on purpose — the
+    # comparison needs a non-elastic engine for the CapabilityError path.
+    supported_migration_strategies = frozenset(MIGRATION_STRATEGIES)
     # Data-plane kinds ride Slash's RDMA channels directly; crash and
     # partition plans go through the aligned-snapshot + global-restart
     # plane (membership over per-node proxies, Flink-style recovery —

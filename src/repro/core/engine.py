@@ -27,6 +27,7 @@ from repro.core.pipeline import compile_query
 from repro.core.query import Query
 from repro.core.system import (
     ALL_CAPABILITIES,
+    MIGRATION_STRATEGIES,
     STRATEGY_ASYNC_SNAPSHOT,
     STRATEGY_EPOCH_BUDDY,
     SystemHooks,
@@ -117,6 +118,9 @@ class SlashEngine(SystemHooks):
         {STRATEGY_EPOCH_BUDDY, STRATEGY_ASYNC_SNAPSHOT}
     )
     default_recovery_strategy = STRATEGY_EPOCH_BUDDY
+    # Both live-migration strategies: stop-the-world bulk transfer and
+    # Megaphone-style fluid per-range sub-moves (repro.elastic).
+    supported_migration_strategies = frozenset(MIGRATION_STRATEGIES)
 
     def __init__(
         self,
@@ -164,13 +168,34 @@ class SlashEngine(SystemHooks):
                 f"flows span {nodes} nodes but the cluster has "
                 f"{self.cluster_config.nodes}"
             )
+        # A join-rescale provisions spare executors up front: flow-less
+        # nodes that start as pure helpers (leading nothing) until the
+        # migration coordinator re-points partitions onto them.
+        spares = self.elastic_plan.spare_nodes if self.elastic_plan else 0
+        total = nodes + spares
         sim = Simulator()
         if self.sanitize:
             install_sanitizer(sim)
-        cluster = Cluster(sim, self.cluster_config.with_nodes(nodes))
+        cluster = Cluster(sim, self.cluster_config.with_nodes(total))
         cm = ConnectionManager(cluster)
-        directory = PartitionDirectory(nodes, leaders=self.leaders)
+        leaders = self.leaders
+        if spares and leaders is None:
+            # One partition per executor as usual, but the spares' own
+            # partitions start out led by the original members.
+            leaders = [p if p < nodes else p % nodes for p in range(total)]
+        directory = PartitionDirectory(total, leaders=leaders)
         plan = compile_query(query)
+
+        elastic = None
+        if self.elastic_plan is not None:
+            from repro.elastic.migration import SlashElasticCoordinator
+
+            elastic = SlashElasticCoordinator(
+                sim, cluster, directory, self.elastic_plan, self.buffer_bytes
+            )
+            # Attaching before executor construction arms the executors'
+            # merge/trigger/finalize hook points.
+            sim.elastic = elastic
 
         injector = None
         if self.fault_plan is not None and len(self.fault_plan):
@@ -186,11 +211,14 @@ class SlashEngine(SystemHooks):
             sim.faults = injector
 
         executors = []
-        for node_index in range(nodes):
-            node_flows = [
-                flows[(node_index, thread)]
-                for thread in range(self._threads_on(flows, node_index))
-            ]
+        for node_index in range(total):
+            if node_index < nodes:
+                node_flows = [
+                    flows[(node_index, thread)]
+                    for thread in range(self._threads_on(flows, node_index))
+                ]
+            else:
+                node_flows = []  # spare: no input, helper-only until join
             executors.append(
                 SlashExecutor(
                     cluster,
@@ -210,11 +238,18 @@ class SlashEngine(SystemHooks):
             executor.connect(executors)
         if injector is not None:
             injector.register(cluster, directory, executors)
+        if elastic is not None:
+            elastic.register(executors)
         for executor in executors:
             executor.start()
         if injector is not None:
             injector.arm()
+        if elastic is not None:
+            elastic.arm()
         sim.run()
+
+        if elastic is not None:
+            elastic.check_complete()
 
         crashed = injector.crashed if injector is not None else set()
         for executor in executors:
@@ -257,6 +292,11 @@ class SlashEngine(SystemHooks):
         ]
         result.extra["trigger_lag_mean_s"] = sum(lags) / len(lags) if lags else 0.0
         result.extra["trigger_lag_max_s"] = max(lags) if lags else 0.0
+        # Timestamped fires, cluster-wide: the elastic harness slices
+        # these into migration-window vs steady-state latency.
+        result.extra["trigger_events"] = sorted(
+            event for e in executors for event in e.results.trigger_events
+        )
         result.extra["connections"] = cm.connection_count
         result.extra["state_bytes"] = sum(
             e.backend.total_state_bytes() for e in executors
@@ -271,6 +311,8 @@ class SlashEngine(SystemHooks):
                 "cancelled_events": sim.cancelled_events,
                 "pending_timers_at_drain": sim.pending_timers,
             }
+        if elastic is not None:
+            result.extra["elastic"] = elastic.report()
         if sim.sanitize is not None:
             result.extra["sanitizer_checks"] = sim.sanitize.check_counts()
         return result

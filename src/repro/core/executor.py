@@ -159,6 +159,9 @@ class ExecutorResults:
     # Per fired window: simulated seconds between the last locally-ingested
     # contribution to that window (cluster-wide max) and the trigger.
     trigger_lag_s: list = field(default_factory=list)
+    # (fire time, lag) per fired window — the elastic harness slices
+    # these into migration-window vs steady-state latency.
+    trigger_events: list = field(default_factory=list)
 
 
 class SlashExecutor:
@@ -294,6 +297,11 @@ class SlashExecutor:
             )
         if not self.flows:
             self._workers_remaining = 0
+            # A flow-less executor (an elastic spare, or a pure state
+            # node) will never contribute a record: its own watermark is
+            # +inf immediately, so partitions migrated onto it can still
+            # reach the trigger frontier.
+            self.backend.observe_watermark(float("inf"))
             self.epoch.force()
             self._enqueue_epoch_ship(final=True)
 
@@ -419,18 +427,28 @@ class SlashExecutor:
                 leader = self.directory.leader_of_partition(delta.partition)
                 if leader == self.executor_id:
                     # Promoted to lead this partition after the delta was
-                    # collected: the recovery path already merged the
-                    # retained copy locally, nothing to ship.
+                    # collected.  Live migration: the delta's state exists
+                    # nowhere else — hand it to the coordinator, which
+                    # admits it locally through the dense-order gate.
+                    # Crash promotion: the recovery path already merged
+                    # the retained copy locally, nothing to ship.
+                    if self.sim.elastic is not None:
+                        self.sim.elastic.on_ship_blocked(self, delta)
                     continue
                 producer = self._out_channels[leader]
                 if producer.closed:
                     # The partition's leadership moved to this peer after
-                    # the delta was enqueued (crash promotion) and the
-                    # shipper thread owning the channel already closed it.
-                    # The delta predates the reassignment instant, so the
-                    # recovery body's retained-backlog merge has already
-                    # folded it in; shipping it again could only produce
-                    # a ledger-deduped duplicate.
+                    # the delta was enqueued and the shipper thread owning
+                    # the channel already closed it behind its own final
+                    # cut.  Live migration: the coordinator must carry the
+                    # delta to the new leader itself (it is counted in the
+                    # handoff's pending set).  Crash promotion: the delta
+                    # predates the reassignment instant, so the recovery
+                    # body's retained-backlog merge has already folded it
+                    # in; shipping it again could only produce a
+                    # ledger-deduped duplicate.
+                    if self.sim.elastic is not None:
+                        self.sim.elastic.on_ship_blocked(self, delta)
                     continue
                 # Serialisation: the delta streams out of the LSS memory.
                 yield from core.execute(
@@ -593,6 +611,16 @@ class SlashExecutor:
                         # spilled until the local capture happens.
                         yield from consumer.release(core)
                         continue
+                    if self.sim.elastic is not None and self.sim.elastic.on_delta(
+                        self, delta, chunk.ingest_times
+                    ):
+                        # Live migration: the delta targets a partition this
+                        # executor just handed off (relay it to the new
+                        # leader) or arrived out of order at the new leader
+                        # (reorder-buffered); either way the coordinator
+                        # owns it now.
+                        yield from consumer.release(core)
+                        continue
                     # The ledger rejects duplicate epochs (retransmission or
                     # injected duplicate): a stale delta must not re-merge,
                     # re-note windows, or count as progress.
@@ -684,6 +712,12 @@ class SlashExecutor:
             # A recovery is in flight: it may still re-deliver deltas or
             # re-pend windows here.  finish_recovery re-invokes this.
             return
+        if self.sim.elastic is not None and self.sim.elastic.holds_finalize(
+            self.executor_id
+        ):
+            # A migration handoff is forwarding in-flight deltas here; the
+            # coordinator re-invokes this once the relay drain completes.
+            return
         if (
             self._mergers_remaining == 0
             and self._shippers_remaining == 0
@@ -712,6 +746,13 @@ class SlashExecutor:
         ):
             # Mid-recovery: restored state is incomplete until the replay
             # finishes; firing now would emit partial windows.
+            return
+        if self.sim.elastic is not None and self.sim.elastic.triggers_suppressed(
+            self.executor_id
+        ):
+            # Mid-handoff: epochs that were in flight to the old leader
+            # are still being forwarded; firing now would emit windows
+            # with a migrated key's state split across two executors.
             return
         frontier = self.backend.clock.min_watermark()
         plan = self.plan
@@ -753,6 +794,7 @@ class SlashExecutor:
             return
         last = self._last_contribution.pop(window_id, self.sim.now)
         self.results.trigger_lag_s.append(self.sim.now - last)
+        self.results.trigger_events.append((self.sim.now, self.sim.now - last))
         trace(
             self.sim, "window", f"exec{self.executor_id} fired w{window_id}",
             keys=len(extracted),
@@ -787,6 +829,7 @@ class SlashExecutor:
             return
         last = self._last_contribution.pop(window_id, self.sim.now)
         self.results.trigger_lag_s.append(self.sim.now - last)
+        self.results.trigger_events.append((self.sim.now, self.sim.now - last))
         produced = 0
         for key, payload in extracted.items():
             pairs = probe_window(payload)

@@ -29,6 +29,7 @@ CAP_SANITIZE = "sanitize"  # runtime invariant checking hooks
 CAP_FAULT_INJECTION = "fault_injectable"  # accepts a FaultPlan
 CAP_CRASH_RECOVERY = "crash_recovery"  # checkpoints + leader promotion
 CAP_TRANSFER_BENCH = "transfer_bench"  # has a raw-transfer micro-bench
+CAP_ELASTIC = "elastic"  # live partition migration / node join-leave
 
 ALL_CAPABILITIES = frozenset(
     {
@@ -39,6 +40,7 @@ ALL_CAPABILITIES = frozenset(
         CAP_FAULT_INJECTION,
         CAP_CRASH_RECOVERY,
         CAP_TRANSFER_BENCH,
+        CAP_ELASTIC,
     }
 )
 
@@ -49,6 +51,14 @@ STRATEGY_EPOCH_BUDDY = "epoch-buddy"  # synchronous per-cut checkpoint + buddy
 STRATEGY_ASYNC_SNAPSHOT = "async-snapshot"  # Chandy-Lamport marker rounds
 
 RECOVERY_STRATEGIES = (STRATEGY_EPOCH_BUDDY, STRATEGY_ASYNC_SNAPSHOT)
+
+# Migration strategies.  An engine with CAP_ELASTIC names the subset it
+# implements in ``supported_migration_strategies``; Scenario and the
+# elastic harness thread the chosen one into the migration coordinator.
+MIGRATION_STRATEGY_ALL_AT_ONCE = "all-at-once"  # pause + bulk transfer
+MIGRATION_STRATEGY_FLUID = "fluid"  # Megaphone-style per-range sub-moves
+
+MIGRATION_STRATEGIES = (MIGRATION_STRATEGY_ALL_AT_ONCE, MIGRATION_STRATEGY_FLUID)
 
 
 class SystemHooks:
@@ -73,6 +83,9 @@ class SystemHooks:
     supported_recovery_strategies: frozenset = frozenset()
     #: The strategy used when :meth:`attach_faults` gets none explicitly.
     default_recovery_strategy: Optional[str] = None
+    #: Migration strategies the engine can execute (MIGRATION_STRATEGIES
+    #: values); only consulted when ``CAP_ELASTIC`` is present.
+    supported_migration_strategies: frozenset = frozenset()
 
     # Attachment state consumed by each engine's run().  Class-level
     # defaults keep engines that never touch the hooks working unchanged.
@@ -80,6 +93,7 @@ class SystemHooks:
     fault_plan = None
     fault_overrides: dict = {}
     recovery_strategy: Optional[str] = None
+    elastic_plan = None
 
     def attach_sanitizer(self):
         """Arm runtime invariant checking for the next run."""
@@ -132,6 +146,38 @@ class SystemHooks:
         self.recovery_strategy = (
             strategy if strategy is not None else self.default_recovery_strategy
         )
+        return self
+
+    def attach_elastic(self, plan):
+        """Arm a live-migration schedule (an ElasticPlan) for the next run.
+
+        Mirrors :meth:`attach_faults`: the plan's migration strategy is
+        validated against ``supported_migration_strategies`` (with a
+        did-you-mean suggestion on typos), so a scenario naming a
+        strategy the engine lacks fails fast instead of crashing
+        mid-simulation.
+        """
+        self._require(CAP_ELASTIC, "elastic rescaling")
+        name = getattr(self, "name", type(self).__name__)
+        strategy = plan.strategy
+        if strategy not in MIGRATION_STRATEGIES:
+            from repro.common.suggest import did_you_mean
+
+            message = f"unknown migration strategy {strategy!r}"
+            close = did_you_mean(str(strategy), MIGRATION_STRATEGIES)
+            if close:
+                message += f" — did you mean {close!r}?"
+            raise CapabilityError(
+                message + f"; known strategies: {sorted(MIGRATION_STRATEGIES)}"
+            )
+        if strategy not in self.supported_migration_strategies:
+            raise CapabilityError(
+                f"engine {name!r} cannot migrate via {strategy!r}; "
+                f"supported strategies: "
+                f"{sorted(self.supported_migration_strategies)}"
+            )
+        plan.validate()
+        self.elastic_plan = plan
         return self
 
     def _require(self, capability: str, feature: str) -> None:

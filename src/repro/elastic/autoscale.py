@@ -1,0 +1,106 @@
+"""Reactive rescaling: the pure autoscale decision controller.
+
+The coordinator samples cluster pressure at a fixed interval and feeds
+each sample to an :class:`AutoscaleController`; the controller decides
+when sustained backpressure justifies a rescale.  It is deliberately
+pure — samples in, boolean out, no simulator access — so its hysteresis
+logic is unit-testable without running a workload.
+
+Two signals, matching the paper's flow-control story:
+
+``credit_stall_s``
+    Cumulative seconds producers spent blocked on RDMA credits.  A
+    *growing* stall total means consumers cannot drain what producers
+    offer — the controller reacts to the per-interval delta, not the
+    absolute value.
+
+``ship_backlog``
+    Epoch deltas parked in ship inboxes waiting for a merge slot.
+    Sustained growth means state shipping has fallen behind ingestion.
+
+Either signal breaching its threshold for ``sustain_samples``
+*consecutive* intervals fires the rescale; one calm sample resets the
+streak, so a transient spike (a single skewed epoch) never triggers a
+migration.
+"""
+
+from __future__ import annotations
+
+#: Seconds of new credit stall per sample interval that count as pressure.
+DEFAULT_STALL_DELTA_S = 1e-3
+
+#: Ship-inbox depth (cluster-wide) that counts as pressure.
+DEFAULT_BACKLOG_DEPTH = 8
+
+#: Consecutive pressured samples before the controller fires.
+DEFAULT_SUSTAIN_SAMPLES = 3
+
+#: Simulated seconds between pressure samples.
+DEFAULT_INTERVAL_S = 0.05
+
+
+class AutoscaleController:
+    """Fires a rescale after sustained credit starvation or queue growth."""
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        stall_delta_s: float = DEFAULT_STALL_DELTA_S,
+        backlog_depth: int = DEFAULT_BACKLOG_DEPTH,
+        sustain_samples: int = DEFAULT_SUSTAIN_SAMPLES,
+    ):
+        self.interval_s = interval_s
+        self.stall_delta_s = stall_delta_s
+        self.backlog_depth = backlog_depth
+        self.sustain_samples = sustain_samples
+        self.samples = 0
+        self.streak = 0
+        self.fired = False
+        self._last_stall_s = 0.0
+        self._history: list[dict] = []
+
+    def observe(self, sample: dict) -> bool:
+        """Feed one pressure sample; True when the rescale should fire.
+
+        ``sample`` holds cumulative ``credit_stall_s`` and instantaneous
+        ``ship_backlog``.  Once fired, further samples keep returning
+        True (the decision is latched; the coordinator acts once).
+        """
+        if self.fired:
+            return True
+        self.samples += 1
+        stall_s = float(sample.get("credit_stall_s", 0.0))
+        backlog = int(sample.get("ship_backlog", 0))
+        stall_delta = stall_s - self._last_stall_s
+        self._last_stall_s = stall_s
+        pressured = (
+            stall_delta >= self.stall_delta_s or backlog >= self.backlog_depth
+        )
+        self.streak = self.streak + 1 if pressured else 0
+        self._history.append(
+            {
+                "stall_delta_s": stall_delta,
+                "ship_backlog": backlog,
+                "pressured": pressured,
+                "streak": self.streak,
+            }
+        )
+        if self.streak >= self.sustain_samples:
+            self.fired = True
+        return self.fired
+
+    def report(self, fired: bool) -> dict:
+        """JSON-able decision trail for the run result."""
+        pressured = sum(1 for entry in self._history if entry["pressured"])
+        return {
+            "fired": fired,
+            "samples": self.samples,
+            "pressured_samples": pressured,
+            "final_streak": self.streak,
+            "interval_s": self.interval_s,
+            "thresholds": {
+                "stall_delta_s": self.stall_delta_s,
+                "backlog_depth": self.backlog_depth,
+                "sustain_samples": self.sustain_samples,
+            },
+        }

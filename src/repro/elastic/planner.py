@@ -1,0 +1,162 @@
+"""Which partitions move where: the deterministic migration planner.
+
+The planner looks only at the current leader map (and optionally the
+per-partition state sizes) and produces a list of
+:class:`~repro.elastic.plan.PartitionMove` items.  It is pure — the
+coordinator executes the moves — so the same inputs always yield the
+same plan, keeping elastic runs seed-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.elastic.plan import (
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ACTION_REBALANCE,
+    ElasticPlan,
+    PartitionMove,
+)
+from repro.state.partition import PartitionDirectory
+
+
+class MigrationPlanner:
+    """Turns a rescale action into concrete partition moves."""
+
+    def __init__(
+        self,
+        directory: PartitionDirectory,
+        size_of_partition: Optional[Callable[[int], int]] = None,
+    ):
+        self.directory = directory
+        # Used to break ties toward moving the *largest* partitions off
+        # an overloaded node first (they dominate the transfer time the
+        # fluid strategy amortises).  Defaults to "all equal".
+        self._size_of = size_of_partition or (lambda partition: 1)
+
+    def plan_moves(
+        self, plan: ElasticPlan, joining: Sequence[int] = ()
+    ) -> list[PartitionMove]:
+        """The moves realising ``plan`` against the current leader map."""
+        if plan.action == ACTION_JOIN:
+            if not joining:
+                raise ConfigError("join planned but no joining executors given")
+            return self.plan_join(list(joining))
+        if plan.action == ACTION_LEAVE:
+            return self.plan_leave(plan.drain_node)
+        if plan.action == ACTION_REBALANCE:
+            return self.plan_rebalance()
+        raise ConfigError(f"unknown rescale action {plan.action!r}")
+
+    def plan_join(self, joining: list[int]) -> list[PartitionMove]:
+        """Spread partitions from the most-loaded leaders onto new nodes.
+
+        Each joining executor receives its fair share (total partitions
+        divided by the new member count, at least one), taken from the
+        current leaders in descending (size, partition) order so the
+        heaviest state moves off first and ties stay deterministic.
+        """
+        directory = self.directory
+        members = directory.executors
+        fair_share = max(1, members // (len(joining) + self._leader_count()))
+        donors = sorted(
+            (
+                (self._size_of(partition), partition)
+                for partition in range(members)
+                if directory.leader_of_partition(partition) not in joining
+            ),
+            reverse=True,
+        )
+        moves = []
+        donor_iter = iter(donors)
+        for new_leader in sorted(joining):
+            for _ in range(fair_share):
+                try:
+                    _size, partition = next(donor_iter)
+                except StopIteration:
+                    break
+                moves.append(
+                    PartitionMove(
+                        partition=partition,
+                        src=directory.leader_of_partition(partition),
+                        dst=new_leader,
+                    )
+                )
+        return moves
+
+    def plan_leave(self, leaving: int) -> list[PartitionMove]:
+        """Drain every partition ``leaving`` leads onto the survivors.
+
+        Targets rotate round-robin over the remaining leaders, smallest
+        id first, so no single survivor absorbs the whole load.
+        """
+        directory = self.directory
+        survivors = sorted(
+            {
+                directory.leader_of_partition(partition)
+                for partition in range(directory.executors)
+            }
+            - {leaving}
+        )
+        if not survivors:
+            raise ConfigError(
+                f"executor {leaving} cannot leave: it leads every partition"
+            )
+        moves = []
+        led = sorted(directory.partitions_led_by(leaving))
+        for index, partition in enumerate(led):
+            moves.append(
+                PartitionMove(
+                    partition=partition,
+                    src=leaving,
+                    dst=survivors[index % len(survivors)],
+                )
+            )
+        return moves
+
+    def plan_rebalance(self) -> list[PartitionMove]:
+        """Move partitions from over- to under-loaded leaders.
+
+        A leader is overloaded when it leads more than
+        ``ceil(partitions / members)``; excess partitions (largest
+        first) move to the leaders furthest below the fair share.
+        """
+        directory = self.directory
+        members = directory.executors
+        led_by = {
+            executor: sorted(directory.partitions_led_by(executor))
+            for executor in range(members)
+        }
+        fair = -(-members // max(1, len([e for e in led_by if led_by[e]])))
+        surplus: list[tuple[int, int]] = []  # (size, partition)
+        deficit: list[int] = []
+        for executor in range(members):
+            led = led_by[executor]
+            if len(led) > fair:
+                for partition in sorted(
+                    led[fair:], key=lambda p: (-self._size_of(p), p)
+                ):
+                    surplus.append((self._size_of(partition), partition))
+            elif len(led) < fair:
+                deficit.extend([executor] * (fair - len(led)))
+        moves = []
+        for (_size, partition), target in zip(surplus, deficit):
+            moves.append(
+                PartitionMove(
+                    partition=partition,
+                    src=directory.leader_of_partition(partition),
+                    dst=target,
+                )
+            )
+        return moves
+
+    def _leader_count(self) -> int:
+        directory = self.directory
+        return len(
+            {
+                directory.leader_of_partition(partition)
+                for partition in range(directory.executors)
+            }
+        )

@@ -7,6 +7,7 @@ Usage (after ``python setup.py develop``)::
     python -m repro run fig8d --out results/
     python -m repro run all --quick
     python -m repro chaos --seed 7 --fault leader-crash
+    python -m repro elastic --strategy both --action join
 
 ``run`` executes one experiment (or ``all``), prints the rendered report,
 and optionally writes it (plus a machine-readable JSON of the raw rows)
@@ -199,8 +200,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload to run under fault injection")
     chaos.add_argument("--no-determinism-check", action="store_true",
                        help="skip the second same-seed faulted run")
+    from repro.core.system import MIGRATION_STRATEGIES
+
+    chaos.add_argument("--elastic", default=None, metavar="STRATEGY",
+                       choices=sorted(MIGRATION_STRATEGIES),
+                       help="additionally perform a live join-rescale with "
+                            "this migration strategy (one of: "
+                            + ", ".join(sorted(MIGRATION_STRATEGIES))
+                            + ") during every faulted run")
     chaos.add_argument("--out", type=pathlib.Path, default=None,
                        help="directory to write chaos.txt and chaos.json into")
+
+    elastic = sub.add_parser(
+        "elastic",
+        help="live-rescale run: migrate partitions mid-run under both "
+             "strategies, diff against the static baseline, report the "
+             "migration-window latency spike",
+    )
+    elastic.add_argument("--system", default="slash",
+                         help="elastic-capable engine (registry name; "
+                              "default: slash)")
+    elastic.add_argument("--strategy", default="both", metavar="STRATEGY",
+                         help="migration strategy (one of: "
+                              + ", ".join(sorted(MIGRATION_STRATEGIES))
+                              + "; default: 'both' runs and compares them)")
+    elastic.add_argument("--action", default="join",
+                         choices=("join", "leave", "rebalance"),
+                         help="rescale action (default: join)")
+    elastic.add_argument("--nodes", type=int, default=2,
+                         help="cluster size before the rescale")
+    elastic.add_argument("--threads", type=int, default=4,
+                         help="worker threads per node")
+    elastic.add_argument("--records", type=int, default=20_000,
+                         help="records per thread (state must dwarf the "
+                              "fixed per-move latency floor)")
+    elastic.add_argument("--workload", default="ysb",
+                         help="workload to rescale under")
+    elastic.add_argument("--seed", type=int, default=11,
+                         help="workload generator seed")
+    elastic.add_argument("--rescale-frac", type=float, default=0.35,
+                         help="when to rescale, as a fraction of the "
+                              "static run's horizon")
+    elastic.add_argument("--ranges", type=int, default=None,
+                         help="fluid key-range sub-moves (ElasticPlan "
+                              "default when omitted)")
+    elastic.add_argument("--spread", type=float, default=None,
+                         help="fluid catch-up gap between sub-moves, as a "
+                              "multiple of each round's stall")
+    elastic.add_argument("--add-nodes", type=int, default=1,
+                         help="spare nodes a join brings up")
+    elastic.add_argument("--drain-node", type=int, default=None,
+                         help="node a leave drains (default: last node)")
+    elastic.add_argument("--quick", action="store_true",
+                         help="small sizes for a fast smoke run")
+    elastic.add_argument("--out", type=pathlib.Path, default=None,
+                         help="directory to write elastic.txt and "
+                              "elastic.json into")
 
     sanitize = sub.add_parser(
         "sanitize",
@@ -292,6 +347,7 @@ def _run_chaos(args) -> int:
             verify_determinism=not args.no_determinism_check,
             system=args.system,
             strategy=args.strategy,
+            elastic=args.elastic,
         )
     except (ConfigError, FaultError) as exc:
         # ConfigError covers unknown engine names (with a did-you-mean
@@ -306,6 +362,60 @@ def _run_chaos(args) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / "chaos.txt").write_text(report.render() + "\n")
         (args.out / "chaos.json").write_text(
+            json.dumps(_jsonable(report.rows), indent=2) + "\n"
+        )
+    return 0
+
+
+def _run_elastic(args) -> int:
+    from repro.common.errors import (
+        CapabilityError,
+        ConfigError,
+        StateError,
+    )
+    from repro.core.system import MIGRATION_STRATEGIES
+
+    if args.strategy != "both" and args.strategy not in MIGRATION_STRATEGIES:
+        message = unknown_name_message(
+            "migration strategy", args.strategy,
+            tuple(sorted(MIGRATION_STRATEGIES)) + ("both",),
+        )
+        print(f"ELASTIC FAILED: {message}", file=sys.stderr)
+        return 1
+    if args.quick:
+        args.records = min(args.records, 2500)
+
+    started = time.time()
+    try:
+        report = exp.run_elastic(
+            system=args.system,
+            workload_name=args.workload,
+            nodes=args.nodes,
+            threads=args.threads,
+            records_per_thread=args.records,
+            seed=args.seed,
+            strategy=args.strategy,
+            action=args.action,
+            rescale_frac=args.rescale_frac,
+            add_nodes=args.add_nodes,
+            drain_node=args.drain_node,
+            fluid_ranges=args.ranges,
+            fluid_spread=args.spread,
+        )
+    except (CapabilityError, ConfigError, StateError) as exc:
+        # CapabilityError: a non-elastic engine (with the elastic-capable
+        # set in the message); ConfigError: a rescale_at past the horizon
+        # or a malformed plan; StateError: the oracle caught a divergence.
+        print(f"ELASTIC FAILED: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.time() - started
+    print(report.render())
+    print(f"\n[elastic {args.action} seed {args.seed} — "
+          f"{elapsed:.1f}s wall]")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "elastic.txt").write_text(report.render() + "\n")
+        (args.out / "elastic.json").write_text(
             json.dumps(_jsonable(report.rows), indent=2) + "\n"
         )
     return 0
@@ -346,6 +456,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "elastic":
+        return _run_elastic(args)
     if args.command == "sanitize":
         return _run_sanitize(args)
     if args.quick:

@@ -701,6 +701,188 @@ def ablation_selective_signaling(
 
 
 # ---------------------------------------------------------------------------
+# Elastic: live partition migration + the oracle that keeps it honest
+# ---------------------------------------------------------------------------
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _window_lags(result, start_s: Optional[float]) -> list[float]:
+    """Trigger lags of windows fired at or after the migration start.
+
+    ``trigger_events`` is the run's ``(fire_time_s, lag_s)`` timeline;
+    everything from the first stall onward is the migration's latency
+    footprint (the stalled windows fire late right after each handoff).
+    """
+    events = result.extra.get("trigger_events", [])
+    if start_s is None:
+        return [lag for _t, lag in events]
+    return [lag for t, lag in events if t >= start_s]
+
+
+def run_elastic(
+    system: str = "slash",
+    workload_name: str = "ysb",
+    nodes: int = 2,
+    threads: int = 4,
+    records_per_thread: int = 2500,
+    seed: int = 11,
+    strategy: str = "both",
+    action: str = "join",
+    rescale_frac: float = 0.35,
+    add_nodes: int = 1,
+    drain_node: Optional[int] = None,
+    fluid_ranges: Optional[int] = None,
+    fluid_spread: Optional[float] = None,
+) -> Report:
+    """Live-rescale experiment: migrate mid-run, diff against static.
+
+    One static baseline pins the ground truth and the horizon; each
+    requested migration strategy then reruns the *same* seeded scenario
+    with a rescale scheduled at ``rescale_frac`` of the horizon and the
+    runtime sanitizer on.  Every migrated run must reproduce the static
+    aggregates exactly (the migration-correctness oracle); a divergence
+    raises :class:`StateError` and fails the CLI run.
+
+    The headline metric is the **migration-window latency spike**: the
+    p50/p99 of window-trigger lag from the first migration stall onward,
+    against the static run's p99.  All-at-once pays one bulk stall;
+    Megaphone-style fluid splits it into per-key-range sub-moves, so its
+    p99 spike stays a fraction of the bulk one.
+    """
+    from repro.common.errors import StateError
+    from repro.core.system import MIGRATION_STRATEGIES
+    from repro.runtime import REGISTRY, Scenario, run_scenario
+    from repro.runtime.oracle import diff_results
+
+    if strategy == "both":
+        strategies = list(MIGRATION_STRATEGIES)
+    else:
+        # Unknown names flow into attach_elastic for the did-you-mean.
+        strategies = [strategy]
+    if not 0.0 < rescale_frac < 1.0:
+        raise StateError(
+            f"rescale_frac must be inside (0, 1), got {rescale_frac}"
+        )
+    REGISTRY.spec(system)  # unknown engine: fail fast with did-you-mean
+
+    report = Report(f"elastic: {action} rescale ({system}, {workload_name})")
+    workload_overrides = {"records_per_thread": records_per_thread}
+    rescale_overrides: dict = {"action": action, "add_nodes": add_nodes}
+    if drain_node is not None:
+        rescale_overrides["drain_node"] = drain_node
+    elif action == "leave":
+        rescale_overrides["drain_node"] = nodes - 1
+    if fluid_ranges is not None:
+        rescale_overrides["fluid_ranges"] = fluid_ranges
+    if fluid_spread is not None:
+        rescale_overrides["fluid_spread"] = fluid_spread
+
+    def scenario(**elastic_kwargs) -> Scenario:
+        return Scenario(
+            engine=system,
+            workload=workload_name,
+            nodes=nodes,
+            threads=threads,
+            workload_overrides=workload_overrides,
+            seed=seed,
+            **elastic_kwargs,
+        )
+
+    static = run_scenario(scenario())
+    horizon = static.sim_seconds
+    static_lags = _window_lags(static, None)
+    static_p99 = _percentile(static_lags, 0.99)
+
+    table = TextTable(
+        f"migration-window latency (baseline p99 {fmt_time(static_p99)}, "
+        f"rescale at {rescale_frac:.0%} of {fmt_time(horizon)})",
+        ["strategy", "moved", "stalls", "window p50", "window p99",
+         "p99 spike", "oracle"],
+    )
+    spikes: dict[str, float] = {}
+    failures: list[str] = []
+    for migration_strategy in strategies:
+        migrated = run_scenario(scenario(
+            rescale_at=horizon * rescale_frac,
+            migration_strategy=migration_strategy,
+            rescale_overrides=dict(rescale_overrides),
+            sanitize=True,
+        ))
+        diff = diff_results(static, migrated)
+        info = migrated.extra.get("elastic", {})
+        lags = _window_lags(migrated, info.get("started_at_s"))
+        p50 = _percentile(lags, 0.50)
+        p99 = _percentile(lags, 0.99)
+        spike = p99 / static_p99 if static_p99 else float("inf")
+        spikes[migration_strategy] = p99
+        if not diff.ok:
+            failures.append(f"{migration_strategy}: {diff.describe()}")
+        table.add_row(
+            migration_strategy,
+            format_si(info.get("moved_bytes", 0), "B"),
+            len(info.get("events", [])),
+            fmt_time(p50),
+            fmt_time(p99),
+            f"{spike:.1f}x",
+            "PASS" if diff.ok else "FAIL",
+        )
+        report.rows.append({
+            "figure": "elastic",
+            "system": system,
+            "workload": workload_name,
+            "nodes": nodes,
+            "threads": threads,
+            "seed": seed,
+            "action": action,
+            "strategy": migration_strategy,
+            "rescale_at_s": horizon * rescale_frac,
+            "moved_bytes": info.get("moved_bytes", 0),
+            "moves_completed": info.get("moves_completed"),
+            "rounds": len(info.get("events", [])),
+            "window_p50_s": p50,
+            "window_p99_s": p99,
+            "static_p99_s": static_p99,
+            "p99_spike": spike,
+            "oracle_ok": diff.ok,
+            "ownership_checks": migrated.extra.get(
+                "sanitizer_checks", {}
+            ).get("ownership-exactness", 0),
+            "autoscale": info.get("autoscale"),
+        })
+    report.tables.append(table)
+    if "fluid" in spikes and "all-at-once" in spikes:
+        fluid_wins = spikes["fluid"] < spikes["all-at-once"]
+        report.notes.append(
+            "fluid p99 "
+            + ("<" if fluid_wins else ">=")
+            + " all-at-once p99 at equal state size: "
+            + ("the Megaphone effect — sub-moves amortise the stall."
+               if fluid_wins else
+               "NOT the expected ordering; state too small for the "
+               "per-round floor — grow --records.")
+        )
+    report.notes.append(
+        "oracle: every migrated run's (window, key) aggregates must equal "
+        "the static run's exactly; the sanitizer's ownership-exactness "
+        "invariant (single leader per range, no delta applied twice) is "
+        "live during every migrated run."
+    )
+    if failures:
+        raise StateError(
+            "elastic oracle failed — migrated run diverged from the "
+            "static baseline: " + "; ".join(failures) + "\n" + report.render()
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # Chaos: fault injection + epoch-based recovery
 # ---------------------------------------------------------------------------
 
@@ -714,6 +896,7 @@ def run_chaos(
     verify_determinism: bool = True,
     system: str = "slash",
     strategy: str = "both",
+    elastic: Optional[str] = None,
 ) -> Report:
     """One chaos cell: fail-free baseline, faulted runs, invariant checks.
 
@@ -730,6 +913,13 @@ def run_chaos(
     grows a side-by-side comparison of detection/MTTR latencies,
     snapshot overhead, and recovered records.  An engine with no
     recovery plane (Flink) runs its data-plane faults once, unstrategized.
+
+    ``elastic`` names a migration strategy ("all-at-once" or "fluid"):
+    every *faulted* run additionally performs a live join-rescale mid
+    horizon, so faults land during or around an active migration — the
+    hardest cell of the matrix.  The baseline stays fail-free *and*
+    static, so zero-lost-results then asserts that chaos plus migration
+    together still reproduce the untouched run exactly.
     """
     from repro.common.errors import FaultError
     from repro.faults.plan import FaultPlan
@@ -753,10 +943,19 @@ def run_chaos(
         # raises the CapabilityError naming what the engine *can* do.
         strategies = [strategy]
 
-    report = Report(f"chaos: {fault} (seed {seed})")
+    tag = f" + {elastic} rescale" if elastic else ""
+    report = Report(f"chaos: {fault}{tag} (seed {seed})")
     workload_overrides = {"records_per_thread": records_per_thread}
 
-    def scenario(plan=None, overrides=None, recovery=None) -> Scenario:
+    def scenario(plan=None, overrides=None, recovery=None,
+                 rescale_at=None) -> Scenario:
+        elastic_kwargs = {}
+        if rescale_at is not None:
+            elastic_kwargs = dict(
+                rescale_at=rescale_at,
+                migration_strategy=elastic,
+                rescale_overrides={"action": "join", "add_nodes": 1},
+            )
         return Scenario(
             engine=system,
             workload=workload_name,
@@ -766,10 +965,12 @@ def run_chaos(
             fault_plan=plan,
             fault_overrides=dict(overrides or {}),
             recovery_strategy=recovery,
+            **elastic_kwargs,
         )
 
     baseline = run_scenario(scenario())
     horizon = baseline.sim_seconds
+    rescale_at = horizon * 0.3 if elastic else None
     plan = FaultPlan.preset(fault, seed, nodes, horizon)
     plan.validate(nodes, horizon_s=horizon)
     # Scale the fault-handling tunables to this workload's horizon, so
@@ -802,7 +1003,9 @@ def run_chaos(
             overrides["snapshot_interval_s"] = horizon * 0.04
 
         def faulted_run():
-            return run_scenario(scenario(plan, overrides, recovery))
+            return run_scenario(
+                scenario(plan, overrides, recovery, rescale_at=rescale_at)
+            )
 
         faulted = faulted_run()
         missing, extra, mismatched = _compare_aggregates(
@@ -868,6 +1071,17 @@ def run_chaos(
             "split-brain commits",
             "NONE" if not split_brain else f"{split_brain!r}",
         )
+        migration = faulted.extra.get("elastic")
+        if migration is not None:
+            outcome.add_row(
+                "migration moves (done/rolled back)",
+                f"{migration.get('moves_completed', 0)}/"
+                f"{migration.get('moves_rolled_back', 0)}",
+            )
+            outcome.add_row(
+                "migrated bytes",
+                format_si(migration.get("moved_bytes", 0), "B"),
+            )
         for victim, info in sorted(faults_info.get("crashes", {}).items()):
             outcome.add_row(f"exec {victim} recovery time",
                             fmt_time(info.get("recovery_s", 0.0)))
@@ -932,6 +1146,8 @@ def run_chaos(
             "detection_s": detection,
             "mttr_s": mttr,
             "faults": faults_info,
+            "elastic": elastic,
+            "migration": migration,
         })
 
     if len(per_strategy) > 1:

@@ -31,12 +31,14 @@ from repro.runtime.scenario import (
 from repro.runtime.system import (
     ALL_CAPABILITIES,
     CAP_CRASH_RECOVERY,
+    CAP_ELASTIC,
     CAP_FAULT_INJECTION,
     CAP_JOINS,
     CAP_SANITIZE,
     CAP_SCALE_OUT,
     CAP_SESSION_WINDOWS,
     CAP_TRANSFER_BENCH,
+    MIGRATION_STRATEGIES,
     RECOVERY_STRATEGIES,
     STRATEGY_ASYNC_SNAPSHOT,
     STRATEGY_EPOCH_BUDDY,
@@ -48,6 +50,7 @@ __all__ = [
     "ALL_CAPABILITIES",
     "BENCH_EPOCH_BYTES",
     "CAP_CRASH_RECOVERY",
+    "CAP_ELASTIC",
     "CAP_FAULT_INJECTION",
     "CAP_JOINS",
     "CAP_SANITIZE",
@@ -56,6 +59,7 @@ __all__ = [
     "CAP_TRANSFER_BENCH",
     "EngineRegistry",
     "EngineSpec",
+    "MIGRATION_STRATEGIES",
     "RECOVERY_STRATEGIES",
     "REGISTRY",
     "ResultDiff",

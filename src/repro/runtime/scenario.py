@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.common.errors import ConfigError
+from repro.common.errors import CapabilityError, ConfigError
 from repro.common.suggest import unknown_name_message
 from repro.core.engine import RunResult
 from repro.runtime.registry import REGISTRY
@@ -104,6 +104,13 @@ class Scenario:
     #: How the engine recovers from control-plane faults ("epoch-buddy"
     #: or "async-snapshot"); ``None`` keeps the engine's default.
     recovery_strategy: Optional[str] = None
+    #: Simulated instant a live rescale starts; ``None`` means static.
+    rescale_at: Optional[float] = None
+    #: Live-migration strategy ("all-at-once" or Megaphone-style "fluid").
+    migration_strategy: str = "fluid"
+    #: Extra ElasticPlan fields (action, add_nodes, drain_node,
+    #: fluid_ranges, fluid_spread, autoscale, autoscale_overrides).
+    rescale_overrides: dict = field(default_factory=dict)
 
     def params(self) -> dict:
         """The picklable dict form used by parallel sweep cells."""
@@ -120,7 +127,17 @@ class Scenario:
             "fault_plan": self.fault_plan,
             "fault_overrides": dict(self.fault_overrides),
             "recovery_strategy": self.recovery_strategy,
+            "rescale_at": self.rescale_at,
+            "migration_strategy": self.migration_strategy,
+            "rescale_overrides": dict(self.rescale_overrides),
         }
+
+    @property
+    def is_elastic(self) -> bool:
+        """Whether this scenario schedules a live rescale."""
+        return self.rescale_at is not None or bool(
+            self.rescale_overrides.get("autoscale")
+        )
 
 
 def run_scenario(spec: Scenario) -> RunResult:
@@ -140,6 +157,28 @@ def run_scenario(spec: Scenario) -> RunResult:
         engine.attach_faults(
             spec.fault_plan, spec.fault_overrides,
             strategy=spec.recovery_strategy,
+        )
+    if spec.is_elastic:
+        from repro.core.system import CAP_ELASTIC
+        from repro.elastic.plan import ElasticPlan
+
+        elastic_capable = sorted(
+            name
+            for name in REGISTRY.names()
+            if CAP_ELASTIC in REGISTRY.spec(name).capabilities
+        )
+        if CAP_ELASTIC not in REGISTRY.spec(spec.engine).capabilities:
+            raise CapabilityError(
+                f"engine {spec.engine!r} cannot rescale live "
+                f"(rescale_at={spec.rescale_at!r}); elastic-capable "
+                f"engines: {elastic_capable}"
+            )
+        engine.attach_elastic(
+            ElasticPlan(
+                rescale_at=spec.rescale_at,
+                strategy=spec.migration_strategy,
+                **spec.rescale_overrides,
+            )
         )
 
     flows = workload.flows(spec.nodes, spec.threads)

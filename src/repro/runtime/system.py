@@ -14,12 +14,14 @@ from typing import Protocol, runtime_checkable
 from repro.core.system import (  # noqa: F401  (re-exported vocabulary)
     ALL_CAPABILITIES,
     CAP_CRASH_RECOVERY,
+    CAP_ELASTIC,
     CAP_FAULT_INJECTION,
     CAP_JOINS,
     CAP_SANITIZE,
     CAP_SCALE_OUT,
     CAP_SESSION_WINDOWS,
     CAP_TRANSFER_BENCH,
+    MIGRATION_STRATEGIES,
     RECOVERY_STRATEGIES,
     STRATEGY_ASYNC_SNAPSHOT,
     STRATEGY_EPOCH_BUDDY,

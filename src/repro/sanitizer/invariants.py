@@ -127,6 +127,11 @@ class Sanitizer:
         self._admitted: dict[int, set] = {}
         self._ledger_last: dict[tuple, int] = {}
         self._last_event_time = float("-inf")
+        # Live-migration shadow state: (scope, partition) -> owner,
+        # copied sub-range ids, and seen transfer-apply tokens.
+        self._owners: dict[tuple, int] = {}
+        self._range_copies: dict[tuple, set] = {}
+        self._transfer_tokens: set = set()
 
     # -- violation plumbing -------------------------------------------------
     def fail(self, invariant: str, message: str, **context: Any) -> None:
@@ -425,6 +430,121 @@ class Sanitizer:
                 round=round_id, captures=captures,
                 post_marker_merges=post_marker_merges,
             )
+
+    # -- elastic: ownership exactness during live migration -------------------
+    def note_migration_owner(self, scope: str, partition: int, owner: int) -> None:
+        """Record the initial owner of ``partition`` (coordinator arm)."""
+        self.checks["ownership-exactness"] += 1
+        self._owners[(scope, partition)] = owner
+
+    def note_range_copy(
+        self, scope: str, partition: int, range_id: int, src: int, dst: int
+    ) -> None:
+        """One fluid sub-range copy ``src -> dst`` starts for ``partition``.
+
+        The copier must be the partition's current owner (only the
+        leader holds the primary state a sub-move transfers), and no
+        sub-range may be copied twice within one migration — a re-copy
+        would re-apply the range's deltas at the destination.
+        """
+        self.checks["ownership-exactness"] += 1
+        key = (scope, partition)
+        owner = self._owners.get(key, src)
+        if src != owner:
+            self.fail(
+                "ownership-exactness",
+                f"executor {src} copied sub-range {range_id} of partition "
+                f"{partition} but executor {owner} owns it — a non-owner "
+                "holds (and is moving) primary state",
+                scope=scope, partition=partition, range_id=range_id,
+                src=src, dst=dst, owner=owner,
+            )
+        copied = self._range_copies.setdefault(key, set())
+        if range_id in copied:
+            self.fail(
+                "ownership-exactness",
+                f"sub-range {range_id} of partition {partition} copied twice "
+                f"({src} -> {dst}) — its deltas would apply twice at the "
+                "destination",
+                scope=scope, partition=partition, range_id=range_id,
+                src=src, dst=dst,
+            )
+        copied.add(range_id)
+
+    def note_ownership_handoff(
+        self,
+        scope: str,
+        partition: int,
+        src: int,
+        dst: int,
+        ranges_copied: int,
+        ranges_total: int,
+    ) -> None:
+        """Ownership of ``partition`` flips ``src -> dst`` atomically.
+
+        The handoff must come from the current owner (each key range
+        owned by exactly one leader, before and after), and a fluid
+        handoff must cover every sub-range exactly — a partial handoff
+        would leave a key range with no (or two) owners.
+        """
+        self.checks["ownership-exactness"] += 1
+        key = (scope, partition)
+        owner = self._owners.get(key, src)
+        if src != owner:
+            self.fail(
+                "ownership-exactness",
+                f"executor {src} handed off partition {partition} but "
+                f"executor {owner} owns it — two leaders claimed the same "
+                "key range",
+                scope=scope, partition=partition, src=src, dst=dst,
+                owner=owner,
+            )
+        if ranges_copied != ranges_total:
+            self.fail(
+                "ownership-exactness",
+                f"partition {partition} handed off with {ranges_copied} of "
+                f"{ranges_total} sub-ranges copied — partial handoff leaves "
+                "key ranges without exactly one owner",
+                scope=scope, partition=partition, src=src, dst=dst,
+                ranges_copied=ranges_copied, ranges_total=ranges_total,
+            )
+        copied = self._range_copies.pop(key, set())
+        if ranges_total and len(copied) != ranges_total:
+            self.fail(
+                "ownership-exactness",
+                f"partition {partition} handed off but only sub-ranges "
+                f"{sorted(copied)} of {ranges_total} were ever copied",
+                scope=scope, partition=partition, src=src, dst=dst,
+                ranges_total=ranges_total,
+            )
+        self._owners[key] = dst
+
+    def check_delta_owner(self, scope: str, partition: int, executor: int) -> None:
+        """``executor`` is about to merge a delta for ``partition``."""
+        self.checks["ownership-exactness"] += 1
+        owner = self._owners.get((scope, partition))
+        if owner is not None and executor != owner:
+            self.fail(
+                "ownership-exactness",
+                f"executor {executor} merged a delta for partition "
+                f"{partition} but executor {owner} owns it — state is "
+                "splitting across two leaders",
+                scope=scope, partition=partition, executor=executor,
+                owner=owner,
+            )
+
+    def note_transfer_apply(self, scope: str, token: tuple) -> None:
+        """One forwarded (relayed) delta applies at the new leader."""
+        self.checks["ownership-exactness"] += 1
+        key = (scope, token)
+        if key in self._transfer_tokens:
+            self.fail(
+                "ownership-exactness",
+                f"forwarded delta {token} applied twice at the new leader — "
+                "exactly-once forwarding is broken",
+                scope=scope, token=str(token),
+            )
+        self._transfer_tokens.add(key)
 
     # -- core: watermark-safe window triggering ------------------------------
     def check_window_fire(

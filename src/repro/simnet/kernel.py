@@ -568,6 +568,11 @@ class Simulator:
         #: pays a single attribute test.  Attaching it also disables the
         #: sole-runnable fast path so every event passes the hooks.
         self.sanitize = None
+        #: Optional repro.elastic migration coordinator; when attached,
+        #: executors consult it at their merge/trigger/finalize hook
+        #: points so live partition migration can intercept in-flight
+        #: deltas and gate window firing during a handoff.
+        self.elastic = None
 
     @property
     def now(self) -> float:

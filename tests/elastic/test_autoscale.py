@@ -1,0 +1,59 @@
+"""Tests for the reactive autoscale decision controller."""
+
+from repro.elastic.autoscale import AutoscaleController
+
+
+def pressure(stall_s=0.0, backlog=0):
+    return {"credit_stall_s": stall_s, "ship_backlog": backlog}
+
+
+class TestHysteresis:
+    def test_sustained_backlog_fires(self):
+        controller = AutoscaleController(sustain_samples=3, backlog_depth=8)
+        assert not controller.observe(pressure(backlog=10))
+        assert not controller.observe(pressure(backlog=12))
+        assert controller.observe(pressure(backlog=9))
+        assert controller.fired
+
+    def test_transient_spike_resets_the_streak(self):
+        controller = AutoscaleController(sustain_samples=3, backlog_depth=8)
+        assert not controller.observe(pressure(backlog=10))
+        assert not controller.observe(pressure(backlog=10))
+        assert not controller.observe(pressure(backlog=0))  # calm: reset
+        assert not controller.observe(pressure(backlog=10))
+        assert not controller.observe(pressure(backlog=10))
+        assert controller.observe(pressure(backlog=10))
+
+    def test_decision_is_latched(self):
+        controller = AutoscaleController(sustain_samples=1, backlog_depth=1)
+        assert controller.observe(pressure(backlog=5))
+        # Calm samples after the fire keep returning True, uncounted.
+        assert controller.observe(pressure())
+        assert controller.samples == 1
+
+    def test_stall_signal_reacts_to_the_delta_not_the_total(self):
+        controller = AutoscaleController(
+            sustain_samples=2, stall_delta_s=1e-3, backlog_depth=10**9
+        )
+        # The first sample's jump counts, but a *constant* cumulative
+        # stall afterwards is history, not pressure: the streak resets.
+        assert not controller.observe(pressure(stall_s=5.0))
+        assert not controller.observe(pressure(stall_s=5.0))
+        assert not controller.observe(pressure(stall_s=5.0))
+        # Sustained growth past the threshold rate is pressure.
+        assert not controller.observe(pressure(stall_s=5.0 + 4e-3))
+        assert controller.observe(pressure(stall_s=5.0 + 8e-3))
+
+
+class TestReport:
+    def test_report_counts_pressured_samples(self):
+        controller = AutoscaleController(sustain_samples=3, backlog_depth=8)
+        controller.observe(pressure(backlog=10))
+        controller.observe(pressure())
+        controller.observe(pressure(backlog=10))
+        report = controller.report(fired=False)
+        assert report["fired"] is False
+        assert report["samples"] == 3
+        assert report["pressured_samples"] == 2
+        assert report["final_streak"] == 1
+        assert report["thresholds"]["sustain_samples"] == 3

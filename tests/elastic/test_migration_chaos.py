@@ -1,0 +1,93 @@
+"""Migration × leader-crash: the hardest cell of the chaos matrix.
+
+A leader crash landing during (or around) a live rescale must leave
+every move either fenced-rolled-back or completed — never partial
+ownership — and the run must still reproduce the fail-free *static*
+baseline exactly.  These tests drive the same differential cell the CI
+chaos matrix generates (``--elastic`` on the chaos harness).
+"""
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.runtime import Scenario, run_scenario
+
+RECORDS = 1000
+SEED = 7
+NODES = 3
+
+
+def scenario(**kwargs):
+    return Scenario(
+        engine="slash",
+        workload="ysb",
+        nodes=NODES,
+        threads=2,
+        workload_overrides={"records_per_thread": RECORDS},
+        seed=SEED,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_scenario(scenario())
+
+
+def crash_overrides(horizon):
+    """The chaos harness's horizon-scaled fault tunables."""
+    return dict(
+        detect_s=horizon * 0.02,
+        watchdog_period_s=horizon * 0.01,
+        rto_s=max(5e-6, horizon * 0.001),
+        credit_timeout_s=max(2e-5, horizon * 0.005),
+    )
+
+
+@pytest.mark.parametrize("strategy", ["all-at-once", "fluid"])
+def test_leader_crash_during_migration_never_splits_ownership(
+    baseline, strategy
+):
+    horizon = baseline.sim_seconds
+    plan = FaultPlan.preset("leader-crash", SEED, NODES, horizon)
+    plan.validate(NODES, horizon_s=horizon)
+    faulted = run_scenario(scenario(
+        fault_plan=plan,
+        fault_overrides=crash_overrides(horizon),
+        rescale_at=horizon * 0.3,
+        migration_strategy=strategy,
+        rescale_overrides={"action": "join", "add_nodes": 1},
+    ))
+    # Zero lost results: chaos + migration still equals the untouched run.
+    assert faulted.aggregates == baseline.aggregates
+    # Every planned move ended in exactly one of the two legal states.
+    info = faulted.extra["elastic"]
+    for event in info["events"]:
+        assert event["rolled_back"] in (True, False)
+    assert info["moves_completed"] + info["moves_rolled_back"] == len(
+        info["events"]
+    )
+    # The recovery plane saw no same-term double commit: the fenced
+    # term bump keeps old-leader and new-leader commits apart.
+    terms = faulted.extra["faults"].get("terms", {})
+    assert not terms.get("split_brain", [])
+
+
+def test_chaos_harness_runs_the_migration_cell():
+    """The CI cell end to end: run_chaos(elastic=...) raises FaultError
+    on any lost result, split brain, or non-determinism."""
+    from repro.harness.experiments import run_chaos
+
+    report = run_chaos(
+        fault="leader-crash",
+        seed=SEED,
+        nodes=NODES,
+        threads=2,
+        records_per_thread=RECORDS,
+        verify_determinism=True,
+        system="slash",
+        strategy="epoch-buddy",
+        elastic="fluid",
+    )
+    assert "fluid rescale" in report.name
+    assert report.rows

@@ -1,0 +1,188 @@
+"""The ownership-exactness invariant: units plus a seeded property test.
+
+The sanitizer's ``ownership-exactness`` invariant shadows live
+migration: each key range owned by exactly one leader at all times, no
+sub-range copied twice, no forwarded delta applied twice.  The unit
+tests drive each ``note_``/``check_`` hook both ways; the property test
+replays randomly planned (but legal) migration histories through the
+planner and the sanitizer and checks that exactly-one-owner holds at
+every step, while a random illegal mutation of the same history always
+trips the invariant.
+"""
+
+import pytest
+
+from repro.elastic.plan import ElasticPlan
+from repro.elastic.planner import MigrationPlanner
+from repro.sanitizer.invariants import InvariantViolation, Sanitizer
+from repro.state.partition import PartitionDirectory
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+        self.tracer = None
+
+
+@pytest.fixture
+def san():
+    return Sanitizer(FakeSim())
+
+
+def legal_handoff(san, partition, src, dst, ranges=4):
+    for range_id in range(ranges):
+        san.note_range_copy("op", partition, range_id, src, dst)
+    san.note_ownership_handoff(
+        "op", partition, src, dst, ranges_copied=ranges, ranges_total=ranges
+    )
+
+
+class TestOwnershipUnits:
+    def test_legal_fluid_handoff_passes_and_counts(self, san):
+        san.note_migration_owner("op", 0, 0)
+        legal_handoff(san, 0, src=0, dst=2)
+        san.check_delta_owner("op", 0, 2)
+        assert san.checks["ownership-exactness"] == 7
+
+    def test_all_at_once_handoff_needs_no_ranges(self, san):
+        san.note_migration_owner("op", 1, 1)
+        san.note_ownership_handoff(
+            "op", 1, src=1, dst=0, ranges_copied=0, ranges_total=0
+        )
+        san.check_delta_owner("op", 1, 0)
+
+    def test_double_range_copy_fails(self, san):
+        san.note_migration_owner("op", 0, 0)
+        san.note_range_copy("op", 0, 3, 0, 1)
+        with pytest.raises(InvariantViolation, match="copied twice") as exc:
+            san.note_range_copy("op", 0, 3, 0, 1)
+        assert exc.value.invariant == "ownership-exactness"
+
+    def test_non_owner_copy_fails(self, san):
+        san.note_migration_owner("op", 0, 0)
+        with pytest.raises(InvariantViolation, match="non-owner"):
+            san.note_range_copy("op", 0, 0, src=2, dst=1)
+
+    def test_non_owner_handoff_fails(self, san):
+        san.note_migration_owner("op", 0, 0)
+        with pytest.raises(InvariantViolation, match="two leaders"):
+            san.note_ownership_handoff(
+                "op", 0, src=1, dst=2, ranges_copied=0, ranges_total=0
+            )
+
+    def test_partial_handoff_fails(self, san):
+        san.note_migration_owner("op", 0, 0)
+        san.note_range_copy("op", 0, 0, 0, 1)
+        with pytest.raises(InvariantViolation, match="partial handoff"):
+            san.note_ownership_handoff(
+                "op", 0, src=0, dst=1, ranges_copied=1, ranges_total=4
+            )
+
+    def test_handoff_with_uncopied_ranges_fails(self, san):
+        san.note_migration_owner("op", 0, 0)
+        san.note_range_copy("op", 0, 0, 0, 1)
+        san.note_range_copy("op", 0, 1, 0, 1)
+        with pytest.raises(InvariantViolation, match="ever copied"):
+            san.note_ownership_handoff(
+                "op", 0, src=0, dst=1, ranges_copied=4, ranges_total=4
+            )
+
+    def test_stale_leader_merge_fails(self, san):
+        san.note_migration_owner("op", 0, 0)
+        legal_handoff(san, 0, src=0, dst=1)
+        with pytest.raises(InvariantViolation, match="splitting"):
+            san.check_delta_owner("op", 0, 0)
+
+    def test_double_transfer_apply_fails(self, san):
+        token = (0, 1, 7)  # (partition, helper, epoch)
+        san.note_transfer_apply("op", token)
+        with pytest.raises(InvariantViolation, match="applied twice"):
+            san.note_transfer_apply("op", token)
+
+    def test_scopes_are_independent(self, san):
+        """The Slash and exchange planes never cross-contaminate."""
+        san.note_migration_owner("op", 0, 0)
+        san.note_migration_owner("exchange", 0, 3)
+        san.note_transfer_apply("op", (0, 1, 7))
+        san.note_transfer_apply("exchange", (0, 1, 7))
+        san.check_delta_owner("op", 0, 0)
+        san.check_delta_owner("exchange", 0, 3)
+
+
+class TestOwnershipProperty:
+    """Seeded-random migration histories, legal and mutated."""
+
+    def _random_history(self, rng):
+        """A planner-produced move list over a random leader map."""
+        executors = int(rng.integers(3, 9))
+        leaders = [int(rng.integers(0, executors)) for _ in range(executors)]
+        # Keep at least two distinct leaders so leave/rebalance can plan.
+        leaders[0], leaders[1] = 0, 1
+        directory = PartitionDirectory(executors, leaders=leaders)
+        planner = MigrationPlanner(directory)
+        action = ["leave", "rebalance"][int(rng.integers(0, 2))]
+        if action == "leave":
+            moves = planner.plan_leave(0)
+        else:
+            moves = planner.plan_rebalance()
+        return directory, moves
+
+    def test_legal_histories_keep_exactly_one_owner(self, rng):
+        for _ in range(25):
+            directory, moves = self._random_history(rng)
+            san = Sanitizer(FakeSim())
+            owners = {}
+            for partition in range(directory.executors):
+                owner = directory.leader_of_partition(partition)
+                san.note_migration_owner("op", partition, owner)
+                owners[partition] = owner
+            ranges = int(rng.integers(1, 6))
+            for move in moves:
+                legal_handoff(san, move.partition, move.src, move.dst, ranges)
+                directory.reassign(move.partition, move.dst)
+                owners[move.partition] = move.dst
+                token = (move.partition, move.src, int(rng.integers(0, 100)))
+                san.note_transfer_apply("op", token)
+            # Exactly one owner per key range, and the sanitizer's shadow
+            # agrees with the directory after every completed history.
+            for partition in range(directory.executors):
+                owner = directory.leader_of_partition(partition)
+                assert owner == owners[partition]
+                san.check_delta_owner("op", partition, owner)
+
+    def test_mutated_histories_always_trip_the_invariant(self, rng):
+        mutations = ("recopy", "partial", "wrong-owner", "double-apply")
+        for index in range(25):
+            directory, moves = self._random_history(rng)
+            if not moves:
+                continue
+            san = Sanitizer(FakeSim())
+            for partition in range(directory.executors):
+                san.note_migration_owner(
+                    "op", partition, directory.leader_of_partition(partition)
+                )
+            move = moves[int(rng.integers(0, len(moves)))]
+            mutation = mutations[index % len(mutations)]
+            with pytest.raises(InvariantViolation) as exc:
+                if mutation == "recopy":
+                    san.note_range_copy("op", move.partition, 0, move.src, move.dst)
+                    san.note_range_copy("op", move.partition, 0, move.src, move.dst)
+                elif mutation == "partial":
+                    san.note_range_copy("op", move.partition, 0, move.src, move.dst)
+                    san.note_ownership_handoff(
+                        "op", move.partition, move.src, move.dst,
+                        ranges_copied=1, ranges_total=2,
+                    )
+                elif mutation == "wrong-owner":
+                    thief = (move.src + 1) % directory.executors
+                    if thief == directory.leader_of_partition(move.partition):
+                        thief = (thief + 1) % directory.executors
+                    san.note_ownership_handoff(
+                        "op", move.partition, thief, move.dst,
+                        ranges_copied=0, ranges_total=0,
+                    )
+                else:
+                    token = (move.partition, move.src, 1)
+                    san.note_transfer_apply("op", token)
+                    san.note_transfer_apply("op", token)
+            assert exc.value.invariant == "ownership-exactness"

@@ -1,0 +1,101 @@
+"""Tests for the deterministic migration planner."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.elastic.plan import ElasticPlan
+from repro.elastic.planner import MigrationPlanner
+from repro.state.partition import PartitionDirectory
+
+
+def apply_moves(directory, moves):
+    for move in moves:
+        assert directory.leader_of_partition(move.partition) == move.src
+        directory.reassign(move.partition, move.dst)
+
+
+class TestJoin:
+    def test_moves_land_on_joining_executors(self):
+        directory = PartitionDirectory(6, leaders=[0, 1, 2, 3, 0, 1])
+        planner = MigrationPlanner(directory)
+        moves = planner.plan_join([4, 5])
+        assert moves
+        assert {move.dst for move in moves} == {4, 5}
+        for move in moves:
+            assert directory.leader_of_partition(move.partition) == move.src
+
+    def test_largest_partitions_move_first(self):
+        directory = PartitionDirectory(4, leaders=[0, 0, 0, 0])
+        sizes = {0: 10, 1: 500, 2: 50, 3: 5}
+        planner = MigrationPlanner(directory, size_of_partition=sizes.get)
+        moves = planner.plan_join([3])
+        moved = [move.partition for move in moves]
+        assert moved == sorted(moved, key=lambda p: -sizes[p])
+        assert moved[0] == 1
+
+    def test_join_requires_joining_executors(self):
+        planner = MigrationPlanner(PartitionDirectory(3))
+        plan = ElasticPlan(rescale_at=0.5, action="join")
+        with pytest.raises(ConfigError, match="no joining executors"):
+            planner.plan_moves(plan, joining=())
+
+    def test_deterministic(self):
+        directory = PartitionDirectory(8, leaders=[0, 1, 2, 3, 0, 1, 2, 3])
+        planner = MigrationPlanner(directory)
+        assert planner.plan_join([6, 7]) == planner.plan_join([6, 7])
+
+
+class TestLeave:
+    def test_drains_every_led_partition(self):
+        directory = PartitionDirectory(4, leaders=[0, 1, 1, 2])
+        planner = MigrationPlanner(directory)
+        moves = planner.plan_leave(1)
+        assert sorted(move.partition for move in moves) == [1, 2]
+        assert all(move.src == 1 for move in moves)
+        assert all(move.dst != 1 for move in moves)
+
+    def test_round_robins_over_survivors(self):
+        directory = PartitionDirectory(6, leaders=[0, 0, 0, 0, 1, 2])
+        planner = MigrationPlanner(directory)
+        moves = planner.plan_leave(0)
+        assert [move.dst for move in moves] == [1, 2, 1, 2]
+
+    def test_sole_leader_cannot_leave(self):
+        directory = PartitionDirectory(3, leaders=[0, 0, 0])
+        planner = MigrationPlanner(directory)
+        with pytest.raises(ConfigError, match="leads every partition"):
+            planner.plan_leave(0)
+
+
+class TestRebalance:
+    def test_evens_out_a_skewed_map(self):
+        directory = PartitionDirectory(6, leaders=[0, 0, 0, 0, 0, 5])
+        planner = MigrationPlanner(directory)
+        moves = planner.plan_rebalance()
+        assert moves
+        apply_moves(directory, moves)
+        fair = -(-6 // 2)
+        for executor in (0, 5):
+            assert len(directory.partitions_led_by(executor)) <= fair
+
+    def test_balanced_map_plans_nothing(self):
+        directory = PartitionDirectory(4)
+        planner = MigrationPlanner(directory)
+        assert planner.plan_rebalance() == []
+
+
+class TestPlanMoves:
+    def test_dispatches_by_action(self):
+        directory = PartitionDirectory(4, leaders=[0, 1, 2, 0])
+        planner = MigrationPlanner(directory)
+        join = ElasticPlan(rescale_at=0.5, action="join")
+        leave = ElasticPlan(rescale_at=0.5, action="leave", drain_node=0)
+        assert planner.plan_moves(join, joining=[3])
+        assert planner.plan_moves(leave)
+
+    def test_unknown_action_raises(self):
+        planner = MigrationPlanner(PartitionDirectory(3))
+        plan = ElasticPlan(rescale_at=0.5)
+        plan.action = "bogus"
+        with pytest.raises(ConfigError, match="unknown rescale action"):
+            planner.plan_moves(plan)

@@ -17,7 +17,7 @@ def test_every_cell_is_runnable_shape():
     cells = gen_chaos_matrix.build_matrix()
     assert cells
     for cell in cells:
-        assert set(cell) == {"system", "fault", "strategy"}
+        assert set(cell) == {"system", "fault", "strategy", "elastic"}
         assert cell["system"]
         assert cell["fault"]
 
@@ -64,6 +64,29 @@ def test_flink_gets_no_crash_cells():
     cells = gen_chaos_matrix.build_matrix()
     flink_faults = {c["fault"] for c in cells if c["system"] == "flink"}
     assert flink_faults == {"nic-flap", "drop-chunk", "credit-starvation"}
+
+
+def test_elastic_engines_get_migration_cells():
+    """leader-crash x every supported migration strategy, per engine."""
+    from repro.runtime import CAP_ELASTIC, REGISTRY
+
+    cells = gen_chaos_matrix.build_matrix()
+    for name in REGISTRY.names():
+        engine = REGISTRY.create(name, 3)
+        expected = (
+            set(engine.supported_migration_strategies)
+            if CAP_ELASTIC in engine.capabilities
+            else set()
+        )
+        got = {
+            c["elastic"] for c in cells
+            if c["system"] == name and c["elastic"]
+        }
+        assert got == expected
+    migration_cells = [c for c in cells if c["elastic"]]
+    assert migration_cells
+    for cell in migration_cells:
+        assert cell["fault"] == gen_chaos_matrix.MIGRATION_PRESET
 
 
 def test_cli_emits_compact_json(capsys):

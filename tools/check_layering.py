@@ -4,7 +4,7 @@
 The refactored layering (see docs/architecture.md) is a strict DAG::
 
     common -> simnet -> rdma/channel/state -> membership/metrics
-           -> core -> faults/workloads -> baselines -> runtime
+           -> core -> elastic/faults/workloads -> baselines -> runtime
            -> sanitizer -> harness
 
 A module may import from its own layer or any layer below it; importing
@@ -37,6 +37,7 @@ LAYERS: dict[str, int] = {
     "membership": 3,
     "metrics": 3,
     "core": 4,
+    "elastic": 5,
     "faults": 5,
     "workloads": 5,
     "baselines": 6,

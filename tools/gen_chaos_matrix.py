@@ -11,12 +11,21 @@ matrix silently stops covering what the registry can do.
 
 Cell shape (one JSON object per matrix include entry)::
 
-    {"system": "uppar", "fault": "leader-crash", "strategy": "async-snapshot"}
+    {"system": "uppar", "fault": "leader-crash", "strategy": "async-snapshot",
+     "elastic": ""}
 
 ``strategy`` is ``""`` when the cell needs no recovery plane (the CI
 job omits ``--strategy``).  Data-plane presets run once under the
 engine's default strategy instead of once per strategy: the recovery
 plane is idle, so extra strategies would re-run the same simulation.
+
+Engines advertising ``CAP_ELASTIC`` additionally get **migration
+cells**: the ``leader-crash`` preset crossed with every migration
+strategy they support (``elastic`` holds the strategy name, passed to
+``--elastic``).  These are the migration × leader-crash differential
+cells — a mover crash mid-rescale must fence-rollback or complete,
+never leave partial ownership, and the run must still match the
+fail-free baseline.
 
 Usage::
 
@@ -52,8 +61,20 @@ def preset_kinds() -> dict[str, frozenset]:
     return kinds
 
 
+#: The preset crossed with migration strategies for CAP_ELASTIC engines:
+#: a leader crash is the fault a live handoff must survive (fenced
+#: rollback or completion, never partial ownership).
+MIGRATION_PRESET = "leader-crash"
+
+
 def build_matrix() -> list[dict]:
-    from repro.runtime import CAP_FAULT_INJECTION, RECOVERY_STRATEGIES, REGISTRY
+    from repro.runtime import (
+        CAP_ELASTIC,
+        CAP_FAULT_INJECTION,
+        MIGRATION_STRATEGIES,
+        RECOVERY_STRATEGIES,
+        REGISTRY,
+    )
 
     kinds_by_preset = preset_kinds()
     cells: list[dict] = []
@@ -73,6 +94,7 @@ def build_matrix() -> list[dict]:
                     "system": system,
                     "fault": preset,
                     "strategy": engine.default_recovery_strategy or "",
+                    "elastic": "",
                 })
             else:
                 for strategy in strategies:
@@ -80,6 +102,17 @@ def build_matrix() -> list[dict]:
                         "system": system,
                         "fault": preset,
                         "strategy": strategy,
+                        "elastic": "",
+                    })
+            if preset == MIGRATION_PRESET and CAP_ELASTIC in engine.capabilities:
+                for migration in MIGRATION_STRATEGIES:
+                    if migration not in engine.supported_migration_strategies:
+                        continue
+                    cells.append({
+                        "system": system,
+                        "fault": preset,
+                        "strategy": engine.default_recovery_strategy or "",
+                        "elastic": migration,
                     })
     return cells
 
@@ -93,7 +126,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.pretty:
         for cell in cells:
             strategy = cell["strategy"] or "-"
-            print(f"{cell['system']:<12} {cell['fault']:<20} {strategy}")
+            elastic = f" +{cell['elastic']} rescale" if cell["elastic"] else ""
+            print(f"{cell['system']:<12} {cell['fault']:<20} {strategy}{elastic}")
         print(f"[{len(cells)} cells]", file=sys.stderr)
     else:
         print(json.dumps(cells, separators=(",", ":")))
