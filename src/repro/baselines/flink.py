@@ -55,8 +55,10 @@ class FlinkEngine(PartitionedEngine):
             CAP_FAULT_INJECTION,
         }
     )
+    # slow-node rides the node cost model (every priced op slows) and
+    # jitter the shared physical path the IPoIB wire consults.
     supported_fault_kinds = frozenset(
-        {"nic-flap", "drop-chunk", "credit-starvation"}
+        {"nic-flap", "drop-chunk", "credit-starvation", "slow-node", "jitter"}
     )
 
     def __init__(

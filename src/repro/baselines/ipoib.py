@@ -149,7 +149,12 @@ class IpoibChannel:
                     yield Timeout(rto)
                     rto *= 2.0
                     yield self.fabric.tx(self.src).transfer(wire_bytes)
-            yield Timeout(self.src.config.nic.ipoib_latency_s)
+            # The jitter fault inflates the shared physical path, so the
+            # socket fabric sees it just like the RDMA data plane does.
+            yield Timeout(
+                self.src.config.nic.ipoib_latency_s
+                + self.src.cluster.extra_latency(self.src.index, self.dst.index)
+            )
             yield self.fabric.rx(self.dst).transfer(wire_bytes)
         else:
             # Loopback: no NIC, but still a kernel round trip.

@@ -72,6 +72,8 @@ class UpParEngine(PartitionedEngine):
             "node-crash",
             "net-partition",
             "asym-partition",
+            "slow-node",
+            "jitter",
         }
     )
     supported_recovery_strategies = frozenset({STRATEGY_ASYNC_SNAPSHOT})

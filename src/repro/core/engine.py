@@ -28,6 +28,7 @@ from repro.core.query import Query
 from repro.core.system import (
     ALL_CAPABILITIES,
     MIGRATION_STRATEGIES,
+    SHED_POLICIES,
     STRATEGY_ASYNC_SNAPSHOT,
     STRATEGY_EPOCH_BUDDY,
     SystemHooks,
@@ -110,6 +111,8 @@ class SlashEngine(SystemHooks):
             "credit-starvation",
             "net-partition",
             "asym-partition",
+            "slow-node",
+            "jitter",
         }
     )
     # Epoch-buddy is the paper's native recovery path; the aligned
@@ -121,6 +124,8 @@ class SlashEngine(SystemHooks):
     # Both live-migration strategies: stop-the-world bulk transfer and
     # Megaphone-style fluid per-range sub-moves (repro.elastic).
     supported_migration_strategies = frozenset(MIGRATION_STRATEGIES)
+    # Every shed policy of the overload plane (repro.overload).
+    supported_shed_policies = frozenset(SHED_POLICIES)
 
     def __init__(
         self,
@@ -197,6 +202,15 @@ class SlashEngine(SystemHooks):
             # merge/trigger/finalize hook points.
             sim.elastic = elastic
 
+        overload = None
+        if self.overload_config is not None:
+            from repro.overload.coordinator import OverloadCoordinator
+
+            overload = OverloadCoordinator(sim, self.overload_config)
+            # Attaching before executor construction arms the workers'
+            # per-batch admission hook.
+            sim.overload = overload
+
         injector = None
         if self.fault_plan is not None and len(self.fault_plan):
             from repro.faults.injector import FaultInjector
@@ -240,16 +254,28 @@ class SlashEngine(SystemHooks):
             injector.register(cluster, directory, executors)
         if elastic is not None:
             elastic.register(executors)
+        if overload is not None:
+            overload.register(executors)
         for executor in executors:
             executor.start()
         if injector is not None:
             injector.arm()
         if elastic is not None:
             elastic.arm()
+        if overload is not None:
+            overload.arm()
         sim.run()
 
         if elastic is not None:
             elastic.check_complete()
+        if overload is not None:
+            # Exact shed accounting: offered = admitted + shed per
+            # source, and every admitted record reached the pipeline.
+            overload.finalize(
+                executors,
+                frozenset(injector.crashed) if injector is not None
+                else frozenset(),
+            )
 
         crashed = injector.crashed if injector is not None else set()
         for executor in executors:
@@ -313,6 +339,13 @@ class SlashEngine(SystemHooks):
             }
         if elastic is not None:
             result.extra["elastic"] = elastic.report()
+        if overload is not None:
+            result.extra["overload"] = overload.report()
+            if self.overload_config.record_masks:
+                # Per-batch keep masks for the harness's differential
+                # oracle: rebuild the admitted-only flows and prove the
+                # run lost nothing *besides* what it logged as shed.
+                result.extra["overload_keep_masks"] = dict(overload.keep_masks)
         if sim.sanitize is not None:
             result.extra["sanitizer_checks"] = sim.sanitize.check_counts()
         return result

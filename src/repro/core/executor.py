@@ -312,8 +312,18 @@ class SlashExecutor:
         update_profile = self.costs.append if is_join else self.costs.update
         update_lines = self.costs.append_lines if is_join else self.costs.update_lines
         cost_model = self.node.cost_model
+        overload = self.sim.overload
 
         for stream_name, batch in self.flows[thread]:
+            event_cover = float("-inf")
+            if overload is not None:
+                # Admission control: pace against the offered-load
+                # schedule and possibly shed records before they cost a
+                # cycle.  Shed records still advance the flow watermark
+                # via the returned event-time cover.
+                batch, event_cover = yield from overload.admit(
+                    self, thread, stream_name, batch
+                )
             pipeline = plan.pipeline_for(stream_name)
             # Ingest: stream the raw batch from memory through the caches,
             # then run the fused filter/project over every record.
@@ -344,7 +354,10 @@ class SlashExecutor:
                         key[0] for key in result.partials
                     )
             self._flow_pos[thread] += 1
-            self.watermarks.observe(thread, stream_name, result.max_timestamp)
+            watermark_ts = result.max_timestamp
+            if overload is not None and event_cover > watermark_ts:
+                watermark_ts = event_cover
+            self.watermarks.observe(thread, stream_name, watermark_ts)
             self.backend.observe_watermark(self.watermarks.watermark)
 
             if self.epoch.offer(batch.wire_bytes):

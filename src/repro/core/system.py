@@ -30,6 +30,7 @@ CAP_FAULT_INJECTION = "fault_injectable"  # accepts a FaultPlan
 CAP_CRASH_RECOVERY = "crash_recovery"  # checkpoints + leader promotion
 CAP_TRANSFER_BENCH = "transfer_bench"  # has a raw-transfer micro-bench
 CAP_ELASTIC = "elastic"  # live partition migration / node join-leave
+CAP_OVERLOAD = "overload"  # admission control + SLO-aware load shedding
 
 ALL_CAPABILITIES = frozenset(
     {
@@ -41,6 +42,7 @@ ALL_CAPABILITIES = frozenset(
         CAP_CRASH_RECOVERY,
         CAP_TRANSFER_BENCH,
         CAP_ELASTIC,
+        CAP_OVERLOAD,
     }
 )
 
@@ -59,6 +61,19 @@ MIGRATION_STRATEGY_ALL_AT_ONCE = "all-at-once"  # pause + bulk transfer
 MIGRATION_STRATEGY_FLUID = "fluid"  # Megaphone-style per-range sub-moves
 
 MIGRATION_STRATEGIES = (MIGRATION_STRATEGY_ALL_AT_ONCE, MIGRATION_STRATEGY_FLUID)
+
+# Load-shedding policies.  An engine with CAP_OVERLOAD names the subset
+# it implements in ``supported_shed_policies``; Scenario and the
+# overload harness thread the chosen one into the overload coordinator.
+SHED_POLICY_DROP_OLDEST = "drop-oldest"  # shed the whole late batch
+SHED_POLICY_PROBABILISTIC = "probabilistic"  # seeded per-record sampling
+SHED_POLICY_FAIR = "fair"  # equal shed *fraction* per tenant
+
+SHED_POLICIES = (
+    SHED_POLICY_DROP_OLDEST,
+    SHED_POLICY_PROBABILISTIC,
+    SHED_POLICY_FAIR,
+)
 
 
 class SystemHooks:
@@ -86,6 +101,9 @@ class SystemHooks:
     #: Migration strategies the engine can execute (MIGRATION_STRATEGIES
     #: values); only consulted when ``CAP_ELASTIC`` is present.
     supported_migration_strategies: frozenset = frozenset()
+    #: Shed policies the engine can execute (SHED_POLICIES values); only
+    #: consulted when ``CAP_OVERLOAD`` is present.
+    supported_shed_policies: frozenset = frozenset()
 
     # Attachment state consumed by each engine's run().  Class-level
     # defaults keep engines that never touch the hooks working unchanged.
@@ -94,6 +112,7 @@ class SystemHooks:
     fault_overrides: dict = {}
     recovery_strategy: Optional[str] = None
     elastic_plan = None
+    overload_config = None
 
     def attach_sanitizer(self):
         """Arm runtime invariant checking for the next run."""
@@ -178,6 +197,39 @@ class SystemHooks:
             )
         plan.validate()
         self.elastic_plan = plan
+        return self
+
+    def attach_overload(self, config):
+        """Arm admission control + load shedding (an OverloadConfig).
+
+        Mirrors :meth:`attach_elastic`: the config's shed policy is
+        validated against ``supported_shed_policies`` (with a
+        did-you-mean suggestion on typos) and the config validates
+        itself, so a scenario naming a policy the engine lacks fails
+        fast instead of crashing mid-simulation.
+        """
+        self._require(CAP_OVERLOAD, "overload admission control")
+        name = getattr(self, "name", type(self).__name__)
+        policy = config.shed_policy
+        if policy is not None:
+            if policy not in SHED_POLICIES:
+                from repro.common.suggest import did_you_mean
+
+                message = f"unknown shed policy {policy!r}"
+                close = did_you_mean(str(policy), SHED_POLICIES)
+                if close:
+                    message += f" — did you mean {close!r}?"
+                raise CapabilityError(
+                    message + f"; known policies: {sorted(SHED_POLICIES)}"
+                )
+            if policy not in self.supported_shed_policies:
+                raise CapabilityError(
+                    f"engine {name!r} cannot shed via {policy!r}; "
+                    f"supported policies: "
+                    f"{sorted(self.supported_shed_policies)}"
+                )
+        config.validate()
+        self.overload_config = config
         return self
 
     def _require(self, capability: str, feature: str) -> None:

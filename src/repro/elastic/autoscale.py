@@ -18,13 +18,23 @@ Two signals, matching the paper's flow-control story:
     Epoch deltas parked in ship inboxes waiting for a merge slot.
     Sustained growth means state shipping has fallen behind ingestion.
 
-Either signal breaching its threshold for ``sustain_samples``
+``overload_delay_s`` (optional)
+    The overload plane's worst effective queueing delay across
+    executors (pacing deficit plus decayed credit-stall pressure).
+    Inactive unless ``overload_delay_s`` is given a threshold — existing
+    two-signal deployments are unaffected — and lets load shedding and
+    scale-out compose: shedding rides out a short spike, a sustained
+    delay breach scales out.
+
+Any signal breaching its threshold for ``sustain_samples``
 *consecutive* intervals fires the rescale; one calm sample resets the
 streak, so a transient spike (a single skewed epoch) never triggers a
 migration.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 #: Seconds of new credit stall per sample interval that count as pressure.
 DEFAULT_STALL_DELTA_S = 1e-3
@@ -48,11 +58,15 @@ class AutoscaleController:
         stall_delta_s: float = DEFAULT_STALL_DELTA_S,
         backlog_depth: int = DEFAULT_BACKLOG_DEPTH,
         sustain_samples: int = DEFAULT_SUSTAIN_SAMPLES,
+        overload_delay_s: Optional[float] = None,
     ):
         self.interval_s = interval_s
         self.stall_delta_s = stall_delta_s
         self.backlog_depth = backlog_depth
         self.sustain_samples = sustain_samples
+        #: Effective-queueing-delay threshold (seconds); ``None`` keeps
+        #: the overload signal out of the pressure decision.
+        self.overload_delay_s = overload_delay_s
         self.samples = 0
         self.streak = 0
         self.fired = False
@@ -73,14 +87,21 @@ class AutoscaleController:
         backlog = int(sample.get("ship_backlog", 0))
         stall_delta = stall_s - self._last_stall_s
         self._last_stall_s = stall_s
+        overload_delay = float(sample.get("overload_delay_s", 0.0))
         pressured = (
-            stall_delta >= self.stall_delta_s or backlog >= self.backlog_depth
+            stall_delta >= self.stall_delta_s
+            or backlog >= self.backlog_depth
+            or (
+                self.overload_delay_s is not None
+                and overload_delay >= self.overload_delay_s
+            )
         )
         self.streak = self.streak + 1 if pressured else 0
         self._history.append(
             {
                 "stall_delta_s": stall_delta,
                 "ship_backlog": backlog,
+                "overload_delay_s": overload_delay,
                 "pressured": pressured,
                 "streak": self.streak,
             }
@@ -102,5 +123,6 @@ class AutoscaleController:
                 "stall_delta_s": self.stall_delta_s,
                 "backlog_depth": self.backlog_depth,
                 "sustain_samples": self.sustain_samples,
+                "overload_delay_s": self.overload_delay_s,
             },
         }

@@ -678,7 +678,14 @@ class SlashElasticCoordinator:
                     credit_stall_s += stats.credit_stall_s
             for inbox in executor._ship_inboxes:
                 backlog += len(inbox)
-        return {"credit_stall_s": credit_stall_s, "ship_backlog": backlog}
+        sample = {"credit_stall_s": credit_stall_s, "ship_backlog": backlog}
+        # With the overload plane attached, the worst effective queueing
+        # delay joins the pressure signals: shedding rides out a short
+        # spike, a sustained one scales out.
+        overload = getattr(self.sim, "overload", None)
+        if overload is not None:
+            sample["overload_delay_s"] = overload.overload_delay_s()
+        return sample
 
     # -- helpers ----------------------------------------------------------
     def _mover_crashed(self, move: PartitionMove) -> bool:

@@ -104,7 +104,13 @@ ACK_TIMEOUT_FRACTION = 0.25
 #: promotion, so any engine whose channels consult ``sim.faults`` can
 #: absorb them via :meth:`FaultInjector.register_data_plane`.
 DATA_PLANE_KINDS = frozenset(
-    {FaultKind.NIC_FLAP, FaultKind.DROP_CHUNK, FaultKind.CREDIT_STARVATION}
+    {
+        FaultKind.NIC_FLAP,
+        FaultKind.DROP_CHUNK,
+        FaultKind.CREDIT_STARVATION,
+        FaultKind.SLOW_NODE,
+        FaultKind.JITTER,
+    }
 )
 
 
@@ -709,6 +715,36 @@ class FaultInjector:
             yield from self._partition_proc(event, symmetric=True)
         elif event.kind is FaultKind.ASYM_PARTITION:
             yield from self._partition_proc(event, symmetric=False)
+        elif event.kind is FaultKind.SLOW_NODE:
+            # Gray failure: the node keeps running (heartbeats flow, no
+            # fence) but every priced operation takes 1/factor longer.
+            node = self.executors[event.target].node
+            node.cost_model.slow_down(event.factor)
+            yield Timeout(event.duration_s)
+            node.cost_model.restore_speed()
+        elif event.kind is FaultKind.JITTER:
+            # Inflate the data-plane latency of the target's links (both
+            # directions) to factor x nominal; datagrams stay untouched
+            # so the failure detector never sees the fault.
+            target_node = self.executors[event.target].node
+            nic = target_node.config.nic
+            extra = (event.factor - 1.0) * (
+                nic.propagation_latency_s + self.cluster.config.switch_latency_s
+            )
+            if event.peer is not None:
+                peers = [self.executors[event.peer].node.index]
+            else:
+                peers = [
+                    e.node.index for e in self.executors
+                    if e.node.index != target_node.index
+                ]
+            for peer in peers:
+                self.cluster.set_extra_latency(target_node.index, peer, extra)
+                self.cluster.set_extra_latency(peer, target_node.index, extra)
+            yield Timeout(event.duration_s)
+            for peer in peers:
+                self.cluster.clear_extra_latency(target_node.index, peer)
+                self.cluster.clear_extra_latency(peer, target_node.index)
         else:  # pragma: no cover - FaultKind is exhaustive
             raise FaultError(f"unhandled fault kind {event.kind!r}")
 

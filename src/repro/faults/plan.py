@@ -18,6 +18,7 @@ from typing import Iterable, Optional
 
 from repro.common.errors import FaultError
 from repro.common.rng import RngTree
+from repro.common.suggest import unknown_name_message
 
 
 class FaultKind(str, Enum):
@@ -54,6 +55,20 @@ class FaultKind(str, Enum):
     #: target.  The majority suspects (and may fence out) a perfectly
     #: healthy leader; the isolated side never reaches quorum.
     ASYM_PARTITION = "asym-partition"
+    #: Gray failure, compute flavour: the target node's cores run at
+    #: ``factor`` of nominal speed (``0 < factor < 1``) for
+    #: ``duration_s`` — thermal throttling, a noisy neighbour, a
+    #: background compaction.  Unlike the binary STALL the node keeps
+    #: making (slow) progress, so heartbeats flow and the failure
+    #: detector sees a healthy peer; only service-time statistics give
+    #: the straggler away.
+    SLOW_NODE = "slow-node"
+    #: Gray failure, network flavour: data-plane transfers touching the
+    #: target node (or just the ``peer`` link when one is named) take
+    #: ``factor``x (``factor > 1``) the nominal propagation + switch
+    #: latency for ``duration_s``.  Nothing is dropped; everything is
+    #: late — the loss-oriented recovery plane never triggers.
+    JITTER = "jitter"
 
 
 @dataclass(frozen=True)
@@ -66,6 +81,9 @@ class FaultEvent:
     duration_s: float = 0.0
     factor: float = 1.0
     count: int = 1
+    #: For JITTER only: inflate just the ``target <-> peer`` link pair
+    #: instead of every link touching ``target`` (``None`` = all links).
+    peer: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Every kind currently takes a scalar executor/node index; a
@@ -92,6 +110,47 @@ class FaultEvent:
                     f"fault {self.kind.value}: a partition needs a positive "
                     "duration (permanent partitions would deadlock the run)"
                 )
+        if self.kind is FaultKind.SLOW_NODE:
+            # factor <= 0 is already rejected above; >= 1 means "not
+            # slow at all" (or a speed-up), which is always a confused
+            # plan rather than a gray failure.
+            if not self.factor < 1.0:
+                raise FaultError(
+                    f"fault {self.kind.value}: slowdown factor must be in "
+                    f"(0, 1) — the fraction of nominal speed — got {self.factor}"
+                )
+            if self.duration_s <= 0:
+                raise FaultError(
+                    f"fault {self.kind.value}: needs a positive duration "
+                    "(a zero-length slowdown never degrades anything)"
+                )
+        if self.kind is FaultKind.JITTER:
+            if self.factor <= 1.0:
+                raise FaultError(
+                    f"fault {self.kind.value}: latency factor must be > 1 "
+                    f"(a multiplier on nominal link latency), got {self.factor}"
+                )
+            if self.duration_s <= 0:
+                raise FaultError(
+                    f"fault {self.kind.value}: needs a positive duration "
+                    "(a zero-length jitter window never delays anything)"
+                )
+        if self.peer is not None:
+            if self.kind is not FaultKind.JITTER:
+                raise FaultError(
+                    f"fault {self.kind.value}: peer is only meaningful for "
+                    "jitter (it names the far end of the inflated link)"
+                )
+            if isinstance(self.peer, bool) or not isinstance(self.peer, int):
+                raise FaultError(
+                    f"fault {self.kind.value}: peer must be a single executor "
+                    f"index, got {self.peer!r}"
+                )
+            if self.peer == self.target:
+                raise FaultError(
+                    f"fault {self.kind.value}: peer {self.peer} equals the "
+                    "target; a node has no link to itself"
+                )
 
 
 #: Named single-fault presets understood by ``repro chaos --fault``.
@@ -108,6 +167,8 @@ PRESETS = (
     "asym-partition",
     "cascade",
     "buddy-crash",
+    "slow-node",
+    "jitter",
 )
 
 #: Presets that schedule two NODE_CRASH events and therefore need a
@@ -175,6 +236,29 @@ class FaultPlan:
                     f"fault {event.kind.value} targets executor {event.target} "
                     f"at t={event.at_s}, but the plan crashes it at "
                     f"t={crashed_at}; events against a dead node never fire"
+                )
+        for event in self.events:
+            if event.peer is not None and not 0 <= event.peer < executors:
+                raise FaultError(
+                    f"fault {event.kind.value} names peer {event.peer} for "
+                    f"the link from executor {event.target}, but the "
+                    f"deployment has {executors}; there is no such link"
+                )
+        # Overlapping slow-node windows on one target would stack
+        # multiplicatively on apply and restore to the *first* window's
+        # nominal speed when the shorter one ends — silently wrong
+        # either way, so reject the plan outright.
+        slowdowns = sorted(
+            (e for e in self.events if e.kind is FaultKind.SLOW_NODE),
+            key=lambda e: (e.target, e.at_s),
+        )
+        for prev, event in zip(slowdowns, slowdowns[1:]):
+            if prev.target == event.target and event.at_s < prev.at_s + prev.duration_s:
+                raise FaultError(
+                    f"overlapping slow-node windows on executor {event.target}: "
+                    f"[{prev.at_s}, {prev.at_s + prev.duration_s}) and "
+                    f"[{event.at_s}, {event.at_s + event.duration_s}); "
+                    "slowdowns do not compose — merge them into one window"
                 )
         if horizon_s is not None:
             for event in self.events:
@@ -316,6 +400,25 @@ class FaultPlan:
                 FaultEvent(FaultKind.NODE_CRASH, at, buddy),
                 FaultEvent(FaultKind.NODE_CRASH, at + gap, victim),
             )
+        elif name == "slow-node":
+            # A long fractional slowdown: the victim keeps heartbeating
+            # and processing, just at a quarter speed — the straggler
+            # detector, not the failure detector, has to catch it.
+            events = (
+                FaultEvent(
+                    FaultKind.SLOW_NODE, at, victim,
+                    duration_s=horizon_s * 0.3, factor=0.25,
+                ),
+            )
+        elif name == "jitter":
+            # Inflate every link touching the victim: transfers complete
+            # (no retransmission, no loss) but arrive late.
+            events = (
+                FaultEvent(
+                    FaultKind.JITTER, at, victim,
+                    duration_s=horizon_s * 0.3, factor=8.0,
+                ),
+            )
         else:
-            raise FaultError(f"unknown fault preset {name!r}; known: {PRESETS}")
+            raise FaultError(unknown_name_message("fault preset", name, PRESETS))
         return cls(events=events, seed=seed)

@@ -8,6 +8,7 @@ Usage (after ``python setup.py develop``)::
     python -m repro run all --quick
     python -m repro chaos --seed 7 --fault leader-crash
     python -m repro elastic --strategy both --action join
+    python -m repro overload --rate-factor 2 --policy all
 
 ``run`` executes one experiment (or ``all``), prints the rendered report,
 and optionally writes it (plus a machine-readable JSON of the raw rows)
@@ -257,6 +258,55 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory to write elastic.txt and "
                               "elastic.json into")
 
+    from repro.core.system import SHED_POLICIES
+
+    overload = sub.add_parser(
+        "overload",
+        help="flash-crowd run: pace ingest past the sustainable rate, "
+             "shed to the declared p99 SLO under every policy, verify "
+             "exact shed accounting against the reference oracle, and "
+             "measure straggler mitigation under a gray fault",
+    )
+    overload.add_argument("--system", default="slash",
+                          help="overload-capable engine (registry name; "
+                               "default: slash)")
+    overload.add_argument("--workload", default="ysb",
+                          help="workload to overload")
+    overload.add_argument("--nodes", type=int, default=3,
+                          help="cluster size (>= 3 gives the straggler "
+                               "detector a median to drift from)")
+    overload.add_argument("--threads", type=int, default=2,
+                          help="worker threads per node")
+    overload.add_argument("--records", type=int, default=4000,
+                          help="records per thread")
+    overload.add_argument("--seed", type=int, default=11,
+                          help="workload generator + shedder seed")
+    overload.add_argument("--slo-ms", type=float, default=None,
+                          help="declared p99 SLO in simulated ms "
+                               "(default: half the no-shed p99)")
+    overload.add_argument("--rate-factor", type=float, default=2.0,
+                          help="offered rate as a multiple of the "
+                               "measured sustainable rate")
+    overload.add_argument("--policy", default="all",
+                          help="shedding policy (one of: "
+                               + ", ".join(SHED_POLICIES)
+                               + "; 'all' compares every policy, 'none' "
+                                 "skips shedding runs)")
+    overload.add_argument("--tenants", type=int, default=4,
+                          help="tenants for the per-tenant fairness table")
+    overload.add_argument("--zipf", type=float, default=0.0,
+                          help="Zipf skew for the workload's keys "
+                               "(hot-key flash crowds; 0 = uniform)")
+    overload.add_argument("--fault", default="slow-node",
+                          choices=("slow-node", "jitter", "none"),
+                          help="gray fault for the straggler-mitigation "
+                               "section ('none' skips it)")
+    overload.add_argument("--quick", action="store_true",
+                          help="small sizes for a fast smoke run")
+    overload.add_argument("--out", type=pathlib.Path, default=None,
+                          help="directory to write overload.txt and "
+                               "overload.json into")
+
     sanitize = sub.add_parser(
         "sanitize",
         help="differential oracle harness: random scenarios with runtime "
@@ -421,6 +471,53 @@ def _run_elastic(args) -> int:
     return 0
 
 
+def _run_overload(args) -> int:
+    from repro.common.errors import (
+        CapabilityError,
+        ConfigError,
+        StateError,
+    )
+
+    if args.quick:
+        args.records = min(args.records, 1000)
+    started = time.time()
+    try:
+        report = exp.run_overload(
+            system=args.system,
+            workload_name=args.workload,
+            nodes=args.nodes,
+            threads=args.threads,
+            records_per_thread=args.records,
+            seed=args.seed,
+            slo_ms=args.slo_ms,
+            rate_factor=args.rate_factor,
+            policy=args.policy,
+            tenants=args.tenants,
+            zipf=args.zipf,
+            fault=None if args.fault == "none" else args.fault,
+        )
+    except (CapabilityError, ConfigError, StateError) as exc:
+        # CapabilityError: an engine with no overload plane (with the
+        # overload-capable set in the message) or an unsupported policy;
+        # ConfigError: a malformed OverloadConfig (with did-you-mean for
+        # policy typos); StateError: the acceptance gates failed — the
+        # no-shed run met the SLO, a shedding run violated it, or the
+        # differential oracle found a silently-lost record.
+        print(f"OVERLOAD FAILED: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.time() - started
+    print(report.render())
+    print(f"\n[overload {args.policy} at {args.rate_factor:g}x seed "
+          f"{args.seed} — {elapsed:.1f}s wall]")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "overload.txt").write_text(report.render() + "\n")
+        (args.out / "overload.json").write_text(
+            json.dumps(_jsonable(report.rows), indent=2) + "\n"
+        )
+    return 0
+
+
 def _run_sanitize(args) -> int:
     from repro.sanitizer.harness import report_failed, run_sanitize
 
@@ -458,6 +555,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_chaos(args)
     if args.command == "elastic":
         return _run_elastic(args)
+    if args.command == "overload":
+        return _run_overload(args)
     if args.command == "sanitize":
         return _run_sanitize(args)
     if args.quick:

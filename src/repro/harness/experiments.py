@@ -1200,3 +1200,323 @@ def run_chaos(
                 f"{entry['split_brain']!r}\n" + report.render()
             )
     return report
+
+
+# ---------------------------------------------------------------------------
+# Overload: flash-crowd backpressure, SLO-aware shedding, gray failures
+# ---------------------------------------------------------------------------
+
+def run_overload(
+    system: str = "slash",
+    workload_name: str = "ysb",
+    nodes: int = 3,
+    threads: int = 2,
+    records_per_thread: int = 1000,
+    batch_records: Optional[int] = None,
+    seed: int = 11,
+    slo_ms: Optional[float] = None,
+    rate_factor: float = 2.0,
+    policy: str = "all",
+    tenants: int = 4,
+    zipf: float = 0.0,
+    fault: Optional[str] = "slow-node",
+    flash_at_frac: float = 0.5,
+    flash_magnitude: float = 3.0,
+) -> Report:
+    """Flash-crowd experiment: shed to the SLO, account for every record.
+
+    An unpaced baseline run measures the sustainable per-thread ingest
+    rate and pins the ground-truth aggregates.  The offered load is then
+    paced at ``rate_factor``x that rate with a flash-crowd envelope — a
+    no-shed run must *violate* the declared p99 SLO (the overload is
+    real), and every shedding policy must bring p99 back under it.  When
+    ``slo_ms`` is not given it is declared as half the no-shed p99, the
+    midpoint between "trivially met" and "unmeetable".
+
+    Every shedding run records its per-batch keep masks; the harness
+    rebuilds the admitted-only flows, runs the sequential reference
+    oracle over them, and requires exact agreement — zero lost results
+    among non-shed records, on top of the coordinator's exact
+    ``offered = admitted + shed`` accounting.  A per-tenant table shows
+    each policy's shed share against the tenant's traffic share.
+
+    ``fault`` ("slow-node" or "jitter") adds the gray-failure section:
+    the same paced scenario under the fault preset, with straggler
+    mitigation on vs off — the mitigated run must not be slower at p99.
+    """
+    from repro.common.errors import StateError
+    from repro.core.system import CAP_OVERLOAD, SHED_POLICIES
+    from repro.runtime import REGISTRY, Scenario, run_scenario
+    from repro.runtime.oracle import diff_results
+
+    REGISTRY.require(system, CAP_OVERLOAD)
+    if policy == "all":
+        policies = list(SHED_POLICIES)
+    elif policy == "none":
+        policies = []
+    else:
+        # Unknown names flow into attach_overload for the did-you-mean.
+        policies = [policy]
+
+    report = Report(
+        f"overload: flash crowd at {rate_factor:g}x sustainable "
+        f"({system}, {workload_name})"
+    )
+    if batch_records is None:
+        # Admission (and therefore shedding) is per batch: keep enough
+        # batches per thread that partial-pressure shedding has texture
+        # and the straggler EWMA has samples to converge on.
+        batch_records = max(25, records_per_thread // 20)
+    workload_overrides: dict = {
+        "records_per_thread": records_per_thread,
+        "batch_records": batch_records,
+    }
+    if zipf > 0:
+        workload_overrides["zipf_z"] = zipf
+
+    def scenario(shed_policy=None, fault_plan=None, **overload_fields) -> Scenario:
+        overload_fields.setdefault("tenants", tenants)
+        return Scenario(
+            engine=system,
+            workload=workload_name,
+            nodes=nodes,
+            threads=threads,
+            workload_overrides=workload_overrides,
+            seed=seed,
+            shed_policy=shed_policy,
+            fault_plan=fault_plan,
+            overload_overrides=overload_fields,
+        )
+
+    baseline = run_scenario(Scenario(
+        engine=system, workload=workload_name, nodes=nodes, threads=threads,
+        workload_overrides=workload_overrides, seed=seed,
+    ))
+    horizon = baseline.sim_seconds
+    sustainable = records_per_thread / horizon
+    rate = sustainable * rate_factor
+    envelope = dict(
+        ingest_rate_records_per_s=rate,
+        flash_at_frac=flash_at_frac,
+        flash_magnitude=flash_magnitude,
+    )
+
+    # The overload must be real: without shedding, the declared SLO is
+    # violated.  slo_p99_ms only affects the verdict, not the dynamics,
+    # so the no-shed run doubles as the SLO calibration run.
+    noshed = run_scenario(scenario(slo_p99_ms=1.0, **envelope))
+    no = noshed.extra["overload"]
+    if slo_ms is None:
+        slo_ms = no["delay_p99_ms"] * 0.5
+    if slo_ms <= 0:
+        raise StateError(
+            f"no-shed p99 is {no['delay_p99_ms']:.6f} ms at "
+            f"{rate_factor:g}x the sustainable rate — the workload is "
+            "not overloaded; raise --rate-factor"
+        )
+
+    table = TextTable(
+        f"flash crowd at {rate_factor:g}x sustainable "
+        f"(SLO p99 {slo_ms:.4g} ms, sustainable "
+        f"{fmt_rate_records(sustainable)})",
+        ["policy", "p50", "p99", "p99.9", "shed", "shed %", "backlog",
+         "SLO", "oracle"],
+    )
+
+    def delay_row(label, info, oracle_ok):
+        shed_pct = 100.0 * info["shed"] / info["offered"] if info["offered"] else 0.0
+        table.add_row(
+            label,
+            f"{info['delay_p50_ms']:.4g} ms",
+            f"{info['delay_p99_ms']:.4g} ms",
+            f"{info['delay_p999_ms']:.4g} ms",
+            info["shed"],
+            f"{shed_pct:.1f}%",
+            info["max_backlog_records"],
+            "MET" if info["delay_p99_ms"] <= slo_ms else "VIOLATED",
+            oracle_ok,
+        )
+
+    delay_row("no-shed", no, "n/a")
+    failures: list[str] = []
+    if no["delay_p99_ms"] <= slo_ms:
+        failures.append(
+            f"no-shed baseline met the {slo_ms:.4g} ms SLO "
+            f"(p99 {no['delay_p99_ms']:.4g} ms) — the overload is not real"
+        )
+
+    tenant_table = TextTable(
+        f"per-tenant fairness ({tenants} tenants, key-space striping)",
+        ["policy", "tenant", "offered", "shed", "traffic share", "shed share"],
+    )
+    policy_infos: dict[str, dict] = {}
+    for shed_policy in policies:
+        shedded = run_scenario(scenario(
+            shed_policy=shed_policy, slo_p99_ms=slo_ms,
+            record_masks=True, **envelope,
+        ))
+        info = shedded.extra["overload"]
+        policy_infos[shed_policy] = info
+
+        # Differential oracle: the reference engine over the admitted-only
+        # flows must reproduce the shedding run exactly — nothing besides
+        # the logged shed records went missing.
+        masks = shedded.extra.get("overload_keep_masks", {})
+        workload = make_workload(workload_name, seed=seed, **workload_overrides)
+        flows = workload.flows(nodes, threads)
+        admitted_flows = {}
+        for (node, thread), flow in flows.items():
+            admitted_flows[(node, thread)] = [
+                (stream, batch.select(masks[(node, thread, i)])
+                 if (node, thread, i) in masks else batch)
+                for i, (stream, batch) in enumerate(flow)
+            ]
+        oracle = REGISTRY.create("reference").run(
+            workload.build_query(), admitted_flows
+        )
+        diff = diff_results(oracle, shedded)
+        if not diff.ok:
+            failures.append(f"{shed_policy}: {diff.describe()}")
+        total = sum(len(b) for f in flows.values() for _s, b in f)
+        if info["offered"] != total:
+            failures.append(
+                f"{shed_policy}: offered {info['offered']} != "
+                f"{total} records generated"
+            )
+        if info["offered"] != info["admitted"] + info["shed"]:
+            failures.append(
+                f"{shed_policy}: offered {info['offered']} != admitted "
+                f"{info['admitted']} + shed {info['shed']}"
+            )
+        if info["delay_p99_ms"] > slo_ms:
+            failures.append(
+                f"{shed_policy}: p99 {info['delay_p99_ms']:.4g} ms "
+                f"violates the {slo_ms:.4g} ms SLO"
+            )
+        delay_row(shed_policy, info, "PASS" if diff.ok else "FAIL")
+
+        offered_total = sum(info["tenant_offered"]) or 1
+        shed_total = sum(info["tenant_shed"]) or 1
+        for tenant in range(tenants):
+            tenant_offered = info["tenant_offered"][tenant]
+            tenant_shed = info["tenant_shed"][tenant]
+            tenant_table.add_row(
+                shed_policy, tenant, tenant_offered, tenant_shed,
+                f"{100.0 * tenant_offered / offered_total:.1f}%",
+                f"{100.0 * tenant_shed / shed_total:.1f}%",
+            )
+        report.rows.append({
+            "figure": "overload",
+            "system": system,
+            "workload": workload_name,
+            "nodes": nodes,
+            "threads": threads,
+            "seed": seed,
+            "policy": shed_policy,
+            "rate_factor": rate_factor,
+            "slo_p99_ms": slo_ms,
+            "offered": info["offered"],
+            "admitted": info["admitted"],
+            "shed": info["shed"],
+            "delay_p50_ms": info["delay_p50_ms"],
+            "delay_p99_ms": info["delay_p99_ms"],
+            "delay_p999_ms": info["delay_p999_ms"],
+            "slo_met": info["delay_p99_ms"] <= slo_ms,
+            "noshed_p99_ms": no["delay_p99_ms"],
+            "tenant_offered": info["tenant_offered"],
+            "tenant_shed": info["tenant_shed"],
+            "oracle_ok": diff.ok,
+        })
+    report.tables.append(table)
+    if policies:
+        report.tables.append(tenant_table)
+
+    if fault is not None:
+        from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+        mitigation_policy = policies[0] if policies else "drop-oldest"
+        from repro.common.suggest import unknown_name_message
+
+        if fault not in ("slow-node", "jitter"):
+            raise StateError(unknown_name_message(
+                "gray fault", fault, ("slow-node", "jitter")
+            ))
+        # Pin the gray-fault window over the whole processing phase
+        # (the randomized presets stay the chaos matrix's concern): the
+        # victim runs degraded for essentially the entire run, so the
+        # straggler detector has a signal to converge on.
+        kind = FaultKind(fault)
+        plan = FaultPlan([FaultEvent(
+            kind, at_s=horizon * 0.02, target=0,
+            duration_s=horizon * 0.95,
+            factor=0.25 if kind is FaultKind.SLOW_NODE else 8.0,
+        )], seed=seed)
+        plan.validate(nodes, horizon_s=horizon)
+        # The gray section measures *degradation*, not general overload:
+        # its SLO sits above the healthy cluster's no-shed p99, so an
+        # unfaulted run would sail through without shedding a record —
+        # only the straggler pushes the tail out, and only shedding
+        # harder at the straggler (mitigation) can pull it back.
+        gray_slo_ms = no["delay_p99_ms"] * 2.0
+        gray = TextTable(
+            f"gray failure: {fault}, {mitigation_policy} shedding "
+            f"(SLO p99 {gray_slo_ms:.4g} ms)",
+            ["mitigation", "p99", "shed", "stragglers flagged", "SLO"],
+        )
+        gray_p99: dict[bool, float] = {}
+        for mitigation in (False, True):
+            faulted = run_scenario(scenario(
+                shed_policy=mitigation_policy, fault_plan=plan,
+                slo_p99_ms=gray_slo_ms, mitigation=mitigation,
+                straggler_min_samples=3, **envelope,
+            ))
+            info = faulted.extra["overload"]
+            gray_p99[mitigation] = info["delay_p99_ms"]
+            gray.add_row(
+                "on" if mitigation else "off",
+                f"{info['delay_p99_ms']:.4g} ms",
+                info["shed"],
+                info["straggler"]["ever_flagged"],
+                "MET" if info["delay_p99_ms"] <= gray_slo_ms else "VIOLATED",
+            )
+            report.rows.append({
+                "figure": "overload-gray",
+                "system": system,
+                "fault": fault,
+                "seed": seed,
+                "policy": mitigation_policy,
+                "mitigation": mitigation,
+                "delay_p99_ms": info["delay_p99_ms"],
+                "shed": info["shed"],
+                "stragglers": info["straggler"]["ever_flagged"],
+            })
+        report.tables.append(gray)
+        if gray_p99[True] > gray_p99[False]:
+            failures.append(
+                f"straggler mitigation made p99 worse under {fault}: "
+                f"{gray_p99[True]:.4g} ms on vs {gray_p99[False]:.4g} ms off"
+            )
+        else:
+            reduction = (
+                (gray_p99[False] - gray_p99[True]) / gray_p99[False]
+                if gray_p99[False] else 0.0
+            )
+            report.notes.append(
+                f"straggler mitigation under {fault}: p99 "
+                f"{gray_p99[False]:.4g} ms -> {gray_p99[True]:.4g} ms "
+                f"({reduction:.1%} reduction)"
+            )
+
+    report.notes.append(
+        "oracle: the sequential reference engine over the admitted-only "
+        "flows (rebuilt from the recorded keep masks) must reproduce each "
+        "shedding run's (window, key) aggregates exactly — zero lost "
+        "results among non-shed records, offered = admitted + shed "
+        "accounted per record."
+    )
+    if failures:
+        raise StateError(
+            "overload acceptance failed: " + "; ".join(failures)
+            + "\n" + report.render()
+        )
+    return report

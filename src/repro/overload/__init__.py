@@ -1,0 +1,38 @@
+"""Overload robustness: backpressure, SLO-aware shedding, gray faults.
+
+The overload plane answers the failure mode crashes and partitions
+don't cover: nothing dies, the system just drowns.  It threads
+source-level admission control through every worker loop (pacing
+against an offered-load schedule, queueing-delay estimation fed by
+channel credit stalls), sheds records under a declared latency SLO with
+pluggable policies, and watches per-executor service-time EWMAs for the
+gray failures (`slow-node`, `jitter`) the binary failure detector
+cannot see.
+
+Entry points: :class:`OverloadConfig` (declarative knobs, attached via
+``SystemHooks.attach_overload``) and :class:`OverloadCoordinator`
+(attached at ``sim.overload`` by the engine's ``run``).
+"""
+
+from repro.overload.config import OverloadConfig
+from repro.overload.coordinator import OverloadCoordinator, weighted_percentile
+from repro.overload.shedding import (
+    DropOldestShedder,
+    FairShedder,
+    ProbabilisticShedder,
+    Shedder,
+    make_shedder,
+)
+from repro.overload.straggler import StragglerDetector
+
+__all__ = [
+    "OverloadConfig",
+    "OverloadCoordinator",
+    "Shedder",
+    "DropOldestShedder",
+    "ProbabilisticShedder",
+    "FairShedder",
+    "make_shedder",
+    "StragglerDetector",
+    "weighted_percentile",
+]

@@ -34,12 +34,14 @@ from repro.runtime.system import (
     CAP_ELASTIC,
     CAP_FAULT_INJECTION,
     CAP_JOINS,
+    CAP_OVERLOAD,
     CAP_SANITIZE,
     CAP_SCALE_OUT,
     CAP_SESSION_WINDOWS,
     CAP_TRANSFER_BENCH,
     MIGRATION_STRATEGIES,
     RECOVERY_STRATEGIES,
+    SHED_POLICIES,
     STRATEGY_ASYNC_SNAPSHOT,
     STRATEGY_EPOCH_BUDDY,
     StreamSystem,
@@ -53,6 +55,7 @@ __all__ = [
     "CAP_ELASTIC",
     "CAP_FAULT_INJECTION",
     "CAP_JOINS",
+    "CAP_OVERLOAD",
     "CAP_SANITIZE",
     "CAP_SCALE_OUT",
     "CAP_SESSION_WINDOWS",
@@ -64,6 +67,7 @@ __all__ = [
     "REGISTRY",
     "ResultDiff",
     "Scenario",
+    "SHED_POLICIES",
     "STRATEGIES",
     "STRATEGY_ASYNC_SNAPSHOT",
     "STRATEGY_EPOCH_BUDDY",

@@ -111,6 +111,14 @@ class Scenario:
     #: Extra ElasticPlan fields (action, add_nodes, drain_node,
     #: fluid_ranges, fluid_spread, autoscale, autoscale_overrides).
     rescale_overrides: dict = field(default_factory=dict)
+    #: Declared p99 latency SLO; setting it arms the overload plane.
+    slo_p99_ms: Optional[float] = None
+    #: Shedding policy ("drop-oldest"/"probabilistic"/"fair"); ``None``
+    #: paces and measures without shedding.
+    shed_policy: Optional[str] = None
+    #: Extra OverloadConfig fields (ingest_rate_records_per_s, tenants,
+    #: flash_at_frac, mitigation, ...).
+    overload_overrides: dict = field(default_factory=dict)
 
     def params(self) -> dict:
         """The picklable dict form used by parallel sweep cells."""
@@ -130,6 +138,9 @@ class Scenario:
             "rescale_at": self.rescale_at,
             "migration_strategy": self.migration_strategy,
             "rescale_overrides": dict(self.rescale_overrides),
+            "slo_p99_ms": self.slo_p99_ms,
+            "shed_policy": self.shed_policy,
+            "overload_overrides": dict(self.overload_overrides),
         }
 
     @property
@@ -137,6 +148,15 @@ class Scenario:
         """Whether this scenario schedules a live rescale."""
         return self.rescale_at is not None or bool(
             self.rescale_overrides.get("autoscale")
+        )
+
+    @property
+    def is_overload(self) -> bool:
+        """Whether this scenario arms source-level admission control."""
+        return (
+            self.slo_p99_ms is not None
+            or self.shed_policy is not None
+            or bool(self.overload_overrides)
         )
 
 
@@ -180,6 +200,30 @@ def run_scenario(spec: Scenario) -> RunResult:
                 **spec.rescale_overrides,
             )
         )
+    if spec.is_overload:
+        from repro.core.system import CAP_OVERLOAD
+        from repro.overload.config import OverloadConfig
+
+        overload_capable = sorted(
+            name
+            for name in REGISTRY.names()
+            if CAP_OVERLOAD in REGISTRY.spec(name).capabilities
+        )
+        if CAP_OVERLOAD not in REGISTRY.spec(spec.engine).capabilities:
+            raise CapabilityError(
+                f"engine {spec.engine!r} has no overload plane "
+                f"(slo_p99_ms={spec.slo_p99_ms!r}, "
+                f"shed_policy={spec.shed_policy!r}); overload-capable "
+                f"engines: {overload_capable}"
+            )
+        overload_fields = dict(spec.overload_overrides)
+        if spec.slo_p99_ms is not None:
+            overload_fields.setdefault("slo_p99_ms", spec.slo_p99_ms)
+        if spec.shed_policy is not None:
+            overload_fields.setdefault("shed_policy", spec.shed_policy)
+        if spec.seed is not None:
+            overload_fields.setdefault("seed", spec.seed)
+        engine.attach_overload(OverloadConfig(**overload_fields))
 
     flows = workload.flows(spec.nodes, spec.threads)
     return engine.run(workload.build_query(), flows)

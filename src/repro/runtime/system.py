@@ -17,12 +17,17 @@ from repro.core.system import (  # noqa: F401  (re-exported vocabulary)
     CAP_ELASTIC,
     CAP_FAULT_INJECTION,
     CAP_JOINS,
+    CAP_OVERLOAD,
     CAP_SANITIZE,
     CAP_SCALE_OUT,
     CAP_SESSION_WINDOWS,
     CAP_TRANSFER_BENCH,
     MIGRATION_STRATEGIES,
     RECOVERY_STRATEGIES,
+    SHED_POLICIES,
+    SHED_POLICY_DROP_OLDEST,
+    SHED_POLICY_FAIR,
+    SHED_POLICY_PROBABILISTIC,
     STRATEGY_ASYNC_SNAPSHOT,
     STRATEGY_EPOCH_BUDDY,
     SystemHooks,

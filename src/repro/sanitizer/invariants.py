@@ -40,6 +40,18 @@ Invariant catalog (see ``docs/testing.md``):
     capture time is accounted for as channel state — the recorded
     epochs per ``(operator, partition)`` stream fill ``(frontier,
     boundary]`` exactly, with no gaps and nothing beyond the marker.
+``backpressure-conservation``
+    Per ingress source, every admission splits its batch exactly:
+    ``offered = admitted + shed`` both per batch and cumulatively
+    (re-derived from shadow counters, so the coordinator cannot lose a
+    record in its own books), the offered count never regresses, a
+    record is only ever shed while a shedding policy is active, and the
+    backlog estimate never goes negative.
+``no-silent-drop``
+    End of run, per executor: every offered record is accounted for
+    (``offered = admitted + shed``) and every admitted record was
+    actually processed by the worker pipeline — nothing vanished
+    between admission and processing without being logged as shed.
 """
 
 from __future__ import annotations
@@ -132,6 +144,9 @@ class Sanitizer:
         self._owners: dict[tuple, int] = {}
         self._range_copies: dict[tuple, set] = {}
         self._transfer_tokens: set = set()
+        # Overload shadow accounting: source -> (offered, admitted, shed)
+        # cumulative counters re-derived from the per-batch deltas.
+        self._overload_accounts: dict[str, tuple[int, int, int]] = {}
 
     # -- violation plumbing -------------------------------------------------
     def fail(self, invariant: str, message: str, **context: Any) -> None:
@@ -545,6 +560,110 @@ class Sanitizer:
                 scope=scope, token=str(token),
             )
         self._transfer_tokens.add(key)
+
+    # -- overload: admission conservation + silent-drop audit -----------------
+    def note_overload_admission(
+        self,
+        source: str,
+        offered: int,
+        admitted: int,
+        shed: int,
+        batch_offered: int,
+        batch_admitted: int,
+        batch_shed: int,
+        policy_active: bool,
+        queue_depth: int,
+    ) -> None:
+        """One ingress batch was admitted (possibly shedding records).
+
+        ``offered`` / ``admitted`` / ``shed`` are the coordinator's
+        cumulative counters for ``source``; the ``batch_*`` values are
+        this admission's deltas.  The sanitizer keeps its own cumulative
+        shadow from the deltas, so a coordinator that mis-folds a batch
+        into its books is caught even though both views come from the
+        same call site.
+        """
+        self.checks["backpressure-conservation"] += 1
+        if batch_offered != batch_admitted + batch_shed:
+            self.fail(
+                "backpressure-conservation",
+                f"{source}: batch of {batch_offered} records split into "
+                f"{batch_admitted} admitted + {batch_shed} shed — records "
+                "created or destroyed at admission",
+                source=source, batch_offered=batch_offered,
+                batch_admitted=batch_admitted, batch_shed=batch_shed,
+            )
+        if batch_shed > 0 and not policy_active:
+            self.fail(
+                "backpressure-conservation",
+                f"{source}: {batch_shed} records shed with no shedding "
+                "policy active — a drop that nothing decided to make",
+                source=source, batch_shed=batch_shed,
+            )
+        if queue_depth < 0:
+            self.fail(
+                "backpressure-conservation",
+                f"{source}: ingress backlog estimate went negative "
+                f"({queue_depth}) — more records processed than offered",
+                source=source, queue_depth=queue_depth,
+            )
+        prev_offered, prev_admitted, prev_shed = self._overload_accounts.get(
+            source, (0, 0, 0)
+        )
+        shadow = (
+            prev_offered + batch_offered,
+            prev_admitted + batch_admitted,
+            prev_shed + batch_shed,
+        )
+        if offered < prev_offered:
+            self.fail(
+                "backpressure-conservation",
+                f"{source}: cumulative offered count regressed from "
+                f"{prev_offered} to {offered}",
+                source=source, previous=prev_offered, offered=offered,
+            )
+        if (offered, admitted, shed) != shadow:
+            self.fail(
+                "backpressure-conservation",
+                f"{source}: coordinator accounts (offered={offered}, "
+                f"admitted={admitted}, shed={shed}) drifted from the "
+                f"shadow ledger (offered={shadow[0]}, admitted={shadow[1]}, "
+                f"shed={shadow[2]})",
+                source=source, offered=offered, admitted=admitted,
+                shed=shed, shadow_offered=shadow[0],
+                shadow_admitted=shadow[1], shadow_shed=shadow[2],
+            )
+        if offered != admitted + shed:
+            self.fail(
+                "backpressure-conservation",
+                f"{source}: cumulative offered {offered} != admitted "
+                f"{admitted} + shed {shed}",
+                source=source, offered=offered, admitted=admitted,
+                shed=shed,
+            )
+        self._overload_accounts[source] = shadow
+
+    def check_no_silent_drop(
+        self, source: str, offered: int, admitted: int, shed: int, processed: int
+    ) -> None:
+        """End-of-run audit: ``source`` processed every admitted record."""
+        self.checks["no-silent-drop"] += 1
+        if offered != admitted + shed:
+            self.fail(
+                "no-silent-drop",
+                f"{source}: offered {offered} records but only "
+                f"{admitted} admitted + {shed} shed are accounted for",
+                source=source, offered=offered, admitted=admitted,
+                shed=shed,
+            )
+        if processed != admitted:
+            self.fail(
+                "no-silent-drop",
+                f"{source}: admitted {admitted} records but the pipeline "
+                f"processed {processed} — records dropped without being "
+                "logged as shed",
+                source=source, admitted=admitted, processed=processed,
+            )
 
     # -- core: watermark-safe window triggering ------------------------------
     def check_window_fire(

@@ -60,6 +60,10 @@ class Scenario:
     workload_seed: int
     fault: Optional[str] = None
     fault_seed: int = 0
+    #: Shedding policy to arm the overload plane with (unpaced, so the
+    #: admission hook audits every batch without shedding anything and
+    #: the differential comparison stays exact); ``None`` = no overload.
+    overload: Optional[str] = None
     #: Provenance: the (seed, index) the scenario was drawn from, or
     #: (-1, -1) for hand-built / shrunk scenarios.
     seed: int = -1
@@ -67,10 +71,12 @@ class Scenario:
 
     def label(self) -> str:
         fault = f" fault={self.fault}" if self.fault else ""
+        overload = f" overload={self.overload}" if self.overload else ""
         return (
             f"{self.workload} x{self.records} (batch {self.batch}, "
             f"keys {self.keyspace}) on {self.nodes}x{self.threads}, "
-            f"epoch {self.epoch_bytes // 1024}K, credits {self.credits}{fault}"
+            f"epoch {self.epoch_bytes // 1024}K, credits {self.credits}"
+            f"{fault}{overload}"
         )
 
     def to_json(self) -> str:
@@ -130,11 +136,17 @@ def generate_scenario(seed: int, index: int) -> Scenario:
         ]
         fault = str(rng.choice(candidates))
         fault_seed = int(rng.integers(0, 2**31))
+    overload: Optional[str] = None
+    if rng.random() < 0.3:
+        from repro.core.system import SHED_POLICIES
+
+        overload = str(rng.choice(list(SHED_POLICIES)))
     return Scenario(
         workload=workload, records=records, batch=batch, keyspace=keyspace,
         nodes=nodes, threads=threads, epoch_bytes=epoch_bytes,
         credits=credits, workload_seed=workload_seed,
-        fault=fault, fault_seed=fault_seed, seed=seed, index=index,
+        fault=fault, fault_seed=fault_seed, overload=overload,
+        seed=seed, index=index,
     )
 
 
@@ -183,14 +195,25 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
 
     # Sanitized fail-free Slash run: every invariant checker armed.
     try:
-        slash = (
-            REGISTRY.create(
-                "slash", scenario.nodes,
-                credits=scenario.credits, epoch_bytes=scenario.epoch_bytes,
-            )
-            .attach_sanitizer()
-            .run(query, flows)
-        )
+        engine = REGISTRY.create(
+            "slash", scenario.nodes,
+            credits=scenario.credits, epoch_bytes=scenario.epoch_bytes,
+        ).attach_sanitizer()
+        if scenario.overload is not None:
+            from repro.overload.config import OverloadConfig
+
+            # Unpaced admission with an unreachable SLO: nothing sheds,
+            # so the differential comparison stays exact, but every
+            # batch crosses the admission hook — arming the
+            # backpressure-conservation invariant per batch and the
+            # end-of-run no-silent-drop audit.
+            engine.attach_overload(OverloadConfig(
+                shed_policy=scenario.overload,
+                ingest_rate_records_per_s=None,
+                slo_p99_ms=1e9,
+                seed=scenario.workload_seed,
+            ))
+        slash = engine.run(query, flows)
     except InvariantViolation as violation:
         outcome.failures.append(f"invariant: {violation}")
         return outcome
@@ -273,3 +296,8 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
 def scenario_without_fault(scenario: Scenario) -> Scenario:
     """The same scenario with its fault plan removed (shrinking step)."""
     return replace(scenario, fault=None, fault_seed=0)
+
+
+def scenario_without_overload(scenario: Scenario) -> Scenario:
+    """The same scenario with its overload plane removed (shrinking step)."""
+    return replace(scenario, overload=None)

@@ -3,8 +3,9 @@
 Given a scenario that fails (an invariant violation or an oracle
 mismatch) and a predicate that re-checks a candidate, :func:`shrink`
 walks a fixed candidate order — halve the record count, drop the fault
-plan, remove nodes, remove threads, halve the batch size, halve the key
-space — keeping any candidate that still fails and restarting from the
+plan, drop the overload plane, remove nodes, remove threads, halve the
+batch size, halve the key space — keeping any candidate that still
+fails and restarting from the
 top, until no candidate fails or the attempt budget runs out.  Each
 accepted step strictly reduces the scenario, so the loop terminates.
 
@@ -18,7 +19,11 @@ from dataclasses import replace
 from typing import Callable, Iterator
 
 from repro.faults.plan import MULTI_CRASH_PRESETS
-from repro.sanitizer.scenarios import Scenario, scenario_without_fault
+from repro.sanitizer.scenarios import (
+    Scenario,
+    scenario_without_fault,
+    scenario_without_overload,
+)
 
 #: Floors below which shrinking a dimension stops.  Records must keep at
 #: least one batch per worker flowing; two nodes and two threads are the
@@ -48,6 +53,8 @@ def _candidates(scenario: Scenario) -> Iterator[Scenario]:
         yield replace(scenario, records=scenario.records // 2)
     if scenario.fault is not None:
         yield scenario_without_fault(scenario)
+    if scenario.overload is not None:
+        yield scenario_without_overload(scenario)
     if scenario.nodes - 1 >= _min_nodes(scenario):
         yield replace(scenario, nodes=scenario.nodes - 1)
     if scenario.threads - 1 >= MIN_THREADS:

@@ -172,7 +172,11 @@ class Link:
         nic = self.src.config.nic
         overhead = nic.nic_processing_s if overhead_s is None else overhead_s
         yield self.src.nic_tx.transfer(nbytes, overhead_s=overhead)
-        yield Timeout(nic.propagation_latency_s + self.cluster.config.switch_latency_s)
+        yield Timeout(
+            nic.propagation_latency_s
+            + self.cluster.config.switch_latency_s
+            + cluster.extra_latency(self.src.index, self.dst.index)
+        )
         yield self.dst.nic_rx.transfer(nbytes)
         return nbytes
 
@@ -233,6 +237,31 @@ class Cluster:
         # asymmetric ones a single direction.
         self._blocked: set[tuple[int, int]] = set()
         self._heal_signals: dict[tuple[int, int], Signal] = {}
+        # Jitter state: extra per-message latency (seconds) on ordered
+        # (src, dst) data-plane paths.  Datagrams are deliberately NOT
+        # jittered — they model the management sidecar, and a gray
+        # failure of the data plane should not destabilise the failure
+        # detector (that is what makes it *gray*).
+        self._extra_latency: dict[tuple[int, int], float] = {}
+
+    # -- jitter state ------------------------------------------------------
+    def set_extra_latency(self, src: int, dst: int, extra_s: float) -> None:
+        """Add ``extra_s`` of one-way latency to the (src → dst) path."""
+        if src == dst:
+            raise ConfigError(f"a node has no link to itself: {src}")
+        if extra_s < 0:
+            raise ConfigError(f"extra latency must be non-negative, got {extra_s}")
+        self._extra_latency[(src, dst)] = extra_s
+
+    def clear_extra_latency(self, src: int, dst: int) -> None:
+        """Remove any jitter from the (src → dst) path."""
+        self._extra_latency.pop((src, dst), None)
+
+    def extra_latency(self, src: int, dst: int) -> float:
+        """Current jitter (seconds) on the (src → dst) path; 0 if none."""
+        if not self._extra_latency:
+            return 0.0
+        return self._extra_latency.get((src, dst), 0.0)
 
     # -- partition state ---------------------------------------------------
     def can_reach(self, src: int, dst: int) -> bool:

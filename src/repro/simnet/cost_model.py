@@ -215,6 +215,34 @@ class CostModel:
         self.cache = CacheModel(cpu)
         self._memo: dict[tuple, OpCost] = {}
         self._compute_memo: dict[CostProfile, OpCost] = {}
+        # Wall-clock multiplier applied in :meth:`seconds` — the
+        # slow-node gray-fault lever.  Kept out of the memo tables on
+        # purpose: they cache cycle counts, and pricing happens at
+        # :meth:`seconds` time, so a mid-run change applies immediately.
+        self._slowdown = 1.0
+
+    def slow_down(self, factor: float) -> None:
+        """Run this node at ``factor`` of nominal speed (slow-node fault).
+
+        ``factor`` is the fraction of nominal throughput that survives
+        (0.25 = the node runs at quarter speed).  Only one slowdown can
+        be active at a time — plans with overlapping windows are
+        rejected by :meth:`FaultPlan.validate`.
+        """
+        if not 0.0 < factor < 1.0:
+            raise ConfigError(
+                f"slow_down factor must be in (0, 1), got {factor}"
+            )
+        self._slowdown = 1.0 / factor
+
+    def restore_speed(self) -> None:
+        """Undo :meth:`slow_down`: return to nominal speed."""
+        self._slowdown = 1.0
+
+    @property
+    def slowdown_active(self) -> bool:
+        """Whether a slow-node window is currently applied."""
+        return self._slowdown != 1.0
 
     def compute_cost(self, profile: CostProfile) -> OpCost:
         """Price only the compute portion of ``profile`` (no cache access).
@@ -264,4 +292,4 @@ class CostModel:
 
     def seconds(self, cost: OpCost, count: float = 1.0) -> float:
         """Wall-clock (simulated) seconds for ``count`` instances of ``cost``."""
-        return cost.total_cycles * count / self.cpu.frequency_hz
+        return cost.total_cycles * count * self._slowdown / self.cpu.frequency_hz

@@ -573,6 +573,12 @@ class Simulator:
         #: points so live partition migration can intercept in-flight
         #: deltas and gate window firing during a handoff.
         self.elastic = None
+        #: Optional repro.overload coordinator; when attached, executor
+        #: worker loops consult it before each batch for source-level
+        #: admission control (pacing, queueing-delay estimation, load
+        #: shedding) and feed it per-batch service times for straggler
+        #: detection.
+        self.overload = None
 
     @property
     def now(self) -> float:

@@ -13,12 +13,17 @@ generator that produces one physical flow per worker thread:
 * :mod:`repro.workloads.readonly` — the paper's self-developed Read-Only
   benchmark: a pure per-key occurrence count used for I/O drill-downs;
 * :mod:`repro.workloads.distributions` — uniform / Zipf / Pareto key
-  generators and strictly-monotone timestamp synthesis.
+  generators, strictly-monotone timestamp synthesis, and the
+  diurnal/flash-crowd burst envelopes + arrival schedules the overload
+  plane paces admission against.
 """
 
 from repro.workloads.base import Workload
 from repro.workloads.distributions import (
+    arrival_times,
+    burst_envelope,
     monotone_timestamps,
+    tenant_ids,
     uniform_keys,
     zipf_keys,
     pareto_keys,
@@ -37,6 +42,9 @@ from repro.workloads.nexmark import (
 
 __all__ = [
     "Workload",
+    "arrival_times",
+    "burst_envelope",
+    "tenant_ids",
     "monotone_timestamps",
     "uniform_keys",
     "zipf_keys",

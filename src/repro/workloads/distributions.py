@@ -108,6 +108,102 @@ def pareto_keys(
     return scaled
 
 
+def burst_envelope(
+    count: int,
+    *,
+    diurnal_amplitude: float = 0.0,
+    flash_at_frac: Optional[float] = None,
+    flash_duration_frac: float = 0.1,
+    flash_magnitude: float = 2.0,
+) -> np.ndarray:
+    """Per-record rate multipliers: diurnal sinusoid + flash-crowd step.
+
+    Models the production traffic shape of the ROADMAP's million-user
+    suite: a slow diurnal swing (``1 + amplitude * sin``) with an
+    optional flash crowd — a contiguous window of ``flash_duration_frac``
+    of the stream, starting at ``flash_at_frac``, where the offered rate
+    jumps by ``flash_magnitude``x.  The envelope is normalised to mean
+    1.0 so the *average* offered rate stays the nominal rate and only
+    the shape changes; feed it to :func:`arrival_times`.
+    """
+    if count < 0:
+        raise ConfigError(f"count must be non-negative, got {count}")
+    if not 0.0 <= diurnal_amplitude < 1.0:
+        raise ConfigError(
+            f"diurnal_amplitude must be in [0, 1), got {diurnal_amplitude} "
+            "(>= 1 would imply a negative offered rate at the trough)"
+        )
+    if flash_magnitude < 1.0:
+        raise ConfigError(
+            f"flash_magnitude must be >= 1, got {flash_magnitude} "
+            "(a flash crowd raises the rate; use diurnal_amplitude for dips)"
+        )
+    if not 0.0 < flash_duration_frac <= 1.0:
+        raise ConfigError(
+            f"flash_duration_frac must be in (0, 1], got {flash_duration_frac}"
+        )
+    if flash_at_frac is not None and not 0.0 <= flash_at_frac < 1.0:
+        raise ConfigError(
+            f"flash_at_frac must be in [0, 1), got {flash_at_frac}"
+        )
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    phase = np.arange(count, dtype=np.float64) / count
+    envelope = 1.0 + diurnal_amplitude * np.sin(2.0 * np.pi * phase)
+    if flash_at_frac is not None and flash_magnitude > 1.0:
+        in_flash = (phase >= flash_at_frac) & (
+            phase < flash_at_frac + flash_duration_frac
+        )
+        envelope = np.where(in_flash, envelope * flash_magnitude, envelope)
+    return envelope / envelope.mean()
+
+
+def arrival_times(
+    count: int,
+    rate_records_per_s: float,
+    envelope: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Offered-load arrival instants (seconds) for ``count`` records.
+
+    Record ``i`` arrives ``1 / (rate * envelope[i])`` after record
+    ``i - 1``; with no envelope the stream is a constant-rate drip.
+    This is the *offered* schedule the admission controller compares
+    against: a record whose scheduled arrival is long past when the
+    worker finally reaches it has been queue-delayed by the difference.
+    """
+    if count < 0:
+        raise ConfigError(f"count must be non-negative, got {count}")
+    if rate_records_per_s <= 0:
+        raise ConfigError(
+            f"rate_records_per_s must be positive, got {rate_records_per_s}"
+        )
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    if envelope is None:
+        gaps = np.full(count, 1.0 / rate_records_per_s, dtype=np.float64)
+    else:
+        if len(envelope) != count:
+            raise ConfigError(
+                f"envelope has {len(envelope)} entries for {count} records"
+            )
+        if np.any(envelope <= 0):
+            raise ConfigError("envelope entries must all be positive")
+        gaps = 1.0 / (rate_records_per_s * np.asarray(envelope, dtype=np.float64))
+    return np.cumsum(gaps)
+
+
+def tenant_ids(keys: np.ndarray, tenants: int) -> np.ndarray:
+    """Map keys onto a tenant id in ``[0, tenants)``.
+
+    Tenancy is a deterministic function of the key (key-space striping),
+    so every component — shedder, oracle, fairness report — attributes a
+    record to the same tenant without carrying extra per-record columns.
+    """
+    if tenants <= 0:
+        raise ConfigError(f"tenants must be positive, got {tenants}")
+    return np.asarray(keys, dtype=np.int64) % tenants
+
+
 def distinct_fraction(keys: np.ndarray) -> float:
     """Share of distinct keys in a sample (a cheap skew observable)."""
     if len(keys) == 0:

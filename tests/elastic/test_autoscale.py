@@ -57,3 +57,41 @@ class TestReport:
         assert report["pressured_samples"] == 2
         assert report["final_streak"] == 1
         assert report["thresholds"]["sustain_samples"] == 3
+
+
+class TestOverloadSignal:
+    def test_sustained_overload_delay_fires(self):
+        controller = AutoscaleController(
+            sustain_samples=3, backlog_depth=10**9, stall_delta_s=1e9,
+            overload_delay_s=0.05,
+        )
+        sample = dict(pressure(), overload_delay_s=0.1)
+        assert not controller.observe(dict(sample))
+        assert not controller.observe(dict(sample))
+        assert controller.observe(dict(sample))
+
+    def test_signal_inactive_without_a_threshold(self):
+        # Existing two-signal deployments: overload_delay_s in the
+        # sample is ignored unless the controller was given a threshold.
+        controller = AutoscaleController(
+            sustain_samples=1, backlog_depth=10**9, stall_delta_s=1e9,
+        )
+        assert not controller.observe(
+            dict(pressure(), overload_delay_s=1e9)
+        )
+        assert not controller.fired
+
+    def test_calm_delay_resets_the_streak(self):
+        controller = AutoscaleController(
+            sustain_samples=2, backlog_depth=10**9, stall_delta_s=1e9,
+            overload_delay_s=0.05,
+        )
+        assert not controller.observe(dict(pressure(), overload_delay_s=0.1))
+        assert not controller.observe(dict(pressure(), overload_delay_s=0.0))
+        assert controller.streak == 0
+
+    def test_report_names_the_threshold(self):
+        controller = AutoscaleController(overload_delay_s=0.07)
+        controller.observe(pressure())
+        report = controller.report(fired=False)
+        assert report["thresholds"]["overload_delay_s"] == 0.07

@@ -1,0 +1,64 @@
+"""Gray faults end-to-end: slower, later — but never wrong.
+
+slow-node and jitter are pure data-plane degradations; a faulted run
+must produce byte-identical (window, key) aggregates to the fail-free
+baseline, just at a later simulated instant.  The failure detector must
+stay quiet throughout (gray faults heartbeat normally).
+"""
+
+import pytest
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.runtime import Scenario, run_scenario
+from repro.runtime.oracle import diff_results
+
+WORKLOAD = {"records_per_thread": 300, "batch_records": 64}
+
+
+def run(fault_plan=None, engine="slash"):
+    return run_scenario(Scenario(
+        engine=engine, workload="ysb", nodes=3, threads=2, seed=5,
+        workload_overrides=dict(WORKLOAD), fault_plan=fault_plan,
+    ))
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run()
+
+
+def test_slow_node_changes_timing_not_results(baseline):
+    plan = FaultPlan([FaultEvent(
+        FaultKind.SLOW_NODE, at_s=1e-5, target=0, duration_s=10.0,
+        factor=0.25,
+    )], seed=5)
+    faulted = run(fault_plan=plan)
+    diff = diff_results(baseline, faulted)
+    assert diff.ok, diff.describe()
+    # A quarter-speed node must actually cost simulated time.
+    assert faulted.sim_seconds > baseline.sim_seconds
+
+
+def test_jitter_changes_timing_not_results(baseline):
+    plan = FaultPlan([FaultEvent(
+        FaultKind.JITTER, at_s=1e-5, target=0, duration_s=10.0,
+        factor=16.0,
+    )], seed=5)
+    faulted = run(fault_plan=plan)
+    diff = diff_results(baseline, faulted)
+    assert diff.ok, diff.describe()
+    assert faulted.sim_seconds >= baseline.sim_seconds
+
+
+def test_gray_faults_never_trip_the_failure_detector(baseline):
+    # An aggressive jitter window covering the whole run: membership
+    # must still see every heartbeat (the datagram path is not
+    # jittered), so nobody is suspected and nothing recovers.
+    plan = FaultPlan([FaultEvent(
+        FaultKind.JITTER, at_s=1e-5, target=0, duration_s=10.0,
+        factor=64.0,
+    )], seed=5)
+    faulted = run(fault_plan=plan)
+    faults = faulted.extra.get("faults", {})
+    assert faults.get("recoveries", 0) == 0
+    assert not faults.get("crashed", [])

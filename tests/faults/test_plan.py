@@ -163,3 +163,78 @@ class TestPresets:
         plan = FaultPlan.preset("buddy-crash", seed=9, executors=3, horizon_s=1.0)
         buddy, victim = (e.target for e in plan.events)
         assert buddy == (victim + 1) % 3
+
+
+class TestGrayFaultValidation:
+    """slow-node / jitter: the PR's gray-failure kinds."""
+
+    def test_slow_node_factor_must_be_a_slowdown(self):
+        # factor is the fraction of nominal speed: 1.0 means "not slow".
+        with pytest.raises(FaultError, match=r"\(0, 1\)"):
+            FaultEvent(FaultKind.SLOW_NODE, 1.0, 0, duration_s=1.0, factor=1.0)
+        with pytest.raises(FaultError, match=r"\(0, 1\)"):
+            FaultEvent(FaultKind.SLOW_NODE, 1.0, 0, duration_s=1.0, factor=2.0)
+        with pytest.raises(FaultError, match="positive"):
+            FaultEvent(FaultKind.SLOW_NODE, 1.0, 0, duration_s=1.0, factor=0.0)
+        with pytest.raises(FaultError, match="positive"):
+            FaultEvent(FaultKind.SLOW_NODE, 1.0, 0, duration_s=1.0, factor=-0.5)
+
+    def test_slow_node_needs_a_positive_duration(self):
+        with pytest.raises(FaultError, match="duration"):
+            FaultEvent(FaultKind.SLOW_NODE, 1.0, 0, duration_s=0.0, factor=0.5)
+
+    def test_jitter_factor_must_inflate(self):
+        with pytest.raises(FaultError, match="> 1"):
+            FaultEvent(FaultKind.JITTER, 1.0, 0, duration_s=1.0, factor=1.0)
+
+    def test_jitter_needs_a_positive_duration(self):
+        with pytest.raises(FaultError, match="duration"):
+            FaultEvent(FaultKind.JITTER, 1.0, 0, duration_s=0.0, factor=4.0)
+
+    def test_peer_is_jitter_only(self):
+        with pytest.raises(FaultError, match="only meaningful for"):
+            FaultEvent(FaultKind.NIC_FLAP, 1.0, 0, duration_s=1.0, peer=1)
+
+    def test_peer_cannot_equal_the_target(self):
+        with pytest.raises(FaultError, match="no link to itself"):
+            FaultEvent(
+                FaultKind.JITTER, 1.0, 0, duration_s=1.0, factor=4.0, peer=0
+            )
+
+    def test_jitter_peer_out_of_range_names_the_missing_link(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.JITTER, 1.0, 0, duration_s=1.0, factor=4.0,
+                       peer=5),
+        ))
+        with pytest.raises(FaultError, match="there is no such link"):
+            plan.validate(executors=3)
+
+    def test_overlapping_slow_node_windows_on_one_target_rejected(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.SLOW_NODE, 1.0, 0, duration_s=2.0, factor=0.5),
+            FaultEvent(FaultKind.SLOW_NODE, 2.0, 0, duration_s=1.0, factor=0.25),
+        ))
+        with pytest.raises(FaultError, match="overlapping slow-node"):
+            plan.validate(executors=3)
+
+    def test_disjoint_or_cross_target_slowdowns_are_fine(self):
+        FaultPlan(events=(
+            FaultEvent(FaultKind.SLOW_NODE, 1.0, 0, duration_s=1.0, factor=0.5),
+            FaultEvent(FaultKind.SLOW_NODE, 2.0, 0, duration_s=1.0, factor=0.25),
+            FaultEvent(FaultKind.SLOW_NODE, 1.5, 1, duration_s=2.0, factor=0.5),
+        )).validate(executors=3)
+
+    def test_gray_presets_exist_and_build_valid_plans(self):
+        for name in ("slow-node", "jitter"):
+            assert name in PRESETS
+            plan = FaultPlan.preset(name, seed=4, executors=3, horizon_s=1.0)
+            plan.validate(executors=3, horizon_s=1.0)
+            (event,) = plan.events
+            assert event.kind.value == name
+            assert event.duration_s > 0
+
+    def test_misspelled_gray_preset_gets_a_suggestion(self):
+        with pytest.raises(FaultError, match="slow-node"):
+            FaultPlan.preset("slow-nod", seed=1, executors=3, horizon_s=1.0)
+        with pytest.raises(FaultError, match="jitter"):
+            FaultPlan.preset("jitters", seed=1, executors=3, horizon_s=1.0)

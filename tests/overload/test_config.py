@@ -1,0 +1,61 @@
+"""OverloadConfig: plain data, but only *sensible* plain data."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.overload.config import OverloadConfig
+
+
+def test_defaults_validate():
+    OverloadConfig().validate()
+
+
+def test_paced_flash_crowd_validates():
+    OverloadConfig(
+        ingest_rate_records_per_s=1e6,
+        flash_at_frac=0.5,
+        flash_magnitude=3.0,
+        diurnal_amplitude=0.2,
+        shed_policy="fair",
+    ).validate()
+
+
+def test_slo_s_converts_milliseconds():
+    assert OverloadConfig(slo_p99_ms=50.0).slo_s == pytest.approx(0.05)
+
+
+@pytest.mark.parametrize(
+    ("fields", "match"),
+    [
+        ({"slo_p99_ms": 0.0}, "slo_p99_ms"),
+        ({"slo_p99_ms": -1.0}, "slo_p99_ms"),
+        ({"ingest_rate_records_per_s": 0.0}, "ingest_rate"),
+        ({"ingest_rate_records_per_s": -5.0}, "ingest_rate"),
+        ({"tenants": 0}, "tenants"),
+        ({"ingress_queue_records": 0}, "ingress_queue_records"),
+        ({"engage_frac": 0.0}, "engage_frac"),
+        ({"engage_frac": 0.8, "shed_frac": 0.5}, "engage_frac"),
+        ({"shed_frac": 1.5}, "shed_frac"),
+        ({"ewma_alpha": 0.0}, "ewma_alpha"),
+        ({"ewma_alpha": 1.5}, "ewma_alpha"),
+        ({"straggler_ratio": 1.0}, "straggler_ratio"),
+        ({"straggler_min_samples": 0}, "straggler_min_samples"),
+        ({"straggler_shed_factor": 0.0}, "straggler_shed_factor"),
+        ({"straggler_shed_factor": 1.5}, "straggler_shed_factor"),
+        # Envelope fields share the distributions-module contract.
+        ({"diurnal_amplitude": 1.0}, "diurnal_amplitude"),
+        ({"flash_magnitude": 0.5}, "flash_magnitude"),
+        ({"flash_at_frac": 1.0}, "flash_at_frac"),
+        ({"flash_duration_frac": 0.0}, "flash_duration_frac"),
+    ],
+)
+def test_nonsense_rejected(fields, match):
+    with pytest.raises(ConfigError, match=match):
+        OverloadConfig(**fields).validate()
+
+
+def test_unpaced_is_the_sanitize_mode_default():
+    # None rate = no schedule, no delay, no shedding — must validate.
+    config = OverloadConfig(ingest_rate_records_per_s=None)
+    config.validate()
+    assert config.shed_policy is None

@@ -1,0 +1,37 @@
+"""Pure helpers of the overload coordinator."""
+
+import pytest
+
+from repro.overload.coordinator import weighted_percentile
+
+
+class TestWeightedPercentile:
+    def test_empty_is_zero(self):
+        assert weighted_percentile([], 99.0) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        pairs = [(0.25, 10)]
+        for q in (1.0, 50.0, 99.0, 100.0):
+            assert weighted_percentile(pairs, q) == 0.25
+
+    def test_weights_shift_the_median(self):
+        # 99 records at 1 ms, 1 record at 100 ms: the p50 record is fast.
+        pairs = [(0.001, 99), (0.1, 1)]
+        assert weighted_percentile(pairs, 50.0) == 0.001
+        assert weighted_percentile(pairs, 100.0) == 0.1
+        # Flip the weights and the median is the slow value.
+        assert weighted_percentile([(0.001, 1), (0.1, 99)], 50.0) == 0.1
+
+    def test_nearest_rank_matches_unweighted_expansion(self):
+        pairs = [(float(v), 1) for v in (5, 1, 4, 2, 3)]
+        assert weighted_percentile(pairs, 50.0) == 3.0
+        assert weighted_percentile(pairs, 99.0) == 5.0
+        assert weighted_percentile(pairs, 20.0) == 1.0
+
+    def test_p99_needs_one_percent_tail_mass(self):
+        # 1000 admitted records, 5 slow ones: p99 lands below the tail
+        # only while the tail is under 1% of the mass.
+        fast, slow = (0.001, 995), (0.5, 5)
+        assert weighted_percentile([fast, slow], 99.0) == 0.001
+        assert weighted_percentile([(0.001, 985), (0.5, 15)], 99.0) == 0.5
+        assert weighted_percentile([fast, slow], 99.9) == pytest.approx(0.5)

@@ -153,3 +153,34 @@ class TestInjectedLedgerDedupeBug:
         outcome = run_scenario(FAULT_SCENARIO)
         assert not outcome.ok
         assert any("ledger-exactly-once" in line for line in outcome.failures)
+
+
+class TestOverloadScenarios:
+    """~30% of generated scenarios attach an unpaced overload plane; the
+    differential comparison must stay exact while the conservation
+    invariants fire."""
+
+    def test_unpaced_overload_scenario_passes_and_checks_fire(self):
+        scenario = _replace_overload(AGG_SCENARIO, "probabilistic")
+        outcome = run_scenario(scenario)
+        assert outcome.ok, outcome.failures
+
+    def test_generator_draws_overload_sometimes(self):
+        policies = {
+            generate_scenario(21, index).overload for index in range(40)
+        }
+        assert None in policies          # most scenarios stay plain
+        assert policies - {None}         # but the overload arm is live
+        from repro.core.system import SHED_POLICIES
+        assert (policies - {None}) <= set(SHED_POLICIES)
+
+    def test_label_carries_the_overload_tag(self):
+        scenario = _replace_overload(AGG_SCENARIO, "fair")
+        assert "overload=fair" in scenario.label()
+        assert "overload" not in AGG_SCENARIO.label()
+
+
+def _replace_overload(scenario, policy):
+    from dataclasses import replace
+
+    return replace(scenario, overload=policy)

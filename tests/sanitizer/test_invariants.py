@@ -268,3 +268,64 @@ class TestSnapshotConsistency:
         with pytest.raises(InvariantViolation, match="alignment spill"):
             san.note_aligned_round(round_id=3, captures=4,
                                    post_marker_merges=2)
+
+
+class TestBackpressureConservation:
+    def _admit(self, san, offered, admitted, shed, *, batch, policy=True,
+               queue=0):
+        san.note_overload_admission(
+            "exec0.t0", offered=offered, admitted=admitted, shed=shed,
+            batch_offered=batch[0], batch_admitted=batch[1],
+            batch_shed=batch[2], policy_active=policy, queue_depth=queue,
+        )
+
+    def test_balanced_books_pass(self, san):
+        self._admit(san, 100, 90, 10, batch=(100, 90, 10))
+        self._admit(san, 150, 120, 30, batch=(50, 30, 20))
+        assert san.checks["backpressure-conservation"] == 2
+
+    def test_batch_leak_fails(self, san):
+        with pytest.raises(InvariantViolation, match="backpressure-conservation"):
+            self._admit(san, 100, 90, 5, batch=(100, 90, 5))
+
+    def test_shed_without_a_policy_fails(self, san):
+        with pytest.raises(InvariantViolation, match="no shedding"):
+            self._admit(san, 100, 90, 10, batch=(100, 90, 10), policy=False)
+
+    def test_negative_queue_depth_fails(self, san):
+        with pytest.raises(InvariantViolation, match="went negative"):
+            self._admit(san, 100, 100, 0, batch=(100, 100, 0), queue=-1)
+
+    def test_cumulative_regression_fails(self, san):
+        self._admit(san, 100, 90, 10, batch=(100, 90, 10))
+        with pytest.raises(InvariantViolation, match="backpressure-conservation"):
+            self._admit(san, 90, 80, 10, batch=(0, 0, 0))
+
+    def test_shadow_mismatch_fails(self, san):
+        self._admit(san, 100, 90, 10, batch=(100, 90, 10))
+        # Cumulative counters jump by more than the batch deltas claim.
+        with pytest.raises(InvariantViolation, match="backpressure-conservation"):
+            self._admit(san, 250, 240, 10, batch=(100, 100, 0))
+
+    def test_sources_are_independent(self, san):
+        self._admit(san, 100, 90, 10, batch=(100, 90, 10))
+        san.note_overload_admission(
+            "exec1.t0", offered=40, admitted=40, shed=0,
+            batch_offered=40, batch_admitted=40, batch_shed=0,
+            policy_active=False, queue_depth=0,
+        )
+        assert san.checks["backpressure-conservation"] == 2
+
+
+class TestNoSilentDrop:
+    def test_processed_equals_admitted_passes(self, san):
+        san.check_no_silent_drop("exec0", 100, 90, 10, 90)
+        assert san.checks["no-silent-drop"] == 1
+
+    def test_unaccounted_offered_records_fail(self, san):
+        with pytest.raises(InvariantViolation, match="no-silent-drop"):
+            san.check_no_silent_drop("exec0", 100, 85, 10, 85)
+
+    def test_silently_dropped_admitted_records_fail(self, san):
+        with pytest.raises(InvariantViolation, match="no-silent-drop"):
+            san.check_no_silent_drop("exec0", 100, 90, 10, 89)

@@ -82,3 +82,23 @@ def test_shrunk_scenario_round_trips_through_repro_command():
     smallest, _ = shrink(BIG, lambda s: s.records >= 100)
     payload = smallest.repro_command().split("--replay '")[1].rstrip("'")
     assert Scenario.from_json(payload) == smallest
+
+
+def test_shrink_drops_an_irrelevant_overload_plane():
+    loaded = Scenario(
+        workload="ysb", records=200, batch=64, keyspace=40, nodes=3,
+        threads=2, epoch_bytes=8192, credits=4, workload_seed=1,
+        overload="probabilistic",
+    )
+    smallest, _ = shrink(loaded, lambda s: s.records >= MIN_RECORDS)
+    assert smallest.overload is None
+
+
+def test_shrink_keeps_a_load_bearing_overload_plane():
+    loaded = Scenario(
+        workload="ysb", records=200, batch=64, keyspace=40, nodes=3,
+        threads=2, epoch_bytes=8192, credits=4, workload_seed=1,
+        overload="fair",
+    )
+    smallest, _ = shrink(loaded, lambda s: s.overload == "fair")
+    assert smallest.overload == "fair"

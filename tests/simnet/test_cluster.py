@@ -186,3 +186,59 @@ def test_node_counter_aggregation():
     sim.run()
     assert node.counters().instructions == pytest.approx(20)
     assert cluster.counters().instructions == pytest.approx(20)
+
+
+def test_link_jitter_adds_extra_latency_without_dropping():
+    # The jitter gray fault's lever: data-plane sends take longer, but
+    # every byte still arrives.
+    sim, cluster = make_cluster()
+    arrival = []
+
+    def body():
+        got = yield cluster.link(0, 1).send(64 * 1024)
+        arrival.append((sim.now, got))
+
+    sim.process(body())
+    sim.run()
+    base_t, base_bytes = arrival[0]
+
+    sim2, cluster2 = make_cluster()
+    cluster2.set_extra_latency(0, 1, 1e-3)
+    arrival2 = []
+
+    def body2():
+        got = yield cluster2.link(0, 1).send(64 * 1024)
+        arrival2.append((sim2.now, got))
+
+    sim2.process(body2())
+    sim2.run()
+    jittered_t, jittered_bytes = arrival2[0]
+    assert jittered_bytes == base_bytes
+    assert jittered_t == pytest.approx(base_t + 1e-3)
+
+
+def test_link_jitter_is_directional_and_clearable():
+    _sim, cluster = make_cluster()
+    cluster.set_extra_latency(0, 1, 5e-4)
+    assert cluster.extra_latency(0, 1) == 5e-4
+    assert cluster.extra_latency(1, 0) == 0.0  # reverse direction clean
+    cluster.clear_extra_latency(0, 1)
+    assert cluster.extra_latency(0, 1) == 0.0
+
+
+def test_heartbeat_datagrams_ignore_jitter():
+    # Deliberate blindness: the failure detector must NOT see gray
+    # jitter, otherwise a slow link looks like a dead peer.
+    sim, cluster = make_cluster()
+    cluster.set_extra_latency(0, 1, 10.0)
+    delivered = []
+
+    def body():
+        ok = yield cluster.link(0, 1).send_datagram(64)
+        delivered.append((sim.now, ok))
+
+    sim.process(body())
+    sim.run()
+    t, ok = delivered[0]
+    assert ok is True
+    assert t < 1.0  # the 10 s jitter never applied

@@ -164,3 +164,38 @@ def test_memory_bandwidth():
     counters = HwCounters()
     counters.charge(OpCost(mem_bytes=70.2e9))
     assert counters.memory_bandwidth(1.0) == pytest.approx(70.2e9)
+
+
+class TestSlowdownLever:
+    """The slow-node gray fault's compute lever."""
+
+    def test_quarter_speed_quadruples_seconds(self):
+        model = CostModel(CPU)
+        cost = OpCost(retiring=100)
+        nominal = model.seconds(cost)
+        model.slow_down(0.25)
+        assert model.seconds(cost) == pytest.approx(4.0 * nominal)
+
+    def test_restore_returns_to_nominal(self):
+        model = CostModel(CPU)
+        cost = OpCost(retiring=100)
+        nominal = model.seconds(cost)
+        model.slow_down(0.5)
+        model.restore_speed()
+        assert model.seconds(cost) == nominal
+
+    def test_slowdown_survives_the_memo(self):
+        # compute_cost memoizes cycle counts; pricing happens at
+        # seconds() time, so a mid-run slowdown applies to cached costs.
+        model = CostModel(CPU)
+        profile = CostProfile("op", instructions=50)
+        first = model.seconds(model.compute_cost(profile))
+        model.slow_down(0.5)
+        assert model.seconds(model.compute_cost(profile)) == pytest.approx(
+            2.0 * first
+        )
+
+    @pytest.mark.parametrize("factor", [0.0, 1.0, 2.0, -0.5])
+    def test_non_slowdown_factors_rejected(self, factor):
+        with pytest.raises(ConfigError, match="factor"):
+            CostModel(CPU).slow_down(factor)

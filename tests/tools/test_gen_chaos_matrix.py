@@ -63,7 +63,29 @@ def test_data_plane_presets_run_once_per_engine():
 def test_flink_gets_no_crash_cells():
     cells = gen_chaos_matrix.build_matrix()
     flink_faults = {c["fault"] for c in cells if c["system"] == "flink"}
-    assert flink_faults == {"nic-flap", "drop-chunk", "credit-starvation"}
+    assert flink_faults == {
+        "nic-flap", "drop-chunk", "credit-starvation", "slow-node", "jitter",
+    }
+
+
+def test_gray_fault_cells_cover_every_engine():
+    """slow-node/jitter are pure data-plane kinds: one cell per engine,
+    generated from supported_fault_kinds, no recovery strategy fan-out."""
+    cells = gen_chaos_matrix.build_matrix()
+    for kind in ("slow-node", "jitter"):
+        by_system = [c for c in cells if c["fault"] == kind]
+        assert {c["system"] for c in by_system} == {"slash", "uppar", "flink"}
+        assert len(by_system) == 3  # data-plane: default strategy only
+        for cell in by_system:
+            assert not cell["elastic"]
+
+
+def test_data_plane_set_mirrors_injector():
+    from repro.faults.injector import DATA_PLANE_KINDS
+
+    assert gen_chaos_matrix.DATA_PLANE == {
+        kind.value for kind in DATA_PLANE_KINDS
+    }
 
 
 def test_elastic_engines_get_migration_cells():

@@ -7,10 +7,13 @@ from hypothesis import given, settings, strategies as st
 from repro.common.errors import ConfigError
 from repro.common.rng import RngTree
 from repro.workloads.distributions import (
+    arrival_times,
+    burst_envelope,
     distinct_fraction,
     effective_working_set_keys,
     monotone_timestamps,
     pareto_keys,
+    tenant_ids,
     uniform_keys,
     zipf_keys,
 )
@@ -98,3 +101,117 @@ class TestSkewObservables:
         assert effective_working_set_keys(np.array([], dtype=np.int64)) == 0
         uniform = np.arange(100)
         assert effective_working_set_keys(uniform, coverage=0.9) == 90
+
+
+class TestBurstEnvelope:
+    def test_mean_is_normalised_to_one(self):
+        envelope = burst_envelope(
+            10_000, diurnal_amplitude=0.4, flash_at_frac=0.5,
+            flash_magnitude=4.0,
+        )
+        assert envelope.mean() == pytest.approx(1.0)
+        assert (envelope > 0).all()
+
+    def test_flash_window_is_elevated(self):
+        count = 1000
+        envelope = burst_envelope(
+            count, flash_at_frac=0.5, flash_duration_frac=0.1,
+            flash_magnitude=3.0,
+        )
+        inside = envelope[500:600]
+        outside = np.concatenate([envelope[:500], envelope[600:]])
+        assert inside.mean() == pytest.approx(3.0 * outside.mean(), rel=0.01)
+
+    def test_flat_envelope_without_knobs(self):
+        np.testing.assert_allclose(burst_envelope(100), np.ones(100))
+
+    def test_diurnal_swings_around_the_mean(self):
+        envelope = burst_envelope(1000, diurnal_amplitude=0.5)
+        assert envelope.max() == pytest.approx(1.5, rel=0.01)
+        assert envelope.min() == pytest.approx(0.5, rel=0.01)
+
+    def test_zero_count_is_empty(self):
+        assert len(burst_envelope(0, flash_at_frac=0.5)) == 0
+
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            ({"count": -1}, "count"),
+            ({"count": 10, "diurnal_amplitude": 1.0}, "diurnal_amplitude"),
+            ({"count": 10, "diurnal_amplitude": -0.1}, "diurnal_amplitude"),
+            ({"count": 10, "flash_magnitude": 0.9}, "flash_magnitude"),
+            ({"count": 10, "flash_duration_frac": 0.0}, "flash_duration_frac"),
+            ({"count": 10, "flash_duration_frac": 1.1}, "flash_duration_frac"),
+            ({"count": 10, "flash_at_frac": 1.0}, "flash_at_frac"),
+            ({"count": 10, "flash_at_frac": -0.2}, "flash_at_frac"),
+        ],
+    )
+    def test_nonsense_rejected(self, kwargs, match):
+        count = kwargs.pop("count")
+        with pytest.raises(ConfigError, match=match):
+            burst_envelope(count, **kwargs)
+
+
+class TestArrivalTimes:
+    def test_constant_rate_is_a_uniform_drip(self):
+        arrivals = arrival_times(5, 10.0)
+        np.testing.assert_allclose(arrivals, [0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_arrivals_are_strictly_increasing(self):
+        envelope = burst_envelope(
+            2000, diurnal_amplitude=0.3, flash_at_frac=0.25,
+            flash_magnitude=5.0,
+        )
+        arrivals = arrival_times(2000, 1e4, envelope)
+        assert (np.diff(arrivals) > 0).all()
+
+    def test_flash_window_arrives_denser(self):
+        count = 1000
+        envelope = burst_envelope(
+            count, flash_at_frac=0.5, flash_duration_frac=0.1,
+            flash_magnitude=3.0,
+        )
+        arrivals = arrival_times(count, 1e3, envelope)
+        gaps = np.diff(arrivals)
+        inside = gaps[500:599].mean()
+        outside = gaps[:499].mean()
+        assert inside == pytest.approx(outside / 3.0, rel=0.01)
+
+    def test_mean_rate_is_preserved_by_the_envelope(self):
+        # Normalised envelope: the last arrival ~= count / rate either way.
+        count, rate = 5000, 2e4
+        flat = arrival_times(count, rate)
+        shaped = arrival_times(count, rate, burst_envelope(
+            count, diurnal_amplitude=0.3,
+        ))
+        assert shaped[-1] == pytest.approx(flat[-1], rel=0.05)
+
+    def test_zero_count_is_empty(self):
+        assert len(arrival_times(0, 100.0)) == 0
+
+    def test_nonsense_rejected(self):
+        with pytest.raises(ConfigError, match="rate"):
+            arrival_times(10, 0.0)
+        with pytest.raises(ConfigError, match="count"):
+            arrival_times(-1, 10.0)
+        with pytest.raises(ConfigError, match="entries"):
+            arrival_times(10, 10.0, np.ones(5))
+        with pytest.raises(ConfigError, match="positive"):
+            arrival_times(3, 10.0, np.array([1.0, 0.0, 1.0]))
+
+
+class TestTenantIds:
+    def test_key_space_striping(self):
+        keys = np.array([0, 1, 2, 3, 4, 9], dtype=np.int64)
+        np.testing.assert_array_equal(
+            tenant_ids(keys, 4), [0, 1, 2, 3, 0, 1]
+        )
+
+    def test_every_tenant_in_range(self):
+        keys = uniform_keys(1000, 512, rng())
+        ids = tenant_ids(keys, 7)
+        assert ids.min() >= 0 and ids.max() < 7
+
+    def test_nonpositive_tenants_rejected(self):
+        with pytest.raises(ConfigError, match="tenants"):
+            tenant_ids(np.arange(4), 0)

@@ -4,8 +4,8 @@
 The refactored layering (see docs/architecture.md) is a strict DAG::
 
     common -> simnet -> rdma/channel/state -> membership/metrics
-           -> core -> elastic/faults/workloads -> baselines -> runtime
-           -> sanitizer -> harness
+           -> core -> elastic/faults/overload/workloads -> baselines
+           -> runtime -> sanitizer -> harness
 
 A module may import from its own layer or any layer below it; importing
 from a layer above is an error (it is how the pre-refactor tangles crept
@@ -39,6 +39,7 @@ LAYERS: dict[str, int] = {
     "core": 4,
     "elastic": 5,
     "faults": 5,
+    "overload": 5,
     "workloads": 5,
     "baselines": 6,
     "runtime": 7,

@@ -41,7 +41,9 @@ import sys
 
 #: Kinds absorbed entirely inside the data plane (mirrors
 #: repro.faults.injector.DATA_PLANE_KINDS by value).
-DATA_PLANE = frozenset({"nic-flap", "drop-chunk", "credit-starvation"})
+DATA_PLANE = frozenset(
+    {"nic-flap", "drop-chunk", "credit-starvation", "slow-node", "jitter"}
+)
 
 #: Plan-builder parameters used only to *discover* each preset's kinds;
 #: the CI cells run with the CLI defaults, not these.
