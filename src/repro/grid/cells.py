@@ -1,0 +1,251 @@
+"""Picklable sweep cells and the runners that execute them.
+
+Every point of a paper figure is one **cell**: an independent,
+seed-deterministic simulation fully described by a picklable
+``(kind, params)`` spec.  Grids (and the hand-rolled experiments before
+them) build their cell list in *declaration order*, hand it to a
+:class:`CellRunner`, and consume the results in that same order — so the
+rendered tables are byte-identical whether the cells ran serially or
+fanned out over a process pool.
+
+That is the determinism contract (see ``docs/performance.md``):
+
+* cells never share mutable state (each builds its own workload, engine,
+  and simulator from the spec);
+* the runner returns results positionally, never by completion order;
+* all formatting happens in the parent process.
+
+Four cell kinds cover every experiment:
+
+* ``scenario``    — one :func:`repro.runtime.run_scenario` call from a
+  declarative :class:`~repro.runtime.Scenario` spec (the general form —
+  sanitizer/fault/elastic/overload hooks all attach through it);
+* ``end_to_end``  — one :func:`repro.harness.runner.run_end_to_end` call
+  (a scenario plus the figure-friendly ``EndToEndRow`` wrapper);
+* ``transfer``    — one RO transfer benchmark, resolved through the
+  engine registry's ``transfer_bench`` capability;
+* ``engine_run``  — one raw engine run with a named cost strategy
+  (the compiled-vs-interpreted ablation), a scenario under the hood.
+
+This module used to live at ``repro.harness.parallel``; it moved below
+the grid layer so declarative grids can expand into cells without an
+upward import, and ``harness.parallel`` re-exports everything for
+back-compat.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Any, Optional, Sequence
+
+from repro.common.errors import ConfigError
+
+#: A picklable sweep cell: ``(kind, params)``.
+Cell = tuple[str, dict]
+
+#: Per-process memo of transfer workloads keyed by (name, overrides).
+#: Sweeps over channel parameters (buffer size, credits, signaling) reuse
+#: the same generated flows instead of re-deriving them per cell; flow
+#: generation is RngTree-deterministic, so sharing cannot change results.
+_WORKLOAD_MEMO: dict = {}
+
+
+def _transfer_workload(name: str, overrides: Optional[dict]):
+    from repro.runtime import make_workload
+
+    try:
+        key = (name, tuple(sorted((overrides or {}).items())))
+        workload = _WORKLOAD_MEMO.get(key)
+    except TypeError:  # unhashable override value: skip the memo
+        return make_workload(name, **(overrides or {}))
+    if workload is None:
+        workload = _WORKLOAD_MEMO[key] = make_workload(name, **(overrides or {}))
+    return workload
+
+
+# -- cell constructors -------------------------------------------------------
+
+def scenario_cell(spec: Any) -> Cell:
+    """One declarative run: a :class:`repro.runtime.Scenario` as a cell."""
+    return ("scenario", spec.params())
+
+
+def end_to_end_scenario_cell(
+    system: str,
+    workload_name: str,
+    nodes: int,
+    threads: int,
+    workload_overrides: Optional[dict] = None,
+    engine_overrides: Optional[dict] = None,
+    **scenario_fields: Any,
+) -> Cell:
+    """One weak-scaling point as a *scenario* cell.
+
+    Unlike :func:`end_to_end_cell` (which routes through the legacy
+    ``EndToEndRow`` wrapper), this builds a plain
+    :class:`~repro.runtime.Scenario`, so every generic hook —
+    sanitizer, fault plan, rescale, overload — attaches uniformly via
+    ``scenario_fields``.  The grid-ported figures all use this form.
+    """
+    from repro.runtime import Scenario
+
+    return scenario_cell(
+        Scenario(
+            engine=system,
+            workload=workload_name,
+            nodes=nodes,
+            threads=threads,
+            workload_overrides=dict(workload_overrides or {}),
+            engine_overrides=dict(engine_overrides or {}),
+            **scenario_fields,
+        )
+    )
+
+
+def end_to_end_cell(
+    system: str,
+    workload_name: str,
+    nodes: int,
+    threads: int,
+    workload_overrides: Optional[dict] = None,
+    engine_overrides: Optional[dict] = None,
+) -> Cell:
+    """One weak-scaling point: (system, workload, nodes, threads)."""
+    return (
+        "end_to_end",
+        {
+            "system": system,
+            "workload_name": workload_name,
+            "nodes": nodes,
+            "threads": threads,
+            "workload_overrides": workload_overrides,
+            "engine_overrides": engine_overrides,
+        },
+    )
+
+
+def transfer_cell(
+    system: str,
+    workload_name: str = "ro",
+    workload_overrides: Optional[dict] = None,
+    **bench_kwargs: Any,
+) -> Cell:
+    """One transfer-benchmark point (Fig. 8/9 and channel ablations).
+
+    ``bench_kwargs`` go to the bench constructor (``threads``,
+    ``buffer_bytes``, ``credits``, ``signal_writes``).
+    """
+    return (
+        "transfer",
+        {
+            "system": system,
+            "workload_name": workload_name,
+            "workload_overrides": workload_overrides,
+            "bench_kwargs": bench_kwargs,
+        },
+    )
+
+
+def engine_run_cell(
+    system: str,
+    nodes: int,
+    threads: int,
+    workload_name: str,
+    strategy: str = "compiled",
+    workload_overrides: Optional[dict] = None,
+) -> Cell:
+    """One raw engine run with a named cost strategy."""
+    return (
+        "engine_run",
+        {
+            "system": system,
+            "nodes": nodes,
+            "threads": threads,
+            "workload_name": workload_name,
+            "strategy": strategy,
+            "workload_overrides": workload_overrides,
+        },
+    )
+
+
+# -- cell execution ----------------------------------------------------------
+
+def run_cell(cell: Cell) -> Any:
+    """Execute one cell (possibly in a worker process) and return its result.
+
+    Imports are deferred so pool workers only pay for what their cell
+    actually touches.
+    """
+    kind, params = cell
+    if kind == "scenario":
+        from repro.runtime import Scenario, run_scenario
+
+        return run_scenario(Scenario(**params))
+    if kind == "end_to_end":
+        from repro.harness.runner import run_end_to_end
+
+        return run_end_to_end(
+            params["system"],
+            params["workload_name"],
+            params["nodes"],
+            params["threads"],
+            workload_overrides=params["workload_overrides"],
+            engine_overrides=params["engine_overrides"],
+        )
+    if kind == "transfer":
+        from repro.runtime import REGISTRY
+
+        workload = _transfer_workload(
+            params["workload_name"], params["workload_overrides"]
+        )
+        bench = REGISTRY.transfer_bench(params["system"], **params["bench_kwargs"])
+        return bench.run(workload)
+    if kind == "engine_run":
+        from repro.runtime import Scenario, run_scenario
+
+        return run_scenario(
+            Scenario(
+                engine=params["system"],
+                workload=params["workload_name"],
+                nodes=params["nodes"],
+                threads=params["threads"],
+                workload_overrides=dict(params["workload_overrides"] or {}),
+                strategy=params["strategy"],
+            )
+        )
+    raise ConfigError(f"unknown cell kind {kind!r}")
+
+
+# -- runners -----------------------------------------------------------------
+
+class SerialRunner:
+    """Run cells in the calling process, one after another."""
+
+    jobs = 1
+
+    def map(self, cells: Sequence[Cell]) -> list:
+        return [run_cell(cell) for cell in cells]
+
+
+class PoolRunner:
+    """Fan cells out over a process pool; results come back in cell order.
+
+    The executor is shared and thread-safe, so ``run all`` can drive one
+    pool from several experiment threads and keep it saturated across
+    experiment boundaries.
+    """
+
+    def __init__(self, executor: Executor, jobs: int):
+        self._executor = executor
+        self.jobs = jobs
+
+    def map(self, cells: Sequence[Cell]) -> list:
+        futures = [self._executor.submit(run_cell, cell) for cell in cells]
+        # Collect positionally — completion order must never leak into
+        # the report.
+        return [future.result() for future in futures]
+
+
+def make_pool(jobs: int) -> ProcessPoolExecutor:
+    """The process pool backing ``-j N`` (caller owns shutdown)."""
+    return ProcessPoolExecutor(max_workers=jobs)

@@ -1,0 +1,54 @@
+"""The grid registry: one name → :class:`SweepGrid` table.
+
+Replaces the per-panel ``ALIASES`` dict that used to live in
+``harness/cli.py``: each grid carries its own panel aliases
+(``fig6a``/``fig6b``/``fig6c`` → ``fig6a-c``), and lookup resolves them
+with the repo-wide did-you-mean convention.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.suggest import unknown_name_message
+from repro.grid.spec import SweepGrid
+
+#: name -> SweepGrid, in registration order (the ``--list`` order).
+GRIDS: dict = {}
+
+#: alias -> canonical grid name.
+GRID_ALIASES: dict = {}
+
+
+def register_grid(grid: SweepGrid) -> SweepGrid:
+    if grid.name in GRIDS or grid.name in GRID_ALIASES:
+        raise ConfigError(f"grid {grid.name!r} registered twice")
+    for alias in grid.aliases:
+        if alias in GRIDS or alias in GRID_ALIASES:
+            raise ConfigError(
+                f"grid alias {alias!r} (of {grid.name!r}) already taken"
+            )
+    GRIDS[grid.name] = grid
+    for alias in grid.aliases:
+        GRID_ALIASES[alias] = grid.name
+    return grid
+
+
+def grid_names() -> tuple:
+    """Registered grid names, in registration order (aliases excluded)."""
+    return tuple(GRIDS)
+
+
+def known_grid_names() -> tuple:
+    """Every resolvable name: canonical names first, then aliases."""
+    return tuple(GRIDS) + tuple(GRID_ALIASES)
+
+
+def resolve_grid(name: str) -> SweepGrid:
+    """Look up a grid by name or alias; unknown names get did-you-mean."""
+    canonical = GRID_ALIASES.get(name, name)
+    try:
+        return GRIDS[canonical]
+    except KeyError:
+        raise ConfigError(
+            unknown_name_message("grid", name, known_grid_names())
+        ) from None

@@ -6,6 +6,8 @@ Usage (after ``python setup.py develop``)::
     python -m repro run fig6a --nodes 2 4 --threads 4 --records 1500
     python -m repro run fig8d --out results/
     python -m repro run all --quick
+    python -m repro grid --list
+    python -m repro grid traffic-slo --axis zipf=0.8,1.6 --set seed=3 -j 4
     python -m repro chaos --seed 7 --fault leader-crash
     python -m repro elastic --strategy both --action join
     python -m repro overload --rate-factor 2 --policy all
@@ -122,12 +124,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     ),
 }
 
-#: Per-panel figure ids (as DESIGN.md uses them) -> registry id.
-ALIASES: dict[str, str] = {
-    "fig6a": "fig6a-c", "fig6b": "fig6a-c", "fig6c": "fig6a-c",
-    "fig6d": "fig6d-e", "fig6e": "fig6d-e",
-    "fig8a": "fig8ab", "fig8b": "fig8ab",
-}
+#: Per-panel figure ids (fig6a -> fig6a-c, ...): no longer a hand-kept
+#: table — each grid declares its own panel aliases, and the registry
+#: aggregates them (see ``repro.grid.registry.GRID_ALIASES``).
+from repro.grid import GRID_ALIASES as ALIASES  # noqa: E402
 
 
 def _runner(args):
@@ -169,6 +169,31 @@ def build_parser() -> argparse.ArgumentParser:
                           "hottest functions (forces -j 1)")
     run.add_argument("--out", type=pathlib.Path, default=None,
                      help="directory to write <id>.txt and <id>.json into")
+
+    grid = sub.add_parser(
+        "grid",
+        help="run a declarative sweep grid by name (axes x cell template; "
+             "see 'grid --list')",
+    )
+    grid.add_argument("name", nargs="?", default=None,
+                      help="grid name or panel alias from 'grid --list'")
+    grid.add_argument("--list", action="store_true", dest="list_grids",
+                      help="list registered grids with their axes")
+    grid.add_argument("--axis", action="append", default=[],
+                      metavar="NAME=V1,V2,...",
+                      help="override one axis's swept values (repeatable); "
+                           "engine axes keep their capability gate")
+    grid.add_argument("--set", action="append", default=[], dest="set_knobs",
+                      metavar="NAME=VALUE",
+                      help="override one fixed knob (repeatable)")
+    grid.add_argument("--dry-run", action="store_true",
+                      help="expand the grid and print its cells without "
+                           "running any simulation")
+    grid.add_argument("-j", "--jobs", type=int, default=1,
+                      help="fan grid cells over N worker processes "
+                           "(output stays byte-identical to -j 1)")
+    grid.add_argument("--out", type=pathlib.Path, default=None,
+                      help="directory to write <name>.txt and <name>.json into")
 
     from repro.faults.plan import PRESETS
 
@@ -518,6 +543,65 @@ def _run_overload(args) -> int:
     return 0
 
 
+def _list_grids() -> int:
+    from repro.grid import GRIDS
+
+    width = max(len(name) for name in GRIDS)
+    for name, grid in GRIDS.items():
+        axes = ", ".join(grid.axis_names())
+        alias = f" (aliases: {', '.join(grid.aliases)})" if grid.aliases else ""
+        print(f"{name:<{width}}  {grid.description} [axes: {axes}]{alias}")
+    return 0
+
+
+def _run_grid(args) -> int:
+    from repro.common.errors import ConfigError
+    from repro.grid import (
+        expand_grid,
+        parse_axis_spec,
+        parse_set_spec,
+        resolve_grid,
+        run_grid,
+    )
+
+    if args.list_grids or args.name is None:
+        return _list_grids()
+    try:
+        grid = resolve_grid(args.name)
+        axis_overrides = dict(parse_axis_spec(spec) for spec in args.axis)
+        fixed_overrides = dict(parse_set_spec(spec) for spec in args.set_knobs)
+        if args.dry_run:
+            run = expand_grid(grid, axis_overrides, fixed_overrides)
+            print(f"grid {grid.name}: {len(run.cells)} cells")
+            for name in grid.axis_names():
+                values = ", ".join(str(v) for v in run.axis(name))
+                print(f"  axis {name}: {values}")
+            for point, (kind, _params) in zip(run.points, run.cells):
+                label = ", ".join(f"{k}={v}" for k, v in point.items())
+                print(f"  [{kind}] {label}")
+            return 0
+        started = time.time()
+        jobs = max(1, args.jobs)
+        if jobs == 1:
+            report = run_grid(grid, axis_overrides, fixed_overrides)
+        else:
+            from repro.grid import PoolRunner, make_pool
+
+            with make_pool(jobs) as pool:
+                report = run_grid(
+                    grid, axis_overrides, fixed_overrides,
+                    runner=PoolRunner(pool, jobs),
+                )
+    except ConfigError as exc:
+        # Unknown grid / axis / knob names (each with a did-you-mean
+        # suggestion), malformed override specs, empty axes, and engines
+        # failing a grid's capability gate all land here.
+        print(f"GRID FAILED: {exc}", file=sys.stderr)
+        return 2
+    _emit(grid.name, report, grid.description, time.time() - started, args.out)
+    return 0
+
+
 def _run_sanitize(args) -> int:
     from repro.sanitizer.harness import report_failed, run_sanitize
 
@@ -551,6 +635,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, (description, _factory) in EXPERIMENTS.items():
             print(f"{name:<{width}}  {description}")
         return 0
+    if args.command == "grid":
+        return _run_grid(args)
     if args.command == "chaos":
         return _run_chaos(args)
     if args.command == "elastic":

@@ -1,105 +1,44 @@
-"""One experiment definition per table/figure of the paper's Sec. 8.
+"""One experiment entry point per table/figure of the paper's Sec. 8.
 
-Every function returns a :class:`Report` whose ``render()`` prints the
-rows or series the corresponding paper artifact plots, plus the derived
-headline ratios (e.g. Slash-over-UpPar speedup) that EXPERIMENTS.md
-records.  All experiments accept size knobs so the test suite can run
-miniature versions of the exact same code paths.
+Every figure is now a *declarative grid* (see :mod:`repro.grid.figures`):
+axes, fixed knobs, a cell template, and a report function, registered
+under the figure's name.  The functions here are thin wrappers that map
+the historical keyword signatures onto grid axis/fixed overrides and
+call :func:`repro.grid.run_grid` — the rendered reports are
+byte-identical to the hand-rolled loops they replaced, serial or
+``-j N`` parallel.
+
+The sequential acceptance suites (elastic, chaos, overload) live in
+:mod:`repro.harness.suites` and are re-exported here for back-compat.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.common.units import fmt_rate, fmt_rate_records, fmt_time
-from repro.harness.parallel import (
-    SerialRunner,
-    end_to_end_cell,
-    engine_run_cell,
-    transfer_cell,
+from repro.grid import resolve_grid, run_grid
+from repro.grid.figures import LINK_BANDWIDTH  # noqa: F401  (re-export)
+from repro.harness.suites import (  # noqa: F401  (re-export)
+    _compare_aggregates,
+    run_chaos,
+    run_elastic,
+    run_overload,
 )
-from repro.harness.runner import BENCH_EPOCH_BYTES, make_workload, run_end_to_end
-from repro.metrics.breakdown import breakdown_table, table1_row
-from repro.metrics.reporting import (
-    Report,
-    TextTable,
-    fault_timeline_table,
-    format_si,
-)
-from repro.runtime.oracle import diff_aggregates as _compare_aggregates
-
-# The measured link ceiling the paper draws as the red line in Fig. 8.
-LINK_BANDWIDTH = 11.8e9
+from repro.metrics.reporting import Report
+from repro.runtime.registry import BENCH_EPOCH_BYTES
 
 
-def _map_cells(runner, cells: list) -> "Iterator":
-    """Run sweep cells and return their results as an in-order iterator.
-
-    Experiments build ``cells`` in declaration order and then consume one
-    result per ``next()`` inside the *same* loop structure — that is what
-    keeps a ``-j N`` run's rendered tables byte-identical to a serial
-    run's (the determinism contract of ``repro.harness.parallel``).
-    """
-    return iter((runner or SerialRunner()).map(cells))
+def _grid(name: str, runner, axes: Optional[dict] = None,
+          fixed: Optional[dict] = None) -> Report:
+    return run_grid(
+        resolve_grid(name), axis_overrides=axes, fixed_overrides=fixed,
+        runner=runner,
+    )
 
 
 # ---------------------------------------------------------------------------
 # Fig. 6: end-to-end weak scaling
 # ---------------------------------------------------------------------------
-
-def _fig6(
-    name: str,
-    workloads: Sequence[str],
-    node_counts: Sequence[int],
-    threads: int,
-    systems: Sequence[str],
-    workload_overrides: Optional[dict] = None,
-    runner=None,
-) -> Report:
-    report = Report(name)
-    results = _map_cells(runner, [
-        end_to_end_cell(
-            system, workload_name, nodes, threads,
-            workload_overrides=workload_overrides,
-        )
-        for workload_name in workloads
-        for nodes in node_counts
-        for system in systems
-    ])
-    for workload_name in workloads:
-        table = TextTable(
-            f"{name}: {workload_name} throughput (records/s), weak scaling",
-            ["nodes"] + [f"{s}" for s in systems] + ["slash/uppar", "slash/flink"],
-        )
-        for nodes in node_counts:
-            throughputs = {}
-            for system in systems:
-                row = next(results)
-                throughputs[system] = row.throughput_records_per_s
-                report.rows.append(
-                    {
-                        "figure": name,
-                        "workload": workload_name,
-                        "system": system,
-                        "nodes": nodes,
-                        "throughput": row.throughput_records_per_s,
-                    }
-                )
-            cells = [format_si(throughputs[s], "rec/s") for s in systems]
-            ratio_uppar = (
-                f"{throughputs.get('slash', 0) / throughputs['uppar']:.1f}x"
-                if "uppar" in throughputs and throughputs["uppar"]
-                else "-"
-            )
-            ratio_flink = (
-                f"{throughputs.get('slash', 0) / throughputs['flink']:.1f}x"
-                if "flink" in throughputs and throughputs["flink"]
-                else "-"
-            )
-            table.add_row(nodes, *cells, ratio_uppar, ratio_flink)
-        report.tables.append(table)
-    return report
-
 
 def fig6_aggregations(
     node_counts: Sequence[int] = (2, 4, 8, 16),
@@ -109,9 +48,10 @@ def fig6_aggregations(
     runner=None,
 ) -> Report:
     """Figs. 6a-6c: YSB, CM, NB7 windowed aggregations."""
-    return _fig6(
-        "fig6a-c (aggregations)", ("ysb", "cm", "nb7"), node_counts, threads,
-        systems, workload_overrides, runner,
+    return _grid(
+        "fig6a-c", runner,
+        axes={"nodes": tuple(node_counts), "system": tuple(systems)},
+        fixed={"threads": threads, "workload_overrides": workload_overrides},
     )
 
 
@@ -123,9 +63,10 @@ def fig6_joins(
     runner=None,
 ) -> Report:
     """Figs. 6d-6e: NB8 and NB11 windowed joins."""
-    return _fig6(
-        "fig6d-e (joins)", ("nb8", "nb11"), node_counts, threads,
-        systems, workload_overrides, runner,
+    return _grid(
+        "fig6d-e", runner,
+        axes={"nodes": tuple(node_counts), "system": tuple(systems)},
+        fixed={"threads": threads, "workload_overrides": workload_overrides},
     )
 
 
@@ -141,47 +82,15 @@ def fig7_cost(
     runner=None,
 ) -> Report:
     """Fig. 7: LightSaber (one node) vs Slash on 2..16 nodes."""
-    report = Report("fig7 (COST vs LightSaber)")
-    cells = []
-    for workload_name in workloads:
-        cells.append(end_to_end_cell(
-            "lightsaber", workload_name, 1, threads,
-            workload_overrides=workload_overrides,
-        ))
-        cells.extend(
-            end_to_end_cell(
-                "slash", workload_name, nodes, threads,
-                workload_overrides=workload_overrides,
-            )
-            for nodes in node_counts
-        )
-    results = _map_cells(runner, cells)
-    for workload_name in workloads:
-        table = TextTable(
-            f"fig7: {workload_name} (L = LightSaber, 1 node)",
-            ["config", "throughput", "vs L"],
-        )
-        baseline = next(results)
-        table.add_row("L", format_si(baseline.throughput_records_per_s, "rec/s"), "1.0x")
-        report.rows.append(
-            {"figure": "fig7", "workload": workload_name, "system": "lightsaber",
-             "nodes": 1, "throughput": baseline.throughput_records_per_s}
-        )
-        for nodes in node_counts:
-            row = next(results)
-            speedup = row.throughput_records_per_s / baseline.throughput_records_per_s
-            table.add_row(
-                f"slash x{nodes}",
-                format_si(row.throughput_records_per_s, "rec/s"),
-                f"{speedup:.1f}x",
-            )
-            report.rows.append(
-                {"figure": "fig7", "workload": workload_name, "system": "slash",
-                 "nodes": nodes, "throughput": row.throughput_records_per_s,
-                 "speedup_vs_lightsaber": speedup}
-            )
-        report.tables.append(table)
-    return report
+    return _grid(
+        "fig7", runner,
+        axes={
+            "workload": tuple(workloads),
+            # "L" is the scale-up baseline point (LightSaber, one node).
+            "nodes": ("L",) + tuple(node_counts),
+        },
+        fixed={"threads": threads, "workload_overrides": workload_overrides},
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -195,38 +104,11 @@ def fig8_buffer_sweep(
     runner=None,
 ) -> Report:
     """Figs. 8a-8b: RO throughput and latency vs channel buffer size."""
-    report = Report("fig8a-b (buffer size)")
-    table = TextTable(
-        f"fig8a/b: RO over 1 NIC, {threads} threads "
-        f"(red line = {fmt_rate(LINK_BANDWIDTH)})",
-        ["buffer", "system", "throughput", "% of link", "latency"],
+    return _grid(
+        "fig8ab", runner,
+        axes={"buffer": tuple(buffer_sizes)},
+        fixed={"threads": threads, "records_per_thread": records_per_thread},
     )
-    results = _map_cells(runner, [
-        transfer_cell(
-            system,
-            workload_overrides={"records_per_thread": records_per_thread},
-            threads=threads, buffer_bytes=buffer_bytes,
-        )
-        for buffer_bytes in buffer_sizes
-        for system in ("slash", "uppar")
-    ])
-    for buffer_bytes in buffer_sizes:
-        for system in ("slash", "uppar"):
-            result = next(results)
-            table.add_row(
-                format_si(buffer_bytes, "B", digits=0),
-                system,
-                fmt_rate(result.throughput_bytes_per_s),
-                f"{result.throughput_bytes_per_s / LINK_BANDWIDTH * 100:.1f}%",
-                fmt_time(result.mean_latency_s),
-            )
-            report.rows.append(
-                {"figure": "fig8ab", "system": system, "buffer_bytes": buffer_bytes,
-                 "throughput_bytes_per_s": result.throughput_bytes_per_s,
-                 "mean_latency_s": result.mean_latency_s}
-            )
-    report.tables.append(table)
-    return report
 
 
 def fig8_parallelism(
@@ -236,35 +118,14 @@ def fig8_parallelism(
     runner=None,
 ) -> Report:
     """Fig. 8c: RO throughput vs number of threads."""
-    report = Report("fig8c (parallelism)")
-    table = TextTable(
-        f"fig8c: RO over 1 NIC, 64 KiB buffers (link = {fmt_rate(LINK_BANDWIDTH)})",
-        ["threads", "system", "throughput", "% of link"],
+    return _grid(
+        "fig8c", runner,
+        axes={"threads": tuple(thread_counts)},
+        fixed={
+            "buffer_bytes": buffer_bytes,
+            "records_per_thread": records_per_thread,
+        },
     )
-    results = _map_cells(runner, [
-        transfer_cell(
-            system,
-            workload_overrides={"records_per_thread": records_per_thread},
-            threads=threads, buffer_bytes=buffer_bytes,
-        )
-        for threads in thread_counts
-        for system in ("slash", "uppar")
-    ])
-    for threads in thread_counts:
-        for system in ("slash", "uppar"):
-            result = next(results)
-            table.add_row(
-                threads,
-                system,
-                fmt_rate(result.throughput_bytes_per_s),
-                f"{result.throughput_bytes_per_s / LINK_BANDWIDTH * 100:.1f}%",
-            )
-            report.rows.append(
-                {"figure": "fig8c", "system": system, "threads": threads,
-                 "throughput_bytes_per_s": result.throughput_bytes_per_s}
-            )
-    report.tables.append(table)
-    return report
 
 
 def fig8_skew(
@@ -275,61 +136,15 @@ def fig8_skew(
     runner=None,
 ) -> Report:
     """Fig. 8d: throughput vs Zipf skew of the partitioning key (RO, YSB)."""
-    report = Report("fig8d (data skewness)")
-    table = TextTable(
-        "fig8d: throughput vs Zipf z (RO transfer in GB/s; YSB end-to-end "
-        "on 2 nodes in records/s)",
-        ["workload", "z", "system", "throughput"],
+    return _grid(
+        "fig8d", runner,
+        axes={"z": tuple(zipf_zs)},
+        fixed={
+            "threads": threads,
+            "buffer_bytes": buffer_bytes,
+            "records_per_thread": records_per_thread,
+        },
     )
-    cells = []
-    for workload_name in ("ro", "ysb"):
-        for z in zipf_zs:
-            for system in ("slash", "uppar"):
-                if workload_name == "ro":
-                    cells.append(transfer_cell(
-                        system,
-                        workload_overrides={
-                            "zipf_z": z,
-                            "records_per_thread": records_per_thread,
-                        },
-                        threads=threads, buffer_bytes=buffer_bytes,
-                    ))
-                else:
-                    # The stateful-query half of Fig. 8d: skew helps Slash
-                    # (smaller state to keep hot and to merge) and starves
-                    # the hash-partitioned shape (one hot consumer).
-                    cells.append(end_to_end_cell(
-                        system, "ysb", 2, threads,
-                        workload_overrides={
-                            "zipf_z": z,
-                            "key_range": 1_000_000,
-                            "records_per_thread": max(4_000, records_per_thread // 10),
-                            "batch_records": 800,
-                        },
-                    ))
-    results = _map_cells(runner, cells)
-    for workload_name in ("ro", "ysb"):
-        for z in zipf_zs:
-            for system in ("slash", "uppar"):
-                if workload_name == "ro":
-                    result = next(results)
-                    bytes_per_s = result.throughput_bytes_per_s
-                    records_per_s = result.throughput_records_per_s
-                    value = fmt_rate(bytes_per_s)
-                else:
-                    row = next(results)
-                    bytes_per_s = row.throughput_records_per_s * 78
-                    records_per_s = row.throughput_records_per_s
-                    value = fmt_rate_records(records_per_s)
-                table.add_row(workload_name, z, system, value)
-                report.rows.append(
-                    {"figure": "fig8d", "workload": workload_name, "system": system,
-                     "z": z,
-                     "throughput_bytes_per_s": bytes_per_s,
-                     "throughput_records_per_s": records_per_s}
-                )
-    report.tables.append(table)
-    return report
 
 
 # ---------------------------------------------------------------------------
@@ -343,39 +158,12 @@ def fig9_breakdown_ro(
     runner=None,
 ) -> Report:
     """Fig. 9: top-down execution breakdown of RO, senders and receivers."""
-    report = Report("fig9 (execution breakdown, RO)")
-    results = _map_cells(runner, [
-        transfer_cell(
-            system,
-            workload_overrides={"records_per_thread": records_per_thread},
-            threads=threads, buffer_bytes=buffer_bytes,
-        )
-        for threads in thread_counts
-        for system in ("uppar", "slash")
-    ])
-    for threads in thread_counts:
-        rows = {}
-        for system in ("uppar", "slash"):
-            result = next(results)
-            rows[f"{system} sender ({threads}T)"] = result.sender_counters
-            rows[f"{system} receiver ({threads}T)"] = result.receiver_counters
-            report.rows.append(
-                {"figure": "fig9", "system": system, "threads": threads,
-                 "sender": result.sender_counters.breakdown(),
-                 "receiver": result.receiver_counters.breakdown()}
-            )
-        report.tables.append(
-            breakdown_table(f"fig9: RO top-down breakdown, {threads} threads", rows)
-        )
-    return report
-
-
-def _ysb_cell(system: str, threads: int, records_per_thread: int):
-    return end_to_end_cell(
-        system, "ysb", 2, threads,
-        workload_overrides={
+    return _grid(
+        "fig9", runner,
+        axes={"threads": tuple(thread_counts)},
+        fixed={
+            "buffer_bytes": buffer_bytes,
             "records_per_thread": records_per_thread,
-            "batch_records": 800,
         },
     )
 
@@ -385,56 +173,11 @@ def fig10_breakdown_ysb(
     records_per_thread: int = 6_000,
     runner=None,
 ) -> Report:
-    """Fig. 10: top-down breakdown of end-to-end YSB on two nodes.
-
-    Two tables: the *busy* breakdown (spin-wait excluded — the work
-    composition, where Slash shows the paper's memory-bound profile with
-    ~20 % retiring) and the *full* breakdown (waits included as
-    core-bound ``pause`` time, which is what makes the UpPar receiver
-    core-bound in the paper's Figs. 9-10).
-    """
-    report = Report("fig10 (execution breakdown, YSB)")
-    busy_rows = {}
-    full_rows = {}
-    results = _map_cells(runner, [
-        _ysb_cell(system, threads, records_per_thread)
-        for system in ("uppar", "slash")
-    ])
-    for system in ("uppar", "slash"):
-        row = next(results)
-        counters = {
-            f"{system} ({role})" if role == "whole" else f"{system} {role}": c
-            for role, c in row.result.counter_roles().items()
-        }
-        for label, c in counters.items():
-            busy_rows[label] = c
-            full_rows[label] = c
-        report.rows.append(
-            {
-                "figure": "fig10",
-                "system": system,
-                "busy": {
-                    label: c.breakdown(exclude_wait=True)
-                    for label, c in counters.items()
-                },
-                "full": {label: c.breakdown() for label, c in counters.items()},
-            }
-        )
-    busy_table = TextTable(
-        "fig10: YSB busy-cycle breakdown (spin waits excluded)",
-        ["who", "Retiring%", "FeB%", "BadS%", "MemB%", "CoreB%"],
+    """Fig. 10: top-down breakdown of end-to-end YSB on two nodes."""
+    return _grid(
+        "fig10", runner,
+        fixed={"threads": threads, "records_per_thread": records_per_thread},
     )
-    for label, c in busy_rows.items():
-        shares = c.breakdown(exclude_wait=True)
-        busy_table.add_row(
-            label,
-            *(f"{shares[cat] * 100:.1f}" for cat in list(shares)),
-        )
-    report.tables.append(busy_table)
-    report.tables.append(
-        breakdown_table("fig10: YSB full breakdown (waits as core-bound)", full_rows)
-    )
-    return report
 
 
 def table1_counters(
@@ -442,50 +185,11 @@ def table1_counters(
     records_per_thread: int = 6_000,
     runner=None,
 ) -> Report:
-    """Table 1: resource utilisation, end-to-end YSB on two nodes.
-
-    Cycle and IPC columns use *busy* cycles (spin waits excluded), which
-    is what a PMU sample over a pinned busy-polling thread approximates;
-    the wait share is reported separately.
-    """
-    report = Report("table1 (resource utilisation, YSB, 2 nodes)")
-    table = TextTable(
-        "table1: YSB, 2 nodes (busy cycles; Wait% = spin share of total)",
-        ["who", "IPC", "Instr/Rec", "Cyc/Rec", "L1d/Rec", "L2d/Rec", "LLC/Rec",
-         "Aggr.MemBw", "Wait%"],
+    """Table 1: resource utilisation, end-to-end YSB on two nodes."""
+    return _grid(
+        "table1", runner,
+        fixed={"threads": threads, "records_per_thread": records_per_thread},
     )
-
-    def add(label: str, counters, elapsed: float) -> None:
-        row = table1_row(counters, elapsed)
-        wait_share = (
-            counters.wait_cycles / counters.total_cycles * 100
-            if counters.total_cycles
-            else 0.0
-        )
-        table.add_row(
-            label,
-            f"{row['ipc']:.2f}",
-            f"{row['instr_per_rec']:.0f}",
-            f"{row['cyc_per_rec']:.0f}",
-            f"{row['l1d_miss_per_rec']:.2f}",
-            f"{row['l2d_miss_per_rec']:.2f}",
-            f"{row['llc_miss_per_rec']:.2f}",
-            fmt_rate(row["mem_bw_bytes_per_s"]),
-            f"{wait_share:.0f}",
-        )
-        report.rows.append({"figure": "table1", "who": label, **row})
-
-    results = _map_cells(runner, [
-        _ysb_cell(system, threads, records_per_thread)
-        for system in ("uppar", "slash")
-    ])
-    for system in ("uppar", "slash"):
-        row = next(results)
-        for role, counters in row.result.counter_roles().items():
-            label = system if role == "whole" else f"{system} {role}"
-            add(label, counters, row.sim_seconds)
-    report.tables.append(table)
-    return report
 
 
 # ---------------------------------------------------------------------------
@@ -500,35 +204,15 @@ def ablation_credits(
     runner=None,
 ) -> Report:
     """Sec. 8.3.2 text: c=8 is best; c=64 regresses by up to ~10 %."""
-    report = Report("ablation: channel credits")
-    table = TextTable(
-        "RO throughput vs credit count (Slash channels)",
-        ["credits", "throughput", "vs c=8"],
+    return _grid(
+        "abl-credits", runner,
+        axes={"credits": tuple(credit_counts)},
+        fixed={
+            "threads": threads,
+            "buffer_bytes": buffer_bytes,
+            "records_per_thread": records_per_thread,
+        },
     )
-    cell_results = _map_cells(runner, [
-        transfer_cell(
-            "slash",
-            workload_overrides={"records_per_thread": records_per_thread},
-            threads=threads, buffer_bytes=buffer_bytes, credits=credits,
-        )
-        for credits in credit_counts
-    ])
-    results = {}
-    for credits in credit_counts:
-        results[credits] = next(cell_results).throughput_bytes_per_s
-    base = results.get(8) or max(results.values())
-    for credits in credit_counts:
-        table.add_row(
-            credits,
-            fmt_rate(results[credits]),
-            f"{results[credits] / base * 100:.1f}%",
-        )
-        report.rows.append(
-            {"figure": "abl-credits", "credits": credits,
-             "throughput_bytes_per_s": results[credits]}
-        )
-    report.tables.append(table)
-    return report
 
 
 def ablation_epoch_bytes(
@@ -537,91 +221,12 @@ def ablation_epoch_bytes(
     threads: int = 4,
     runner=None,
 ) -> Report:
-    """Epoch-length sweep around the (scaled) 64 MB default of Sec. 8.1.1.
-
-    Short epochs tax processing with synchronisation; long epochs defer
-    merging into a serial tail *and* delay window triggering — the
-    throughput/latency trade-off inherent to lazy merging.
-    """
-    report = Report("ablation: SSB epoch length")
-    table = TextTable(
-        "YSB throughput and trigger lag vs epoch length (Slash end-to-end)",
-        ["epoch bytes", "throughput", "sim time", "mean trigger lag"],
+    """Epoch-length sweep around the (scaled) 64 MB default of Sec. 8.1.1."""
+    return _grid(
+        "abl-epoch", runner,
+        axes={"epoch_bytes": tuple(epoch_sizes)},
+        fixed={"nodes": nodes, "threads": threads},
     )
-    results = _map_cells(runner, [
-        end_to_end_cell(
-            "slash", "ysb", nodes, threads,
-            engine_overrides={"epoch_bytes": epoch_bytes},
-        )
-        for epoch_bytes in epoch_sizes
-    ])
-    for epoch_bytes in epoch_sizes:
-        row = next(results)
-        lag = row.result.extra.get("trigger_lag_mean_s", 0.0)
-        table.add_row(
-            format_si(epoch_bytes, "B", digits=0),
-            format_si(row.throughput_records_per_s, "rec/s"),
-            fmt_time(row.sim_seconds),
-            fmt_time(lag),
-        )
-        report.rows.append(
-            {"figure": "abl-epoch", "epoch_bytes": epoch_bytes,
-             "throughput": row.throughput_records_per_s,
-             "trigger_lag_mean_s": lag}
-        )
-    report.tables.append(table)
-    return report
-
-
-def extra_trigger_latency(
-    nodes: int = 2,
-    threads: int = 10,
-    records_per_thread: int = 6_000,
-    runner=None,
-) -> Report:
-    """Result latency comparison (paper Sec. 8.3.2 text).
-
-    The paper notes both RDMA SUTs achieve microsecond-scale latencies,
-    an order of magnitude below Flink's.  We measure *window trigger
-    lag*: simulated time between an executor's last received
-    contribution to a window and the moment it emits that window.
-    """
-    report = Report("extra: window trigger lag (YSB, 2 nodes)")
-    table = TextTable(
-        "mean / max trigger lag per system",
-        ["system", "mean lag", "max lag", "throughput"],
-    )
-    results = _map_cells(runner, [
-        end_to_end_cell(
-            system, "ysb", nodes, threads,
-            workload_overrides={
-                "records_per_thread": records_per_thread, "batch_records": 800,
-            },
-        )
-        for system in ("slash", "uppar", "flink")
-    ])
-    for system in ("slash", "uppar", "flink"):
-        row = next(results)
-        mean_lag = row.result.extra.get("trigger_lag_mean_s", 0.0)
-        max_lag = row.result.extra.get("trigger_lag_max_s", 0.0)
-        table.add_row(
-            system,
-            fmt_time(mean_lag),
-            fmt_time(max_lag),
-            format_si(row.throughput_records_per_s, "rec/s"),
-        )
-        report.rows.append(
-            {"figure": "extra-latency", "system": system,
-             "trigger_lag_mean_s": mean_lag, "trigger_lag_max_s": max_lag}
-        )
-    report.tables.append(table)
-    report.notes.append(
-        "Slash's lag is the price of epoch-lazy merging (tunable via "
-        "epoch_bytes, see the epoch ablation); the re-partitioning engines "
-        "trigger eagerly per record, and Flink's lag exceeds UpPar's "
-        "through IPoIB latency and buffer timeouts."
-    )
-    return report
 
 
 def ablation_execution_strategy(
@@ -630,39 +235,15 @@ def ablation_execution_strategy(
     records_per_thread: int = 2500,
     runner=None,
 ) -> Report:
-    """Sec. 5.3: Slash supports compiled and interpreted execution.
-
-    Interpretation multiplies the hot-path compute; the network and SSB
-    protocol costs are strategy-agnostic, so the slowdown stays well
-    below the raw per-record factor.
-    """
-    report = Report("ablation: execution strategy")
-    table = TextTable(
-        "YSB throughput, compiled vs interpreted pipelines (Slash)",
-        ["strategy", "throughput", "vs compiled"],
+    """Sec. 5.3: Slash supports compiled and interpreted execution."""
+    return _grid(
+        "abl-exec", runner,
+        fixed={
+            "nodes": nodes,
+            "threads": threads,
+            "records_per_thread": records_per_thread,
+        },
     )
-    strategies = ("compiled", "interpreted")
-    cell_results = _map_cells(runner, [
-        engine_run_cell(
-            "slash", nodes, threads, "ysb", strategy=strategy,
-            workload_overrides={"records_per_thread": records_per_thread},
-        )
-        for strategy in strategies
-    ])
-    results = {}
-    for strategy in strategies:
-        results[strategy] = next(cell_results).throughput_records_per_s
-    for strategy, throughput in results.items():
-        table.add_row(
-            strategy,
-            format_si(throughput, "rec/s"),
-            f"{throughput / results['compiled'] * 100:.0f}%",
-        )
-        report.rows.append(
-            {"figure": "abl-exec", "strategy": strategy, "throughput": throughput}
-        )
-    report.tables.append(table)
-    return report
 
 
 def ablation_selective_signaling(
@@ -672,851 +253,28 @@ def ablation_selective_signaling(
     runner=None,
 ) -> Report:
     """Sec. 3.2 / C2: selective signaling saves per-message CPU work."""
-    report = Report("ablation: selective signaling")
-    table = TextTable(
-        "RO throughput, unsignaled vs signaled WRITEs (16 KiB buffers)",
-        ["write completions", "throughput", "sender cyc/rec"],
+    return _grid(
+        "abl-signal", runner,
+        fixed={
+            "threads": threads,
+            "buffer_bytes": buffer_bytes,
+            "records_per_thread": records_per_thread,
+        },
     )
-    results = _map_cells(runner, [
-        transfer_cell(
-            "slash",
-            workload_overrides={"records_per_thread": records_per_thread},
-            threads=threads, buffer_bytes=buffer_bytes, signal_writes=signal_writes,
-        )
-        for signal_writes in (False, True)
-    ])
-    for signal_writes in (False, True):
-        result = next(results)
-        table.add_row(
-            "signaled" if signal_writes else "selective (unsignaled)",
-            fmt_rate(result.throughput_bytes_per_s),
-            f"{result.sender_counters.cycles_per_record:.1f}",
-        )
-        report.rows.append(
-            {"figure": "abl-signaling", "signaled": signal_writes,
-             "throughput_bytes_per_s": result.throughput_bytes_per_s}
-        )
-    report.tables.append(table)
-    return report
 
 
-# ---------------------------------------------------------------------------
-# Elastic: live partition migration + the oracle that keeps it honest
-# ---------------------------------------------------------------------------
-
-def _percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile; 0.0 for an empty sample."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
-
-
-def _window_lags(result, start_s: Optional[float]) -> list[float]:
-    """Trigger lags of windows fired at or after the migration start.
-
-    ``trigger_events`` is the run's ``(fire_time_s, lag_s)`` timeline;
-    everything from the first stall onward is the migration's latency
-    footprint (the stalled windows fire late right after each handoff).
-    """
-    events = result.extra.get("trigger_events", [])
-    if start_s is None:
-        return [lag for _t, lag in events]
-    return [lag for t, lag in events if t >= start_s]
-
-
-def run_elastic(
-    system: str = "slash",
-    workload_name: str = "ysb",
+def extra_trigger_latency(
     nodes: int = 2,
-    threads: int = 4,
-    records_per_thread: int = 2500,
-    seed: int = 11,
-    strategy: str = "both",
-    action: str = "join",
-    rescale_frac: float = 0.35,
-    add_nodes: int = 1,
-    drain_node: Optional[int] = None,
-    fluid_ranges: Optional[int] = None,
-    fluid_spread: Optional[float] = None,
+    threads: int = 10,
+    records_per_thread: int = 6_000,
+    runner=None,
 ) -> Report:
-    """Live-rescale experiment: migrate mid-run, diff against static.
-
-    One static baseline pins the ground truth and the horizon; each
-    requested migration strategy then reruns the *same* seeded scenario
-    with a rescale scheduled at ``rescale_frac`` of the horizon and the
-    runtime sanitizer on.  Every migrated run must reproduce the static
-    aggregates exactly (the migration-correctness oracle); a divergence
-    raises :class:`StateError` and fails the CLI run.
-
-    The headline metric is the **migration-window latency spike**: the
-    p50/p99 of window-trigger lag from the first migration stall onward,
-    against the static run's p99.  All-at-once pays one bulk stall;
-    Megaphone-style fluid splits it into per-key-range sub-moves, so its
-    p99 spike stays a fraction of the bulk one.
-    """
-    from repro.common.errors import StateError
-    from repro.core.system import MIGRATION_STRATEGIES
-    from repro.runtime import REGISTRY, Scenario, run_scenario
-    from repro.runtime.oracle import diff_results
-
-    if strategy == "both":
-        strategies = list(MIGRATION_STRATEGIES)
-    else:
-        # Unknown names flow into attach_elastic for the did-you-mean.
-        strategies = [strategy]
-    if not 0.0 < rescale_frac < 1.0:
-        raise StateError(
-            f"rescale_frac must be inside (0, 1), got {rescale_frac}"
-        )
-    REGISTRY.spec(system)  # unknown engine: fail fast with did-you-mean
-
-    report = Report(f"elastic: {action} rescale ({system}, {workload_name})")
-    workload_overrides = {"records_per_thread": records_per_thread}
-    rescale_overrides: dict = {"action": action, "add_nodes": add_nodes}
-    if drain_node is not None:
-        rescale_overrides["drain_node"] = drain_node
-    elif action == "leave":
-        rescale_overrides["drain_node"] = nodes - 1
-    if fluid_ranges is not None:
-        rescale_overrides["fluid_ranges"] = fluid_ranges
-    if fluid_spread is not None:
-        rescale_overrides["fluid_spread"] = fluid_spread
-
-    def scenario(**elastic_kwargs) -> Scenario:
-        return Scenario(
-            engine=system,
-            workload=workload_name,
-            nodes=nodes,
-            threads=threads,
-            workload_overrides=workload_overrides,
-            seed=seed,
-            **elastic_kwargs,
-        )
-
-    static = run_scenario(scenario())
-    horizon = static.sim_seconds
-    static_lags = _window_lags(static, None)
-    static_p99 = _percentile(static_lags, 0.99)
-
-    table = TextTable(
-        f"migration-window latency (baseline p99 {fmt_time(static_p99)}, "
-        f"rescale at {rescale_frac:.0%} of {fmt_time(horizon)})",
-        ["strategy", "moved", "stalls", "window p50", "window p99",
-         "p99 spike", "oracle"],
-    )
-    spikes: dict[str, float] = {}
-    failures: list[str] = []
-    for migration_strategy in strategies:
-        migrated = run_scenario(scenario(
-            rescale_at=horizon * rescale_frac,
-            migration_strategy=migration_strategy,
-            rescale_overrides=dict(rescale_overrides),
-            sanitize=True,
-        ))
-        diff = diff_results(static, migrated)
-        info = migrated.extra.get("elastic", {})
-        lags = _window_lags(migrated, info.get("started_at_s"))
-        p50 = _percentile(lags, 0.50)
-        p99 = _percentile(lags, 0.99)
-        spike = p99 / static_p99 if static_p99 else float("inf")
-        spikes[migration_strategy] = p99
-        if not diff.ok:
-            failures.append(f"{migration_strategy}: {diff.describe()}")
-        table.add_row(
-            migration_strategy,
-            format_si(info.get("moved_bytes", 0), "B"),
-            len(info.get("events", [])),
-            fmt_time(p50),
-            fmt_time(p99),
-            f"{spike:.1f}x",
-            "PASS" if diff.ok else "FAIL",
-        )
-        report.rows.append({
-            "figure": "elastic",
-            "system": system,
-            "workload": workload_name,
+    """Result latency comparison (paper Sec. 8.3.2 text)."""
+    return _grid(
+        "extra-latency", runner,
+        fixed={
             "nodes": nodes,
             "threads": threads,
-            "seed": seed,
-            "action": action,
-            "strategy": migration_strategy,
-            "rescale_at_s": horizon * rescale_frac,
-            "moved_bytes": info.get("moved_bytes", 0),
-            "moves_completed": info.get("moves_completed"),
-            "rounds": len(info.get("events", [])),
-            "window_p50_s": p50,
-            "window_p99_s": p99,
-            "static_p99_s": static_p99,
-            "p99_spike": spike,
-            "oracle_ok": diff.ok,
-            "ownership_checks": migrated.extra.get(
-                "sanitizer_checks", {}
-            ).get("ownership-exactness", 0),
-            "autoscale": info.get("autoscale"),
-        })
-    report.tables.append(table)
-    if "fluid" in spikes and "all-at-once" in spikes:
-        fluid_wins = spikes["fluid"] < spikes["all-at-once"]
-        report.notes.append(
-            "fluid p99 "
-            + ("<" if fluid_wins else ">=")
-            + " all-at-once p99 at equal state size: "
-            + ("the Megaphone effect — sub-moves amortise the stall."
-               if fluid_wins else
-               "NOT the expected ordering; state too small for the "
-               "per-round floor — grow --records.")
-        )
-    report.notes.append(
-        "oracle: every migrated run's (window, key) aggregates must equal "
-        "the static run's exactly; the sanitizer's ownership-exactness "
-        "invariant (single leader per range, no delta applied twice) is "
-        "live during every migrated run."
+            "records_per_thread": records_per_thread,
+        },
     )
-    if failures:
-        raise StateError(
-            "elastic oracle failed — migrated run diverged from the "
-            "static baseline: " + "; ".join(failures) + "\n" + report.render()
-        )
-    return report
-
-
-# ---------------------------------------------------------------------------
-# Chaos: fault injection + epoch-based recovery
-# ---------------------------------------------------------------------------
-
-def run_chaos(
-    fault: str = "leader-crash",
-    seed: int = 7,
-    nodes: int = 3,
-    threads: int = 2,
-    workload_name: str = "ysb",
-    records_per_thread: int = 1500,
-    verify_determinism: bool = True,
-    system: str = "slash",
-    strategy: str = "both",
-    elastic: Optional[str] = None,
-) -> Report:
-    """One chaos cell: fail-free baseline, faulted runs, invariant checks.
-
-    The baseline run sets the simulated horizon the fault plan is placed
-    on and provides the ground-truth output.  Each faulted run must (a)
-    finish, (b) produce *exactly* the baseline's window results — the
-    zero-lost-results invariant — and (c) when ``verify_determinism`` is
-    set, reproduce itself byte-identically from the same seed and plan.
-    A violation raises :class:`FaultError`, failing the CLI run.
-
-    ``strategy`` names the recovery strategy ("epoch-buddy" or
-    "async-snapshot") or "both" (the default): every strategy the engine
-    supports runs against the *same* plan and baseline, and the report
-    grows a side-by-side comparison of detection/MTTR latencies,
-    snapshot overhead, and recovered records.  An engine with no
-    recovery plane (Flink) runs its data-plane faults once, unstrategized.
-
-    ``elastic`` names a migration strategy ("all-at-once" or "fluid"):
-    every *faulted* run additionally performs a live join-rescale mid
-    horizon, so faults land during or around an active migration — the
-    hardest cell of the matrix.  The baseline stays fail-free *and*
-    static, so zero-lost-results then asserts that chaos plus migration
-    together still reproduce the untouched run exactly.
-    """
-    from repro.common.errors import FaultError
-    from repro.faults.plan import FaultPlan
-    from repro.runtime import (
-        CAP_FAULT_INJECTION,
-        RECOVERY_STRATEGIES,
-        REGISTRY,
-        STRATEGY_ASYNC_SNAPSHOT,
-        Scenario,
-        run_scenario,
-    )
-
-    # Fail fast on engines with no fault-injection plane (capability
-    # error before any simulation runs, not a mid-run crash).
-    REGISTRY.require(system, CAP_FAULT_INJECTION)
-    supported = REGISTRY.create(system, nodes).supported_recovery_strategies
-    if strategy == "both":
-        strategies = [s for s in RECOVERY_STRATEGIES if s in supported] or [None]
-    else:
-        # An unknown or unsupported name flows into attach_faults, which
-        # raises the CapabilityError naming what the engine *can* do.
-        strategies = [strategy]
-
-    tag = f" + {elastic} rescale" if elastic else ""
-    report = Report(f"chaos: {fault}{tag} (seed {seed})")
-    workload_overrides = {"records_per_thread": records_per_thread}
-
-    def scenario(plan=None, overrides=None, recovery=None,
-                 rescale_at=None) -> Scenario:
-        elastic_kwargs = {}
-        if rescale_at is not None:
-            elastic_kwargs = dict(
-                rescale_at=rescale_at,
-                migration_strategy=elastic,
-                rescale_overrides={"action": "join", "add_nodes": 1},
-            )
-        return Scenario(
-            engine=system,
-            workload=workload_name,
-            nodes=nodes,
-            threads=threads,
-            workload_overrides=workload_overrides,
-            fault_plan=plan,
-            fault_overrides=dict(overrides or {}),
-            recovery_strategy=recovery,
-            **elastic_kwargs,
-        )
-
-    baseline = run_scenario(scenario())
-    horizon = baseline.sim_seconds
-    rescale_at = horizon * 0.3 if elastic else None
-    plan = FaultPlan.preset(fault, seed, nodes, horizon)
-    plan.validate(nodes, horizon_s=horizon)
-    # Scale the fault-handling tunables to this workload's horizon, so
-    # detection/retransmission behave sensibly at simulation scale.
-    base_overrides = dict(
-        detect_s=horizon * 0.02,
-        watchdog_period_s=horizon * 0.01,
-        rto_s=max(5e-6, horizon * 0.001),
-        credit_timeout_s=max(2e-5, horizon * 0.005),
-    )
-
-    events_table = TextTable(
-        f"injected faults (seed {seed}, horizon {fmt_time(horizon)})",
-        ["kind", "at", "target", "duration"],
-    )
-    for event in plan:
-        events_table.add_row(
-            event.kind.value, fmt_time(event.at_s), event.target,
-            fmt_time(event.duration_s) if event.duration_s else "-",
-        )
-    report.tables.append(events_table)
-
-    per_strategy: list[dict] = []
-    for recovery in strategies:
-        overrides = dict(base_overrides)
-        if recovery == STRATEGY_ASYNC_SNAPSHOT:
-            # A handful of marker rounds across the horizon: enough to
-            # restore from, cheap enough to measure overhead against
-            # epoch-buddy's per-cut checkpoints.
-            overrides["snapshot_interval_s"] = horizon * 0.04
-
-        def faulted_run():
-            return run_scenario(
-                scenario(plan, overrides, recovery, rescale_at=rescale_at)
-            )
-
-        faulted = faulted_run()
-        missing, extra, mismatched = _compare_aggregates(
-            baseline.aggregates, faulted.aggregates
-        )
-        zero_lost = not (missing or extra or mismatched)
-
-        deterministic = None
-        if verify_determinism:
-            repeat = faulted_run()
-            deterministic = (
-                repeat.aggregates == faulted.aggregates
-                and repeat.sim_seconds == faulted.sim_seconds
-                and repeat.emitted == faulted.emitted
-            )
-
-        faults_info = faulted.extra.get("faults", {})
-        label = recovery or "n/a (data-plane only)"
-        suffix = f" [{label}]" if len(strategies) > 1 or recovery else ""
-        outcome = TextTable(
-            f"recovery outcome{suffix}",
-            ["metric", "value"],
-        )
-        outcome.add_row("recovery strategy", label)
-        outcome.add_row("baseline windows", len(baseline.aggregates))
-        outcome.add_row("faulted windows", len(faulted.aggregates))
-        outcome.add_row("lost / extra / mismatched",
-                        f"{len(missing)} / {len(extra)} / {len(mismatched)}")
-        outcome.add_row("zero-lost-results", "PASS" if zero_lost else "FAIL")
-        if deterministic is not None:
-            outcome.add_row("same-seed determinism",
-                            "PASS" if deterministic else "FAIL")
-        outcome.add_row("sim time (baseline)", fmt_time(baseline.sim_seconds))
-        outcome.add_row("sim time (faulted)", fmt_time(faulted.sim_seconds))
-        outcome.add_row("retransmits", faulted.counters.retransmits)
-        outcome.add_row("retransmitted bytes", format_si(
-            faulted.counters.retransmitted_bytes, "B"))
-        outcome.add_row("checkpoints taken/committed",
-                        f"{faults_info.get('checkpoints_taken', 0)}/"
-                        f"{faults_info.get('checkpoints_committed', 0)}")
-        if faults_info.get("snapshot_rounds_started"):
-            outcome.add_row(
-                "snapshot rounds started/complete",
-                f"{faults_info.get('snapshot_rounds_started', 0)}/"
-                f"{faults_info.get('snapshot_rounds_complete', 0)}",
-            )
-        membership = faults_info.get("membership", {})
-        if membership:
-            outcome.add_row(
-                "heartbeats sent/delivered/lost",
-                f"{membership.get('heartbeats_sent', 0)}/"
-                f"{membership.get('heartbeats_delivered', 0)}/"
-                f"{membership.get('heartbeats_lost', 0)}",
-            )
-            outcome.add_row(
-                "fence proposals (rejected/aborted)",
-                f"{membership.get('fence_proposals', 0)} "
-                f"({membership.get('fences_rejected', 0)}/"
-                f"{membership.get('fences_aborted', 0)})",
-            )
-        split_brain = faults_info.get("terms", {}).get("split_brain", [])
-        outcome.add_row(
-            "split-brain commits",
-            "NONE" if not split_brain else f"{split_brain!r}",
-        )
-        migration = faulted.extra.get("elastic")
-        if migration is not None:
-            outcome.add_row(
-                "migration moves (done/rolled back)",
-                f"{migration.get('moves_completed', 0)}/"
-                f"{migration.get('moves_rolled_back', 0)}",
-            )
-            outcome.add_row(
-                "migrated bytes",
-                format_si(migration.get("moved_bytes", 0), "B"),
-            )
-        for victim, info in sorted(faults_info.get("crashes", {}).items()):
-            outcome.add_row(f"exec {victim} recovery time",
-                            fmt_time(info.get("recovery_s", 0.0)))
-            outcome.add_row(f"exec {victim} promoted to",
-                            info.get("promoted", "-"))
-            outcome.add_row(f"exec {victim} replayed batches",
-                            info.get("replayed_batches", 0))
-        report.tables.append(outcome)
-        if faults_info.get("crashes"):
-            report.tables.append(fault_timeline_table(faults_info))
-
-        crashes = faults_info.get("crashes", {})
-        recovered_records = sum(
-            info.get("replayed_records", 0) for info in crashes.values()
-        )
-        mttr = max(
-            (info["mttr_s"] for info in crashes.values() if "mttr_s" in info),
-            default=None,
-        )
-        detection = max(
-            (info["detection_s"] for info in crashes.values()
-             if "detection_s" in info),
-            default=None,
-        )
-        per_strategy.append({
-            "strategy": recovery,
-            "label": label,
-            "zero_lost": zero_lost,
-            "deterministic": deterministic,
-            "missing": missing,
-            "extra": extra,
-            "mismatched": mismatched,
-            "split_brain": split_brain,
-            "faulted": faulted,
-            "faults_info": faults_info,
-            "detection_s": detection,
-            "mttr_s": mttr,
-            "recovered_records": recovered_records,
-        })
-
-        report.rows.append({
-            "figure": "chaos",
-            "fault": fault,
-            "system": system,
-            "seed": seed,
-            "nodes": nodes,
-            "threads": threads,
-            "workload": workload_name,
-            "recovery_strategy": recovery,
-            "zero_lost": zero_lost,
-            "deterministic": deterministic,
-            "missing": len(missing),
-            "extra": len(extra),
-            "mismatched": len(mismatched),
-            "baseline_sim_seconds": baseline.sim_seconds,
-            "faulted_sim_seconds": faulted.sim_seconds,
-            "retransmits": faulted.counters.retransmits,
-            "retransmitted_bytes": faulted.counters.retransmitted_bytes,
-            "snapshot_overhead_bytes":
-                faults_info.get("checkpoint_bytes_replicated", 0),
-            "recovered_records": recovered_records,
-            "detection_s": detection,
-            "mttr_s": mttr,
-            "faults": faults_info,
-            "elastic": elastic,
-            "migration": migration,
-        })
-
-    if len(per_strategy) > 1:
-        comparison = TextTable(
-            "recovery strategy comparison (same plan, same seed)",
-            ["strategy", "detection", "mttr", "ckpts", "snapshot overhead",
-             "recovered records", "sim time"],
-        )
-        for entry in per_strategy:
-            info = entry["faults_info"]
-            comparison.add_row(
-                entry["label"],
-                fmt_time(entry["detection_s"]) if entry["detection_s"]
-                is not None else "-",
-                fmt_time(entry["mttr_s"]) if entry["mttr_s"] is not None
-                else "-",
-                f"{info.get('checkpoints_taken', 0)}/"
-                f"{info.get('checkpoints_committed', 0)}",
-                format_si(info.get("checkpoint_bytes_replicated", 0), "B"),
-                entry["recovered_records"],
-                fmt_time(entry["faulted"].sim_seconds),
-            )
-        report.tables.append(comparison)
-
-    report.notes.append(
-        "zero-lost-results compares every (window, key) aggregate of the "
-        "faulted run against the fail-free baseline (exact for ints, "
-        "1e-9 relative for floats)."
-    )
-
-    for entry in per_strategy:
-        tag = f" [{entry['label']}]" if entry["strategy"] else ""
-        if not entry["zero_lost"]:
-            raise FaultError(
-                f"chaos {fault!r} (seed {seed}){tag} lost results: "
-                f"{len(entry['missing'])} missing, {len(entry['extra'])} "
-                f"extra, {len(entry['mismatched'])} mismatched\n"
-                + report.render()
-            )
-        if entry["deterministic"] is False:
-            raise FaultError(
-                f"chaos {fault!r} (seed {seed}){tag} is not reproducible: "
-                "two runs with the same seed and plan diverged\n"
-                + report.render()
-            )
-        if entry["split_brain"]:
-            raise FaultError(
-                f"chaos {fault!r} (seed {seed}){tag} committed deltas for "
-                f"the same partition under the same term: "
-                f"{entry['split_brain']!r}\n" + report.render()
-            )
-    return report
-
-
-# ---------------------------------------------------------------------------
-# Overload: flash-crowd backpressure, SLO-aware shedding, gray failures
-# ---------------------------------------------------------------------------
-
-def run_overload(
-    system: str = "slash",
-    workload_name: str = "ysb",
-    nodes: int = 3,
-    threads: int = 2,
-    records_per_thread: int = 1000,
-    batch_records: Optional[int] = None,
-    seed: int = 11,
-    slo_ms: Optional[float] = None,
-    rate_factor: float = 2.0,
-    policy: str = "all",
-    tenants: int = 4,
-    zipf: float = 0.0,
-    fault: Optional[str] = "slow-node",
-    flash_at_frac: float = 0.5,
-    flash_magnitude: float = 3.0,
-) -> Report:
-    """Flash-crowd experiment: shed to the SLO, account for every record.
-
-    An unpaced baseline run measures the sustainable per-thread ingest
-    rate and pins the ground-truth aggregates.  The offered load is then
-    paced at ``rate_factor``x that rate with a flash-crowd envelope — a
-    no-shed run must *violate* the declared p99 SLO (the overload is
-    real), and every shedding policy must bring p99 back under it.  When
-    ``slo_ms`` is not given it is declared as half the no-shed p99, the
-    midpoint between "trivially met" and "unmeetable".
-
-    Every shedding run records its per-batch keep masks; the harness
-    rebuilds the admitted-only flows, runs the sequential reference
-    oracle over them, and requires exact agreement — zero lost results
-    among non-shed records, on top of the coordinator's exact
-    ``offered = admitted + shed`` accounting.  A per-tenant table shows
-    each policy's shed share against the tenant's traffic share.
-
-    ``fault`` ("slow-node" or "jitter") adds the gray-failure section:
-    the same paced scenario under the fault preset, with straggler
-    mitigation on vs off — the mitigated run must not be slower at p99.
-    """
-    from repro.common.errors import StateError
-    from repro.core.system import CAP_OVERLOAD, SHED_POLICIES
-    from repro.runtime import REGISTRY, Scenario, run_scenario
-    from repro.runtime.oracle import diff_results
-
-    REGISTRY.require(system, CAP_OVERLOAD)
-    if policy == "all":
-        policies = list(SHED_POLICIES)
-    elif policy == "none":
-        policies = []
-    else:
-        # Unknown names flow into attach_overload for the did-you-mean.
-        policies = [policy]
-
-    report = Report(
-        f"overload: flash crowd at {rate_factor:g}x sustainable "
-        f"({system}, {workload_name})"
-    )
-    if batch_records is None:
-        # Admission (and therefore shedding) is per batch: keep enough
-        # batches per thread that partial-pressure shedding has texture
-        # and the straggler EWMA has samples to converge on.
-        batch_records = max(25, records_per_thread // 20)
-    workload_overrides: dict = {
-        "records_per_thread": records_per_thread,
-        "batch_records": batch_records,
-    }
-    if zipf > 0:
-        workload_overrides["zipf_z"] = zipf
-
-    def scenario(shed_policy=None, fault_plan=None, **overload_fields) -> Scenario:
-        overload_fields.setdefault("tenants", tenants)
-        return Scenario(
-            engine=system,
-            workload=workload_name,
-            nodes=nodes,
-            threads=threads,
-            workload_overrides=workload_overrides,
-            seed=seed,
-            shed_policy=shed_policy,
-            fault_plan=fault_plan,
-            overload_overrides=overload_fields,
-        )
-
-    baseline = run_scenario(Scenario(
-        engine=system, workload=workload_name, nodes=nodes, threads=threads,
-        workload_overrides=workload_overrides, seed=seed,
-    ))
-    horizon = baseline.sim_seconds
-    sustainable = records_per_thread / horizon
-    rate = sustainable * rate_factor
-    envelope = dict(
-        ingest_rate_records_per_s=rate,
-        flash_at_frac=flash_at_frac,
-        flash_magnitude=flash_magnitude,
-    )
-
-    # The overload must be real: without shedding, the declared SLO is
-    # violated.  slo_p99_ms only affects the verdict, not the dynamics,
-    # so the no-shed run doubles as the SLO calibration run.
-    noshed = run_scenario(scenario(slo_p99_ms=1.0, **envelope))
-    no = noshed.extra["overload"]
-    if slo_ms is None:
-        slo_ms = no["delay_p99_ms"] * 0.5
-    if slo_ms <= 0:
-        raise StateError(
-            f"no-shed p99 is {no['delay_p99_ms']:.6f} ms at "
-            f"{rate_factor:g}x the sustainable rate — the workload is "
-            "not overloaded; raise --rate-factor"
-        )
-
-    table = TextTable(
-        f"flash crowd at {rate_factor:g}x sustainable "
-        f"(SLO p99 {slo_ms:.4g} ms, sustainable "
-        f"{fmt_rate_records(sustainable)})",
-        ["policy", "p50", "p99", "p99.9", "shed", "shed %", "backlog",
-         "SLO", "oracle"],
-    )
-
-    def delay_row(label, info, oracle_ok):
-        shed_pct = 100.0 * info["shed"] / info["offered"] if info["offered"] else 0.0
-        table.add_row(
-            label,
-            f"{info['delay_p50_ms']:.4g} ms",
-            f"{info['delay_p99_ms']:.4g} ms",
-            f"{info['delay_p999_ms']:.4g} ms",
-            info["shed"],
-            f"{shed_pct:.1f}%",
-            info["max_backlog_records"],
-            "MET" if info["delay_p99_ms"] <= slo_ms else "VIOLATED",
-            oracle_ok,
-        )
-
-    delay_row("no-shed", no, "n/a")
-    failures: list[str] = []
-    if no["delay_p99_ms"] <= slo_ms:
-        failures.append(
-            f"no-shed baseline met the {slo_ms:.4g} ms SLO "
-            f"(p99 {no['delay_p99_ms']:.4g} ms) — the overload is not real"
-        )
-
-    tenant_table = TextTable(
-        f"per-tenant fairness ({tenants} tenants, key-space striping)",
-        ["policy", "tenant", "offered", "shed", "traffic share", "shed share"],
-    )
-    policy_infos: dict[str, dict] = {}
-    for shed_policy in policies:
-        shedded = run_scenario(scenario(
-            shed_policy=shed_policy, slo_p99_ms=slo_ms,
-            record_masks=True, **envelope,
-        ))
-        info = shedded.extra["overload"]
-        policy_infos[shed_policy] = info
-
-        # Differential oracle: the reference engine over the admitted-only
-        # flows must reproduce the shedding run exactly — nothing besides
-        # the logged shed records went missing.
-        masks = shedded.extra.get("overload_keep_masks", {})
-        workload = make_workload(workload_name, seed=seed, **workload_overrides)
-        flows = workload.flows(nodes, threads)
-        admitted_flows = {}
-        for (node, thread), flow in flows.items():
-            admitted_flows[(node, thread)] = [
-                (stream, batch.select(masks[(node, thread, i)])
-                 if (node, thread, i) in masks else batch)
-                for i, (stream, batch) in enumerate(flow)
-            ]
-        oracle = REGISTRY.create("reference").run(
-            workload.build_query(), admitted_flows
-        )
-        diff = diff_results(oracle, shedded)
-        if not diff.ok:
-            failures.append(f"{shed_policy}: {diff.describe()}")
-        total = sum(len(b) for f in flows.values() for _s, b in f)
-        if info["offered"] != total:
-            failures.append(
-                f"{shed_policy}: offered {info['offered']} != "
-                f"{total} records generated"
-            )
-        if info["offered"] != info["admitted"] + info["shed"]:
-            failures.append(
-                f"{shed_policy}: offered {info['offered']} != admitted "
-                f"{info['admitted']} + shed {info['shed']}"
-            )
-        if info["delay_p99_ms"] > slo_ms:
-            failures.append(
-                f"{shed_policy}: p99 {info['delay_p99_ms']:.4g} ms "
-                f"violates the {slo_ms:.4g} ms SLO"
-            )
-        delay_row(shed_policy, info, "PASS" if diff.ok else "FAIL")
-
-        offered_total = sum(info["tenant_offered"]) or 1
-        shed_total = sum(info["tenant_shed"]) or 1
-        for tenant in range(tenants):
-            tenant_offered = info["tenant_offered"][tenant]
-            tenant_shed = info["tenant_shed"][tenant]
-            tenant_table.add_row(
-                shed_policy, tenant, tenant_offered, tenant_shed,
-                f"{100.0 * tenant_offered / offered_total:.1f}%",
-                f"{100.0 * tenant_shed / shed_total:.1f}%",
-            )
-        report.rows.append({
-            "figure": "overload",
-            "system": system,
-            "workload": workload_name,
-            "nodes": nodes,
-            "threads": threads,
-            "seed": seed,
-            "policy": shed_policy,
-            "rate_factor": rate_factor,
-            "slo_p99_ms": slo_ms,
-            "offered": info["offered"],
-            "admitted": info["admitted"],
-            "shed": info["shed"],
-            "delay_p50_ms": info["delay_p50_ms"],
-            "delay_p99_ms": info["delay_p99_ms"],
-            "delay_p999_ms": info["delay_p999_ms"],
-            "slo_met": info["delay_p99_ms"] <= slo_ms,
-            "noshed_p99_ms": no["delay_p99_ms"],
-            "tenant_offered": info["tenant_offered"],
-            "tenant_shed": info["tenant_shed"],
-            "oracle_ok": diff.ok,
-        })
-    report.tables.append(table)
-    if policies:
-        report.tables.append(tenant_table)
-
-    if fault is not None:
-        from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
-
-        mitigation_policy = policies[0] if policies else "drop-oldest"
-        from repro.common.suggest import unknown_name_message
-
-        if fault not in ("slow-node", "jitter"):
-            raise StateError(unknown_name_message(
-                "gray fault", fault, ("slow-node", "jitter")
-            ))
-        # Pin the gray-fault window over the whole processing phase
-        # (the randomized presets stay the chaos matrix's concern): the
-        # victim runs degraded for essentially the entire run, so the
-        # straggler detector has a signal to converge on.
-        kind = FaultKind(fault)
-        plan = FaultPlan([FaultEvent(
-            kind, at_s=horizon * 0.02, target=0,
-            duration_s=horizon * 0.95,
-            factor=0.25 if kind is FaultKind.SLOW_NODE else 8.0,
-        )], seed=seed)
-        plan.validate(nodes, horizon_s=horizon)
-        # The gray section measures *degradation*, not general overload:
-        # its SLO sits above the healthy cluster's no-shed p99, so an
-        # unfaulted run would sail through without shedding a record —
-        # only the straggler pushes the tail out, and only shedding
-        # harder at the straggler (mitigation) can pull it back.
-        gray_slo_ms = no["delay_p99_ms"] * 2.0
-        gray = TextTable(
-            f"gray failure: {fault}, {mitigation_policy} shedding "
-            f"(SLO p99 {gray_slo_ms:.4g} ms)",
-            ["mitigation", "p99", "shed", "stragglers flagged", "SLO"],
-        )
-        gray_p99: dict[bool, float] = {}
-        for mitigation in (False, True):
-            faulted = run_scenario(scenario(
-                shed_policy=mitigation_policy, fault_plan=plan,
-                slo_p99_ms=gray_slo_ms, mitigation=mitigation,
-                straggler_min_samples=3, **envelope,
-            ))
-            info = faulted.extra["overload"]
-            gray_p99[mitigation] = info["delay_p99_ms"]
-            gray.add_row(
-                "on" if mitigation else "off",
-                f"{info['delay_p99_ms']:.4g} ms",
-                info["shed"],
-                info["straggler"]["ever_flagged"],
-                "MET" if info["delay_p99_ms"] <= gray_slo_ms else "VIOLATED",
-            )
-            report.rows.append({
-                "figure": "overload-gray",
-                "system": system,
-                "fault": fault,
-                "seed": seed,
-                "policy": mitigation_policy,
-                "mitigation": mitigation,
-                "delay_p99_ms": info["delay_p99_ms"],
-                "shed": info["shed"],
-                "stragglers": info["straggler"]["ever_flagged"],
-            })
-        report.tables.append(gray)
-        if gray_p99[True] > gray_p99[False]:
-            failures.append(
-                f"straggler mitigation made p99 worse under {fault}: "
-                f"{gray_p99[True]:.4g} ms on vs {gray_p99[False]:.4g} ms off"
-            )
-        else:
-            reduction = (
-                (gray_p99[False] - gray_p99[True]) / gray_p99[False]
-                if gray_p99[False] else 0.0
-            )
-            report.notes.append(
-                f"straggler mitigation under {fault}: p99 "
-                f"{gray_p99[False]:.4g} ms -> {gray_p99[True]:.4g} ms "
-                f"({reduction:.1%} reduction)"
-            )
-
-    report.notes.append(
-        "oracle: the sequential reference engine over the admitted-only "
-        "flows (rebuilt from the recorded keep masks) must reproduce each "
-        "shedding run's (window, key) aggregates exactly — zero lost "
-        "results among non-shed records, offered = admitted + shed "
-        "accounted per record."
-    )
-    if failures:
-        raise StateError(
-            "overload acceptance failed: " + "; ".join(failures)
-            + "\n" + report.render()
-        )
-    return report

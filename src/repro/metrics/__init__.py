@@ -9,6 +9,14 @@ matrix).
 
 from repro.metrics.reporting import TextTable, format_si, series_block
 from repro.metrics.breakdown import breakdown_percentages, breakdown_table, table1_row
+from repro.metrics.slo import (
+    SLO_QUANTILES,
+    fairness_shares,
+    lag_quantiles,
+    percentile,
+    weighted_percentile,
+    window_lags,
+)
 
 __all__ = [
     "TextTable",
@@ -17,4 +25,10 @@ __all__ = [
     "breakdown_percentages",
     "breakdown_table",
     "table1_row",
+    "SLO_QUANTILES",
+    "fairness_shares",
+    "lag_quantiles",
+    "percentile",
+    "weighted_percentile",
+    "window_lags",
 ]

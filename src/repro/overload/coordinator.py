@@ -24,7 +24,6 @@ the coordinator sits between each worker thread and its input flow:
 
 from __future__ import annotations
 
-import math
 from typing import Any, Generator, Optional
 
 import numpy as np
@@ -32,25 +31,11 @@ import numpy as np
 from repro.common.errors import StateError
 from repro.common.rng import RngTree
 from repro.core.scheduler import Park
+from repro.metrics.slo import weighted_percentile
 from repro.overload.config import OverloadConfig
 from repro.overload.shedding import Shedder, make_shedder
 from repro.overload.straggler import StragglerDetector
 from repro.simnet.kernel import Simulator, Timeout
-
-
-def weighted_percentile(pairs: list[tuple[float, int]], q: float) -> float:
-    """Nearest-rank percentile over (value, weight) samples."""
-    if not pairs:
-        return 0.0
-    ordered = sorted(pairs)
-    total = sum(weight for _value, weight in ordered)
-    rank = max(1, math.ceil(q / 100.0 * total))
-    cumulative = 0
-    for value, weight in ordered:
-        cumulative += weight
-        if cumulative >= rank:
-            return value
-    return ordered[-1][0]
 
 
 class OverloadCoordinator:

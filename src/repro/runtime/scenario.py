@@ -26,6 +26,7 @@ from repro.workloads.nexmark import (
     Nexmark11Workload,
 )
 from repro.workloads.readonly import ReadOnlyWorkload
+from repro.workloads.traffic import SessionizedWorkload
 from repro.workloads.ysb import YsbWorkload
 
 #: Simulation-scale workload parameter presets (see EXPERIMENTS.md).
@@ -49,6 +50,9 @@ WORKLOADS: dict[str, Callable[..., Workload]] = {
     ),
     "ro": lambda **kw: ReadOnlyWorkload(
         **{"records_per_thread": 60_000, "key_range": 100_000, "batch_records": 4000, **kw}
+    ),
+    "sessions": lambda **kw: SessionizedWorkload(
+        **{"records_per_thread": 2500, "users": 50_000, "batch_records": 250, **kw}
     ),
 }
 

@@ -1,0 +1,91 @@
+"""The ``python -m repro grid`` subcommand."""
+
+import json
+
+from repro.grid import grid_names
+from repro.harness.cli import main
+
+
+def test_grid_list_names_every_registered_grid(capsys):
+    assert main(["grid", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in grid_names():
+        assert name in out
+    assert "traffic-slo" in out
+
+
+def test_grid_dry_run_prints_cell_count_without_running(capsys):
+    assert main(["grid", "fig8ab", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    # 8 buffer sizes x 2 transfer-capable engines.
+    assert "16 cells" in out
+    assert "axis buffer" in out and "axis system" in out
+
+
+def test_grid_dry_run_resolves_panel_alias(capsys):
+    assert main(["grid", "fig6b", "--dry-run"]) == 0
+    assert "fig6a-c" in capsys.readouterr().out
+
+
+def test_grid_axis_override_shrinks_expansion(capsys):
+    assert main(["grid", "fig8ab", "--dry-run",
+                 "--axis", "buffer=4096", "--axis", "system=slash"]) == 0
+    assert "1 cells" in capsys.readouterr().out
+
+
+def test_grid_unknown_name_exits_2_with_suggestion(capsys):
+    assert main(["grid", "traffik-slo"]) == 2
+    err = capsys.readouterr().err
+    assert "GRID FAILED" in err
+    assert "did you mean 'traffic-slo'?" in err
+
+
+def test_grid_unknown_axis_exits_2_with_suggestion(capsys):
+    assert main(["grid", "fig8ab", "--axis", "bufer=4096"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown axis" in err
+    assert "did you mean 'buffer'?" in err
+
+
+def test_grid_unknown_knob_exits_2_with_suggestion(capsys):
+    assert main(["grid", "traffic-slo", "--set", "sed=3"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown fixed knob" in err
+    assert "did you mean 'seed'?" in err
+
+
+def test_grid_without_name_falls_back_to_listing(capsys):
+    assert main(["grid"]) == 0
+    assert "traffic-slo" in capsys.readouterr().out
+
+
+def test_grid_runs_tiny_sweep_and_writes_outputs(tmp_path, capsys):
+    code = main([
+        "grid", "fig8ab", "--axis", "buffer=4096,65536",
+        "--set", "records_per_thread=8000", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig8a/b" in out
+    assert (tmp_path / "fig8ab.txt").exists()
+    rows = json.loads((tmp_path / "fig8ab.json").read_text())
+    # Buffer is the outermost axis; both transfer engines ride inside.
+    assert [row["buffer_bytes"] for row in rows] == [4096, 4096, 65536, 65536]
+
+
+def test_grid_traffic_slo_single_cell_reports_slo_and_fairness(
+    tmp_path, capsys
+):
+    code = main([
+        "grid", "traffic-slo", "--axis", "zipf=0.6",
+        "--axis", "policy=fair", "--set", "records_per_thread=600",
+        "--set", "batch_records=75", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "window lag" in out
+    assert "per-tenant fairness" in out
+    rows = json.loads((tmp_path / "traffic-slo.json").read_text())
+    assert rows[0]["policy"] == "fair"
+    assert rows[0]["slo_met"] in (True, False)
+    assert len(rows[0]["tenants"]) == 4

@@ -1,0 +1,78 @@
+"""The grid registry: every figure is registered, aliases resolve."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.grid import (
+    GRID_ALIASES,
+    GRIDS,
+    SweepGrid,
+    grid_names,
+    known_grid_names,
+    register_grid,
+    resolve_grid,
+)
+
+#: Every hand-rolled experiment the grids replaced, plus the traffic suite.
+EXPECTED_GRIDS = {
+    "fig6a-c", "fig6d-e", "fig7", "fig8ab", "fig8c", "fig8d", "fig9",
+    "fig10", "table1", "abl-credits", "abl-epoch", "abl-exec",
+    "abl-signal", "extra-latency", "traffic-slo", "traffic-storm",
+}
+
+
+def test_all_figures_and_traffic_suites_registered():
+    assert EXPECTED_GRIDS <= set(grid_names())
+
+
+def test_per_panel_aliases_reproduce_the_old_cli_table():
+    assert GRID_ALIASES["fig6a"] == "fig6a-c"
+    assert GRID_ALIASES["fig6b"] == "fig6a-c"
+    assert GRID_ALIASES["fig6c"] == "fig6a-c"
+    assert GRID_ALIASES["fig6d"] == "fig6d-e"
+    assert GRID_ALIASES["fig6e"] == "fig6d-e"
+    assert GRID_ALIASES["fig8a"] == "fig8ab"
+    assert GRID_ALIASES["fig8b"] == "fig8ab"
+
+
+def test_resolve_grid_by_name_and_alias():
+    assert resolve_grid("fig8ab") is GRIDS["fig8ab"]
+    assert resolve_grid("fig8a") is GRIDS["fig8ab"]
+
+
+def test_resolve_grid_unknown_suggests_closest():
+    with pytest.raises(ConfigError, match=r"did you mean 'traffic-slo'\?"):
+        resolve_grid("traffik-slo")
+
+
+def test_known_grid_names_cover_aliases():
+    names = known_grid_names()
+    assert "fig6a-c" in names and "fig6a" in names
+
+
+def test_every_grid_has_description_axes_and_report():
+    for name, grid in GRIDS.items():
+        assert grid.description, name
+        assert callable(grid.cell) and callable(grid.report), name
+        assert grid.title, name
+
+
+def test_register_grid_rejects_duplicates():
+    taken = next(iter(GRIDS))
+    dupe = SweepGrid(
+        name=taken, description="dupe", axes=(),
+        cell=lambda p, f: ("end_to_end", {}), report=lambda run: run,
+    )
+    with pytest.raises(ConfigError, match="registered twice"):
+        register_grid(dupe)
+
+
+def test_register_grid_rejects_taken_alias():
+    clash = SweepGrid(
+        name="brand-new-grid", description="clash", axes=(),
+        aliases=("fig8a",),
+        cell=lambda p, f: ("end_to_end", {}), report=lambda run: run,
+    )
+    with pytest.raises(ConfigError, match="already taken"):
+        register_grid(clash)
+    assert "brand-new-grid" not in GRIDS

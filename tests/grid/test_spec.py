@@ -1,0 +1,156 @@
+"""Grid specs: axis resolution, engine sets, overrides, expansion order."""
+
+import pytest
+
+from repro.common.errors import CapabilityError, ConfigError
+from repro.core.system import CAP_OVERLOAD, CAP_TRANSFER_BENCH
+from repro.grid import (
+    EngineSet,
+    SweepGrid,
+    expand_grid,
+    parse_axis_spec,
+    parse_axis_value,
+    parse_set_spec,
+    resolve_axes,
+    resolve_fixed,
+)
+
+
+def _toy_grid(**kwargs):
+    defaults = dict(
+        name="toy",
+        description="toy grid for spec tests",
+        axes=(("a", (1, 2)), ("b", ("x", "y", "z"))),
+        fixed={"threads": 2, "records": 100},
+        cell=lambda point, fixed: ("end_to_end", {**point, **fixed}),
+        report=lambda run: run,
+    )
+    defaults.update(kwargs)
+    return SweepGrid(**defaults)
+
+
+# -- EngineSet ---------------------------------------------------------------
+
+def test_engine_set_capability_filter_registration_order():
+    assert EngineSet(capabilities=(CAP_TRANSFER_BENCH,)).resolve() == (
+        "uppar", "slash",
+    )
+
+
+def test_engine_set_overload_resolves_to_slash():
+    assert EngineSet(capabilities=(CAP_OVERLOAD,)).resolve() == ("slash",)
+
+
+def test_engine_set_include_preserves_listed_order():
+    engines = EngineSet(include=("slash", "flink", "uppar")).resolve()
+    assert engines == ("slash", "flink", "uppar")
+
+
+def test_engine_set_include_still_capability_gated():
+    bad = EngineSet(capabilities=(CAP_OVERLOAD,), include=("lightsaber",))
+    with pytest.raises(CapabilityError):
+        bad.resolve()
+
+
+def test_engine_set_exclude():
+    engines = EngineSet(exclude=("lightsaber", "reference")).resolve()
+    assert "lightsaber" not in engines and "reference" not in engines
+    assert "slash" in engines
+
+
+def test_engine_set_narrowed_keeps_capability_gate():
+    narrowed = EngineSet(capabilities=(CAP_OVERLOAD,)).narrowed(("flink",))
+    with pytest.raises(CapabilityError):
+        narrowed.resolve()
+
+
+# -- axis / fixed resolution -------------------------------------------------
+
+def test_resolve_axes_defaults():
+    grid = _toy_grid()
+    assert resolve_axes(grid) == {"a": (1, 2), "b": ("x", "y", "z")}
+
+
+def test_resolve_axes_override():
+    grid = _toy_grid()
+    axes = resolve_axes(grid, {"b": ("x",)})
+    assert axes == {"a": (1, 2), "b": ("x",)}
+
+
+def test_resolve_axes_unknown_axis_did_you_mean():
+    grid = _toy_grid(axes=(("buffer", (4096,)), ("system", ("slash",))))
+    with pytest.raises(ConfigError, match=r"did you mean 'buffer'\?"):
+        resolve_axes(grid, {"bufer": (8192,)})
+
+
+def test_resolve_axes_empty_axis_rejected():
+    with pytest.raises(ConfigError, match="is empty"):
+        resolve_axes(_toy_grid(), {"a": ()})
+
+
+def test_resolve_axes_engine_override_goes_through_capability_gate():
+    grid = _toy_grid(
+        axes=(("engine", EngineSet(capabilities=(CAP_OVERLOAD,))),),
+    )
+    assert resolve_axes(grid) == {"engine": ("slash",)}
+    with pytest.raises(CapabilityError):
+        resolve_axes(grid, {"engine": ("lightsaber",)})
+
+
+def test_resolve_fixed_override_and_did_you_mean():
+    grid = _toy_grid()
+    assert resolve_fixed(grid, {"records": 50}) == {"threads": 2, "records": 50}
+    with pytest.raises(ConfigError, match=r"did you mean 'records'\?"):
+        resolve_fixed(grid, {"reccords": 50})
+
+
+# -- expansion ---------------------------------------------------------------
+
+def test_expand_grid_first_axis_outermost():
+    run = expand_grid(_toy_grid())
+    assert [(p["a"], p["b"]) for p in run.points] == [
+        (1, "x"), (1, "y"), (1, "z"),
+        (2, "x"), (2, "y"), (2, "z"),
+    ]
+    assert len(run.cells) == 6
+    assert run.results == []
+
+
+def test_expand_grid_cells_carry_point_and_fixed():
+    run = expand_grid(_toy_grid(), fixed_overrides={"threads": 4})
+    kind, params = run.cells[0]
+    assert kind == "end_to_end"
+    assert params == {"a": 1, "b": "x", "threads": 4, "records": 100}
+
+
+# -- CLI value parsing -------------------------------------------------------
+
+@pytest.mark.parametrize("text,expected", [
+    ("8", 8),
+    ("0.5", 0.5),
+    ("true", True),
+    ("False", False),
+    ("none", None),
+    ("drop-oldest", "drop-oldest"),
+])
+def test_parse_axis_value(text, expected):
+    assert parse_axis_value(text) == expected
+
+
+def test_parse_axis_spec():
+    assert parse_axis_spec("buffer=4096,65536") == ("buffer", (4096, 65536))
+    assert parse_axis_spec("policy=fair") == ("policy", ("fair",))
+
+
+def test_parse_axis_spec_malformed():
+    with pytest.raises(ConfigError, match="malformed axis override"):
+        parse_axis_spec("buffer")
+    with pytest.raises(ConfigError, match="malformed axis override"):
+        parse_axis_spec("=4096")
+
+
+def test_parse_set_spec():
+    assert parse_set_spec("seed=3") == ("seed", 3)
+    assert parse_set_spec("slo_p99_ms=none") == ("slo_p99_ms", None)
+    with pytest.raises(ConfigError, match="malformed knob override"):
+        parse_set_spec("seed")

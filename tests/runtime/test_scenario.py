@@ -26,7 +26,9 @@ def test_unknown_strategy_raises():
 
 
 def test_workload_registry_covers_paper_workloads():
-    assert set(WORKLOADS) == {"ysb", "cm", "nb7", "nb8", "nb11", "ro"}
+    assert set(WORKLOADS) == {
+        "ysb", "cm", "nb7", "nb8", "nb11", "ro", "sessions",
+    }
 
 
 def test_scenario_params_roundtrip():

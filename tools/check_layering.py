@@ -5,7 +5,7 @@ The refactored layering (see docs/architecture.md) is a strict DAG::
 
     common -> simnet -> rdma/channel/state -> membership/metrics
            -> core -> elastic/faults/overload/workloads -> baselines
-           -> runtime -> sanitizer -> harness
+           -> runtime -> grid/sanitizer -> harness
 
 A module may import from its own layer or any layer below it; importing
 from a layer above is an error (it is how the pre-refactor tangles crept
@@ -43,6 +43,7 @@ LAYERS: dict[str, int] = {
     "workloads": 5,
     "baselines": 6,
     "runtime": 7,
+    "grid": 8,
     "sanitizer": 8,
     "harness": 9,
 }
